@@ -1,0 +1,40 @@
+# Convenience targets for the reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-full figures figures-paper examples clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-output:
+	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-output:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+# Full paper sweeps under the default stopping rule.
+bench-full:
+	REPRO_BENCH_FULL=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Regenerate every figure table on 8 workers.
+figures:
+	repro-experiment all --workers 8
+
+# The §4.1 stopping rule (1% CI at p = 0.99) — slow but exact.
+figures-paper:
+	repro-experiment all --workers 8 --paper-precision
+
+examples:
+	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f; done
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache \
+	       benchmarks/results .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

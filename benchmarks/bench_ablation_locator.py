@@ -1,0 +1,62 @@
+"""Ablation: object-location strategies (§4.1 normalizes them away).
+
+The paper neglects name-server lookup, forwarding addresses, broadcast
+and immediate update, folding their cost into the Exp(1) message time.
+This bench quantifies what was folded away: the same Fig 12 cell under
+each locator.  Immediate update is the paper's model (zero lookup
+cost); the others add measurable but shape-preserving overhead.
+"""
+
+import pytest
+
+from conftest import RESULTS_DIR
+from repro.experiments.figures import FIG12_BASE
+from repro.sim.stopping import StoppingConfig
+from repro.workload.clientserver import run_cell
+
+STOP = StoppingConfig(
+    relative_precision=0.05,
+    confidence=0.95,
+    batch_size=200,
+    warmup=200,
+    min_batches=5,
+    max_observations=20_000,
+)
+
+LOCATORS = ("immediate", "forwarding", "nameserver", "broadcast")
+
+
+@pytest.mark.benchmark(group="ablation-locator")
+def test_locator_overhead_preserves_policy_ordering(benchmark):
+    def run():
+        out = {}
+        for locator in LOCATORS:
+            row = {}
+            for policy in ("migration", "placement"):
+                params = FIG12_BASE.with_overrides(
+                    policy=policy, clients=10, locator=locator, seed=0
+                )
+                row[policy] = run_cell(
+                    params, stopping=STOP
+                ).mean_communication_time_per_call
+            out[locator] = row
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = ["ablation-locator: Fig 12 cell (C=10) per location strategy"]
+    for locator, row in results.items():
+        lines.append(
+            f"  {locator:<11} migration={row['migration']:.3f} "
+            f"placement={row['placement']:.3f}"
+        )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "ablation_locator.txt").write_text("\n".join(lines) + "\n")
+    print("\n" + "\n".join(lines))
+
+    for locator, row in results.items():
+        # Placement beats conventional migration under every locator:
+        # the paper's normalization does not hide a reversal.
+        assert row["placement"] < row["migration"]
+        # Location protocols only add cost relative to immediate update.
+        assert row["placement"] >= results["immediate"]["placement"] * 0.9

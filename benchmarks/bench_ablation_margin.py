@@ -1,0 +1,64 @@
+"""Ablation: the reinstantiation policy's "clear majority" margin.
+
+§4.3 leaves "clear majority" unquantified.  This bench sweeps the
+margin and shows the calibration trade-off: a margin of 1 re-migrates
+so eagerly that transit blocking erases the benefit; by margin ~3 the
+policy settles at the conservative place-policy's level (the paper's
+"minor gains" regime).  Documents the default chosen in
+``ComparingReinstantiation``.
+"""
+
+import pytest
+
+from conftest import RESULTS_DIR
+from repro.experiments.figures import FIG14_BASE
+from repro.sim.stopping import StoppingConfig
+from repro.workload.clientserver import ClientServerWorkload
+
+STOP = StoppingConfig(
+    relative_precision=0.05,
+    confidence=0.95,
+    batch_size=200,
+    warmup=200,
+    min_batches=5,
+    max_observations=20_000,
+)
+
+MARGINS = (1, 2, 3, 5)
+CLIENTS = 20
+
+
+def run_margin(margin):
+    params = FIG14_BASE.with_overrides(
+        policy="reinstantiation", clients=CLIENTS, seed=0
+    )
+    workload = ClientServerWorkload(params, stopping=STOP)
+    workload.policy.majority_margin = margin
+    return workload.run().mean_communication_time_per_call
+
+
+@pytest.mark.benchmark(group="ablation-margin")
+def test_margin_calibration(benchmark):
+    def run():
+        placement = ClientServerWorkload(
+            FIG14_BASE.with_overrides(
+                policy="placement", clients=CLIENTS, seed=0
+            ),
+            stopping=STOP,
+        ).run().mean_communication_time_per_call
+        return placement, {m: run_margin(m) for m in MARGINS}
+
+    placement, by_margin = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = [
+        f"ablation-margin: reinstantiation at C={CLIENTS} (placement="
+        f"{placement:.3f})"
+    ] + [f"  margin={m}: {v:.3f}" for m, v in by_margin.items()]
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "ablation_margin.txt").write_text("\n".join(lines) + "\n")
+    print("\n" + "\n".join(lines))
+
+    # Eager re-migration (margin 1) is the worst of the sweep.
+    assert by_margin[1] >= max(by_margin[3], by_margin[5]) * 0.95
+    # The calibrated default lands near conservative placement.
+    assert by_margin[3] == pytest.approx(placement, rel=0.25)

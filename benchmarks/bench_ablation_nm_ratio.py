@@ -1,0 +1,75 @@
+"""Ablation: the N/M ratio's effect on break-even (§4.2.2's prediction).
+
+"It will be even bigger when the relation of object invocations inside
+a move-block to the migration duration (i.e. N/M) increases.  As the
+plot for the place-policy grows sublinearly ... an increase in N/M will
+have an over-proportional effect on the break-even point."
+
+We sweep N (the mean calls per block) at fixed M and locate the
+placement policy's break-even against the sedentary baseline.
+"""
+
+import pytest
+
+from conftest import RESULTS_DIR
+from repro.analysis.breakeven import break_even
+from repro.experiments.figures import FIG12_BASE
+from repro.sim.stopping import StoppingConfig
+from repro.workload.clientserver import run_cell
+
+STOP = StoppingConfig(
+    relative_precision=0.05,
+    confidence=0.95,
+    batch_size=200,
+    warmup=200,
+    min_batches=5,
+    max_observations=20_000,
+)
+
+CLIENTS = [1, 3, 6, 10, 15, 20, 25]
+
+
+def curve(policy, mean_n):
+    return [
+        run_cell(
+            FIG12_BASE.with_overrides(
+                policy=policy,
+                clients=c,
+                mean_calls_per_block=mean_n,
+                seed=0,
+            ),
+            stopping=STOP,
+        ).mean_communication_time_per_call
+        for c in CLIENTS
+    ]
+
+
+@pytest.mark.benchmark(group="ablation-nm")
+def test_break_even_grows_with_n_over_m(benchmark):
+    def run():
+        out = {}
+        for mean_n in (8.0, 16.0):
+            sedentary = curve("sedentary", mean_n)
+            placement = curve("placement", mean_n)
+            out[mean_n] = (
+                break_even(CLIENTS, placement, sedentary),
+                placement,
+                sedentary,
+            )
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = ["ablation-nm: placement break-even vs N/M (M=6)"]
+    for mean_n, (be, placement, sedentary) in results.items():
+        be_text = f"{be:.1f}" if be is not None else "> 25 (no crossing)"
+        lines.append(f"  N~exp({mean_n:g}): break-even at {be_text} clients")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "ablation_nm_ratio.txt").write_text("\n".join(lines) + "\n")
+    print("\n" + "\n".join(lines))
+
+    be_low = results[8.0][0]
+    be_high = results[16.0][0]
+    assert be_low is not None
+    # Doubling N/M pushes the break-even up, possibly out of range.
+    assert be_high is None or be_high > be_low

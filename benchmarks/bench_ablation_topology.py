@@ -1,0 +1,93 @@
+"""Ablation: the §4.1 claim that topology does not matter.
+
+"We also performed simulations for other structures.  But this had no
+effects on the results."  That holds because the paper normalizes the
+message latency to the same mean for every node pair.  This bench
+re-runs a Fig 12 cell on four topologies under the normalized model
+and checks the spread is within noise; it also demonstrates the claim
+is an artifact of normalization by running the same cell with per-hop
+latency, where a ring network is visibly slower.
+"""
+
+import pytest
+
+from conftest import RESULTS_DIR
+from repro.analysis.series import Curve, spread
+from repro.experiments.figures import FIG12_BASE
+from repro.network.latency import PerHopExponentialLatency
+from repro.network.topology import make_topology
+from repro.sim.stopping import StoppingConfig
+from repro.workload.clientserver import ClientServerWorkload, run_cell
+
+STOP = StoppingConfig(
+    relative_precision=0.05,
+    confidence=0.95,
+    batch_size=200,
+    warmup=200,
+    min_batches=5,
+    max_observations=25_000,
+)
+
+TOPOLOGIES = ("full", "ring", "star", "grid")
+CLIENTS = (3.0, 10.0)
+
+
+@pytest.mark.benchmark(group="ablation-topology")
+def test_topology_has_no_effect_under_normalization(benchmark):
+    def run():
+        curves = []
+        for name in TOPOLOGIES:
+            ys = []
+            for c in CLIENTS:
+                params = FIG12_BASE.with_overrides(
+                    policy="placement", clients=int(c), topology=name, seed=0
+                )
+                ys.append(
+                    run_cell(params, stopping=STOP)
+                    .mean_communication_time_per_call
+                )
+            curves.append(Curve(name, CLIENTS, tuple(ys)))
+        return curves
+
+    curves = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = ["ablation-topology: placement on Fig 12 cells (normalized latency)"]
+    for curve in curves:
+        lines.append(
+            f"  {curve.label:<6} " + " ".join(f"{y:.3f}" for y in curve.y)
+        )
+    gap = spread(curves)
+    lines.append(f"  max pairwise gap: {gap:.3f}")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "ablation_topology.txt").write_text("\n".join(lines) + "\n")
+    print("\n" + "\n".join(lines))
+
+    # "No effect": all topology curves agree within stochastic noise.
+    assert gap < 0.25
+
+
+@pytest.mark.benchmark(group="ablation-topology")
+def test_per_hop_latency_breaks_the_claim(benchmark):
+    """Without normalization, a ring IS slower — the paper's claim is
+    a property of its latency model, not of the policies."""
+
+    def run_one(topology_name):
+        params = FIG12_BASE.with_overrides(
+            policy="sedentary", clients=10, topology=topology_name, seed=0
+        )
+        workload = ClientServerWorkload.__new__(ClientServerWorkload)
+        # Build normally, then swap in the per-hop latency model.
+        workload.__init__(params, stopping=STOP)
+        topo = workload.system.network.topology
+        workload.system.network.latency = PerHopExponentialLatency(
+            topo, mean_per_hop=1.0
+        )
+        return workload.run().mean_communication_time_per_call
+
+    def run():
+        return run_one("full"), run_one("ring")
+
+    full, ring = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nper-hop latency: full={full:.3f} ring={ring:.3f}")
+    # A 27-node ring has mean distance ~7 hops: clearly slower.
+    assert ring > 2.0 * full

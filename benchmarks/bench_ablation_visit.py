@@ -1,0 +1,72 @@
+"""Ablation: call-by-move vs call-by-visit (§2.3's two standard policies).
+
+The paper evaluates the move style (the object stays at the mover until
+somebody else wants it).  Call-by-visit returns the object to its
+origin after every block.  Prediction: visit roughly doubles the
+migration work per block, so it loses to move at low concurrency; at
+high concurrency it can help a *sedentary-ish* access pattern because
+the object returns to a well-known home instead of wandering — but for
+the paper's uniform clients the homes are no better than the last
+user's node, so visit should simply shift the curve up.
+"""
+
+import pytest
+
+from conftest import RESULTS_DIR
+from repro.experiments.figures import FIG12_BASE
+from repro.sim.stopping import StoppingConfig
+from repro.workload.clientserver import run_cell
+
+STOP = StoppingConfig(
+    relative_precision=0.05,
+    confidence=0.95,
+    batch_size=200,
+    warmup=200,
+    min_batches=5,
+    max_observations=20_000,
+)
+
+CLIENTS = (3, 10, 20)
+
+
+@pytest.mark.benchmark(group="ablation-visit")
+@pytest.mark.parametrize("policy", ["migration", "placement"])
+def test_visit_adds_return_transfer_cost(benchmark, policy):
+    def run():
+        out = {}
+        for style in ("move", "visit"):
+            out[style] = [
+                run_cell(
+                    FIG12_BASE.with_overrides(
+                        policy=policy,
+                        clients=c,
+                        block_style=style,
+                        seed=0,
+                    ),
+                    stopping=STOP,
+                ).mean_communication_time_per_call
+                for c in CLIENTS
+            ]
+        return out
+
+    values = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = [f"ablation-visit ({policy}): clients={list(CLIENTS)}"]
+    for style, ys in values.items():
+        lines.append(
+            f"  {style:<6} " + " ".join(f"{y:.3f}" for y in ys)
+        )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"ablation_visit_{policy}.txt").write_text(
+        "\n".join(lines) + "\n"
+    )
+    print("\n" + "\n".join(lines))
+
+    # Visit pays the return trip: never cheaper than move by a real
+    # margin, and strictly worse somewhere in the sweep.
+    assert all(
+        v >= m * 0.95 for v, m in zip(values["visit"], values["move"])
+    )
+    assert any(
+        v > m * 1.05 for v, m in zip(values["visit"], values["move"])
+    )

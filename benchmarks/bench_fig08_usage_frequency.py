@@ -1,0 +1,39 @@
+"""Regenerates Figure 8: mean communication time per call vs t_m.
+
+Paper shape (§4.2.1): the sedentary baseline is flat at 4/3; both
+migration policies beat it at low concurrency (large t_m); transient
+placement is at least as good as conventional migration everywhere; the
+curves rise as t_m shrinks (more conflicts).
+"""
+
+import pytest
+
+from conftest import record_result, run_definition
+from repro.experiments.figures import figure8
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8_usage_frequency(benchmark, bench_stopping, fast_sweep):
+    definition = figure8(seed=0, fast=fast_sweep)
+
+    result = benchmark.pedantic(
+        run_definition,
+        args=(definition, bench_stopping),
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+
+    sedentary = result.series("without Migration")
+    migration = result.series("Migration")
+    placement = result.series("Transient Placement")
+
+    # Flat baseline at 4/3.
+    for value in sedentary:
+        assert value == pytest.approx(4.0 / 3.0, rel=0.1)
+    # Migration pays off at low concurrency (largest t_m point).
+    assert migration[-1] < sedentary[-1]
+    assert placement[-1] < sedentary[-1]
+    # Placement dominates conventional migration (small slack).
+    for p, m in zip(placement, migration):
+        assert p <= m * 1.08

@@ -1,0 +1,34 @@
+"""Regenerates Figure 10: the call-duration component of Figure 8.
+
+Paper shape: "the duration of calls increases with concurrency, since
+the chances to migrate an object to the place of the caller and to
+perform all invocations locally decreases" — i.e. the migration
+policies' call-duration curves fall as t_m grows.
+"""
+
+import pytest
+
+from conftest import record_result, run_definition
+from repro.experiments.figures import figure10
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_call_duration(benchmark, bench_stopping, fast_sweep):
+    definition = figure10(seed=0, fast=fast_sweep)
+
+    result = benchmark.pedantic(
+        run_definition,
+        args=(definition, bench_stopping),
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+
+    for label in ("Migration", "Transient Placement"):
+        curve = result.series(label)
+        # Highest concurrency (smallest t_m) has the longest calls.
+        assert curve[0] > curve[-1]
+    # The sedentary baseline's call duration IS its communication time.
+    sedentary = result.series("without Migration")
+    for value in sedentary:
+        assert value == pytest.approx(4.0 / 3.0, rel=0.1)

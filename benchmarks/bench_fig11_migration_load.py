@@ -1,0 +1,38 @@
+"""Regenerates Figure 11: the migration-load component of Figure 8.
+
+Paper shape: "the migration duration per invocation decreases at high
+concurrency levels ... the chance of finding that the callee is already
+collocated with the caller increases with concurrency"; the sedentary
+baseline performs no migrations at all.
+"""
+
+import pytest
+
+from conftest import record_result, run_definition
+from repro.experiments.figures import figure11
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_fig11_migration_load(benchmark, bench_stopping, fast_sweep):
+    definition = figure11(seed=0, fast=fast_sweep)
+
+    result = benchmark.pedantic(
+        run_definition,
+        args=(definition, bench_stopping),
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+
+    # No migrations without migration.
+    assert all(v == 0.0 for v in result.series("without Migration"))
+    # The migration load per call peaks at moderate concurrency and
+    # *falls* at the highest concurrency (smallest t_m, index 0): the
+    # callee is increasingly often already collocated (§4.2.1).
+    migration = result.series("Migration")
+    assert migration[0] < max(migration[1:])
+    # Placement performs at most as much migration work as conventional
+    # moves (rejected requests migrate nothing).
+    placement = result.series("Transient Placement")
+    for p, m in zip(placement, migration):
+        assert p <= m * 1.08

@@ -1,0 +1,46 @@
+"""Regenerates Figure 12: hot-spot objects under growing client counts.
+
+Paper shape (§4.2.2): conventional migration grows roughly linearly in
+the number of clients and crosses the sedentary baseline near C = 6;
+transient placement grows sublinearly with a decreasing rate and
+crosses near C = 20.
+"""
+
+import pytest
+
+from conftest import FULL_MODE, record_result, run_definition
+from repro.analysis.breakeven import break_even
+from repro.experiments.figures import figure12
+
+
+@pytest.mark.benchmark(group="fig12")
+def test_fig12_client_scaling(benchmark, bench_stopping):
+    # The break-even analysis needs a dense-enough grid, so this bench
+    # always uses the full sweep; only the stopping rule is relaxed.
+    definition = figure12(seed=0, fast=False)
+
+    result = benchmark.pedantic(
+        run_definition,
+        args=(definition, bench_stopping),
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+
+    x = list(definition.x_values)
+    sedentary = result.series("without Migration")
+    migration = result.series("Migration")
+    placement = result.series("Transient Placement")
+
+    # Baseline approaches 2*(1 - 1/27) ~ 1.93 for many clients.
+    assert sedentary[-1] == pytest.approx(1.93, rel=0.08)
+
+    be_migration = break_even(x, migration, sedentary)
+    be_placement = break_even(x, placement, sedentary)
+    assert be_migration is not None and 3.5 <= be_migration <= 9  # paper: 6
+    assert be_placement is not None and 10 <= be_placement <= 25  # paper: 20
+    assert be_placement >= 2.0 * be_migration
+
+    # Migration is the worst policy at the largest client count.
+    assert migration[-1] > sedentary[-1]
+    assert migration[-1] > placement[-1]

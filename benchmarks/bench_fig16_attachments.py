@@ -1,0 +1,45 @@
+"""Regenerates Figure 16: attachments and alliances (§4.4).
+
+Paper shape: conventional migration with unrestricted attachment is
+devastating (clients steal whole chained working sets from each other);
+transient placement with unrestricted attachment already recovers most
+of the damage; A-transitive attachment (alliances) helps both policies;
+placement + A-transitive attachment is the best combination.
+"""
+
+import pytest
+
+from conftest import record_result, run_definition
+from repro.experiments.figures import figure16
+
+
+@pytest.mark.benchmark(group="fig16")
+def test_fig16_attachments(benchmark, bench_stopping, fast_sweep):
+    definition = figure16(seed=0, fast=fast_sweep)
+
+    result = benchmark.pedantic(
+        run_definition,
+        args=(definition, bench_stopping),
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+
+    last = {label: result.series(label)[-1] for label in result.labels}
+    sedentary = last["without Migration"]
+    mig_u = last["Migration + unrestricted Attachment"]
+    mig_a = last["Migration + A-transitive Attachment"]
+    place_u = last["Transient Placement + unrestricted Attachment"]
+    place_a = last["Transient Placement + A-transitive Attachment"]
+
+    # Devastation: unrestricted migration is the worst curve by far.
+    assert mig_u > sedentary
+    assert mig_u > 1.5 * mig_a
+    # A-transitivity bounds the damage for conventional migration.
+    assert mig_a < mig_u
+    # Placement improves both attachment modes.
+    assert place_u < mig_u
+    assert place_a < mig_a
+    # The combination wins overall.
+    assert place_a <= min(mig_u, mig_a, place_u) * 1.05
+    assert place_a < sedentary

@@ -1,0 +1,87 @@
+"""Microbenchmarks of the simulation substrate itself.
+
+Not a paper figure — these track the throughput of the pieces every
+experiment rests on, so performance regressions in the kernel are
+visible independently of the model.
+"""
+
+import pytest
+
+from repro.network.network import Network
+from repro.network.topology import FullyConnected
+from repro.sim.kernel import Environment
+from repro.sim.rng import RandomStreams
+from repro.sim.stats import BatchMeans, RunningStats
+
+
+@pytest.mark.benchmark(group="kernel")
+def test_timeout_throughput(benchmark):
+    """Schedule-and-fire cost of 10k chained timeouts."""
+
+    def run():
+        env = Environment()
+
+        def proc(env):
+            for _ in range(10_000):
+                yield env.timeout(1.0)
+
+        env.process(proc(env))
+        env.run()
+        return env.now
+
+    assert benchmark(run) == 10_000.0
+
+
+@pytest.mark.benchmark(group="kernel")
+def test_process_interleaving_throughput(benchmark):
+    """100 processes x 100 wakeups through the shared calendar."""
+
+    def run():
+        env = Environment()
+
+        def worker(env, period):
+            for _ in range(100):
+                yield env.timeout(period)
+
+        for i in range(100):
+            env.process(worker(env, 1.0 + i / 100.0))
+        env.run()
+        return env.now
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="kernel")
+def test_network_transmit_throughput(benchmark):
+    """Latency sampling + timeout per message."""
+
+    def run():
+        env = Environment()
+        net = Network(
+            env, topology=FullyConnected(8), streams=RandomStreams(0)
+        )
+
+        def proc(env):
+            for i in range(5_000):
+                yield from net.transmit(i % 8, (i + 1) % 8)
+
+        env.process(proc(env))
+        env.run()
+        return net.remote_messages
+
+    assert benchmark(run) == 5_000
+
+
+@pytest.mark.benchmark(group="kernel")
+def test_stats_accumulator_throughput(benchmark):
+    """Welford + batch-means ingestion of 100k observations."""
+
+    def run():
+        rs, bm = RunningStats(), BatchMeans(batch_size=400)
+        for i in range(100_000):
+            v = (i * 2654435761 % 1000) / 1000.0
+            rs.add(v)
+            bm.add(v)
+        return rs.count
+
+    assert benchmark(run) == 100_000

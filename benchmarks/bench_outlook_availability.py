@@ -1,0 +1,77 @@
+"""Outlook: §2.2's availability-vs-performance tension, quantified.
+
+"Note, for example, that availability calls for distributing objects,
+while performance calls for collocating them."  The paper states the
+tension and moves on; this bench measures both sides on the mixed
+workload of :mod:`repro.availability`:
+
+* chained group operations reward collocation (internal hops free);
+* failover-style service accesses reward spreading (a single node
+  failure cannot take the whole group down).
+
+The bench sweeps the workload mix under a failure-prone network and
+shows the winning placement flip — which is exactly why placement must
+be a *policy* informed by usage patterns, the paper's recurring theme.
+"""
+
+import pytest
+
+from conftest import RESULTS_DIR
+from repro.availability import AvailabilityParameters, run_availability_cell
+from repro.sim.stopping import StoppingConfig
+
+STOP = StoppingConfig(
+    relative_precision=0.08,
+    confidence=0.95,
+    batch_size=200,
+    warmup=200,
+    min_batches=5,
+    max_observations=20_000,
+)
+
+#: Fraction of chained group operations in the mix.
+MIXES = (0.0, 0.1, 0.3, 0.6, 1.0)
+
+
+@pytest.mark.benchmark(group="outlook-availability")
+def test_placement_winner_flips_with_usage_pattern(benchmark):
+    def run():
+        out = {}
+        for placement in ("collocated", "spread"):
+            out[placement] = [
+                run_availability_cell(
+                    AvailabilityParameters(
+                        placement=placement,
+                        mttf=200.0,
+                        mttr=50.0,
+                        group_op_fraction=mix,
+                        seed=0,
+                    ),
+                    stopping=STOP,
+                ).mean_op_time
+                for mix in MIXES
+            ]
+        return out
+
+    curves = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = [
+        "outlook-availability: mean op time vs group-op fraction "
+        f"{list(MIXES)} (mttf=200, mttr=50)"
+    ]
+    for placement, ys in curves.items():
+        lines.append(
+            f"  {placement:<11} " + " ".join(f"{y:7.3f}" for y in ys)
+        )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "outlook_availability.txt").write_text(
+        "\n".join(lines) + "\n"
+    )
+    print("\n" + "\n".join(lines))
+
+    collocated, spread = curves["collocated"], curves["spread"]
+    # Pure service accesses: spreading wins (failure coverage).
+    assert spread[0] < collocated[0]
+    # Pure cooperative chains: collocation wins (communication cost +
+    # single-node exposure instead of k-node exposure).
+    assert collocated[-1] < spread[-1]

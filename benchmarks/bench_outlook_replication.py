@@ -1,0 +1,87 @@
+"""Outlook (§5): replication shows the same non-monolithic hazard.
+
+"It seems worthwhile to investigate whether similar negative effects as
+we have shown for object migration arise for other mechanisms like
+replication ... if they are applied in non-monolithic systems."
+
+This bench runs the investigation: C autonomous clients share objects
+through a write-invalidate replication layer; the read ratio is swept.
+
+Measured shape (mirroring Figs 8/12 structurally):
+
+* *eager* replication (every component replicates on first remote
+  read — the conventional-migration analogue) wins when reads dominate
+  but degrades **below the no-replication baseline** once writes
+  appear: each write pays an invalidation fan-out and the readers
+  immediately re-replicate (thrash).
+* *threshold* replication (earn a replica after k remote reads, capped
+  replica set — the place-policy analogue) keeps most of the read-heavy
+  benefit and converges to the baseline instead of crossing it.
+"""
+
+import pytest
+
+from conftest import RESULTS_DIR
+from repro.replication import ReplicationParameters, run_replication_cell
+from repro.sim.stopping import StoppingConfig
+
+STOP = StoppingConfig(
+    relative_precision=0.05,
+    confidence=0.95,
+    batch_size=200,
+    warmup=200,
+    min_batches=5,
+    max_observations=20_000,
+)
+
+READ_RATIOS = (0.99, 0.95, 0.9, 0.8, 0.7, 0.5)
+POLICIES = ("none", "eager", "threshold")
+
+
+@pytest.mark.benchmark(group="outlook-replication")
+def test_replication_conflicts_mirror_migration(benchmark):
+    def run():
+        curves = {}
+        for policy in POLICIES:
+            curves[policy] = [
+                run_replication_cell(
+                    ReplicationParameters(
+                        policy=policy, read_ratio=rr, seed=0
+                    ),
+                    stopping=STOP,
+                ).mean_op_time
+                for rr in READ_RATIOS
+            ]
+        return curves
+
+    curves = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = [
+        "outlook-replication: mean op time vs read ratio "
+        f"{list(READ_RATIOS)}"
+    ]
+    for policy, ys in curves.items():
+        lines.append(f"  {policy:<10} " + " ".join(f"{y:.3f}" for y in ys))
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "outlook_replication.txt").write_text(
+        "\n".join(lines) + "\n"
+    )
+    print("\n" + "\n".join(lines))
+
+    none, eager, threshold = (
+        curves["none"],
+        curves["eager"],
+        curves["threshold"],
+    )
+    # The baseline is flat (replication-free cost is read-ratio
+    # independent up to the small write round-trip asymmetry).
+    assert max(none) - min(none) < 0.3
+    # Eager wins decisively at the read-heavy end...
+    assert eager[0] < 0.6 * none[0]
+    # ...and crosses BELOW the baseline as writes appear: the paper's
+    # hypothesized negative effect, reproduced.
+    assert eager[-1] > 1.5 * none[-1]
+    # The conservative policy keeps a read-heavy win without ever
+    # degrading far below the baseline.
+    assert threshold[0] < none[0]
+    assert threshold[-1] < 1.25 * none[-1]

@@ -1,0 +1,68 @@
+"""Shared infrastructure for the figure-regeneration benchmarks.
+
+Each benchmark regenerates one table/figure of the paper: it runs the
+experiment definition, prints the same rows/series the paper plots, and
+writes them to ``benchmarks/results/<exp_id>.txt`` so the output
+survives pytest's capture.  Set ``REPRO_BENCH_FULL=1`` to run the full
+sweeps with the paper's 1 %-CI stopping rule (slow); the default uses
+thinned sweeps with a 5 % rule, which preserves every qualitative
+shape.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.report import format_table, to_csv
+from repro.experiments.runner import ExperimentResult, run_figure
+from repro.sim.stopping import StoppingConfig
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Full mode: paper sweeps + the §4.1 stopping rule.
+FULL_MODE = os.environ.get("REPRO_BENCH_FULL", "") == "1"
+
+#: The stopping rule benches use by default: tight enough that curve
+#: orderings are stable, loose enough to finish in seconds per cell.
+BENCH_STOPPING = (
+    StoppingConfig.paper()
+    if FULL_MODE
+    else StoppingConfig(
+        relative_precision=0.05,
+        confidence=0.95,
+        batch_size=200,
+        warmup=200,
+        min_batches=5,
+        max_observations=25_000,
+    )
+)
+
+
+@pytest.fixture(scope="session")
+def bench_stopping() -> StoppingConfig:
+    return BENCH_STOPPING
+
+
+@pytest.fixture(scope="session")
+def fast_sweep() -> bool:
+    """Whether figure definitions should thin their sweeps."""
+    return not FULL_MODE
+
+
+def record_result(result: ExperimentResult, metric: str | None = None) -> str:
+    """Format, persist and return an experiment's table."""
+    table = format_table(result, metric=metric)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    name = result.definition.exp_id + ("" if metric is None else f"_{metric}")
+    (RESULTS_DIR / f"{name}.txt").write_text(table + "\n")
+    (RESULTS_DIR / f"{name}.csv").write_text(to_csv(result, metric=metric))
+    print("\n" + table)
+    return table
+
+
+def run_definition(definition, stopping):
+    """Run a figure definition (serial; cells are short in bench mode)."""
+    return run_figure(definition, stopping=stopping)

@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Alliance distribution policies and live state monitoring.
+
+§3.4: "an alliance defines a cooperation-policy between a set of
+objects.  Additionally, an alliance can define a distribution policy."
+
+A document-pipeline alliance (parser → analyzer → renderer) processes
+batches.  The example applies the three built-in distribution policies
+and watches the effect with a :class:`~repro.sim.monitor.StateMonitor`:
+
+* ``spread``     — members across nodes (availability placement);
+* ``collocate``  — everything on one node (performance placement);
+* ``anchor``     — the pipeline follows its first stage around.
+
+Run:  python examples/alliance_distribution.py
+"""
+
+from repro import AllianceManager, DistributedSystem
+from repro.core.distribution import (
+    AnchorToMember,
+    CollocateMembers,
+    SpreadMembers,
+)
+from repro.network.latency import DeterministicLatency
+from repro.sim.monitor import StateMonitor
+
+
+def build_pipeline():
+    system = DistributedSystem(
+        nodes=6, migration_duration=6.0, latency=DeterministicLatency(1.0)
+    )
+    manager = AllianceManager()
+    pipeline = manager.create("doc-pipeline")
+    stages = [
+        system.create_server(node=i, name=name)
+        for i, name in enumerate(("parser", "analyzer", "renderer"))
+    ]
+    for stage in stages:
+        pipeline.admit(stage)
+    # The pipeline's cooperation context: stages attached in order.
+    pipeline.attach(stages[1], stages[0])
+    pipeline.attach(stages[2], stages[1])
+    return system, pipeline, stages
+
+
+def process_batch(system, stages, client_node):
+    """One document batch: a chained call through the pipeline.
+
+    The client invokes the parser, which nests a call to the analyzer,
+    which nests a call to the renderer — so internal hops are free when
+    the stages are collocated.
+    """
+
+    def chain(depth):
+        if depth >= len(stages):
+            return None
+
+        def body(callee_node):
+            yield from system.invocations.invoke(
+                callee_node, stages[depth], body=chain(depth + 1)
+            )
+
+        return body
+
+    result = yield from system.invocations.invoke(
+        client_node, stages[0], body=chain(1)
+    )
+    return result.duration
+
+
+def run_with_policy(policy_name):
+    system, pipeline, stages = build_pipeline()
+    monitor = StateMonitor(system.env, interval=10.0)
+    monitor.probe(
+        "distinct_nodes",
+        lambda: len({s.node_id for s in stages}),
+    )
+    monitor.start()
+
+    if policy_name == "collocate":
+        policy = CollocateMembers(system, pipeline, home_node=5)
+    elif policy_name == "spread":
+        policy = SpreadMembers(system, pipeline, nodes=[3, 4, 5])
+    else:
+        policy = AnchorToMember(system, pipeline, anchor=stages[0])
+
+    batch_times = []
+
+    def driver(env):
+        # Apply the distribution policy, then run batches from node 0.
+        yield from policy.apply()
+        for _ in range(20):
+            elapsed = yield from process_batch(system, stages, 0)
+            batch_times.append(elapsed)
+            yield env.timeout(5.0)
+
+    system.env.process(driver(system.env))
+    system.run(until=500)
+
+    layout = monitor.stats("distinct_nodes")
+    mean_batch = sum(batch_times) / len(batch_times)
+    print(
+        f"  {policy_name:<10} relocations={policy.relocations}  "
+        f"mean batch time={mean_batch:5.2f}  "
+        f"distinct nodes (avg)={layout.mean:.1f}"
+    )
+    return mean_batch
+
+
+def main() -> None:
+    print("document pipeline under the three distribution policies")
+    print("(3 chained stage calls per batch, client at node 0):\n")
+    spread = run_with_policy("spread")
+    collocated = run_with_policy("collocate")
+    anchored = run_with_policy("anchor")
+    print()
+    print(
+        f"collocation cuts batch latency by "
+        f"{100 * (1 - collocated / spread):.0f}% vs spreading;"
+    )
+    print(
+        "anchoring matches collocation while letting the anchor keep "
+        "migrating with its users."
+    )
+    assert collocated <= spread
+    assert anchored <= spread
+
+
+if __name__ == "__main__":
+    main()

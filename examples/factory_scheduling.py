@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Factory scheduling: the paper's Figure 1, running.
+
+§2.3's GOM declaration::
+
+    type tool supertype ANY is
+      operations
+        declare assign: visit job, move schedule -> bool;
+
+Tools on the factory floor get jobs assigned: the *job* object visits
+the tool's node (its description travels over and comes back with the
+result annotations), while the *schedule* object moves there (the tool
+keeps the updated schedule locally for later queries).
+
+The example assigns a batch of jobs to tools and compares what happens
+when two cells of the factory — independently developed subsystems —
+share one central schedule under conventional migration vs transient
+placement.
+
+Run:  python examples/factory_scheduling.py
+"""
+
+from repro import (
+    ConventionalMigration,
+    DistributedSystem,
+    TransientPlacement,
+)
+from repro.core.gom import OperationDeclaration
+from repro.network.latency import DeterministicLatency
+
+
+def build_factory(policy_cls):
+    system = DistributedSystem(
+        nodes=4, migration_duration=6.0, latency=DeterministicLatency(1.0)
+    )
+    policy = policy_cls(system)
+
+    # Two tools in different cells of the factory.
+    lathe = system.create_server(node=0, name="lathe")
+    press = system.create_server(node=1, name="press")
+    # One shared schedule and a batch of jobs at the planning node.
+    schedule = system.create_server(node=3, name="schedule")
+    jobs = [system.create_server(node=3, name=f"job-{i}") for i in range(4)]
+
+    assign_to_lathe = OperationDeclaration(
+        system, policy, lathe, name="assign",
+        visit=("job",), move=("schedule",),
+    )
+    assign_to_press = OperationDeclaration(
+        system, policy, press, name="assign",
+        visit=("job",), move=("schedule",),
+    )
+    return system, schedule, jobs, assign_to_lathe, assign_to_press
+
+
+def run_factory(policy_cls, label):
+    system, schedule, jobs, to_lathe, to_press = build_factory(policy_cls)
+    log = []
+
+    def cell(env, op, my_jobs, tag):
+        """One autonomous factory cell assigning its jobs."""
+        for job in my_jobs:
+            outcome = yield from op.call(2, job=job, schedule=schedule)
+            log.append(
+                f"  t={env.now:5.1f}  {tag}: assigned {job.name} "
+                f"(schedule @node{schedule.node_id}, "
+                f"params granted: {outcome.parameters_granted}/2)"
+            )
+
+    system.env.process(cell(system.env, to_lathe, jobs[:2], "lathe-cell"))
+    system.env.process(cell(system.env, to_press, jobs[2:], "press-cell"))
+    system.run()
+
+    print(f"=== {label} ===")
+    for line in log:
+        print(line)
+    print(
+        f"  totals: {system.migrations.migration_count} migrations, "
+        f"schedule moved {schedule.migration_count} times, "
+        f"finished t={system.now:.1f}\n"
+    )
+    return system.now
+
+
+def main() -> None:
+    t_conv = run_factory(ConventionalMigration, "conventional migration")
+    t_place = run_factory(TransientPlacement, "transient placement")
+    print(
+        f"placement finished {t_conv - t_place:.1f} time units earlier: "
+        "the shared schedule stops ping-ponging between the cells."
+    )
+
+
+if __name__ == "__main__":
+    main()

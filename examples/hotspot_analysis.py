@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Hot-spot analysis: when should a shared object stop migrating?
+
+§4.2.2's operational question: an object used by many clients (a
+"hot-spot") should not migrate — but below how many clients does
+migration still pay?  This example sweeps the client count on the
+paper's Fig 12 configuration for all three policies, prints the curves,
+locates the break-even points, and issues the recommendation a
+deployment tool would.
+
+Run:  python examples/hotspot_analysis.py          (quick sweep)
+      python examples/hotspot_analysis.py --full   (denser sweep)
+"""
+
+import sys
+
+from repro import SimulationParameters, StoppingConfig, run_cell
+from repro.analysis.breakeven import break_even, growth_rate
+
+BASE = SimulationParameters(
+    nodes=27,
+    servers_layer1=3,
+    migration_duration=6.0,
+    mean_calls_per_block=8.0,
+    mean_interblock_time=30.0,
+    seed=0,
+)
+
+STOPPING = StoppingConfig(
+    relative_precision=0.05,
+    confidence=0.95,
+    batch_size=200,
+    warmup=200,
+    min_batches=5,
+    max_observations=25_000,
+)
+
+POLICIES = ("sedentary", "migration", "placement")
+
+
+def sweep(clients):
+    curves = {p: [] for p in POLICIES}
+    for c in clients:
+        row = []
+        for policy in POLICIES:
+            result = run_cell(
+                BASE.with_overrides(policy=policy, clients=c),
+                stopping=STOPPING,
+            )
+            curves[policy].append(result.mean_communication_time_per_call)
+            row.append(f"{policy}={curves[policy][-1]:5.2f}")
+        print(f"  C={c:2d}: " + "  ".join(row))
+    return curves
+
+
+def main() -> None:
+    full = "--full" in sys.argv
+    clients = (
+        [1, 2, 3, 4, 5, 6, 8, 10, 12, 15, 18, 21, 25]
+        if full
+        else [1, 3, 6, 10, 15, 20, 25]
+    )
+
+    print("hot-spot sweep (mean communication time per call):")
+    curves = sweep(clients)
+
+    be_migration = break_even(clients, curves["migration"], curves["sedentary"])
+    be_placement = break_even(clients, curves["placement"], curves["sedentary"])
+
+    print("\nanalysis:")
+    slope, _ = growth_rate(clients, curves["migration"])
+    print(f"  conventional migration grows ~{slope:.2f} per extra client")
+    if be_migration:
+        print(
+            f"  conventional migration stops paying off at "
+            f"~{be_migration:.0f} clients (paper: 6)"
+        )
+    if be_placement:
+        print(
+            f"  transient placement stops paying off at "
+            f"~{be_placement:.0f} clients (paper: 20)"
+        )
+
+    print("\nrecommendation:")
+    print(
+        "  objects shared by fewer clients than the break-even: migrate "
+        "them (use placement);"
+    )
+    print("  hotter objects: fix() them at a well-connected node.")
+
+
+if __name__ == "__main__":
+    main()

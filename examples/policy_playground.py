@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Policy playground: compare all five policies on a custom workload.
+
+Shows the full experiment API surface: build a parameter cell, run each
+registered policy over it, and print the metric decomposition (call
+duration vs amortized migration) side by side — including the two
+"intelligent" dynamic policies the paper evaluates in §4.3.
+
+Edit WORKLOAD below to explore your own configuration.
+
+Run:  python examples/policy_playground.py
+"""
+
+from repro import POLICIES, SimulationParameters, StoppingConfig, run_cell
+
+#: Tune this cell — it is the paper's Fig 15 configuration by default
+#: (few nodes, many clients: co-located clients form natural blocs).
+WORKLOAD = SimulationParameters(
+    nodes=3,
+    clients=12,
+    servers_layer1=3,
+    migration_duration=6.0,
+    mean_calls_per_block=8.0,
+    mean_intercall_time=1.0,
+    mean_interblock_time=30.0,
+    seed=7,
+)
+
+STOPPING = StoppingConfig(
+    relative_precision=0.05,
+    confidence=0.95,
+    batch_size=200,
+    warmup=200,
+    min_batches=5,
+    max_observations=25_000,
+)
+
+
+def main() -> None:
+    print(f"workload: {WORKLOAD.label()}\n")
+    header = (
+        f"{'policy':<17}{'comm/call':>10}{'call-dur':>10}"
+        f"{'mig/call':>10}{'granted':>9}{'rejected':>9}"
+    )
+    print(header)
+    print("-" * len(header))
+
+    results = {}
+    for name in sorted(POLICIES):
+        result = run_cell(
+            WORKLOAD.with_overrides(policy=name), stopping=STOPPING
+        )
+        results[name] = result
+        stats = result.raw["policy"]
+        print(
+            f"{name:<17}"
+            f"{result.mean_communication_time_per_call:>10.3f}"
+            f"{result.mean_call_duration:>10.3f}"
+            f"{result.mean_migration_time_per_call:>10.3f}"
+            f"{stats['moves_granted']:>9d}"
+            f"{stats['moves_rejected']:>9d}"
+        )
+
+    best = min(
+        results, key=lambda n: results[n].mean_communication_time_per_call
+    )
+    print(f"\nbest policy for this workload: {best}")
+
+
+if __name__ == "__main__":
+    main()

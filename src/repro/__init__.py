@@ -1,0 +1,115 @@
+"""repro — Object Migration in Non-Monolithic Distributed Applications.
+
+A complete, from-scratch Python reproduction of Ciupke, Kottmann &
+Walter (Universität Karlsruhe, ICDCS 1996): a discrete-event simulation
+of distributed object systems in which *independently developed*
+components apply migration policies concurrently, plus the paper's two
+remedies — transient placement and alliance-scoped (A-transitive)
+attachment.
+
+Layering (bottom-up):
+
+``repro.sim``
+    Generator-based discrete-event kernel, RNG streams, statistics and
+    the §4.1 stopping rule.
+``repro.network``
+    Topologies and the normalized Exp(1) latency model.
+``repro.runtime``
+    Nodes, mobile objects, invocation forwarding, migration mechanics.
+``repro.core``
+    The contribution: primitives, move-blocks, the five policies,
+    attachments, alliances, the §3.2 cost model.
+``repro.workload`` / ``repro.experiments`` / ``repro.analysis``
+    The paper's scenarios, figure harness, and metrics.
+
+Quickstart::
+
+    from repro import SimulationParameters, run_cell
+
+    params = SimulationParameters(nodes=3, clients=3, servers_layer1=3,
+                                  policy="placement")
+    result = run_cell(params)
+    print(result.mean_communication_time_per_call)
+"""
+
+from repro._version import __version__
+from repro.core import (
+    Alliance,
+    AllianceManager,
+    AttachmentManager,
+    AttachmentMode,
+    ComparingNodes,
+    ComparingReinstantiation,
+    ConventionalMigration,
+    CostParameters,
+    MigrationPolicy,
+    MigrationPrimitives,
+    MoveBlock,
+    MoveScope,
+    POLICIES,
+    SedentaryPolicy,
+    TransientPlacement,
+    VisitScope,
+    make_policy,
+)
+from repro.errors import ReproError
+from repro.experiments import (
+    ExperimentDef,
+    ExperimentResult,
+    FIGURES,
+    make_figure,
+    run_figure,
+)
+from repro.runtime import (
+    DistributedObject,
+    DistributedSystem,
+    Node,
+    ObjectKind,
+)
+from repro.sim import Environment, RandomStreams, StoppingConfig
+from repro.workload import (
+    ClientServerWorkload,
+    LayeredWorkload,
+    SimulationParameters,
+    WorkloadResult,
+    run_cell,
+)
+
+__all__ = [
+    "Alliance",
+    "AllianceManager",
+    "AttachmentManager",
+    "AttachmentMode",
+    "ClientServerWorkload",
+    "ComparingNodes",
+    "ComparingReinstantiation",
+    "ConventionalMigration",
+    "CostParameters",
+    "DistributedObject",
+    "DistributedSystem",
+    "Environment",
+    "ExperimentDef",
+    "ExperimentResult",
+    "FIGURES",
+    "LayeredWorkload",
+    "MigrationPolicy",
+    "MigrationPrimitives",
+    "MoveBlock",
+    "MoveScope",
+    "Node",
+    "ObjectKind",
+    "POLICIES",
+    "RandomStreams",
+    "ReproError",
+    "SedentaryPolicy",
+    "SimulationParameters",
+    "StoppingConfig",
+    "TransientPlacement",
+    "VisitScope",
+    "WorkloadResult",
+    "__version__",
+    "make_figure",
+    "make_policy",
+    "run_cell",
+    "run_figure",
+]

@@ -1,0 +1,19 @@
+"""Analysis layer: the paper's metrics, break-even finding, curves."""
+
+from repro.analysis.breakeven import break_even, crossings, growth_rate, is_sublinear
+from repro.analysis.metrics import MetricsCollector
+from repro.analysis.series import Curve, spread
+from repro.analysis.significance import ComparisonResult, compare_means, welch_t_test
+
+__all__ = [
+    "ComparisonResult",
+    "Curve",
+    "MetricsCollector",
+    "break_even",
+    "compare_means",
+    "crossings",
+    "growth_rate",
+    "is_sublinear",
+    "spread",
+    "welch_t_test",
+]

@@ -1,0 +1,75 @@
+"""Small utilities over sampled (x, y) curves."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Curve:
+    """A sampled curve with a label (one figure series)."""
+
+    label: str
+    x: Tuple[float, ...]
+    y: Tuple[float, ...]
+
+    def __post_init__(self):
+        if len(self.x) != len(self.y):
+            raise ValueError("x and y must have equal lengths")
+
+    @classmethod
+    def from_points(cls, label: str, points: Sequence[Tuple[float, float]]):
+        """Build from (x, y) pairs."""
+        xs, ys = zip(*points) if points else ((), ())
+        return cls(label=label, x=tuple(xs), y=tuple(ys))
+
+    def value_at(self, x: float) -> float:
+        """Linear interpolation (clamped at the ends)."""
+        return float(np.interp(x, self.x, self.y))
+
+    def max(self) -> float:
+        """Largest y value."""
+        return max(self.y)
+
+    def min(self) -> float:
+        """Smallest y value."""
+        return min(self.y)
+
+    def dominates(self, other: "Curve", slack: float = 0.0) -> bool:
+        """True if this curve is <= the other everywhere (plus slack).
+
+        'Dominates' in the *better-performance* sense of the paper's
+        figures, where lower communication time wins.
+        """
+        if self.x != other.x:
+            raise ValueError("curves must share the x grid")
+        return all(a <= b + slack for a, b in zip(self.y, other.y))
+
+    def roughly_flat(self, tolerance: float = 0.15) -> bool:
+        """True when max deviation from the mean is within tolerance
+        (relative) — e.g. a sedentary baseline."""
+        mean = sum(self.y) / len(self.y)
+        if mean == 0:
+            return all(abs(v) <= tolerance for v in self.y)
+        return all(abs(v - mean) / abs(mean) <= tolerance for v in self.y)
+
+
+def spread(curves: Sequence[Curve]) -> float:
+    """Largest pairwise max-gap between curves sharing an x grid.
+
+    Used by the topology ablation: "no effect on the results" means a
+    small spread between per-topology curves.
+    """
+    if len(curves) < 2:
+        return 0.0
+    worst = 0.0
+    for i, a in enumerate(curves):
+        for b in curves[i + 1 :]:
+            if a.x != b.x:
+                raise ValueError("curves must share the x grid")
+            gap = max(abs(p - q) for p, q in zip(a.y, b.y))
+            worst = max(worst, gap)
+    return worst

@@ -1,0 +1,124 @@
+"""Statistical comparison of simulation cells.
+
+Claims like §4.1's "other structures ... had no effects on the results"
+or §4.3's "only minor performance gains" are statements about the
+*difference* between two stochastic measurements.  This module provides
+Welch's unequal-variance t-test built on the package's own Student-t
+CDF (no scipy dependency), operating directly on
+:class:`~repro.sim.stats.RunningStats` summaries so experiment results
+can be compared without retaining raw observations.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.sim.stats import RunningStats, student_t_cdf, student_t_ppf
+
+
+@dataclass(frozen=True)
+class ComparisonResult:
+    """Outcome of a two-sample comparison.
+
+    Attributes
+    ----------
+    difference:
+        Mean(a) − mean(b).
+    t_statistic, dof:
+        Welch's t and its Welch–Satterthwaite degrees of freedom.
+    p_value:
+        Two-sided p-value for "the means are equal".
+    ci_low, ci_high:
+        Confidence interval for the difference.
+    confidence:
+        The coverage used for the interval.
+    """
+
+    difference: float
+    t_statistic: float
+    dof: float
+    p_value: float
+    ci_low: float
+    ci_high: float
+    confidence: float
+
+    def significant(self, alpha: float = 0.05) -> bool:
+        """Whether the difference is significant at level ``alpha``."""
+        return self.p_value < alpha
+
+    def practically_equal(self, margin: float) -> bool:
+        """Equivalence check: the CI lies entirely within ±margin.
+
+        This is what a "no effect" claim needs — non-significance alone
+        is not evidence of equality.
+        """
+        return -margin <= self.ci_low and self.ci_high <= margin
+
+
+def welch_t_test(
+    a: RunningStats,
+    b: RunningStats,
+    confidence: float = 0.95,
+) -> ComparisonResult:
+    """Welch's two-sample t-test from summary statistics.
+
+    Both samples need at least two observations and at least one of
+    them non-zero variance; a pair of identical zero-variance samples
+    compares equal with p = 1.
+    """
+    if a.count < 2 or b.count < 2:
+        raise ValueError("both samples need at least two observations")
+    if not 0 < confidence < 1:
+        raise ValueError(f"confidence must be in (0,1), got {confidence}")
+
+    var_a, var_b = a.variance, b.variance
+    se_a, se_b = var_a / a.count, var_b / b.count
+    se = math.sqrt(se_a + se_b)
+    difference = a.mean - b.mean
+
+    if se == 0.0:
+        # Zero variance on both sides: the means either agree exactly
+        # or differ with certainty.
+        equal = difference == 0.0
+        return ComparisonResult(
+            difference=difference,
+            t_statistic=0.0 if equal else math.inf,
+            dof=float(a.count + b.count - 2),
+            p_value=1.0 if equal else 0.0,
+            ci_low=difference,
+            ci_high=difference,
+            confidence=confidence,
+        )
+
+    t_stat = difference / se
+    # Welch–Satterthwaite degrees of freedom.
+    dof = (se_a + se_b) ** 2 / (
+        se_a**2 / (a.count - 1) + se_b**2 / (b.count - 1)
+    )
+    dof = max(1.0, dof)
+
+    p_value = 2.0 * (1.0 - student_t_cdf(abs(t_stat), dof))
+    half = student_t_ppf(0.5 + confidence / 2.0, int(round(dof))) * se
+    return ComparisonResult(
+        difference=difference,
+        t_statistic=t_stat,
+        dof=dof,
+        p_value=min(1.0, max(0.0, p_value)),
+        ci_low=difference - half,
+        ci_high=difference + half,
+        confidence=confidence,
+    )
+
+
+def compare_means(
+    mean_a: float,
+    mean_b: float,
+    relative_margin: float = 0.05,
+) -> bool:
+    """Quick scalar check: do two means agree within a relative margin?
+
+    Convenience for bench assertions where only point estimates exist.
+    """
+    scale = max(abs(mean_a), abs(mean_b), 1e-12)
+    return abs(mean_a - mean_b) / scale <= relative_margin

@@ -1,0 +1,24 @@
+"""Availability vs. collocation — §2.2's third migration goal, quantified.
+
+"availability calls for distributing objects, while performance calls
+for collocating them."  This subpackage injects node failures and
+measures the trade-off between collocated and spread placements of a
+group of related objects.  See
+``benchmarks/bench_outlook_availability.py``.
+"""
+
+from repro.availability.faults import FaultInjector
+from repro.availability.workload import (
+    AvailabilityParameters,
+    AvailabilityResult,
+    AvailabilityWorkload,
+    run_availability_cell,
+)
+
+__all__ = [
+    "AvailabilityParameters",
+    "AvailabilityResult",
+    "AvailabilityWorkload",
+    "FaultInjector",
+    "run_availability_cell",
+]

@@ -1,0 +1,124 @@
+"""Node failure injection.
+
+§2.2 lists availability among the goals migration can serve: "objects
+can be moved to different nodes to provide better failure coverage",
+immediately noting the tension — "availability calls for distributing
+objects, while performance calls for collocating them".  The evaluation
+never quantifies this; :mod:`repro.availability` does.
+
+:class:`FaultInjector` runs one crash/recover process per node: nodes
+stay up for Exp(mttf), go down for Exp(mttr).  While a node is down
+every object resident on it is unreachable; calls issued against it
+block until recovery (crash-recover semantics with stable state — the
+simplest model that exposes the placement trade-off).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, Set
+
+from repro.runtime.objects import DistributedObject
+from repro.runtime.system import DistributedSystem
+from repro.sim.resources import Waiters
+from repro.sim.stats import TimeWeightedStats
+
+
+class FaultInjector:
+    """Per-node crash/recovery processes with blocking semantics.
+
+    Parameters
+    ----------
+    system:
+        The distributed system whose nodes fail.
+    mttf:
+        Mean time to failure (up-time duration, exponential).
+    mttr:
+        Mean time to repair (down-time duration, exponential).
+    """
+
+    def __init__(
+        self,
+        system: DistributedSystem,
+        mttf: float = 1_000.0,
+        mttr: float = 50.0,
+    ):
+        if mttf <= 0 or mttr <= 0:
+            raise ValueError("mttf and mttr must be positive")
+        self.system = system
+        self.mttf = mttf
+        self.mttr = mttr
+        self._down: Set[int] = set()
+        self._recovered: Dict[int, Waiters] = {
+            node.node_id: Waiters(system.env)
+            for node in system.registry.nodes
+        }
+        self._availability: Dict[int, TimeWeightedStats] = {
+            node.node_id: TimeWeightedStats(initial_value=1.0)
+            for node in system.registry.nodes
+        }
+        self.failures = 0
+        self._started = False
+
+    # -- state ---------------------------------------------------------------------
+
+    def is_down(self, node_id: int) -> bool:
+        """Whether the node is currently failed."""
+        return node_id in self._down
+
+    def availability_of(self, node_id: int) -> float:
+        """Fraction of time the node has been up so far."""
+        return self._availability[node_id].mean(self.system.env.now)
+
+    # -- lifecycle ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Launch the crash/recover process on every node (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        for node in self.system.registry.nodes:
+            self.system.env.process(
+                self._node_life(node.node_id),
+                name=f"faults-node-{node.node_id}",
+            )
+
+    def _node_life(self, node_id: int) -> Generator:
+        stream = self.system.streams.stream(f"faults.node.{node_id}")
+        env = self.system.env
+        while True:
+            yield env.timeout(stream.exponential(self.mttf))
+            self._down.add(node_id)
+            self._availability[node_id].update(0.0, env.now)
+            self.failures += 1
+            yield env.timeout(stream.exponential(self.mttr))
+            self._down.discard(node_id)
+            self._availability[node_id].update(1.0, env.now)
+            self._recovered[node_id].notify_all()
+
+    # -- fault-aware invocation --------------------------------------------------------
+
+    def invoke(
+        self, caller_node: int, obj: DistributedObject, body=None
+    ) -> Generator:
+        """Invoke ``obj``, blocking while its hosting node is down.
+
+        The blocked time counts into the caller-observed duration, so
+        availability loss shows up directly in the latency metric.
+        Returns ``(result, blocked_on_failure)``.
+        """
+        env = self.system.env
+        blocked = 0.0
+        # Callers on a downed node are themselves dead; model their
+        # operation as deferred until their node recovers.
+        while self.is_down(caller_node):
+            t0 = env.now
+            yield self._recovered[caller_node].wait()
+            blocked += env.now - t0
+        while self.is_down(obj.node_id):
+            t0 = env.now
+            yield self._recovered[obj.node_id].wait()
+            blocked += env.now - t0
+        result = yield from self.system.invocations.invoke(
+            caller_node, obj, body=body
+        )
+        return result, blocked

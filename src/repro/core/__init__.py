@@ -1,0 +1,83 @@
+"""The paper's contribution: migration control for non-monolithic systems.
+
+* linguistic primitives and move/visit scopes (:mod:`.primitives`)
+* move-blocks and their accounting (:mod:`.moveblock`)
+* the five migration policies (:mod:`.policies`)
+* attachments with unrestricted / A-transitive / exclusive closure
+  semantics (:mod:`.attachment`)
+* alliances — explicit cooperation contexts (:mod:`.alliance`)
+* the §3.2 analytic cost model (:mod:`.costmodel`)
+"""
+
+from repro.core.alliance import Alliance, AllianceManager
+from repro.core.attachment import (
+    GLOBAL_CONTEXT,
+    AttachmentManager,
+    AttachmentMode,
+)
+from repro.core.costmodel import (
+    CostParameters,
+    cost_conventional_worst_case,
+    cost_no_migration,
+    cost_placement_concurrent,
+    migration_break_even_clients,
+    placement_advantage,
+)
+from repro.core.distribution import (
+    AnchorToMember,
+    CollocateMembers,
+    DistributionPolicy,
+    SpreadMembers,
+)
+from repro.core.gom import OperationDeclaration, OperationOutcome
+from repro.core.locking import LockManager
+from repro.core.moveblock import MoveBlock
+from repro.core.policies import (
+    POLICIES,
+    ComparingNodes,
+    ComparingReinstantiation,
+    ConventionalMigration,
+    MigrationPolicy,
+    SedentaryPolicy,
+    ThrashingGuard,
+    TransientPlacement,
+    make_policy,
+)
+from repro.core.primitives import MigrationPrimitives, MoveScope, VisitScope
+from repro.core.proxy import Proxy, ProxyTable
+
+__all__ = [
+    "Alliance",
+    "AllianceManager",
+    "AnchorToMember",
+    "AttachmentManager",
+    "AttachmentMode",
+    "CollocateMembers",
+    "ComparingNodes",
+    "ComparingReinstantiation",
+    "ConventionalMigration",
+    "CostParameters",
+    "DistributionPolicy",
+    "GLOBAL_CONTEXT",
+    "LockManager",
+    "MigrationPolicy",
+    "MigrationPrimitives",
+    "MoveBlock",
+    "MoveScope",
+    "OperationDeclaration",
+    "OperationOutcome",
+    "POLICIES",
+    "Proxy",
+    "ProxyTable",
+    "SedentaryPolicy",
+    "SpreadMembers",
+    "ThrashingGuard",
+    "TransientPlacement",
+    "VisitScope",
+    "cost_conventional_worst_case",
+    "cost_no_migration",
+    "cost_placement_concurrent",
+    "make_policy",
+    "migration_break_even_clients",
+    "placement_advantage",
+]

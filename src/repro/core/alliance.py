@@ -1,0 +1,167 @@
+"""Alliances: explicit cooperation contexts between objects (§3.4).
+
+An alliance is a dynamic relationship among a set of cooperating
+objects.  It makes the *cooperation context* explicit, which lets the
+run-time system scope attachment transitivity: a migration primitive is
+invoked *in* an alliance, and the working set it drags along is the
+attachment closure restricted to that alliance's edges (A-transitive
+attachment).  Objects may belong to several alliances at once — that is
+precisely the overlap situation the restriction is designed for.
+
+This module implements alliance membership and scoped attachment; the
+closure algebra itself lives in :mod:`repro.core.attachment`.
+"""
+
+from __future__ import annotations
+
+from itertools import count
+from typing import Dict, List, Optional, Set
+
+from repro.errors import AllianceError
+from repro.core.attachment import AttachmentManager, AttachmentMode
+from repro.runtime.objects import DistributedObject
+
+
+class Alliance:
+    """A named cooperation context with a member set.
+
+    Created via :meth:`AllianceManager.create`; do not instantiate
+    directly (the manager owns id allocation and the attachment graph).
+    """
+
+    def __init__(
+        self, alliance_id: int, name: str, attachments: AttachmentManager
+    ):
+        self.alliance_id = alliance_id
+        self.name = name or f"alliance-{alliance_id}"
+        self._attachments = attachments
+        self._members: Dict[int, DistributedObject] = {}
+        #: When true, the alliance enforces its cooperation policy:
+        #: interactions in this alliance's context are restricted "to
+        #: those that contribute to the target of the cooperation"
+        #: (§3.4) — i.e. both parties must be members.
+        self.restrict_interactions: bool = False
+
+    # -- membership -------------------------------------------------------------
+
+    @property
+    def members(self) -> List[DistributedObject]:
+        """Current members, ordered by object id."""
+        return [self._members[k] for k in sorted(self._members)]
+
+    def __contains__(self, obj: DistributedObject) -> bool:
+        return obj.object_id in self._members
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def admit(self, obj: DistributedObject) -> None:
+        """Add an object to the alliance (idempotent)."""
+        self._members[obj.object_id] = obj
+
+    def expel(self, obj: DistributedObject) -> None:
+        """Remove a member and its alliance-scoped attachments."""
+        if obj.object_id not in self._members:
+            raise AllianceError(f"{obj.name} is not a member of {self.name}")
+        for partner in self.partners_of(obj):
+            self._attachments.detach(obj, partner, context=self.alliance_id)
+            self._attachments.detach(partner, obj, context=self.alliance_id)
+        del self._members[obj.object_id]
+
+    # -- scoped attachment ---------------------------------------------------------
+
+    def attach(self, a: DistributedObject, b: DistributedObject) -> bool:
+        """Attach two members within this alliance's context.
+
+        Both objects must already be members — an alliance can only
+        define cooperation among its own population.
+        """
+        for obj in (a, b):
+            if obj.object_id not in self._members:
+                raise AllianceError(
+                    f"{obj.name} is not a member of {self.name}; "
+                    "admit() it before attaching"
+                )
+        return self._attachments.attach(a, b, context=self.alliance_id)
+
+    def detach(self, a: DistributedObject, b: DistributedObject) -> bool:
+        """Remove an alliance-scoped attachment."""
+        return self._attachments.detach(a, b, context=self.alliance_id)
+
+    def partners_of(self, obj: DistributedObject) -> List[DistributedObject]:
+        """Members directly attached to ``obj`` within this alliance."""
+        return self._attachments.neighbors(obj, context=self.alliance_id)
+
+    def working_set(self, obj: DistributedObject) -> List[DistributedObject]:
+        """The A-transitive closure of ``obj`` within this alliance.
+
+        This is the set a migration invoked in this alliance drags
+        along (§3.4): attachments of *other* alliances do not extend it.
+        """
+        return self._attachments.closure(obj, context=self.alliance_id)
+
+    # -- cooperation policy (§3.4) -------------------------------------------------
+
+    def permits(
+        self, caller: DistributedObject, callee: DistributedObject
+    ) -> bool:
+        """Whether the alliance's cooperation policy allows this
+        interaction.
+
+        Unrestricted alliances (the default) allow everything; a
+        restricting alliance allows only member-to-member interactions.
+        """
+        if not self.restrict_interactions:
+            return True
+        return caller in self and callee in self
+
+    def check_interaction(
+        self, caller: DistributedObject, callee: DistributedObject
+    ) -> None:
+        """Raise :class:`AllianceError` on a forbidden interaction."""
+        if not self.permits(caller, callee):
+            raise AllianceError(
+                f"{self.name} restricts interactions to its members: "
+                f"{caller.name} -> {callee.name} is outside the "
+                "cooperation context"
+            )
+
+    def __repr__(self) -> str:
+        return f"<Alliance {self.name} members={len(self._members)}>"
+
+
+class AllianceManager:
+    """Creates alliances and owns the shared attachment graph."""
+
+    def __init__(self, attachments: Optional[AttachmentManager] = None):
+        self.attachments = attachments or AttachmentManager(
+            AttachmentMode.A_TRANSITIVE
+        )
+        self._alliances: Dict[int, Alliance] = {}
+        self._ids = count(1)
+
+    def create(self, name: str = "") -> Alliance:
+        """Create a new, empty alliance."""
+        alliance_id = next(self._ids)
+        alliance = Alliance(alliance_id, name, self.attachments)
+        self._alliances[alliance_id] = alliance
+        return alliance
+
+    def get(self, alliance_id: int) -> Alliance:
+        """Look up an alliance by id."""
+        try:
+            return self._alliances[alliance_id]
+        except KeyError:
+            raise AllianceError(f"no alliance with id {alliance_id}") from None
+
+    @property
+    def alliances(self) -> List[Alliance]:
+        """All alliances, by id."""
+        return [self._alliances[k] for k in sorted(self._alliances)]
+
+    def alliances_of(self, obj: DistributedObject) -> List[Alliance]:
+        """Every alliance the object belongs to."""
+        return [a for a in self.alliances if obj in a]
+
+    def __repr__(self) -> str:
+        return f"<AllianceManager alliances={len(self._alliances)}>"

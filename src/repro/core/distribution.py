@@ -1,0 +1,172 @@
+"""Alliance-level distribution policies (§3.4).
+
+"Thus, an alliance defines a cooperation-policy between a set of
+objects.  Additionally, an alliance can define a distribution policy."
+The paper implemented cooperation policies on Objectstore and
+distribution policies on DC++; here both live on the same abstraction:
+
+* a :class:`DistributionPolicy` decides where an alliance's members
+  should reside and can *apply* that decision (migrating members);
+* :class:`CollocateMembers` keeps the whole alliance on one node
+  (§2.2's communication-performance goal);
+* :class:`SpreadMembers` distributes members round-robin (§2.2's
+  availability goal);
+* :class:`AnchorToMember` follows a designated anchor member — where
+  the anchor goes (e.g. via a move-block), the rest of the alliance is
+  pulled on demand.
+
+Policies are advisory-then-apply: ``advice()`` computes the target
+layout without touching anything, ``apply()`` migrates the members
+that are out of place (skipping fixed or place-policy-locked members —
+an alliance must not break the migration policy's guarantees).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Generator, List, Optional, Sequence
+
+from repro.core.alliance import Alliance
+from repro.runtime.objects import DistributedObject
+from repro.runtime.system import DistributedSystem
+
+
+class DistributionPolicy(ABC):
+    """Decides and enforces the placement of an alliance's members."""
+
+    name = "abstract"
+
+    def __init__(self, system: DistributedSystem, alliance: Alliance):
+        self.system = system
+        self.alliance = alliance
+        #: Members migrated by apply() calls so far.
+        self.relocations = 0
+
+    @abstractmethod
+    def advice(self) -> Dict[int, int]:
+        """Target layout: member object id -> node id.
+
+        Members absent from the mapping are unconstrained.
+        """
+
+    def _movable(self, obj: DistributedObject) -> bool:
+        return not obj.fixed and not obj.is_locked and not obj.in_transit
+
+    def apply(self) -> Generator:
+        """Migrate out-of-place members to their advised nodes.
+
+        Process fragment; transfers run in parallel.  Fixed, locked or
+        in-transit members are left alone (their constraints win).
+        Returns the number of members actually moved.
+        """
+        layout = self.advice()
+        movers = []
+        for member in self.alliance.members:
+            target = layout.get(member.object_id)
+            if target is None or member.node_id == target:
+                continue
+            if not self._movable(member):
+                continue
+            movers.append((member, target))
+
+        if not movers:
+            return 0
+
+        procs = [
+            self.system.env.process(
+                self._move_one(member, target),
+                name=f"distribute-{member.name}",
+            )
+            for member, target in movers
+        ]
+        yield self.system.env.all_of(procs)
+        moved = sum(proc.value for proc in procs)
+        self.relocations += moved
+        return moved
+
+    def _move_one(self, member: DistributedObject, target: int) -> Generator:
+        outcome = yield from self.system.migrations.migrate([member], target)
+        return outcome.moved_count
+
+    def __repr__(self) -> str:
+        return (
+            f"<{type(self).__name__} alliance={self.alliance.name} "
+            f"relocations={self.relocations}>"
+        )
+
+
+class CollocateMembers(DistributionPolicy):
+    """Keep every member on one home node (performance placement)."""
+
+    name = "collocate"
+
+    def __init__(
+        self,
+        system: DistributedSystem,
+        alliance: Alliance,
+        home_node: int,
+    ):
+        super().__init__(system, alliance)
+        system.registry.node(home_node)  # validate
+        self.home_node = home_node
+
+    def advice(self) -> Dict[int, int]:
+        return {
+            member.object_id: self.home_node
+            for member in self.alliance.members
+        }
+
+
+class SpreadMembers(DistributionPolicy):
+    """Distribute members round-robin over nodes (availability placement)."""
+
+    name = "spread"
+
+    def __init__(
+        self,
+        system: DistributedSystem,
+        alliance: Alliance,
+        nodes: Optional[Sequence[int]] = None,
+    ):
+        super().__init__(system, alliance)
+        if nodes is None:
+            nodes = [node.node_id for node in system.registry.nodes]
+        if not nodes:
+            raise ValueError("need at least one node to spread over")
+        for node_id in nodes:
+            system.registry.node(node_id)  # validate
+        self.nodes = list(nodes)
+
+    def advice(self) -> Dict[int, int]:
+        members = self.alliance.members
+        return {
+            member.object_id: self.nodes[i % len(self.nodes)]
+            for i, member in enumerate(members)
+        }
+
+
+class AnchorToMember(DistributionPolicy):
+    """Follow a designated anchor member wherever it currently is."""
+
+    name = "anchor"
+
+    def __init__(
+        self,
+        system: DistributedSystem,
+        alliance: Alliance,
+        anchor: DistributedObject,
+    ):
+        super().__init__(system, alliance)
+        if anchor not in alliance:
+            raise ValueError(
+                f"anchor {anchor.name} is not a member of {alliance.name}"
+            )
+        self.anchor = anchor
+
+    def advice(self) -> Dict[int, int]:
+        home = self.anchor.node_id
+        return {
+            member.object_id: home
+            for member in self.alliance.members
+            if member.object_id != self.anchor.object_id
+        }

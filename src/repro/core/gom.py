@@ -1,0 +1,193 @@
+"""GOM-style operation declarations: call-by-move / call-by-visit (§2.3).
+
+Figure 1 of the paper declares, in GOM syntax::
+
+    type tool supertype ANY is
+      operations
+        declare assign: visit job, move schedule -> bool;
+
+i.e. when ``assign`` is invoked on a tool, the ``job`` argument *visits*
+the tool's node (comes over, returns after the operation) and the
+``schedule`` argument *moves* (comes over and stays).  This module
+provides that declaration style on top of the runtime::
+
+    assign = OperationDeclaration(
+        system, policy, owner=tool,
+        visit=("job",), move=("schedule",),
+    )
+    outcome = yield from assign.call(caller_node, job=j, schedule=s)
+
+Parameter transfers go through the installed migration *policy* as
+move-blocks issued from the owner's node, so conflicting concurrent
+operations on shared parameter objects get exactly the paper's
+semantics: under conventional migration parameters are stolen, under
+transient placement the second operation's parameters stay put and are
+used remotely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional, Tuple
+
+from repro.core.moveblock import MoveBlock
+from repro.core.policies.base import MigrationPolicy
+from repro.errors import ConfigurationError
+from repro.runtime.invocation import InvocationResult
+from repro.runtime.objects import DistributedObject
+from repro.runtime.system import DistributedSystem
+
+
+@dataclass
+class OperationOutcome:
+    """Result of one declared-operation invocation."""
+
+    #: The caller's observed invocation result (the actual call).
+    invocation: InvocationResult
+    #: Per-parameter move-blocks (parameter name -> block).
+    parameter_blocks: Dict[str, MoveBlock] = field(default_factory=dict)
+    #: Total wall-clock time of the whole operation (parameter
+    #: transfers + call + visit returns).
+    elapsed: float = 0.0
+
+    @property
+    def parameters_granted(self) -> int:
+        """How many parameter moves were granted."""
+        return sum(1 for b in self.parameter_blocks.values() if b.granted)
+
+
+class OperationDeclaration:
+    """A remotely invocable operation with parameter passing modes.
+
+    Parameters
+    ----------
+    system, policy:
+        Runtime and installed migration policy.
+    owner:
+        The object the operation belongs to (Fig 1's ``tool``).
+    name:
+        Operation name, for traces.
+    visit:
+        Parameter names passed call-by-visit (migrate in, migrate back).
+    move:
+        Parameter names passed call-by-move (migrate in, stay).
+    """
+
+    def __init__(
+        self,
+        system: DistributedSystem,
+        policy: MigrationPolicy,
+        owner: DistributedObject,
+        name: str = "operation",
+        visit: Tuple[str, ...] = (),
+        move: Tuple[str, ...] = (),
+    ):
+        overlap = set(visit) & set(move)
+        if overlap:
+            raise ConfigurationError(
+                f"parameters {sorted(overlap)} declared both visit and move"
+            )
+        self.system = system
+        self.policy = policy
+        self.owner = owner
+        self.name = name
+        self.visit_params = tuple(visit)
+        self.move_params = tuple(move)
+        #: Number of completed invocations.
+        self.call_count = 0
+
+    def _mode_of(self, param: str) -> Optional[str]:
+        if param in self.visit_params:
+            return "visit"
+        if param in self.move_params:
+            return "move"
+        return None
+
+    def call(
+        self, caller_node: int, **params: DistributedObject
+    ) -> Generator:
+        """Invoke the operation; returns an :class:`OperationOutcome`.
+
+        Unknown keyword parameters are rejected; declared parameters may
+        be omitted (e.g. an optional schedule).
+        """
+        unknown = [
+            p for p in params if self._mode_of(p) is None
+        ]
+        if unknown:
+            raise ConfigurationError(
+                f"{self.name}: undeclared parameters {sorted(unknown)}"
+            )
+        return self._call(caller_node, params)
+
+    def _call(
+        self, caller_node: int, params: Dict[str, DistributedObject]
+    ) -> Generator:
+        env = self.system.env
+        start = env.now
+        outcome = OperationOutcome(invocation=None)  # type: ignore[arg-type]
+        origins: Dict[str, int] = {}
+
+        # Parameter transfer phase: each moved/visited parameter is a
+        # move-block issued from the owner's node, in parallel.
+        blocks: List[Tuple[str, MoveBlock]] = []
+        for pname in (*self.visit_params, *self.move_params):
+            obj = params.get(pname)
+            if obj is None:
+                continue
+            origins[pname] = obj.node_id
+            block = MoveBlock(self.owner.node_id, obj)
+            blocks.append((pname, block))
+            outcome.parameter_blocks[pname] = block
+
+        if blocks:
+            procs = [
+                env.process(
+                    self._move_one(block), name=f"{self.name}-param-{pname}"
+                )
+                for pname, block in blocks
+            ]
+            yield env.all_of(procs)
+
+        # The actual call (caller -> owner).
+        result = yield from self.system.invocations.invoke(
+            caller_node, self.owner
+        )
+        outcome.invocation = result
+
+        # End phase: release blocks; visit parameters migrate home.
+        for pname, block in blocks:
+            yield from self.policy.end(block)
+        returners = []
+        for pname, block in blocks:
+            obj = block.target
+            if (
+                self._mode_of(pname) == "visit"
+                and block.granted
+                and obj.node_id != origins[pname]
+                and not obj.is_locked
+            ):
+                returners.append(
+                    env.process(
+                        self._return_one(obj, origins[pname]),
+                        name=f"{self.name}-return-{pname}",
+                    )
+                )
+        if returners:
+            yield env.all_of(returners)
+
+        outcome.elapsed = env.now - start
+        self.call_count += 1
+        return outcome
+
+    def _move_one(self, block: MoveBlock) -> Generator:
+        yield from self.policy.move(block)
+
+    def _return_one(self, obj: DistributedObject, origin: int) -> Generator:
+        yield from self.system.migrations.migrate([obj], origin)
+
+    def __repr__(self) -> str:
+        return (
+            f"<OperationDeclaration {self.name} on {self.owner.name} "
+            f"visit={list(self.visit_params)} move={list(self.move_params)}>"
+        )

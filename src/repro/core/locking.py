@@ -1,0 +1,103 @@
+"""Place-policy locks (§3.2).
+
+"As soon as it arrives, the object is locked.  A locked object is
+sedentary as long as the block or operation completes to which the
+move()-primitive is tied."  The lock is purely local state at the
+object's node — taking and releasing it never costs a remote message,
+which is the place-policy's headline property.
+
+The :class:`LockManager` tracks which move-block holds which objects so
+``end`` can release everything at once, and enforces the safety
+invariant that an object is held by at most one block (checked eagerly;
+the property tests hammer on it).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set
+
+from repro.core.moveblock import MoveBlock
+from repro.errors import PolicyError
+from repro.runtime.objects import DistributedObject
+
+
+class LockManager:
+    """Tracks place-policy locks per move-block."""
+
+    def __init__(self):
+        #: block id -> objects it holds.
+        self._held: Dict[int, List[DistributedObject]] = {}
+
+    def lock(self, obj: DistributedObject, block: MoveBlock) -> None:
+        """Grant ``block`` the lock on ``obj``.
+
+        Raises
+        ------
+        PolicyError
+            If the object is already locked (by any block, including
+            this one) — callers must check :meth:`is_locked` first; a
+            double grant would mean the mutual-exclusion invariant
+            broke.
+        """
+        if obj.lock_holder is not None:
+            raise PolicyError(
+                f"{obj.name} is already locked by block "
+                f"#{obj.lock_holder.block_id}"
+            )
+        obj.lock_holder = block
+        self._held.setdefault(block.block_id, []).append(obj)
+        block.locked_objects.append(obj)
+
+    def lock_all(self, objects: Iterable[DistributedObject], block: MoveBlock) -> None:
+        """Lock several objects for the same block."""
+        for obj in objects:
+            self.lock(obj, block)
+
+    def is_locked(self, obj: DistributedObject) -> bool:
+        """Whether any block currently holds the object."""
+        return obj.lock_holder is not None
+
+    def holder(self, obj: DistributedObject):
+        """The holding block, or None."""
+        return obj.lock_holder
+
+    def release_block(self, block: MoveBlock) -> int:
+        """Release every lock held by ``block``; returns the count.
+
+        Idempotent: releasing a block that holds nothing is a no-op
+        (the place-policy "simply ignores" the end-request of a mover
+        whose move was rejected, §3.2).
+        """
+        held = self._held.pop(block.block_id, [])
+        for obj in held:
+            if obj.lock_holder is not block:  # pragma: no cover - invariant
+                raise PolicyError(
+                    f"lock bookkeeping broken: {obj.name} held by "
+                    f"{obj.lock_holder!r}, expected block #{block.block_id}"
+                )
+            obj.lock_holder = None
+        return len(held)
+
+    def locked_objects(self) -> List[DistributedObject]:
+        """Every currently locked object (any block)."""
+        out = []
+        for objs in self._held.values():
+            out.extend(objs)
+        return sorted(out, key=lambda o: o.object_id)
+
+    def check_invariant(self) -> None:
+        """Assert every lock is held by exactly one block's ledger."""
+        seen: Set[int] = set()
+        for block_id, objs in self._held.items():
+            for obj in objs:
+                assert obj.object_id not in seen, (
+                    f"{obj.name} appears in two blocks' ledgers"
+                )
+                seen.add(obj.object_id)
+                assert obj.lock_holder is not None, (
+                    f"{obj.name} in ledger of block #{block_id} but unlocked"
+                )
+
+    def __repr__(self) -> str:
+        total = sum(len(v) for v in self._held.values())
+        return f"<LockManager blocks={len(self._held)} locks={total}>"

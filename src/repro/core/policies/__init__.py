@@ -1,0 +1,23 @@
+"""Migration policies: the interpretations of move/end requests."""
+
+from repro.core.policies.base import MigrationPolicy
+from repro.core.policies.comparing import ComparingNodes
+from repro.core.policies.conventional import ConventionalMigration
+from repro.core.policies.guard import ThrashingGuard
+from repro.core.policies.placement import TransientPlacement
+from repro.core.policies.registry import GUARD_PREFIX, POLICIES, make_policy
+from repro.core.policies.reinstantiation import ComparingReinstantiation
+from repro.core.policies.sedentary import SedentaryPolicy
+
+__all__ = [
+    "ComparingNodes",
+    "ComparingReinstantiation",
+    "ConventionalMigration",
+    "GUARD_PREFIX",
+    "MigrationPolicy",
+    "POLICIES",
+    "SedentaryPolicy",
+    "ThrashingGuard",
+    "TransientPlacement",
+    "make_policy",
+]

@@ -1,0 +1,159 @@
+"""Migration-policy interface.
+
+"Basically, object migration is nothing else than a dumb tool. ...  not
+the tool, but the policy with which the tool is controlled is the
+central issue" (§2.2).  A policy decides what happens when a client's
+move-block issues its ``move()`` request and its ``end`` request; the
+mechanism (transfer, blocking, locking state) lives in the runtime.
+
+The protocol per §3.1: a move request is forwarded to the current
+location of the callee and *interpreted there* by the run-time system —
+the policy is the interpreter.  Concrete policies:
+
+======================  =====================================================
+:class:`SedentaryPolicy`            no migration at all (baseline)
+:class:`ConventionalMigration`      classic move(): always migrate
+:class:`TransientPlacement`         §3.2 place-policy: first holder wins
+:class:`ComparingNodes`             §3.3/§4.3: open-request majority decides
+:class:`ComparingReinstantiation`   §4.3: also re-migrates on end-requests
+======================  =====================================================
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Generator, List, Optional
+
+from repro.core.attachment import AttachmentManager
+from repro.core.locking import LockManager
+from repro.core.moveblock import MoveBlock
+from repro.runtime.messages import MessageKind
+from repro.runtime.objects import DistributedObject
+from repro.runtime.system import DistributedSystem
+
+
+class MigrationPolicy(ABC):
+    """Strategy deciding how move/end requests are interpreted.
+
+    Parameters
+    ----------
+    system:
+        The distributed system the policy operates on.
+    attachments:
+        Optional attachment graph; when present, a granted move drags
+        the attachment closure of the target (scoped by the block's
+        alliance under A-transitive mode).
+    """
+
+    #: Registry name (set by subclasses).
+    name: str = "abstract"
+
+    def __init__(
+        self,
+        system: DistributedSystem,
+        attachments: Optional[AttachmentManager] = None,
+    ):
+        self.system = system
+        self.attachments = attachments
+        # Aggregate accounting (read by the analysis layer).
+        self.moves_requested = 0
+        self.moves_granted = 0
+        self.moves_rejected = 0
+        #: Migrations initiated by the policy itself rather than by a
+        #: block (comparing-and-reinstantiation does this on end).
+        self.system_migrations = 0
+        self.system_migration_cost = 0.0
+
+    # -- working sets ------------------------------------------------------------
+
+    def working_set(self, block: MoveBlock) -> List[DistributedObject]:
+        """Objects a granted move for ``block`` would migrate.
+
+        Without an attachment graph this is just the target.  With one,
+        it is the attachment closure — restricted to the block's
+        alliance context when the graph runs in A-transitive mode
+        (§3.4), unrestricted otherwise.
+        """
+        target = block.target
+        if self.attachments is None:
+            return [target]
+        context = (
+            block.alliance.alliance_id if block.alliance is not None else None
+        )
+        return self.attachments.closure(target, context=context)
+
+    # -- shared protocol steps ------------------------------------------------------
+
+    def _send_move_request(self, block: MoveBlock) -> Generator:
+        """Transmit the move request to the object's current location.
+
+        One (possibly local) message, §3.1: "A move() request is as
+        usual forwarded to current location of the object."  Returns
+        the sampled latency.
+        """
+        obj = block.target
+        latency = yield from self.system.network.transmit(
+            block.client_node, obj.node_id
+        )
+        if self.system.tracer.enabled:
+            self.system.tracer.emit(
+                self.system.env.now,
+                MessageKind.MOVE_REQUEST.value,
+                src=block.client_node,
+                dst=obj.node_id,
+                object_id=obj.object_id,
+                block=block.block_id,
+                latency=latency,
+            )
+        return latency
+
+    def _trace_decision(self, block: MoveBlock, decision: str, **extra) -> None:
+        if self.system.tracer.enabled:
+            self.system.tracer.emit(
+                self.system.env.now,
+                f"move.{decision}",
+                block=block.block_id,
+                object_id=block.target.object_id,
+                client_node=block.client_node,
+                **extra,
+            )
+
+    # -- the policy interface ---------------------------------------------------------
+
+    @abstractmethod
+    def move(self, block: MoveBlock) -> Generator:
+        """Process fragment executing the block's move request.
+
+        Must set ``block.started_at``, ``block.granted`` and
+        ``block.migration_cost`` (wall-clock time from request issue to
+        grant/reject completion, §4.2.1's amortized migration cost).
+        """
+
+    def end(self, block: MoveBlock) -> Generator:
+        """Process fragment executing the block's end request.
+
+        The default is a free local operation that merely stamps the
+        block; policies override to release locks or update counters.
+        """
+        block.ended_at = self.system.env.now
+        return None
+        yield  # pragma: no cover - makes this a generator function
+
+    # -- introspection ------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Aggregate counters for reports."""
+        return {
+            "policy": self.name,
+            "moves_requested": self.moves_requested,
+            "moves_granted": self.moves_granted,
+            "moves_rejected": self.moves_rejected,
+            "system_migrations": self.system_migrations,
+            "system_migration_cost": self.system_migration_cost,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<{type(self).__name__} requested={self.moves_requested} "
+            f"granted={self.moves_granted}>"
+        )

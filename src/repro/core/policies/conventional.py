@@ -1,0 +1,49 @@
+"""Conventional (aggressive) migration: every move migrates.
+
+The classic call-by-move semantics of Emerald/DOWL-style systems
+(§2.3): the move request travels to the object's current location and
+the object — together with the transitive closure of its attachments —
+is transferred to the mover, no questions asked.  A concurrent user's
+block simply loses the object mid-flight and continues remotely; if the
+object is in transit when the request arrives, the request queues and
+"steals" the object as soon as it lands.
+
+This is the policy whose conflicts the paper shows to be destructive in
+non-monolithic systems (Figs 8, 12, 16).
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.core.moveblock import MoveBlock
+from repro.core.policies.base import MigrationPolicy
+
+
+class ConventionalMigration(MigrationPolicy):
+    """Always migrate the target (and its attachment closure)."""
+
+    name = "migration"
+
+    def move(self, block: MoveBlock) -> Generator:
+        env = self.system.env
+        block.started_at = env.now
+        self.moves_requested += 1
+
+        yield from self._send_move_request(block)
+
+        working_set = self.working_set(block)
+        outcome = yield from self.system.migrations.migrate(
+            working_set, block.client_node
+        )
+
+        block.granted = True
+        block.moved_objects = outcome.moved_count
+        block.migration_cost = env.now - block.started_at
+        self.moves_granted += 1
+        self._trace_decision(block, "granted", moved=outcome.moved_count)
+        return outcome
+
+    # end() is inherited: for the conventional move there is nothing to
+    # release — the object stays at the mover's node until somebody
+    # else moves it away.

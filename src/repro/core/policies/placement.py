@@ -1,0 +1,107 @@
+"""Transient placement — the paper's place-policy (§3.2).
+
+The move request is forwarded to the object's current location as
+usual.  There the runtime decides *locally*:
+
+* object unlocked → execute the move conventionally, transfer the
+  object (and the unlocked part of its working set) to the caller, and
+  **lock** everything that moved.  A locked object is sedentary until
+  the owning block issues ``end``.
+* object locked → return a "locked" indication.  The conflicting mover
+  gets no migration; "the further calls at this node are forwarded to
+  the object and the end-request is simply ignored" (§3.2).
+
+Key property: no additional remote operations compared to conventional
+migration — the lock decision and the end-request are local.  The
+worked example of §3.2: with two concurrent movers the place-policy
+costs M + (2N+1)·C against the conventional worst case 2M + (2N+2)·C.
+
+With attachments, a granted move migrates only the *unlocked* members
+of the working set: members another block currently holds stay where
+they are ("conflicting move-requests will not lead to the migration of
+the requested object and, consequently, also not to the migration of
+objects attached to it", §4.4).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.core.attachment import AttachmentManager
+from repro.core.locking import LockManager
+from repro.core.moveblock import MoveBlock
+from repro.core.policies.base import MigrationPolicy
+from repro.runtime.system import DistributedSystem
+
+
+class TransientPlacement(MigrationPolicy):
+    """First-come-first-served placement with end-released locks."""
+
+    name = "placement"
+
+    def __init__(
+        self,
+        system: DistributedSystem,
+        attachments: Optional[AttachmentManager] = None,
+        locks: Optional[LockManager] = None,
+    ):
+        super().__init__(system, attachments)
+        self.locks = locks or LockManager()
+
+    def move(self, block: MoveBlock) -> Generator:
+        env = self.system.env
+        block.started_at = env.now
+        self.moves_requested += 1
+
+        yield from self._send_move_request(block)
+
+        target = block.target
+        if self.locks.is_locked(target):
+            # Conflicting move: "the conflicting move-request returns
+            # an indication" — no transfer, the mover works remotely.
+            block.granted = False
+            block.migration_cost = env.now - block.started_at
+            self.moves_rejected += 1
+            self._trace_decision(
+                block,
+                "rejected",
+                holder=target.lock_holder.block_id,
+            )
+            return None
+
+        # Grant: lock first (the commit point — atomic with the check,
+        # no yield in between), then transfer.  Working-set members
+        # already held by other blocks are skipped, not stolen.
+        working_set = self.working_set(block)
+        movable = [obj for obj in working_set if not self.locks.is_locked(obj)]
+        self.locks.lock_all(movable, block)
+
+        outcome = yield from self.system.migrations.migrate(
+            movable, block.client_node
+        )
+
+        block.granted = True
+        block.moved_objects = outcome.moved_count
+        block.migration_cost = env.now - block.started_at
+        self.moves_granted += 1
+        self._trace_decision(
+            block,
+            "granted",
+            moved=outcome.moved_count,
+            locked=len(movable),
+        )
+        return outcome
+
+    def end(self, block: MoveBlock) -> Generator:
+        """Release the block's locks.
+
+        Always a *local* operation: for a granted block the locks live
+        at the client's own node; for a rejected block "the end-request
+        is simply ignored, as nothing has to be done" (§3.2).  Either
+        way no message is charged.
+        """
+        released = self.locks.release_block(block)
+        block.ended_at = self.system.env.now
+        self._trace_decision(block, "ended", released=released)
+        return None
+        yield  # pragma: no cover - makes this a generator function

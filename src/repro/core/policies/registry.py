@@ -1,0 +1,60 @@
+"""Policy registry: build migration policies by name.
+
+Experiment configs refer to policies by their string names (the same
+labels the paper's figure legends use); this module maps names to
+constructors.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Type
+
+from repro.core.attachment import AttachmentManager
+from repro.core.policies.base import MigrationPolicy
+from repro.core.policies.comparing import ComparingNodes
+from repro.core.policies.conventional import ConventionalMigration
+from repro.core.policies.guard import ThrashingGuard
+from repro.core.policies.placement import TransientPlacement
+from repro.core.policies.reinstantiation import ComparingReinstantiation
+from repro.core.policies.sedentary import SedentaryPolicy
+from repro.runtime.system import DistributedSystem
+
+#: All built-in base policies by name.
+POLICIES: Dict[str, Type[MigrationPolicy]] = {
+    SedentaryPolicy.name: SedentaryPolicy,
+    ConventionalMigration.name: ConventionalMigration,
+    TransientPlacement.name: TransientPlacement,
+    ComparingNodes.name: ComparingNodes,
+    ComparingReinstantiation.name: ComparingReinstantiation,
+}
+
+#: Prefix selecting the §2.2 thrashing guard around a base policy,
+#: e.g. ``"guarded:migration"``.
+GUARD_PREFIX = "guarded:"
+
+
+def make_policy(
+    name: str,
+    system: DistributedSystem,
+    attachments: Optional[AttachmentManager] = None,
+) -> MigrationPolicy:
+    """Instantiate a migration policy by registry name.
+
+    ``"guarded:<base>"`` wraps the base policy in a
+    :class:`~repro.core.policies.guard.ThrashingGuard` with its default
+    calibration.
+    """
+    if name.startswith(GUARD_PREFIX):
+        inner = make_policy(
+            name[len(GUARD_PREFIX):], system, attachments
+        )
+        return ThrashingGuard(inner)
+    try:
+        cls = POLICIES[name]
+    except KeyError:
+        guarded = [f"{GUARD_PREFIX}{n}" for n in sorted(POLICIES)]
+        raise ValueError(
+            f"unknown policy {name!r}; choose from "
+            f"{sorted(POLICIES) + guarded}"
+        ) from None
+    return cls(system, attachments)

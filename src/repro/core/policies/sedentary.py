@@ -1,0 +1,32 @@
+"""The no-migration baseline.
+
+"The place-policy was compared to the conventional migrate-policy and
+to a system that only consists of sedentary objects" (§4.2).  Under
+this policy the move primitive is a no-op: no request message is sent,
+nothing migrates, and every invocation is served wherever the object
+was initially placed.  With C clients on D nodes and uniform placement
+this yields the paper's flat baseline — e.g. mean 4/3 per call for
+D = 3 (Fig 8: a call and a result message, remote with probability 2/3).
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.core.moveblock import MoveBlock
+from repro.core.policies.base import MigrationPolicy
+
+
+class SedentaryPolicy(MigrationPolicy):
+    """Objects never move; move/end are free no-ops."""
+
+    name = "sedentary"
+
+    def move(self, block: MoveBlock) -> Generator:
+        block.started_at = self.system.env.now
+        block.granted = False
+        block.migration_cost = 0.0
+        self.moves_requested += 1
+        self._trace_decision(block, "noop")
+        return None
+        yield  # pragma: no cover - makes this a generator function

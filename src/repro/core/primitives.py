@@ -1,0 +1,257 @@
+"""The linguistic primitives for mobile objects (§2.2/§2.3).
+
+This is the public, application-facing layer: the classic primitive set
+systems like Emerald, DOWL or GOM expose —
+
+* fixing objects: :meth:`~MigrationPrimitives.fix`,
+  :meth:`~MigrationPrimitives.unfix`, :meth:`~MigrationPrimitives.refix`;
+* moving objects: :meth:`~MigrationPrimitives.migrate` (to a node or to
+  another object), :meth:`~MigrationPrimitives.location_of`,
+  :meth:`~MigrationPrimitives.is_resident`;
+* keeping objects together: :meth:`~MigrationPrimitives.attach`,
+  :meth:`~MigrationPrimitives.detach`;
+* the standard policies: :meth:`~MigrationPrimitives.move_block`
+  (call-by-move semantics: migrate, use, leave) and
+  :meth:`~MigrationPrimitives.visit_block` (call-by-visit: migrate,
+  use, migrate back).
+
+How a ``move`` behaves under concurrency is decided by the installed
+:class:`~repro.core.policies.base.MigrationPolicy` — swap in
+:class:`~repro.core.policies.placement.TransientPlacement` and the same
+application code becomes conflict-safe; that transparency is the point
+of §3.2.
+
+All blocking operations are *process fragments*: call them with
+``yield from`` inside a simulation process.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional, Union
+
+from repro.core.alliance import Alliance
+from repro.core.attachment import AttachmentManager
+from repro.core.moveblock import MoveBlock
+from repro.core.policies.base import MigrationPolicy
+from repro.errors import ObjectFixedError
+from repro.runtime.objects import DistributedObject
+from repro.runtime.system import DistributedSystem
+
+#: A migration target: either a node id or an object to collocate with.
+Target = Union[int, DistributedObject]
+
+
+class MoveScope:
+    """A live move-block: the span between ``move()`` and ``end``.
+
+    Obtained from :meth:`MigrationPrimitives.move_block`.  Usage inside
+    a simulation process::
+
+        scope = primitives.move_block(client_node, server)
+        yield from scope.enter()
+        for _ in range(n):
+            yield from scope.call()
+        yield from scope.exit()
+    """
+
+    def __init__(
+        self,
+        primitives: "MigrationPrimitives",
+        client_node: int,
+        target: DistributedObject,
+        alliance: Optional[Alliance] = None,
+    ):
+        self._primitives = primitives
+        self.block = MoveBlock(client_node, target, alliance=alliance)
+        self._entered = False
+
+    def enter(self) -> Generator:
+        """Issue the move request (policy decides what happens).
+
+        Guard failures raise eagerly, at the call site.
+        """
+        if self._entered:
+            raise RuntimeError("move scope already entered")
+        self._entered = True
+        return self._enter()
+
+    def _enter(self) -> Generator:
+        outcome = yield from self._primitives.policy.move(self.block)
+        return outcome
+
+    def call(self, body=None) -> Generator:
+        """Invoke the target once, recording the duration in the block."""
+        if not self._entered:
+            raise RuntimeError("enter() the move scope before calling")
+        return self._call(body)
+
+    def _call(self, body) -> Generator:
+        result = yield from self._primitives.system.invocations.invoke(
+            self.block.client_node, self.block.target, body=body
+        )
+        self.block.record_call(result.duration)
+        return result
+
+    def exit(self) -> Generator:
+        """Issue the end request (unlock/deregister per policy)."""
+        if not self._entered:
+            raise RuntimeError("cannot exit a scope that was never entered")
+        return self._exit()
+
+    def _exit(self) -> Generator:
+        yield from _as_generator(self._primitives.policy.end(self.block))
+        return self.block
+
+
+class VisitScope(MoveScope):
+    """Call-by-visit: like a move, but the object migrates back on exit.
+
+    "A visit is the combination of a move and a migrate back" (§2.3).
+    The return transfer is charged to the block's migration cost.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._origin: Optional[int] = None
+
+    def enter(self) -> Generator:
+        self._origin = self.block.target.node_id
+        outcome = yield from super().enter()
+        return outcome
+
+    def exit(self) -> Generator:
+        yield from _as_generator(self._primitives.policy.end(self.block))
+        # Migrate back only if our move actually displaced the object.
+        if (
+            self.block.granted
+            and self._origin is not None
+            and self.block.target.node_id != self._origin
+            and not self.block.target.is_locked
+        ):
+            start = self._primitives.system.env.now
+            yield from self._primitives.system.migrations.migrate(
+                [self.block.target], self._origin
+            )
+            self.block.migration_cost += self._primitives.system.env.now - start
+        return self.block
+
+
+class MigrationPrimitives:
+    """Facade bundling a system, a policy and an attachment graph."""
+
+    def __init__(
+        self,
+        system: DistributedSystem,
+        policy: MigrationPolicy,
+        attachments: Optional[AttachmentManager] = None,
+    ):
+        self.system = system
+        self.policy = policy
+        self.attachments = attachments if attachments is not None else policy.attachments
+
+    # -- fixing objects (§2.2) ---------------------------------------------------
+
+    def fix(self, obj: DistributedObject) -> None:
+        """Make the object sedentary."""
+        obj.fixed = True
+
+    def unfix(self, obj: DistributedObject) -> None:
+        """Allow the object to migrate again."""
+        obj.fixed = False
+
+    def refix(self, obj: DistributedObject, node: int) -> Generator:
+        """Move a fixed object to ``node`` and fix it there.
+
+        Process fragment (the transfer takes time).
+        """
+        obj.fixed = False
+        try:
+            yield from self.system.migrations.migrate([obj], node)
+        finally:
+            obj.fixed = True
+
+    # -- moving objects (§2.2) ----------------------------------------------------
+
+    def location_of(self, obj: DistributedObject) -> int:
+        """Current node of the object (authoritative)."""
+        return self.system.registry.location_of(obj.object_id)
+
+    def is_resident(self, obj: DistributedObject, node: int) -> bool:
+        """Whether the object currently resides on ``node``."""
+        return obj.is_resident_on(node)
+
+    def migrate(self, obj: DistributedObject, target: Target) -> Generator:
+        """The raw ``migrate(O, target)`` building block.
+
+        ``target`` may be a node id or another object (collocation).
+        Bypasses the policy — this is mechanism, not policy; attached
+        objects are dragged along per the attachment graph.  A fixed
+        object raises :class:`ObjectFixedError` eagerly.
+        """
+        if obj.fixed:
+            raise ObjectFixedError(f"{obj.name} is fixed")
+        node = target.node_id if isinstance(target, DistributedObject) else target
+        working_set = (
+            self.attachments.closure(obj) if self.attachments is not None else [obj]
+        )
+        return self.system.migrations.migrate(working_set, node)
+
+    # -- keeping objects together (§2.2) ---------------------------------------------
+
+    def attach(
+        self,
+        a: DistributedObject,
+        b: DistributedObject,
+        alliance: Optional[Alliance] = None,
+    ) -> bool:
+        """Attach ``a`` to ``b`` (optionally inside an alliance)."""
+        if self.attachments is None:
+            raise RuntimeError("no attachment manager configured")
+        if alliance is not None:
+            return alliance.attach(a, b)
+        return self.attachments.attach(a, b)
+
+    def detach(
+        self,
+        a: DistributedObject,
+        b: DistributedObject,
+        alliance: Optional[Alliance] = None,
+    ) -> bool:
+        """Remove an attachment."""
+        if self.attachments is None:
+            raise RuntimeError("no attachment manager configured")
+        if alliance is not None:
+            return alliance.detach(a, b)
+        return self.attachments.detach(a, b)
+
+    # -- standard policies (§2.3) -----------------------------------------------------
+
+    def move_block(
+        self,
+        client_node: int,
+        target: DistributedObject,
+        alliance: Optional[Alliance] = None,
+    ) -> MoveScope:
+        """Open a call-by-move scope (enter/call/exit)."""
+        return MoveScope(self, client_node, target, alliance=alliance)
+
+    def visit_block(
+        self,
+        client_node: int,
+        target: DistributedObject,
+        alliance: Optional[Alliance] = None,
+    ) -> VisitScope:
+        """Open a call-by-visit scope (object returns home on exit)."""
+        return VisitScope(self, client_node, target, alliance=alliance)
+
+
+def _as_generator(maybe_gen):
+    """Normalize policy methods that may or may not be generators."""
+    if maybe_gen is None:
+
+        def _empty():
+            return None
+            yield  # pragma: no cover
+
+        return _empty()
+    return maybe_gen

@@ -1,0 +1,143 @@
+"""Proxy objects: the §3.1 system model made explicit.
+
+"In distributed object-oriented systems, calls to objects are trapped,
+linearized and forwarded to the current location of callee. ...  One
+common mechanism for this is the use of proxy-objects that serve as
+placeholders for remote objects" (§3.1, Fig 3).
+
+A :class:`Proxy` is a node-local handle to a (possibly remote) object.
+Invocations go through :meth:`Proxy.invoke`; migration-control requests
+go through :meth:`Proxy.move` / :meth:`Proxy.end`, which — exactly as
+Fig 3 shows — are *not* transformed into invocations but interpreted by
+the policy at the callee's runtime.  The per-node :class:`ProxyTable`
+hands out one proxy per (node, object) pair.
+
+This layer is sugar over the invocation/migration services: the
+simulation workloads drive the services directly for speed, while the
+proxy API is what application-style code (the examples) uses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, Optional, Tuple
+
+from repro.core.moveblock import MoveBlock
+from repro.core.policies.base import MigrationPolicy
+from repro.runtime.objects import DistributedObject
+from repro.runtime.system import DistributedSystem
+
+
+class Proxy:
+    """Node-local placeholder for a distributed object.
+
+    Obtained from :class:`ProxyTable`; holds the local node id, so
+    application code never has to thread "where am I" around.
+    """
+
+    __slots__ = ("system", "policy", "node_id", "target", "invocations")
+
+    def __init__(
+        self,
+        system: DistributedSystem,
+        policy: MigrationPolicy,
+        node_id: int,
+        target: DistributedObject,
+    ):
+        self.system = system
+        self.policy = policy
+        self.node_id = node_id
+        self.target = target
+        #: Invocations performed through this proxy.
+        self.invocations = 0
+
+    # -- plain calls ----------------------------------------------------------------
+
+    def invoke(self, body=None) -> Generator:
+        """Trap a call and forward it to the object's current location.
+
+        Process fragment; returns an
+        :class:`~repro.runtime.invocation.InvocationResult`.
+        """
+        self.invocations += 1
+        result = yield from self.system.invocations.invoke(
+            self.node_id, self.target, body=body
+        )
+        return result
+
+    # -- migration control (interpreted at the callee, §3.1) -------------------------------
+
+    def move(self, alliance=None) -> Generator:
+        """Issue a move request; returns the open :class:`MoveBlock`.
+
+        The request travels to the object's current location, where the
+        installed policy interprets it (grant / reject / count — §3.1:
+        "interpreted by the run-time system at the node of the callee").
+        """
+        block = MoveBlock(self.node_id, self.target, alliance=alliance)
+        yield from self.policy.move(block)
+        return block
+
+    def end(self, block: MoveBlock) -> Generator:
+        """Issue the end request for a block opened via :meth:`move`.
+
+        The ownership check raises eagerly, at the call site.
+        """
+        if block.target is not self.target:
+            raise ValueError(
+                f"block #{block.block_id} belongs to {block.target.name}, "
+                f"not {self.target.name}"
+            )
+        return self._end(block)
+
+    def _end(self, block: MoveBlock) -> Generator:
+        yield from self.policy.end(block)
+        return block
+
+    # -- location introspection (§2.2 primitives) -----------------------------------------
+
+    @property
+    def is_local(self) -> bool:
+        """Whether the object currently resides on this proxy's node."""
+        return self.target.is_resident_on(self.node_id)
+
+    def location(self) -> int:
+        """The object's current node (authoritative registry lookup)."""
+        return self.system.registry.location_of(self.target.object_id)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Proxy {self.target.name}@node{self.node_id} "
+            f"{'local' if self.is_local else 'remote'}>"
+        )
+
+
+class ProxyTable:
+    """Per-system registry of proxies, one per (node, object) pair."""
+
+    def __init__(self, system: DistributedSystem, policy: MigrationPolicy):
+        self.system = system
+        self.policy = policy
+        self._proxies: Dict[Tuple[int, int], Proxy] = {}
+
+    def proxy(self, node_id: int, target: DistributedObject) -> Proxy:
+        """Return (creating if needed) the node's proxy for ``target``."""
+        self.system.registry.node(node_id)  # validate
+        key = (node_id, target.object_id)
+        existing = self._proxies.get(key)
+        if existing is not None:
+            return existing
+        proxy = Proxy(self.system, self.policy, node_id, target)
+        self._proxies[key] = proxy
+        return proxy
+
+    def proxies_on(self, node_id: int) -> list:
+        """Every proxy installed on a node."""
+        return [
+            p for (n, _), p in sorted(self._proxies.items()) if n == node_id
+        ]
+
+    def __len__(self) -> int:
+        return len(self._proxies)
+
+    def __repr__(self) -> str:
+        return f"<ProxyTable proxies={len(self._proxies)}>"

@@ -1,0 +1,118 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class.  Simulation-kernel errors and
+distributed-runtime errors form their own sub-hierarchies because they
+tend to be handled at different layers: kernel errors are programming
+errors in simulation scripts, while runtime errors model conditions a
+distributed application would observe (e.g. an object being fixed).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+# ---------------------------------------------------------------------------
+# Simulation kernel errors
+# ---------------------------------------------------------------------------
+
+
+class SimulationError(ReproError):
+    """Base class for errors raised by the discrete-event kernel."""
+
+
+class EmptySchedule(SimulationError):
+    """``run()`` was asked to advance but no events remain."""
+
+
+class StopSimulation(Exception):
+    """Internal control-flow signal used by :meth:`Environment.run`.
+
+    Deliberately *not* a :class:`ReproError`: user code should never
+    catch it.
+    """
+
+    def __init__(self, value=None):
+        super().__init__(value)
+        self.value = value
+
+
+class EventAlreadyTriggered(SimulationError):
+    """An event was succeeded or failed more than once."""
+
+
+class ProcessError(SimulationError):
+    """A simulation process raised an unhandled exception.
+
+    The original exception is available as ``__cause__``.
+    """
+
+
+class Interrupt(Exception):
+    """Raised inside a process that was interrupted by another process.
+
+    Like ``simpy.Interrupt`` this is not an error in itself; processes
+    may catch it to implement cancellation.  The interrupting party can
+    attach a ``cause`` describing why.
+    """
+
+    def __init__(self, cause=None):
+        super().__init__(cause)
+
+    @property
+    def cause(self):
+        """Whatever the interrupting process passed as the cause."""
+        return self.args[0]
+
+
+# ---------------------------------------------------------------------------
+# Distributed runtime errors
+# ---------------------------------------------------------------------------
+
+
+class RuntimeModelError(ReproError):
+    """Base class for errors raised by the distributed object runtime."""
+
+
+class UnknownObjectError(RuntimeModelError):
+    """An object id was not found in the registry."""
+
+
+class UnknownNodeError(RuntimeModelError):
+    """A node id was not found in the system."""
+
+
+class ObjectFixedError(RuntimeModelError):
+    """A migration was requested for an object that is fixed."""
+
+
+class MigrationInProgressError(RuntimeModelError):
+    """An operation conflicts with an in-flight migration."""
+
+
+class AttachmentError(RuntimeModelError):
+    """An illegal attachment operation (e.g. attaching an object to itself)."""
+
+
+class AllianceError(RuntimeModelError):
+    """An illegal alliance operation (e.g. duplicate membership)."""
+
+
+class PolicyError(RuntimeModelError):
+    """A migration policy was misused or misconfigured."""
+
+
+# ---------------------------------------------------------------------------
+# Experiment/configuration errors
+# ---------------------------------------------------------------------------
+
+
+class ConfigurationError(ReproError):
+    """An experiment or workload configuration is invalid."""
+
+
+class StoppingRuleError(ReproError):
+    """A statistics stopping rule could not be satisfied or was misused."""

@@ -1,0 +1,141 @@
+"""Command-line entry point: ``repro-experiment``.
+
+Examples::
+
+    repro-experiment fig12 --fast
+    repro-experiment fig16 --seed 7 --workers 4 --csv fig16.csv
+    repro-experiment all --fast
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments.figures import FIGURES, make_figure
+from repro.experiments.outlook import OUTLOOK_STUDIES, run_outlook
+from repro.experiments.report import format_table, to_csv
+from repro.experiments.runner import run_figure
+from repro.sim.stopping import StoppingConfig
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the repro-experiment argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiment",
+        description=(
+            "Regenerate the evaluation figures of 'Object Migration in "
+            "Non-Monolithic Distributed Applications' (ICDCS 1996)."
+        ),
+    )
+    parser.add_argument(
+        "figure",
+        choices=sorted(FIGURES) + sorted(OUTLOOK_STUDIES) + ["all"],
+        help=(
+            "which figure to regenerate (figN), or one of the outlook "
+            "studies (replication / fragmentation / availability)"
+        ),
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="root random seed (default 0)"
+    )
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="thin sweep + loose stopping rule (smoke mode)",
+    )
+    parser.add_argument(
+        "--paper-precision",
+        action="store_true",
+        help="use the paper's 1%% CI at p=0.99 stopping rule (slow)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1, help="parallel worker processes"
+    )
+    parser.add_argument(
+        "--csv", type=str, default=None, help="also write results to CSV file"
+    )
+    parser.add_argument(
+        "--plot",
+        action="store_true",
+        help="render an ASCII chart of the curves after the table",
+    )
+    parser.add_argument(
+        "--json",
+        type=str,
+        default=None,
+        help="persist full results (parameters + metrics) to a JSON file",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="verify the paper's claims about this figure (PASS/FAIL)",
+    )
+    return parser
+
+
+def _stopping(args) -> StoppingConfig:
+    if args.paper_precision:
+        return StoppingConfig.paper()
+    if args.fast:
+        return StoppingConfig.fast()
+    return StoppingConfig()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    stopping = _stopping(args)
+
+    if args.figure in OUTLOOK_STUDIES:
+        print(
+            f"running outlook study {args.figure!r}", file=sys.stderr
+        )
+        print(run_outlook(args.figure, seed=args.seed, stopping=stopping))
+        return 0
+
+    names = sorted(FIGURES) if args.figure == "all" else [args.figure]
+
+    for name in names:
+        definition = make_figure(name, seed=args.seed, fast=args.fast)
+        print(
+            f"running {definition.exp_id}: {definition.cell_count()} cells "
+            f"({len(definition.series)} series x {len(definition.x_values)} points)",
+            file=sys.stderr,
+        )
+        result = run_figure(definition, stopping=stopping, workers=args.workers)
+        print(format_table(result))
+        print()
+        if args.plot:
+            from repro.experiments.plot import render_plot
+
+            print(render_plot(result))
+            print()
+        if args.csv:
+            path = args.csv if len(names) == 1 else f"{name}_{args.csv}"
+            with open(path, "w", newline="") as fh:
+                fh.write(to_csv(result))
+            print(f"wrote {path}", file=sys.stderr)
+        if args.json:
+            from repro.experiments.persistence import save_result
+
+            path = args.json if len(names) == 1 else f"{name}_{args.json}"
+            save_result(result, path)
+            print(f"wrote {path}", file=sys.stderr)
+        if args.check:
+            from repro.experiments.expectations import (
+                format_verdicts,
+                verify_expectations,
+            )
+
+            verdicts = verify_expectations(result)
+            print(format_verdicts(verdicts))
+            print()
+            if any(not v.passed for v in verdicts):
+                return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

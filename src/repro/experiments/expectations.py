@@ -1,0 +1,258 @@
+"""Declarative paper claims, checked mechanically.
+
+EXPERIMENTS.md asserts things like "placement dominates conventional
+migration" or "the baseline is flat at 4/3" next to each regenerated
+figure.  This module encodes those claims as data and checks them
+against any :class:`~repro.experiments.runner.ExperimentResult`, so
+``repro-experiment fig12 --check`` prints a PASS/FAIL verdict per claim
+instead of relying on eyeballs.
+
+Claim types:
+
+``flat(series, value, tolerance)``
+    The curve stays within ±tolerance (relative) of a constant.
+``dominates(better, worse, slack)``
+    ``better`` ≤ ``worse`` at every x (lower is better), with
+    multiplicative slack for stochastic noise.
+``break_even_between(series, baseline, low, high)``
+    The series first crosses above the baseline inside [low, high].
+``increases_with_x(series)`` / ``decreases_with_x(series)``
+    Endpoint-to-endpoint trend.
+``value_at(series, x, expected, tolerance)``
+    A point anchor (e.g. the 4/3 baseline at any x).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.analysis.breakeven import break_even
+from repro.experiments.runner import ExperimentResult
+
+
+@dataclass(frozen=True)
+class ClaimResult:
+    """Verdict for one checked claim."""
+
+    description: str
+    passed: bool
+    detail: str = ""
+
+    def __str__(self) -> str:
+        mark = "PASS" if self.passed else "FAIL"
+        suffix = f"  ({self.detail})" if self.detail else ""
+        return f"[{mark}] {self.description}{suffix}"
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One checkable statement about an experiment's curves."""
+
+    description: str
+    check: Callable[[ExperimentResult], Tuple[bool, str]]
+
+    def evaluate(self, result: ExperimentResult) -> ClaimResult:
+        """Run the check, never raising (a crash is a failure)."""
+        try:
+            passed, detail = self.check(result)
+        except Exception as exc:  # noqa: BLE001 - verdicts must not crash
+            return ClaimResult(self.description, False, f"error: {exc!r}")
+        return ClaimResult(self.description, passed, detail)
+
+
+# -- claim constructors -------------------------------------------------------
+
+
+def flat(series: str, value: float, tolerance: float = 0.1) -> Claim:
+    """The series stays within ±tolerance (relative) of ``value``."""
+
+    def check(result):
+        ys = result.series(series)
+        worst = max(abs(y - value) / abs(value) for y in ys)
+        return worst <= tolerance, f"max deviation {worst:.1%}"
+
+    return Claim(
+        f"{series!r} is flat at {value:g} (±{tolerance:.0%})", check
+    )
+
+
+def dominates(better: str, worse: str, slack: float = 1.05) -> Claim:
+    """``better`` ≤ ``worse`` · slack at every x (lower = better)."""
+
+    def check(result):
+        bs, ws = result.series(better), result.series(worse)
+        gaps = [b / w if w else 1.0 for b, w in zip(bs, ws)]
+        worst = max(gaps)
+        return all(b <= w * slack for b, w in zip(bs, ws)), (
+            f"worst ratio {worst:.3f}"
+        )
+
+    return Claim(f"{better!r} dominates {worse!r}", check)
+
+
+def break_even_between(
+    series: str, baseline: str, low: float, high: float
+) -> Claim:
+    """The series first crosses above the baseline inside [low, high]."""
+
+    def check(result):
+        x = list(result.definition.x_values)
+        point = break_even(
+            x, result.series(series), result.series(baseline)
+        )
+        if point is None:
+            return False, "no crossing in range"
+        return low <= point <= high, f"crossing at {point:.1f}"
+
+    return Claim(
+        f"{series!r} breaks even with {baseline!r} in [{low:g}, {high:g}]",
+        check,
+    )
+
+
+def increases_with_x(series: str, margin: float = 1.0) -> Claim:
+    """The last point exceeds the first by at least ``margin``×."""
+
+    def check(result):
+        ys = result.series(series)
+        return ys[-1] > ys[0] * margin, f"{ys[0]:.3f} -> {ys[-1]:.3f}"
+
+    return Claim(f"{series!r} increases over the sweep", check)
+
+
+def decreases_with_x(series: str, margin: float = 1.0) -> Claim:
+    """The last point is below the first by at least ``margin``×."""
+
+    def check(result):
+        ys = result.series(series)
+        return ys[-1] * margin < ys[0], f"{ys[0]:.3f} -> {ys[-1]:.3f}"
+
+    return Claim(f"{series!r} decreases over the sweep", check)
+
+
+def value_at(
+    series: str, x: float, expected: float, tolerance: float = 0.1
+) -> Claim:
+    """The series' value at grid point ``x`` is ``expected`` ±tolerance."""
+
+    def check(result):
+        xs = list(result.definition.x_values)
+        y = result.series(series)[xs.index(x)]
+        deviation = abs(y - expected) / abs(expected)
+        return deviation <= tolerance, f"measured {y:.3f}"
+
+    return Claim(
+        f"{series!r} at x={x:g} is {expected:g} (±{tolerance:.0%})", check
+    )
+
+
+# -- per-figure expectations (the paper's §4 statements) --------------------------------
+
+SEDENTARY = "without Migration"
+MIGRATION = "Migration"
+PLACEMENT = "Transient Placement"
+
+#: exp_id -> the claims the paper makes about that figure.
+PAPER_EXPECTATIONS = {
+    "fig8": [
+        flat(SEDENTARY, 4.0 / 3.0, tolerance=0.08),
+        dominates(PLACEMENT, MIGRATION, slack=1.08),
+        # Migration pays off at low concurrency (largest t_m point).
+        Claim(
+            "both policies beat the baseline at the lowest concurrency",
+            lambda r: (
+                r.series(MIGRATION)[-1] < r.series(SEDENTARY)[-1]
+                and r.series(PLACEMENT)[-1] < r.series(SEDENTARY)[-1],
+                "",
+            ),
+        ),
+        decreases_with_x(MIGRATION),
+        decreases_with_x(PLACEMENT),
+    ],
+    "fig10": [
+        flat(SEDENTARY, 4.0 / 3.0, tolerance=0.08),
+        decreases_with_x(MIGRATION),
+        decreases_with_x(PLACEMENT),
+    ],
+    "fig11": [
+        Claim(
+            "'without Migration' performs no migrations",
+            lambda r: (all(v == 0.0 for v in r.series(SEDENTARY)), ""),
+        ),
+        Claim(
+            "migration load dips at maximum concurrency",
+            lambda r: (
+                r.series(MIGRATION)[0] < max(r.series(MIGRATION)[1:]),
+                "",
+            ),
+        ),
+    ],
+    "fig12": [
+        value_at(SEDENTARY, 25.0, 2.0 * (1 - 1 / 27), tolerance=0.08),
+        break_even_between(MIGRATION, SEDENTARY, 3.5, 9.0),
+        break_even_between(PLACEMENT, SEDENTARY, 10.0, 25.0),
+        dominates(PLACEMENT, MIGRATION, slack=1.08),
+        increases_with_x(MIGRATION, margin=2.0),
+    ],
+    "fig14": [
+        dominates(
+            "Comparing the Nodes", "Conservative Place-Policy", slack=1.3
+        ),
+        dominates(
+            "Conservative Place-Policy", "Comparing the Nodes", slack=1.3
+        ),
+        dominates(
+            "Comparing and Reinstantiation",
+            "Conservative Place-Policy",
+            slack=1.3,
+        ),
+    ],
+    "fig16": [
+        dominates(
+            "Migration + A-transitive Attachment",
+            "Migration + unrestricted Attachment",
+            slack=1.1,
+        ),
+        dominates(
+            "Transient Placement + unrestricted Attachment",
+            "Migration + unrestricted Attachment",
+            slack=1.05,
+        ),
+        dominates(
+            "Transient Placement + A-transitive Attachment",
+            "Migration + A-transitive Attachment",
+            slack=1.05,
+        ),
+        Claim(
+            "unrestricted migration is devastating at high concurrency",
+            lambda r: (
+                r.series("Migration + unrestricted Attachment")[-1]
+                > r.series(SEDENTARY)[-1],
+                "",
+            ),
+        ),
+    ],
+}
+
+
+def verify_expectations(
+    result: ExperimentResult,
+    claims: Optional[List[Claim]] = None,
+) -> List[ClaimResult]:
+    """Check a result against its figure's paper claims.
+
+    ``claims`` overrides the registry (for custom experiments).
+    Unknown figures with no explicit claims yield an empty list.
+    """
+    if claims is None:
+        claims = PAPER_EXPECTATIONS.get(result.definition.exp_id, [])
+    return [claim.evaluate(result) for claim in claims]
+
+
+def format_verdicts(verdicts: List[ClaimResult]) -> str:
+    """One line per claim, plus a summary line."""
+    lines = [str(v) for v in verdicts]
+    passed = sum(1 for v in verdicts if v.passed)
+    lines.append(f"{passed}/{len(verdicts)} paper claims hold")
+    return "\n".join(lines)

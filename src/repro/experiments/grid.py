@@ -1,0 +1,131 @@
+"""Two-axis parameter grids (exploration beyond the paper's 1-D sweeps).
+
+The paper's figures sweep one parameter at a time; when exploring a new
+configuration it is often the *interaction* of two parameters that
+matters (e.g. client count × N/M ratio decides where placement stops
+paying off).  :func:`sweep_grid` runs a full cross-product of two
+override axes and returns a :class:`GridResult` that prints as a value
+matrix.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.sim.stopping import StoppingConfig
+from repro.workload.clientserver import run_cell
+from repro.workload.params import SimulationParameters
+
+
+@dataclass(frozen=True)
+class Axis:
+    """One sweep axis: a parameter field name and its values."""
+
+    field: str
+    values: Tuple[Any, ...]
+
+    def __post_init__(self):
+        if not self.values:
+            raise ValueError(f"axis {self.field!r} needs at least one value")
+        if self.field not in SimulationParameters.__dataclass_fields__:
+            raise ValueError(
+                f"{self.field!r} is not a SimulationParameters field"
+            )
+
+
+@dataclass
+class GridResult:
+    """A filled 2-D grid of metric values.
+
+    ``values[i][j]`` corresponds to ``rows.values[i]`` ×
+    ``cols.values[j]``.
+    """
+
+    base: SimulationParameters
+    rows: Axis
+    cols: Axis
+    metric: str
+    values: List[List[float]] = field(default_factory=list)
+
+    def at(self, row_value, col_value) -> float:
+        """Cell lookup by axis values."""
+        i = self.rows.values.index(row_value)
+        j = self.cols.values.index(col_value)
+        return self.values[i][j]
+
+    def best_cell(self) -> Tuple[Any, Any, float]:
+        """(row value, col value, metric) of the minimal cell."""
+        best = None
+        for i, row_value in enumerate(self.rows.values):
+            for j, col_value in enumerate(self.cols.values):
+                v = self.values[i][j]
+                if best is None or v < best[2]:
+                    best = (row_value, col_value, v)
+        return best
+
+    def format(self, precision: int = 3) -> str:
+        """Aligned matrix rendering."""
+        header = [f"{self.rows.field}\\{self.cols.field}"] + [
+            f"{v:g}" if isinstance(v, (int, float)) else str(v)
+            for v in self.cols.values
+        ]
+        str_rows = [header]
+        for row_value, row in zip(self.rows.values, self.values):
+            label = (
+                f"{row_value:g}"
+                if isinstance(row_value, (int, float))
+                else str(row_value)
+            )
+            str_rows.append([label] + [f"{v:.{precision}f}" for v in row])
+        widths = [
+            max(len(r[i]) for r in str_rows) for i in range(len(header))
+        ]
+        lines = [f"grid [{self.metric}] base: {self.base.label()}"]
+        for r in str_rows:
+            lines.append(
+                "   ".join(cell.rjust(w) for cell, w in zip(r, widths))
+            )
+        return "\n".join(lines)
+
+
+def _run_one(args):
+    params, stopping, metric = args
+    result = run_cell(params, stopping=stopping)
+    return getattr(result, metric)
+
+
+def sweep_grid(
+    base: SimulationParameters,
+    rows: Axis,
+    cols: Axis,
+    metric: str = "mean_communication_time_per_call",
+    stopping: Optional[StoppingConfig] = None,
+    workers: int = 1,
+) -> GridResult:
+    """Run the full rows × cols cross-product of parameter overrides."""
+    if rows.field == cols.field:
+        raise ValueError("row and column axes must differ")
+    jobs = []
+    for row_value in rows.values:
+        for col_value in cols.values:
+            params = base.with_overrides(
+                **{rows.field: row_value, cols.field: col_value}
+            )
+            params.validate()
+            jobs.append((params, stopping, metric))
+
+    if workers == 1:
+        flat = [_run_one(job) for job in jobs]
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            flat = list(pool.map(_run_one, jobs))
+
+    n_cols = len(cols.values)
+    values = [
+        flat[i * n_cols : (i + 1) * n_cols] for i in range(len(rows.values))
+    ]
+    return GridResult(
+        base=base, rows=rows, cols=cols, metric=metric, values=values
+    )

@@ -1,0 +1,73 @@
+"""Markdown rendering of experiment results (EXPERIMENTS.md sections).
+
+``EXPERIMENTS.md`` records paper-vs-measured tables; this module
+generates those tables mechanically from an
+:class:`~repro.experiments.runner.ExperimentResult` (or one loaded via
+:mod:`repro.experiments.persistence`), so the document can be
+regenerated instead of hand-edited when sweeps change.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.experiments.runner import ExperimentResult
+
+
+def _format_value(value: float, precision: int) -> str:
+    return f"{value:.{precision}f}"
+
+
+def to_markdown_table(
+    result: ExperimentResult,
+    metric: Optional[str] = None,
+    precision: int = 3,
+) -> str:
+    """A GitHub-flavoured Markdown table of one experiment's curves."""
+    defn = result.definition
+    metric = metric or defn.metric
+    labels = result.labels
+    header = f"| {defn.x_label} | " + " | ".join(labels) + " |"
+    divider = "|" + "---:|" * (len(labels) + 1)
+    lines = [header, divider]
+    for row in result.as_table(metric):
+        cells = [f"{row[0]:g}"] + [
+            _format_value(v, precision) for v in row[1:]
+        ]
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def to_markdown_section(
+    result: ExperimentResult,
+    metric: Optional[str] = None,
+    precision: int = 3,
+    heading_level: int = 2,
+) -> str:
+    """A full Markdown section: heading, provenance note, table, notes."""
+    defn = result.definition
+    metric = metric or defn.metric
+    heading = "#" * max(1, heading_level)
+    lines = [
+        f"{heading} {defn.exp_id} — {defn.title}",
+        "",
+        f"Metric: `{metric}`.",
+        "",
+        to_markdown_table(result, metric=metric, precision=precision),
+    ]
+    if defn.notes:
+        lines += ["", f"*{defn.notes}*"]
+    return "\n".join(lines)
+
+
+def to_markdown_document(
+    results: List[ExperimentResult],
+    title: str = "Experiment results",
+    precision: int = 3,
+) -> str:
+    """A complete Markdown document from several experiment results."""
+    parts = [f"# {title}", ""]
+    for result in results:
+        parts.append(to_markdown_section(result, precision=precision))
+        parts.append("")
+    return "\n".join(parts).rstrip() + "\n"

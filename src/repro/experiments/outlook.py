@@ -1,0 +1,149 @@
+"""CLI-facing sweeps for the outlook studies (§2.2 goal, §5 outlook).
+
+The figure harness covers the paper's own evaluation; this module gives
+the three extension studies the same one-command treatment:
+
+* ``replication`` — read-ratio sweep, none/eager/threshold policies;
+* ``fragmentation`` — fragment-count sweep, migration vs placement;
+* ``availability`` — workload-mix sweep, collocated vs spread.
+
+Each function returns ``(header_row, data_rows)`` ready for
+:func:`format_outlook_table`, keeping these studies printable and
+CSV-exportable exactly like the figures.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.availability import AvailabilityParameters, run_availability_cell
+from repro.fragmentation import (
+    FragmentationParameters,
+    run_fragmentation_cell,
+)
+from repro.replication import ReplicationParameters, run_replication_cell
+from repro.sim.stopping import StoppingConfig
+
+Rows = Tuple[List[str], List[List[float]]]
+
+
+def replication_sweep(
+    seed: int = 0,
+    stopping: Optional[StoppingConfig] = None,
+    read_ratios: Sequence[float] = (0.99, 0.95, 0.9, 0.8, 0.7, 0.5),
+) -> Rows:
+    """Mean op time per read ratio for the three replication policies."""
+    policies = ("none", "eager", "threshold")
+    header = ["read_ratio"] + list(policies)
+    rows = []
+    for ratio in read_ratios:
+        row = [float(ratio)]
+        for policy in policies:
+            result = run_replication_cell(
+                ReplicationParameters(
+                    policy=policy, read_ratio=ratio, seed=seed
+                ),
+                stopping=stopping,
+            )
+            row.append(result.mean_op_time)
+        rows.append(row)
+    return header, rows
+
+
+def fragmentation_sweep(
+    seed: int = 0,
+    stopping: Optional[StoppingConfig] = None,
+    fragment_counts: Sequence[int] = (1, 2, 4, 8),
+    clients: int = 20,
+) -> Rows:
+    """Mean communication time per fragment count, both main policies."""
+    policies = ("migration", "placement")
+    header = ["fragments"] + list(policies)
+    rows = []
+    for k in fragment_counts:
+        row = [float(k)]
+        for policy in policies:
+            result = run_fragmentation_cell(
+                FragmentationParameters(
+                    policy=policy,
+                    clients=clients,
+                    fragments_per_object=k,
+                    seed=seed,
+                ),
+                stopping=stopping,
+            )
+            row.append(result.mean_communication_time_per_call)
+        rows.append(row)
+    return header, rows
+
+
+def availability_sweep(
+    seed: int = 0,
+    stopping: Optional[StoppingConfig] = None,
+    mixes: Sequence[float] = (0.0, 0.1, 0.3, 0.6, 1.0),
+    mttf: float = 200.0,
+    mttr: float = 50.0,
+) -> Rows:
+    """Mean op time per group-op fraction for the two placements."""
+    placements = ("collocated", "spread")
+    header = ["group_op_fraction"] + list(placements)
+    rows = []
+    for mix in mixes:
+        row = [float(mix)]
+        for placement in placements:
+            result = run_availability_cell(
+                AvailabilityParameters(
+                    placement=placement,
+                    mttf=mttf,
+                    mttr=mttr,
+                    group_op_fraction=mix,
+                    seed=seed,
+                ),
+                stopping=stopping,
+            )
+            row.append(result.mean_op_time)
+        rows.append(row)
+    return header, rows
+
+
+#: Registry used by the CLI.
+OUTLOOK_STUDIES = {
+    "replication": replication_sweep,
+    "fragmentation": fragmentation_sweep,
+    "availability": availability_sweep,
+}
+
+
+def format_outlook_table(
+    name: str, header: List[str], rows: List[List[float]], precision: int = 3
+) -> str:
+    """Aligned text table, matching the figure tables' style."""
+    str_rows = [header] + [
+        [f"{row[0]:g}"] + [f"{v:.{precision}f}" for v in row[1:]]
+        for row in rows
+    ]
+    widths = [max(len(r[i]) for r in str_rows) for i in range(len(header))]
+    lines = [
+        f"outlook:{name}",
+        "-" * (sum(widths) + 3 * len(widths)),
+    ]
+    for r in str_rows:
+        lines.append("   ".join(cell.rjust(w) for cell, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def run_outlook(
+    name: str,
+    seed: int = 0,
+    stopping: Optional[StoppingConfig] = None,
+) -> str:
+    """Run one outlook study and return its formatted table."""
+    try:
+        sweep = OUTLOOK_STUDIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown outlook study {name!r}; choose from "
+            f"{sorted(OUTLOOK_STUDIES)}"
+        ) from None
+    header, rows = sweep(seed=seed, stopping=stopping)
+    return format_outlook_table(name, header, rows)

@@ -1,0 +1,131 @@
+"""Saving and loading experiment results as JSON.
+
+Experiment cells can take minutes at paper precision; persisting the
+results lets analysis (break-even finding, plotting, EXPERIMENTS.md
+regeneration) run without re-simulating.  The format is stable,
+versioned and human-diffable: one JSON document per experiment with the
+definition's identity, the parameter grid, and every cell's metrics.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Union
+
+from repro.core.attachment import AttachmentMode
+from repro.experiments.config import ExperimentDef, SeriesDef
+from repro.experiments.runner import ExperimentResult
+from repro.workload.clientserver import WorkloadResult
+from repro.workload.params import SimulationParameters
+
+#: Format version written into every document.
+FORMAT_VERSION = 1
+
+
+def _params_to_dict(params: SimulationParameters) -> dict:
+    data = asdict(params)
+    data["attachment_mode"] = params.attachment_mode.value
+    return data
+
+
+def _params_from_dict(data: dict) -> SimulationParameters:
+    data = dict(data)
+    data["attachment_mode"] = AttachmentMode(data["attachment_mode"])
+    return SimulationParameters(**data)
+
+
+def result_to_dict(result: ExperimentResult) -> dict:
+    """Serialize an experiment result to a JSON-compatible dict."""
+    defn = result.definition
+    return {
+        "format_version": FORMAT_VERSION,
+        "exp_id": defn.exp_id,
+        "title": defn.title,
+        "x_label": defn.x_label,
+        "x_values": list(defn.x_values),
+        "metric": defn.metric,
+        "notes": defn.notes,
+        "series": {
+            label: [
+                {
+                    "params": _params_to_dict(cell.params),
+                    "mean_communication_time_per_call": (
+                        cell.mean_communication_time_per_call
+                    ),
+                    "mean_call_duration": cell.mean_call_duration,
+                    "mean_migration_time_per_call": (
+                        cell.mean_migration_time_per_call
+                    ),
+                    "simulated_time": cell.simulated_time,
+                    "raw": cell.raw,
+                }
+                for cell in result.results[label]
+            ]
+            for label in result.labels
+        },
+    }
+
+
+def result_from_dict(data: dict) -> ExperimentResult:
+    """Rebuild an :class:`ExperimentResult` from its serialized form.
+
+    The reconstructed definition's cell factories return the stored
+    parameter cells (index-free factories are not recoverable, nor
+    needed for analysis).
+    """
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported format version {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    series_defs = []
+    results = {}
+    for label, cells in data["series"].items():
+        params_list = [_params_from_dict(c["params"]) for c in cells]
+        series_defs.append(
+            SeriesDef(
+                label=label,
+                cell=lambda x, _params=params_list[0]: _params,
+            )
+        )
+        results[label] = [
+            WorkloadResult(
+                params=params,
+                mean_communication_time_per_call=c[
+                    "mean_communication_time_per_call"
+                ],
+                mean_call_duration=c["mean_call_duration"],
+                mean_migration_time_per_call=c[
+                    "mean_migration_time_per_call"
+                ],
+                simulated_time=c["simulated_time"],
+                raw=c.get("raw", {}),
+            )
+            for params, c in zip(params_list, cells)
+        ]
+    definition = ExperimentDef(
+        exp_id=data["exp_id"],
+        title=data["title"],
+        x_label=data["x_label"],
+        x_values=tuple(data["x_values"]),
+        series=tuple(series_defs),
+        metric=data["metric"],
+        notes=data.get("notes", ""),
+    )
+    return ExperimentResult(definition=definition, results=results)
+
+
+def save_result(result: ExperimentResult, path: Union[str, Path]) -> Path:
+    """Write an experiment result to a JSON file; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(result_to_dict(result), indent=2))
+    return path
+
+
+def load_result(path: Union[str, Path]) -> ExperimentResult:
+    """Read an experiment result back from a JSON file."""
+    return result_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,94 @@
+"""Dependency-free ASCII line plots for experiment results.
+
+The paper's figures are gnuplot line charts; this module renders the
+same curves in a terminal so ``repro-experiment fig12 --plot`` gives an
+immediate visual check of the crossovers without any plotting library.
+
+Rendering model: a fixed character grid; each series is drawn with its
+own marker at the nearest cell for every (x, y) sample, with linear
+interpolation between samples so crossings are visible.  Collisions
+show the *later* series' marker (legend order = draw order).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.experiments.runner import ExperimentResult
+
+#: Series markers, assigned in legend order.
+MARKERS = "*+ox#@%&"
+
+
+def _scale(value: float, lo: float, hi: float, cells: int) -> int:
+    """Map a value in [lo, hi] to a cell index in [0, cells-1]."""
+    if hi <= lo:
+        return 0
+    ratio = (value - lo) / (hi - lo)
+    return min(cells - 1, max(0, int(round(ratio * (cells - 1)))))
+
+
+def _interpolate(
+    xs: Sequence[float], ys: Sequence[float], samples: int
+) -> List[Tuple[float, float]]:
+    """Densify a polyline to ``samples`` points by linear interpolation."""
+    if len(xs) == 1:
+        return [(xs[0], ys[0])]
+    lo, hi = xs[0], xs[-1]
+    out = []
+    for i in range(samples):
+        x = lo + (hi - lo) * i / (samples - 1)
+        # Find the segment containing x.
+        j = 0
+        while j < len(xs) - 2 and xs[j + 1] < x:
+            j += 1
+        span = xs[j + 1] - xs[j]
+        t = 0.0 if span == 0 else (x - xs[j]) / span
+        out.append((x, ys[j] + t * (ys[j + 1] - ys[j])))
+    return out
+
+
+def render_plot(
+    result: ExperimentResult,
+    metric: Optional[str] = None,
+    width: int = 72,
+    height: int = 20,
+) -> str:
+    """Render an experiment's curves as an ASCII chart with legend."""
+    if width < 16 or height < 6:
+        raise ValueError("plot area too small (need width>=16, height>=6)")
+    defn = result.definition
+    metric = metric or defn.metric
+    xs = [float(x) for x in defn.x_values]
+    curves = {label: result.series(label, metric) for label in result.labels}
+
+    y_min = 0.0
+    y_max = max(max(ys) for ys in curves.values())
+    if y_max <= y_min:
+        y_max = y_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, label in enumerate(result.labels):
+        marker = MARKERS[index % len(MARKERS)]
+        for x, y in _interpolate(xs, curves[label], samples=width * 2):
+            col = _scale(x, xs[0], xs[-1], width)
+            row = height - 1 - _scale(y, y_min, y_max, height)
+            grid[row][col] = marker
+
+    # Assemble with a y-axis gutter.
+    lines = [f"{defn.exp_id}: {defn.title}   [{metric}]"]
+    for row_index, row in enumerate(grid):
+        y_value = y_max * (height - 1 - row_index) / (height - 1)
+        gutter = f"{y_value:8.2f} |" if row_index % 4 == 0 else " " * 8 + " |"
+        lines.append(gutter + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width)
+    lines.append(
+        " " * 10
+        + f"{xs[0]:<10.3g}"
+        + f"{defn.x_label:^{max(0, width - 20)}}"
+        + f"{xs[-1]:>10.3g}"
+    )
+    for index, label in enumerate(result.labels):
+        marker = MARKERS[index % len(MARKERS)]
+        lines.append(f"   {marker}  {label}")
+    return "\n".join(lines)

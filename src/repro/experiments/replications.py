@@ -1,0 +1,115 @@
+"""Independent replications: cross-seed confidence intervals.
+
+A single simulation run converges to *its seed's* steady state; claims
+like "placement breaks even near C = 20" need the spread *across*
+seeds.  This module runs a parameter cell under R different seeds and
+summarizes the replicate means — the classic independent-replications
+method, complementing the within-run batch-means rule of §4.1.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.sim.stats import RunningStats
+from repro.sim.stopping import StoppingConfig
+from repro.workload.clientserver import run_cell
+from repro.workload.params import SimulationParameters
+
+
+@dataclass(frozen=True)
+class ReplicatedResult:
+    """Summary of one cell across independent seeds.
+
+    Attributes
+    ----------
+    params:
+        The cell (seed field is the *base* seed).
+    seeds:
+        The seeds actually used.
+    per_seed:
+        Each replicate's mean communication time per call.
+    stats:
+        RunningStats over the replicate means (for CIs / t-tests).
+    """
+
+    params: SimulationParameters
+    seeds: Tuple[int, ...]
+    per_seed: Tuple[float, ...]
+    stats: RunningStats
+
+    @property
+    def mean(self) -> float:
+        """Grand mean over replicates."""
+        return self.stats.mean
+
+    def halfwidth(self, confidence: float = 0.95) -> float:
+        """CI half-width of the grand mean (t over replicates)."""
+        return self.stats.confidence_halfwidth(confidence)
+
+    def interval(self, confidence: float = 0.95) -> Tuple[float, float]:
+        """(low, high) CI of the grand mean."""
+        hw = self.halfwidth(confidence)
+        return (self.mean - hw, self.mean + hw)
+
+    def summary(self) -> dict:
+        """Machine-readable record for EXPERIMENTS.md style reports."""
+        low, high = self.interval()
+        return {
+            "mean": self.mean,
+            "stddev": self.stats.stddev,
+            "ci95": [low, high],
+            "replicates": len(self.seeds),
+            "min": min(self.per_seed),
+            "max": max(self.per_seed),
+        }
+
+
+def _run_one(args):
+    params, stopping = args
+    result = run_cell(params, stopping=stopping)
+    return result.mean_communication_time_per_call
+
+
+def run_replicated(
+    params: SimulationParameters,
+    replicates: int = 5,
+    stopping: Optional[StoppingConfig] = None,
+    workers: int = 1,
+    seeds: Optional[Sequence[int]] = None,
+) -> ReplicatedResult:
+    """Run a cell under several seeds and summarize the means.
+
+    ``seeds`` defaults to ``base_seed, base_seed + 1, ...`` — explicit
+    and reproducible.  With ``workers > 1`` replicates run in a process
+    pool.
+    """
+    if replicates < 1:
+        raise ValueError(f"replicates must be >= 1, got {replicates}")
+    if seeds is None:
+        seeds = tuple(params.seed + i for i in range(replicates))
+    else:
+        seeds = tuple(seeds)
+        if not seeds:
+            raise ValueError("seeds must be non-empty")
+
+    jobs = [
+        (params.with_overrides(seed=seed), stopping) for seed in seeds
+    ]
+    if workers == 1:
+        values = [_run_one(job) for job in jobs]
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            values = list(pool.map(_run_one, jobs))
+
+    stats = RunningStats()
+    for value in values:
+        stats.add(value)
+    return ReplicatedResult(
+        params=params,
+        seeds=seeds,
+        per_seed=tuple(values),
+        stats=stats,
+    )

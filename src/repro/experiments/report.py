@@ -1,0 +1,68 @@
+"""Rendering experiment results as tables and CSV.
+
+The paper's figures are line plots; the harness prints the same data as
+aligned text tables (one row per x-value, one column per series) so the
+"who wins, by what factor, where are the crossovers" shape is readable
+in a terminal, plus CSV export for external plotting.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import List, Optional
+
+from repro.experiments.runner import ExperimentResult
+
+
+def format_table(
+    result: ExperimentResult,
+    metric: Optional[str] = None,
+    precision: int = 3,
+) -> str:
+    """Aligned text table of one experiment's curves."""
+    defn = result.definition
+    metric = metric or defn.metric
+    labels = result.labels
+    header = [defn.x_label] + labels
+    rows = result.as_table(metric)
+
+    str_rows = [header] + [
+        [f"{row[0]:g}"] + [f"{v:.{precision}f}" for v in row[1:]] for row in rows
+    ]
+    widths = [
+        max(len(r[i]) for r in str_rows) for i in range(len(header))
+    ]
+    lines = [
+        f"{defn.exp_id}: {defn.title}   [metric: {metric}]",
+        "-" * (sum(widths) + 3 * len(widths)),
+    ]
+    for r in str_rows:
+        lines.append("   ".join(cell.rjust(w) for cell, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def to_csv(result: ExperimentResult, metric: Optional[str] = None) -> str:
+    """CSV rendering (x column + one column per series)."""
+    defn = result.definition
+    metric = metric or defn.metric
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow([defn.x_label] + result.labels)
+    for row in result.as_table(metric):
+        writer.writerow(row)
+    return buf.getvalue()
+
+
+def summary_lines(result: ExperimentResult) -> List[str]:
+    """Per-series one-line summaries (endpoint values, mean)."""
+    defn = result.definition
+    out = []
+    for label in result.labels:
+        ys = result.series(label)
+        out.append(
+            f"{defn.exp_id} {label!r}: "
+            f"start={ys[0]:.3f} end={ys[-1]:.3f} "
+            f"min={min(ys):.3f} max={max(ys):.3f}"
+        )
+    return out

@@ -1,0 +1,98 @@
+"""Experiment runner: executes a figure's cells and collects curves.
+
+Cells are independent simulations, so the runner can fan them out over
+a process pool (``workers > 1``).  Results come back as an
+:class:`ExperimentResult`: per-series lists of
+:class:`~repro.workload.clientserver.WorkloadResult` aligned with the
+definition's x-values, plus helpers for extracting plottable series.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.experiments.config import ExperimentDef
+from repro.sim.stopping import StoppingConfig
+from repro.workload.clientserver import WorkloadResult, run_cell
+from repro.workload.params import SimulationParameters
+
+
+def _run_one(args: Tuple[SimulationParameters, Optional[StoppingConfig]]):
+    """Top-level worker entry point (must be picklable)."""
+    params, stopping = args
+    return run_cell(params, stopping=stopping)
+
+
+@dataclass
+class ExperimentResult:
+    """All cells of one experiment, organized by series."""
+
+    definition: ExperimentDef
+    #: series label -> results aligned with definition.x_values.
+    results: Dict[str, List[WorkloadResult]] = field(default_factory=dict)
+
+    def series(self, label: str, metric: Optional[str] = None) -> List[float]:
+        """The y-values of one curve (default: the figure's metric)."""
+        metric = metric or self.definition.metric
+        return [getattr(r, metric) for r in self.results[label]]
+
+    def points(
+        self, label: str, metric: Optional[str] = None
+    ) -> List[Tuple[float, float]]:
+        """(x, y) pairs of one curve."""
+        return list(zip(self.definition.x_values, self.series(label, metric)))
+
+    @property
+    def labels(self) -> List[str]:
+        """Series labels in definition order."""
+        return [s.label for s in self.definition.series]
+
+    def as_table(self, metric: Optional[str] = None) -> List[List[float]]:
+        """Rows of [x, y_series1, y_series2, ...] for reports."""
+        metric = metric or self.definition.metric
+        columns = {label: self.series(label, metric) for label in self.labels}
+        rows = []
+        for i, x in enumerate(self.definition.x_values):
+            rows.append([x] + [columns[label][i] for label in self.labels])
+        return rows
+
+
+class ExperimentRunner:
+    """Runs experiment definitions, optionally in parallel."""
+
+    def __init__(
+        self,
+        stopping: Optional[StoppingConfig] = None,
+        workers: int = 1,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.stopping = stopping
+        self.workers = workers
+
+    def run(self, definition: ExperimentDef) -> ExperimentResult:
+        """Execute every cell of the definition."""
+        cells = definition.cells()
+        jobs = [(params, self.stopping) for _, _, params in cells]
+
+        if self.workers == 1:
+            outcomes = [_run_one(job) for job in jobs]
+        else:
+            with ProcessPoolExecutor(max_workers=self.workers) as pool:
+                outcomes = list(pool.map(_run_one, jobs))
+
+        result = ExperimentResult(definition=definition)
+        for (label, _x, _params), outcome in zip(cells, outcomes):
+            result.results.setdefault(label, []).append(outcome)
+        return result
+
+
+def run_figure(
+    definition: ExperimentDef,
+    stopping: Optional[StoppingConfig] = None,
+    workers: int = 1,
+) -> ExperimentResult:
+    """Convenience one-shot wrapper around :class:`ExperimentRunner`."""
+    return ExperimentRunner(stopping=stopping, workers=workers).run(definition)

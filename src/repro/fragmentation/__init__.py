@@ -1,0 +1,21 @@
+"""Fragmented objects in non-monolithic systems — the §5 outlook.
+
+Sibling of :mod:`repro.replication`: studies whether the paper's
+conflict story extends to fragmentation [MGL+94], and how fragment
+granularity trades per-conflict damage against per-block message
+overhead.  See ``benchmarks/bench_outlook_fragmentation.py``.
+"""
+
+from repro.fragmentation.workload import (
+    FragmentationParameters,
+    FragmentationResult,
+    FragmentationWorkload,
+    run_fragmentation_cell,
+)
+
+__all__ = [
+    "FragmentationParameters",
+    "FragmentationResult",
+    "FragmentationWorkload",
+    "run_fragmentation_cell",
+]

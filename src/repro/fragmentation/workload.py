@@ -1,0 +1,236 @@
+"""Fragmented objects under conflicting migration control (§5 outlook).
+
+Fragmentation [MGL+94] splits one logical object into K fragments that
+can live on different nodes.  The paper's closing question applies here
+too: do non-monolithic conflicts hurt fragmented objects the way they
+hurt monolithic ones — and does granularity change the picture?
+
+The model: each logical object is K fragments of size 1/K (so a
+fragment's transfer time is M/K — the state is split, not duplicated).
+A client's move-block touches a random subset of fragments (a fraction
+``touched_fraction`` of K), issues one move per touched fragment *in
+parallel* through the configured migration policy, performs its N
+invocations against random touched fragments, and ends all the blocks.
+
+Granularity trade-off this exposes (``bench_outlook_fragmentation``):
+
+* finer fragments mean a conflict steals less state and blocks callers
+  for M/K instead of M — degradation shrinks with K;
+* but every touched fragment costs its own move request message, so
+  overhead grows with K — at low concurrency coarse objects win.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.analysis.metrics import MetricsCollector
+from repro.core.moveblock import MoveBlock
+from repro.core.policies.registry import make_policy
+from repro.errors import ConfigurationError
+from repro.runtime.objects import DistributedObject
+from repro.runtime.system import DistributedSystem
+from repro.sim.stopping import StoppingConfig
+from repro.workload.generator import BlockTimingGenerator
+from repro.workload.params import SimulationParameters
+
+
+@dataclass(frozen=True)
+class FragmentationParameters:
+    """Configuration of one fragmentation-study cell."""
+
+    nodes: int = 27
+    clients: int = 10
+    #: Number of logical objects clients share.
+    logical_objects: int = 3
+    #: Fragments per logical object (K).  K=1 is the monolithic case.
+    fragments_per_object: int = 4
+    #: Fraction of a logical object's fragments a block touches.
+    touched_fraction: float = 0.5
+    #: Transfer time of a whole (size-1) logical object; a fragment
+    #: takes migration_duration / K.
+    migration_duration: float = 6.0
+    mean_calls_per_block: float = 8.0
+    mean_intercall_time: float = 1.0
+    mean_interblock_time: float = 30.0
+    policy: str = "placement"
+    seed: int = 0
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigurationError` on inconsistent settings."""
+        if self.nodes < 1:
+            raise ConfigurationError("need at least one node")
+        if self.clients < 1:
+            raise ConfigurationError("need at least one client")
+        if self.logical_objects < 1:
+            raise ConfigurationError("need at least one logical object")
+        if self.fragments_per_object < 1:
+            raise ConfigurationError("fragments_per_object must be >= 1")
+        if not 0.0 < self.touched_fraction <= 1.0:
+            raise ConfigurationError("touched_fraction must be in (0, 1]")
+        if self.migration_duration < 0:
+            raise ConfigurationError("migration_duration must be >= 0")
+        if self.mean_calls_per_block <= 0:
+            raise ConfigurationError("mean_calls_per_block must be > 0")
+
+    @property
+    def touched_count(self) -> int:
+        """Fragments touched per block (at least one)."""
+        return max(
+            1, math.ceil(self.touched_fraction * self.fragments_per_object)
+        )
+
+
+@dataclass
+class FragmentationResult:
+    """Outcome of one fragmentation cell."""
+
+    params: FragmentationParameters
+    mean_communication_time_per_call: float
+    mean_call_duration: float
+    mean_migration_time_per_call: float
+    raw: Dict = field(default_factory=dict)
+
+
+class FragmentationWorkload:
+    """Builds and runs one fragmentation-study cell."""
+
+    CHUNK = 2_000.0
+    MAX_TIME = 2_000_000.0
+
+    def __init__(
+        self,
+        params: FragmentationParameters,
+        stopping: Optional[StoppingConfig] = None,
+    ):
+        params.validate()
+        self.params = params
+        self.system = DistributedSystem(
+            nodes=params.nodes,
+            seed=params.seed,
+            migration_duration=params.migration_duration,
+        )
+        self.metrics = MetricsCollector(stopping)
+        # K fragments per logical object, each 1/K of the state.
+        k = params.fragments_per_object
+        self.fragments: Dict[int, List[DistributedObject]] = {}
+        for j in range(params.logical_objects):
+            self.fragments[j] = [
+                self.system.create_server(
+                    node=(j * k + i) % params.nodes,
+                    name=f"obj{j}-frag{i}",
+                    size=1.0 / k,
+                )
+                for i in range(k)
+            ]
+        self.clients = [
+            self.system.create_client(node=i % params.nodes)
+            for i in range(params.clients)
+        ]
+        self.policy = make_policy(params.policy, self.system)
+        self._started = False
+
+    # -- client behaviour -----------------------------------------------------------
+
+    def _one_move(self, block: MoveBlock):
+        yield from self.policy.move(block)
+
+    def client_process(self, index: int):
+        """One client's endless multi-fragment move-block loop."""
+        client = self.clients[index]
+        sim_params = SimulationParameters(
+            mean_calls_per_block=self.params.mean_calls_per_block,
+            mean_intercall_time=self.params.mean_intercall_time,
+            mean_interblock_time=self.params.mean_interblock_time,
+            migration_duration=self.params.migration_duration,
+        )
+        timing = BlockTimingGenerator(
+            sim_params, self.system.streams.stream(f"frag.client.{index}.t")
+        )
+        picker = self.system.streams.stream(f"frag.client.{index}.p")
+        env = self.system.env
+
+        while True:
+            plan = timing.next_plan()
+            if plan.lead_time > 0:
+                yield env.timeout(plan.lead_time)
+
+            logical = picker.integer(0, self.params.logical_objects)
+            pool = list(self.fragments[logical])
+            picker.shuffle(pool)
+            touched = pool[: self.params.touched_count]
+
+            # Parallel move phase: one move-block per touched fragment.
+            blocks = [
+                MoveBlock(client.node_id, fragment) for fragment in touched
+            ]
+            move_start = env.now
+            procs = [
+                env.process(self._one_move(b), name=f"frag-move-{b.block_id}")
+                for b in blocks
+            ]
+            yield env.all_of(procs)
+
+            # Master accounting block: the move phase's wall-clock cost
+            # is amortized over the logical block's calls (§4.2.1).
+            master = MoveBlock(client.node_id, touched[0])
+            master.granted = any(b.granted for b in blocks)
+            master.migration_cost = env.now - move_start
+
+            for gap in plan.intercall_times:
+                if gap > 0:
+                    yield env.timeout(gap)
+                fragment = picker.choice(touched)
+                result = yield from self.system.invocations.invoke(
+                    client.node_id, fragment
+                )
+                master.record_call(result.duration)
+
+            for block in blocks:
+                yield from self.policy.end(block)
+            master.ended_at = env.now
+            self.metrics.record_block(master)
+
+    # -- execution ----------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Launch every client process (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        for i in range(len(self.clients)):
+            self.system.env.process(
+                self.client_process(i), name=f"frag-client-{i}"
+            )
+
+    def run(self) -> FragmentationResult:
+        """Simulate until the stopping rule fires; return the metrics."""
+        self.start()
+        env = self.system.env
+        while True:
+            env.run(until=env.now + self.CHUNK)
+            if self.metrics.should_stop() or env.now >= self.MAX_TIME:
+                break
+        self.metrics.finalize(self.policy)
+        m = self.metrics
+        return FragmentationResult(
+            params=self.params,
+            mean_communication_time_per_call=m.mean_communication_time_per_call,
+            mean_call_duration=m.mean_call_duration,
+            mean_migration_time_per_call=m.mean_migration_time_per_call,
+            raw={
+                "metrics": m.summary(),
+                "policy": self.policy.stats(),
+                "migrations": self.system.migrations.migration_count,
+            },
+        )
+
+
+def run_fragmentation_cell(
+    params: FragmentationParameters,
+    stopping: Optional[StoppingConfig] = None,
+) -> FragmentationResult:
+    """Convenience one-shot wrapper."""
+    return FragmentationWorkload(params, stopping=stopping).run()

@@ -1,0 +1,35 @@
+"""Network substrate: topologies, latency models, message accounting."""
+
+from repro.network.latency import (
+    DeterministicLatency,
+    LatencyModel,
+    NormalizedExponentialLatency,
+    PerHopExponentialLatency,
+)
+from repro.network.network import Network
+from repro.network.topology import (
+    TOPOLOGIES,
+    FullyConnected,
+    Grid,
+    Line,
+    Ring,
+    Star,
+    Topology,
+    make_topology,
+)
+
+__all__ = [
+    "DeterministicLatency",
+    "FullyConnected",
+    "Grid",
+    "LatencyModel",
+    "Line",
+    "Network",
+    "NormalizedExponentialLatency",
+    "PerHopExponentialLatency",
+    "Ring",
+    "Star",
+    "TOPOLOGIES",
+    "Topology",
+    "make_topology",
+]

@@ -1,0 +1,96 @@
+"""Message latency models.
+
+The paper's model (§4.1): remote messages have exponentially distributed
+latency with mean normalized to 1, identical for all node pairs; local
+"messages" (caller and callee on the same node) cost nothing; network
+saturation is neglected because object traffic is a small share of the
+overall load.
+
+:class:`NormalizedExponentialLatency` is that model.  The other models
+exist for the robustness ablations: per-hop latency (so topology *does*
+matter when normalization is switched off), and deterministic latency
+for analytically checkable tests.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.network.topology import Topology
+from repro.sim.rng import Stream
+
+
+class LatencyModel(ABC):
+    """Samples the latency of one message between two nodes."""
+
+    @abstractmethod
+    def sample(self, src: int, dst: int, stream: Stream) -> float:
+        """Latency of one message from ``src`` to ``dst``."""
+
+    def mean(self, src: int, dst: int) -> float:
+        """Expected latency between the pair (for analytic checks)."""
+        raise NotImplementedError
+
+
+class NormalizedExponentialLatency(LatencyModel):
+    """The paper's model: Exp(mean) for remote messages, 0 locally.
+
+    Parameters
+    ----------
+    mean:
+        Mean remote-message latency; the paper normalizes this to 1 and
+        expresses every other duration in multiples of it.
+    """
+
+    def __init__(self, mean: float = 1.0):
+        if mean < 0:
+            raise ValueError(f"mean latency must be >= 0, got {mean}")
+        self.mean_latency = mean
+
+    def sample(self, src: int, dst: int, stream: Stream) -> float:
+        if src == dst:
+            return 0.0
+        return stream.exponential(self.mean_latency)
+
+    def mean(self, src: int, dst: int) -> float:
+        return 0.0 if src == dst else self.mean_latency
+
+
+class PerHopExponentialLatency(LatencyModel):
+    """Exp(mean_per_hop) per topology hop — the *non*-normalized model.
+
+    Under this model a ring network really is slower between distant
+    nodes; used to show when the paper's "topology does not matter"
+    claim holds and when it is an artifact of normalization.
+    """
+
+    def __init__(self, topology: Topology, mean_per_hop: float = 1.0):
+        if mean_per_hop < 0:
+            raise ValueError(f"mean_per_hop must be >= 0, got {mean_per_hop}")
+        self.topology = topology
+        self.mean_per_hop = mean_per_hop
+
+    def sample(self, src: int, dst: int, stream: Stream) -> float:
+        hops = self.topology.hops(src, dst)
+        if hops == 0:
+            return 0.0
+        # Sum of `hops` independent exponentials (an Erlang draw).
+        return sum(stream.exponential(self.mean_per_hop) for _ in range(hops))
+
+    def mean(self, src: int, dst: int) -> float:
+        return self.topology.hops(src, dst) * self.mean_per_hop
+
+
+class DeterministicLatency(LatencyModel):
+    """Constant latency for remote messages; for closed-form test cases."""
+
+    def __init__(self, latency: float = 1.0):
+        if latency < 0:
+            raise ValueError(f"latency must be >= 0, got {latency}")
+        self.latency = latency
+
+    def sample(self, src: int, dst: int, stream: Stream) -> float:
+        return 0.0 if src == dst else self.latency
+
+    def mean(self, src: int, dst: int) -> float:
+        return 0.0 if src == dst else self.latency

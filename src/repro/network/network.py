@@ -1,0 +1,94 @@
+"""Network facade: message transmission as a simulation activity.
+
+:class:`Network` binds a topology and a latency model to the simulation
+environment.  Runtime components call :meth:`Network.transmit` inside a
+process (``yield from``) to spend the latency of one message, and the
+network keeps aggregate message accounting used by the analysis layer
+(remote vs local message counts, total network time).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.network.latency import LatencyModel, NormalizedExponentialLatency
+from repro.network.topology import FullyConnected, Topology
+from repro.sim.kernel import Environment
+from repro.sim.rng import RandomStreams, Stream
+
+
+class Network:
+    """Simulated interconnect between the nodes of the system.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    topology:
+        Physical structure (default: fully connected, as in the paper).
+    latency:
+        Latency model (default: normalized Exp(1), as in the paper).
+    streams:
+        Random-stream factory; the network draws from the stream named
+        ``"network.latency"``.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        topology: Optional[Topology] = None,
+        latency: Optional[LatencyModel] = None,
+        streams: Optional[RandomStreams] = None,
+    ):
+        self.env = env
+        self.topology = topology or FullyConnected(1)
+        self.latency = latency or NormalizedExponentialLatency(1.0)
+        streams = streams or RandomStreams(0)
+        self._stream: Stream = streams.stream("network.latency")
+        # Aggregate accounting.
+        self.remote_messages = 0
+        self.local_messages = 0
+        self.total_latency = 0.0
+
+    @property
+    def size(self) -> int:
+        """Number of nodes the network connects."""
+        return self.topology.size
+
+    def sample_latency(self, src: int, dst: int) -> float:
+        """Draw (and account) the latency of one message."""
+        delay = self.latency.sample(src, dst, self._stream)
+        if src == dst:
+            self.local_messages += 1
+        else:
+            self.remote_messages += 1
+        self.total_latency += delay
+        return delay
+
+    def transmit(self, src: int, dst: int) -> Generator:
+        """Process fragment that spends one message latency.
+
+        Use as ``yield from network.transmit(a, b)`` inside a process.
+        Returns the sampled latency.
+        """
+        delay = self.sample_latency(src, dst)
+        if delay > 0:
+            yield self.env.timeout(delay)
+        return delay
+
+    def round_trip(self, src: int, dst: int) -> Generator:
+        """Process fragment for a request/reply message pair.
+
+        The paper charges an invocation as "a call and a result
+        message" (§4.2.1); this helper spends both and returns the sum.
+        """
+        there = yield from self.transmit(src, dst)
+        back = yield from self.transmit(dst, src)
+        return there + back
+
+    def __repr__(self) -> str:
+        return (
+            f"<Network {type(self.topology).__name__}({self.topology.size}) "
+            f"latency={type(self.latency).__name__} "
+            f"msgs={self.remote_messages}r/{self.local_messages}l>"
+        )

@@ -1,0 +1,40 @@
+"""Replication in non-monolithic systems — the §5 outlook, implemented.
+
+The paper ends by asking whether replication suffers the same
+non-monolithic conflicts as migration.  This subpackage answers it with
+the same methodology: a write-invalidate replication mechanism, a
+continuum of policies (none / eager / threshold), and a read-write
+workload whose read ratio is swept in
+``benchmarks/bench_outlook_replication.py``.
+"""
+
+from repro.replication.policies import (
+    REPLICATION_POLICIES,
+    EagerReplication,
+    NoReplication,
+    ReplicationPolicy,
+    ThresholdReplication,
+    make_replication_policy,
+)
+from repro.replication.service import OpResult, ReplicationService
+from repro.replication.workload import (
+    ReplicationParameters,
+    ReplicationResult,
+    ReplicationWorkload,
+    run_replication_cell,
+)
+
+__all__ = [
+    "EagerReplication",
+    "NoReplication",
+    "OpResult",
+    "REPLICATION_POLICIES",
+    "ReplicationParameters",
+    "ReplicationPolicy",
+    "ReplicationResult",
+    "ReplicationService",
+    "ReplicationWorkload",
+    "ThresholdReplication",
+    "make_replication_policy",
+    "run_replication_cell",
+]

@@ -1,0 +1,154 @@
+"""Replication policies: the migration story transposed (§5 outlook).
+
+The continuum mirrors the migration policies:
+
+``NoReplication``
+    The sedentary baseline: every remote read pays the round trip.
+``EagerReplication``
+    The conventional-migration analogue: every component replicates the
+    object to its node on the first remote read, no questions asked.
+    In a non-monolithic system with writers this is the hazard — each
+    write invalidates the whole replica set and the readers immediately
+    re-replicate (thrashing: copy traffic + invalidation fan-out).
+``ThresholdReplication``
+    The place-policy analogue: a node earns a replica only after ``k``
+    remote reads since the last invalidation, and the total replica set
+    is capped.  Bounded aggressiveness; resists invalidation thrash.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import defaultdict
+from typing import Dict, Generator, Tuple
+
+from repro.replication.service import ReplicationService
+from repro.runtime.objects import DistributedObject
+
+
+class ReplicationPolicy(ABC):
+    """Decides when a reading node acquires a replica."""
+
+    name = "abstract"
+
+    def __init__(self, service: ReplicationService):
+        self.service = service
+
+    def read(self, caller_node: int, obj: DistributedObject) -> Generator:
+        """Perform a read, possibly replicating first (policy call)."""
+        if self.should_replicate(caller_node, obj):
+            yield from self.service.replicate(obj, caller_node)
+        result = yield from self.service.read(caller_node, obj)
+        self.note_read(caller_node, obj, result.was_local)
+        return result
+
+    def write(self, caller_node: int, obj: DistributedObject) -> Generator:
+        """Perform a write (invalidation handled by the service)."""
+        result = yield from self.service.write(caller_node, obj)
+        self.note_write(obj)
+        return result
+
+    @abstractmethod
+    def should_replicate(
+        self, caller_node: int, obj: DistributedObject
+    ) -> bool:
+        """Whether this read should first install a local replica."""
+
+    def note_read(
+        self, caller_node: int, obj: DistributedObject, was_local: bool
+    ) -> None:
+        """Post-read bookkeeping hook."""
+
+    def note_write(self, obj: DistributedObject) -> None:
+        """Post-write bookkeeping hook."""
+
+
+class NoReplication(ReplicationPolicy):
+    """Never replicate: remote reads stay remote."""
+
+    name = "none"
+
+    def should_replicate(self, caller_node, obj) -> bool:
+        return False
+
+
+class EagerReplication(ReplicationPolicy):
+    """Replicate on every remote read (the aggressive hazard)."""
+
+    name = "eager"
+
+    def should_replicate(self, caller_node, obj) -> bool:
+        return not self.service.has_copy(obj, caller_node)
+
+
+class ThresholdReplication(ReplicationPolicy):
+    """Replicate after ``threshold`` remote reads, capped replica set.
+
+    Parameters
+    ----------
+    threshold:
+        Remote reads a node must accumulate (since the last
+        invalidation of that object) before it earns a replica.
+    max_replicas:
+        Hard cap on the object's replica-set size; further nodes keep
+        reading remotely.  This bounds the per-write invalidation cost
+        exactly like the place-policy bounds per-conflict migrations.
+    """
+
+    name = "threshold"
+
+    def __init__(
+        self,
+        service: ReplicationService,
+        threshold: int = 3,
+        max_replicas: int = 4,
+    ):
+        super().__init__(service)
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        if max_replicas < 0:
+            raise ValueError(f"max_replicas must be >= 0, got {max_replicas}")
+        self.threshold = threshold
+        self.max_replicas = max_replicas
+        self._remote_reads: Dict[Tuple[int, int], int] = defaultdict(int)
+
+    def should_replicate(self, caller_node, obj) -> bool:
+        if self.service.has_copy(obj, caller_node):
+            return False
+        if self.service.replica_count(obj) >= self.max_replicas:
+            return False
+        return (
+            self._remote_reads[(obj.object_id, caller_node)] >= self.threshold
+        )
+
+    def note_read(self, caller_node, obj, was_local) -> None:
+        if not was_local:
+            self._remote_reads[(obj.object_id, caller_node)] += 1
+
+    def note_write(self, obj) -> None:
+        # Invalidation resets everybody's claim on this object.
+        for key in list(self._remote_reads):
+            if key[0] == obj.object_id:
+                self._remote_reads[key] = 0
+
+
+#: Registry of replication policies by name.
+REPLICATION_POLICIES = {
+    NoReplication.name: NoReplication,
+    EagerReplication.name: EagerReplication,
+    ThresholdReplication.name: ThresholdReplication,
+}
+
+
+def make_replication_policy(
+    name: str, service: ReplicationService
+) -> ReplicationPolicy:
+    """Instantiate a replication policy by registry name."""
+    try:
+        cls = REPLICATION_POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown replication policy {name!r}; choose from "
+            f"{sorted(REPLICATION_POLICIES)}"
+        ) from None
+    return cls(service)

@@ -1,0 +1,179 @@
+"""Replication mechanics (the §5 outlook, made concrete).
+
+The paper closes by asking "whether similar negative effects as we have
+shown for object migration arise for other mechanisms like replication
+... if they are applied in non-monolithic systems".  This subpackage
+implements the minimal machinery needed to study that question:
+
+* each object has a *primary* copy (its normal location) and a set of
+  read-only *replicas*;
+* ``read`` is served locally if the caller holds the primary or a
+  replica, else it is a remote round trip (to any copy — under the
+  normalized latency model all remote nodes are equidistant);
+* ``write`` goes to the primary and synchronously *invalidates* every
+  replica: one message per replica, paid by the writer (the classic
+  write-invalidate protocol); the replicas are dropped;
+* ``replicate`` copies the object to a node, taking the same transfer
+  time as a migration of it (it ships the same state).
+
+The *conflict* mirrors the migration story: autonomous read-heavy
+components eagerly replicate a shared object; one write-heavy component
+then pays an invalidation per replica per write — and immediately
+afterwards the readers re-replicate, so everybody loses.  The
+policies in :mod:`repro.replication.policies` span the same
+aggressive-to-conservative continuum the migration policies do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator, Set
+
+from repro.network.network import Network
+from repro.runtime.objects import DistributedObject
+from repro.sim.kernel import Environment
+from repro.sim.stats import RunningStats
+
+
+@dataclass(frozen=True)
+class OpResult:
+    """Caller-observed outcome of one read or write."""
+
+    duration: float
+    was_local: bool
+    #: For writes: replicas invalidated; for reads: unused (0).
+    invalidations: int = 0
+
+
+class ReplicationService:
+    """Executes reads, writes, replication and invalidation."""
+
+    def __init__(
+        self,
+        env: Environment,
+        network: Network,
+        copy_duration: float = 6.0,
+    ):
+        if copy_duration < 0:
+            raise ValueError(f"copy_duration must be >= 0, got {copy_duration}")
+        self.env = env
+        self.network = network
+        self.copy_duration = copy_duration
+        #: object id -> set of replica node ids (primary not included).
+        self._replicas: Dict[int, Set[int]] = {}
+        # Aggregate accounting.
+        self.reads = 0
+        self.local_reads = 0
+        self.writes = 0
+        self.invalidations_sent = 0
+        self.replications = 0
+        self.total_copy_time = 0.0
+        self.read_durations = RunningStats()
+        self.write_durations = RunningStats()
+
+    # -- replica-set queries -----------------------------------------------------
+
+    def replicas_of(self, obj: DistributedObject) -> Set[int]:
+        """Current replica node set (primary excluded)."""
+        return set(self._replicas.get(obj.object_id, ()))
+
+    def has_copy(self, obj: DistributedObject, node: int) -> bool:
+        """Whether ``node`` holds the primary or a replica."""
+        return obj.node_id == node or node in self._replicas.get(
+            obj.object_id, ()
+        )
+
+    def replica_count(self, obj: DistributedObject) -> int:
+        """Number of replicas (primary excluded)."""
+        return len(self._replicas.get(obj.object_id, ()))
+
+    # -- operations ---------------------------------------------------------------
+
+    def replicate(self, obj: DistributedObject, node: int) -> Generator:
+        """Copy the object to ``node``; no-op if a copy is already there.
+
+        Takes the object's transfer time (same state as a migration),
+        but the primary stays available throughout — replication ships
+        a snapshot, it does not linearize the object.
+        """
+        if self.has_copy(obj, node):
+            return False
+        duration = self.copy_duration * obj.size
+        if duration > 0:
+            yield self.env.timeout(duration)
+        # Re-check: a concurrent write may have raced us; last one wins
+        # in this idealized model (the snapshot is current at install).
+        self._replicas.setdefault(obj.object_id, set()).add(node)
+        self.replications += 1
+        self.total_copy_time += duration
+        return True
+
+    def drop_replica(self, obj: DistributedObject, node: int) -> bool:
+        """Remove the replica at ``node`` (local bookkeeping, free)."""
+        replicas = self._replicas.get(obj.object_id)
+        if replicas and node in replicas:
+            replicas.discard(node)
+            return True
+        return False
+
+    def read(self, caller_node: int, obj: DistributedObject) -> Generator:
+        """Read the object: free with a local copy, else a round trip."""
+        start = self.env.now
+        self.reads += 1
+        if self.has_copy(obj, caller_node):
+            self.local_reads += 1
+            self.read_durations.add(0.0)
+            return OpResult(duration=0.0, was_local=True)
+        yield from self.network.round_trip(caller_node, obj.node_id)
+        duration = self.env.now - start
+        self.read_durations.add(duration)
+        return OpResult(duration=duration, was_local=False)
+
+    def write(self, caller_node: int, obj: DistributedObject) -> Generator:
+        """Write through the primary and invalidate every replica.
+
+        The writer pays the round trip to the primary plus the parallel
+        invalidation fan-out (elapsed = the slowest invalidation; the
+        message *work* is one per replica and is what saturates a
+        non-monolithic system).
+        """
+        start = self.env.now
+        self.writes += 1
+        if caller_node != obj.node_id:
+            yield from self.network.round_trip(caller_node, obj.node_id)
+
+        victims = sorted(self._replicas.get(obj.object_id, ()))
+        if victims:
+            self.invalidations_sent += len(victims)
+            procs = [
+                self.env.process(
+                    self._invalidate_one(obj, node),
+                    name=f"invalidate-{obj.name}@{node}",
+                )
+                for node in victims
+            ]
+            yield self.env.all_of(procs)
+            self._replicas[obj.object_id] = set()
+
+        duration = self.env.now - start
+        self.write_durations.add(duration)
+        return OpResult(
+            duration=duration,
+            was_local=caller_node == obj.node_id and not victims,
+            invalidations=len(victims),
+        )
+
+    def _invalidate_one(self, obj: DistributedObject, node: int) -> Generator:
+        yield from self.network.transmit(obj.node_id, node)
+
+    def stats(self) -> dict:
+        """Aggregate counters for reports."""
+        return {
+            "reads": self.reads,
+            "local_reads": self.local_reads,
+            "writes": self.writes,
+            "invalidations": self.invalidations_sent,
+            "replications": self.replications,
+            "mean_read": self.read_durations.mean if self.reads else 0.0,
+            "mean_write": self.write_durations.mean if self.writes else 0.0,
+        }

@@ -1,0 +1,43 @@
+"""Distributed object runtime substrate.
+
+Nodes, mobile objects, proxy-style invocation forwarding, and the
+linearize–transfer–reinstall migration mechanism (§3.1's system model).
+"""
+
+from repro.runtime.invocation import InvocationResult, InvocationService
+from repro.runtime.locator import (
+    LOCATORS,
+    BroadcastLocator,
+    ForwardingLocator,
+    ImmediateUpdateLocator,
+    Locator,
+    NameServerLocator,
+    make_locator,
+)
+from repro.runtime.messages import Message, MessageKind
+from repro.runtime.migration import MigrationOutcome, MigrationService
+from repro.runtime.node import Node
+from repro.runtime.objects import DistributedObject, MobilityState, ObjectKind
+from repro.runtime.registry import ObjectRegistry
+from repro.runtime.system import DistributedSystem
+
+__all__ = [
+    "BroadcastLocator",
+    "DistributedObject",
+    "DistributedSystem",
+    "ForwardingLocator",
+    "ImmediateUpdateLocator",
+    "InvocationResult",
+    "InvocationService",
+    "LOCATORS",
+    "Locator",
+    "Message",
+    "MessageKind",
+    "MigrationOutcome",
+    "MigrationService",
+    "MobilityState",
+    "Node",
+    "ObjectKind",
+    "ObjectRegistry",
+    "make_locator",
+]

@@ -1,0 +1,154 @@
+"""Object-location strategies.
+
+§4.1 lists the classic alternatives — name-server lookup [ChC91],
+forward addressing [JLH+88], broadcast [DLA+91] and immediate update
+[Dec86] — and then *neglects* them: the paper folds location cost into
+the normalized Exp(1) invocation latency.  We implement all four so the
+normalization can be checked (``benchmarks/bench_ablation_locator.py``):
+each locator yields the *extra* latency a caller spends learning the
+current location before sending the actual request.
+
+The registry itself is always authoritative; locators only model the
+protocol cost of querying it.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Generator, Tuple
+
+from repro.network.network import Network
+from repro.runtime.objects import DistributedObject
+from repro.sim.kernel import Environment
+
+
+class Locator(ABC):
+    """Strategy for a caller to learn an object's current node."""
+
+    #: Registry name used by experiment configs.
+    name = "abstract"
+
+    def __init__(self, env: Environment, network: Network):
+        self.env = env
+        self.network = network
+        #: Extra messages spent on location traffic.
+        self.lookup_messages = 0
+
+    @abstractmethod
+    def locate(
+        self, caller_node: int, obj: DistributedObject
+    ) -> Generator:
+        """Process fragment spending the lookup cost; returns node id."""
+
+    def note_migration(self, obj: DistributedObject, target_node: int) -> None:
+        """Hook invoked by the migration service after each move."""
+
+
+class ImmediateUpdateLocator(Locator):
+    """Every node learns every move immediately — zero lookup cost.
+
+    This is the paper's effective model: location knowledge is free and
+    current, so the only costs are invocation and migration latencies.
+    """
+
+    name = "immediate"
+
+    def locate(self, caller_node: int, obj: DistributedObject) -> Generator:
+        return obj.node_id
+        yield  # pragma: no cover - makes this a generator function
+
+
+class NameServerLocator(Locator):
+    """A central name server resolves locations.
+
+    Each lookup from a node other than the server's costs a round trip
+    to the name-server node.  A co-located caller pays nothing.
+    """
+
+    name = "nameserver"
+
+    def __init__(self, env: Environment, network: Network, server_node: int = 0):
+        super().__init__(env, network)
+        self.server_node = server_node
+
+    def locate(self, caller_node: int, obj: DistributedObject) -> Generator:
+        if caller_node != self.server_node:
+            self.lookup_messages += 2
+            yield from self.network.round_trip(caller_node, self.server_node)
+        return obj.node_id
+
+
+class ForwardingLocator(Locator):
+    """Stale stubs with forwarding addresses (Emerald style).
+
+    Each node remembers where it last found each object; a lookup
+    follows one forwarding hop per migration that happened since,
+    capped to the object's true location.  The caller's knowledge is
+    refreshed by the lookup.
+    """
+
+    name = "forwarding"
+
+    def __init__(self, env: Environment, network: Network, max_hops: int = 16):
+        super().__init__(env, network)
+        self.max_hops = max_hops
+        #: (caller_node, object_id) -> (move_seq seen, node seen)
+        self._known: Dict[Tuple[int, int], Tuple[int, int]] = {}
+        #: object_id -> monotonically increasing move sequence number
+        self._move_seq: Dict[int, int] = {}
+
+    def note_migration(self, obj: DistributedObject, target_node: int) -> None:
+        self._move_seq[obj.object_id] = self._move_seq.get(obj.object_id, 0) + 1
+
+    def locate(self, caller_node: int, obj: DistributedObject) -> Generator:
+        seq = self._move_seq.get(obj.object_id, 0)
+        seen_seq, seen_node = self._known.get(
+            (caller_node, obj.object_id), (0, obj.node_id)
+        )
+        hops = min(seq - seen_seq, self.max_hops)
+        # Following a forwarding chain: one extra message per stale hop.
+        # The final hop lands at the object, so the subsequent request
+        # does not need to be re-charged; we charge hops-1 extra legs
+        # and let the normal request message cover the last one.
+        for _ in range(max(0, hops - 1)):
+            self.lookup_messages += 1
+            yield from self.network.transmit(caller_node, obj.node_id)
+        self._known[(caller_node, obj.object_id)] = (seq, obj.node_id)
+        return obj.node_id
+
+
+class BroadcastLocator(Locator):
+    """Location by broadcast query (Clouds style).
+
+    A remote lookup costs one broadcast (modelled as a single message
+    latency — all replicas are queried in parallel) plus the reply from
+    the owning node.
+    """
+
+    name = "broadcast"
+
+    def locate(self, caller_node: int, obj: DistributedObject) -> Generator:
+        if obj.node_id != caller_node:
+            self.lookup_messages += 2
+            yield from self.network.round_trip(caller_node, obj.node_id)
+        return obj.node_id
+
+
+#: Registry of locator factories by name.
+LOCATORS = {
+    ImmediateUpdateLocator.name: ImmediateUpdateLocator,
+    NameServerLocator.name: NameServerLocator,
+    ForwardingLocator.name: ForwardingLocator,
+    BroadcastLocator.name: BroadcastLocator,
+}
+
+
+def make_locator(name: str, env: Environment, network: Network) -> Locator:
+    """Instantiate a locator by registry name."""
+    try:
+        cls = LOCATORS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown locator {name!r}; choose from {sorted(LOCATORS)}"
+        ) from None
+    return cls(env, network)

@@ -1,0 +1,64 @@
+"""Message vocabulary of the distributed object runtime.
+
+The simulation is process-based rather than literally message-passing,
+but every remote interaction corresponds to one of these message kinds,
+and the runtime emits a trace record per message so tests can assert on
+the exact wire behaviour (e.g. that transient placement adds no remote
+operations — §3.2's key property).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+
+class MessageKind(Enum):
+    """Every remote-interaction type the runtime can perform."""
+
+    #: Client → object: invoke a method (the "call" half of §4.2.1).
+    INVOCATION_REQUEST = "invocation.request"
+    #: Object → client: the "result" half.
+    INVOCATION_REPLY = "invocation.reply"
+    #: Client → object: a move()/visit() request (forwarded to the
+    #: object's current location, §3.1).
+    MOVE_REQUEST = "move.request"
+    #: Object runtime → client: grant or "locked" indication (§3.2).
+    MOVE_REPLY = "move.reply"
+    #: Client → object: end-of-move-block notification.  Local (free)
+    #: under the place-policy; forwarded under the dynamic policies.
+    END_REQUEST = "end.request"
+    #: The linearized object state in transit between nodes.
+    OBJECT_TRANSFER = "object.transfer"
+    #: Location-service traffic (name-server lookup / broadcast /
+    #: forwarding hop) — only charged by non-default locators.
+    LOCATION_LOOKUP = "location.lookup"
+
+
+@dataclass(frozen=True)
+class Message:
+    """One (possibly local) message exchanged in the model.
+
+    Attributes
+    ----------
+    kind:
+        The message type.
+    src, dst:
+        Node ids of the endpoints (equal for local messages).
+    object_id:
+        The object concerned, if any.
+    latency:
+        The sampled latency the message spent on the wire (0 locally).
+    """
+
+    kind: MessageKind
+    src: int
+    dst: int
+    object_id: Optional[int] = None
+    latency: float = 0.0
+
+    @property
+    def is_remote(self) -> bool:
+        """True when the endpoints are different nodes."""
+        return self.src != self.dst

@@ -1,0 +1,211 @@
+"""Migration mechanics: linearize, transfer, reinstall.
+
+The mechanism (not the policy — §2.2 insists on that separation): a
+migration takes an object off its node, spends the transfer duration M
+(Table 1: fixed, per object; conceptually it scales with object size),
+and reinstalls the object at the target, waking every call that blocked
+on it meanwhile.
+
+A *set* migration (the transitive attachment closure of §3.4) transfers
+its members in parallel: the elapsed time is the slowest member's M,
+but every member is individually unavailable for its own transfer
+window, which is what makes dragging a large working set so costly for
+everyone else.
+
+Objects that are already at the target are not transferred ("moving" an
+object to where it is costs nothing).  Objects in transit are waited
+for, then transferred — this is how a conventional move "steals" an
+object that is already moving elsewhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, Iterable, List, Optional
+
+from repro.errors import ObjectFixedError
+from repro.runtime.locator import Locator
+from repro.runtime.messages import MessageKind
+from repro.runtime.objects import DistributedObject
+from repro.runtime.registry import ObjectRegistry
+from repro.sim.kernel import Environment
+from repro.sim.trace import NULL_TRACER, Tracer
+
+
+@dataclass
+class MigrationOutcome:
+    """Result of one (possibly multi-object) migration operation.
+
+    Attributes
+    ----------
+    target_node:
+        Where the objects were sent.
+    moved:
+        Objects actually transferred.
+    already_there:
+        Objects that were resident at the target already.
+    elapsed:
+        Wall-clock duration of the whole operation (includes waiting
+        for in-transit members).
+    transfer_time:
+        Sum of the individual transfer durations (the network work).
+    """
+
+    target_node: int
+    moved: List[DistributedObject] = field(default_factory=list)
+    already_there: List[DistributedObject] = field(default_factory=list)
+    elapsed: float = 0.0
+    transfer_time: float = 0.0
+
+    @property
+    def moved_count(self) -> int:
+        """Number of objects actually transferred."""
+        return len(self.moved)
+
+
+class MigrationService:
+    """Executes migrations against the registry and the clock.
+
+    Parameters
+    ----------
+    env, registry:
+        Simulation environment and authoritative registry.
+    default_duration:
+        The paper's M: transfer time for a size-1 object.
+    locator:
+        Optional locator to notify of moves (forwarding addresses).
+    tracer:
+        Trace sink.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        registry: ObjectRegistry,
+        default_duration: float = 6.0,
+        locator: Optional[Locator] = None,
+        tracer: Tracer = NULL_TRACER,
+    ):
+        if default_duration < 0:
+            raise ValueError(
+                f"default_duration must be >= 0, got {default_duration}"
+            )
+        self.env = env
+        self.registry = registry
+        self.default_duration = default_duration
+        self.locator = locator
+        self.tracer = tracer
+        #: Total number of object transfers performed.
+        self.migration_count = 0
+        #: Total transfer time spent (sum of per-object durations).
+        self.total_transfer_time = 0.0
+
+    def duration_for(self, obj: DistributedObject) -> float:
+        """Transfer time for one object (M scaled by object size)."""
+        return self.default_duration * obj.size
+
+    def _transfer_one(
+        self, obj: DistributedObject, target_node: int, extra_time: float = 0.0
+    ) -> Generator:
+        """Move a single object; returns ``(moved, transfer_time)``."""
+        # Wait out any in-flight migration of this object: the request
+        # queues at the runtime and executes on reinstallation.
+        while obj.in_transit:
+            yield obj.reinstalled.wait()
+
+        if obj.fixed:
+            raise ObjectFixedError(f"{obj.name} is fixed and cannot migrate")
+
+        if obj.node_id == target_node:
+            return (False, 0.0)
+
+        origin = obj.node_id
+        duration = self.duration_for(obj) + extra_time
+        self.registry.depart(obj)
+        obj.begin_transit()
+        if self.tracer.enabled:
+            self.tracer.emit(
+                self.env.now,
+                "migration.start",
+                object_id=obj.object_id,
+                src=origin,
+                dst=target_node,
+                duration=duration,
+            )
+        if duration > 0:
+            yield self.env.timeout(duration)
+        obj.install(target_node)
+        self.registry.arrive(obj, target_node)
+        if self.locator is not None:
+            self.locator.note_migration(obj, target_node)
+        self.migration_count += 1
+        self.total_transfer_time += duration
+        if self.tracer.enabled:
+            self.tracer.emit(
+                self.env.now,
+                "migration.done",
+                object_id=obj.object_id,
+                src=origin,
+                dst=target_node,
+            )
+        return (True, duration)
+
+    def migrate(
+        self,
+        objects: Iterable[DistributedObject],
+        target_node: int,
+        extra_time: float = 0.0,
+    ) -> Generator:
+        """Process fragment migrating ``objects`` to ``target_node``.
+
+        Transfers run in parallel; the fragment completes when the last
+        member is installed.  Returns a :class:`MigrationOutcome`.
+
+        ``extra_time`` is added to every member's transfer duration —
+        this is how §3.3's bookkeeping payload ("the size of data that
+        has to be transferred when migrating an object increases") is
+        charged when a dynamic policy opts into overhead accounting.
+        """
+        if extra_time < 0:
+            raise ValueError(f"extra_time must be >= 0, got {extra_time}")
+        self.registry.node(target_node)  # validate target exists
+        objects = list(objects)
+        outcome = MigrationOutcome(target_node=target_node)
+        start = self.env.now
+
+        movers = []
+        for obj in objects:
+            if not obj.in_transit and obj.node_id == target_node:
+                outcome.already_there.append(obj)
+                continue
+            movers.append(obj)
+
+        if movers:
+            procs = [
+                self.env.process(
+                    self._transfer_one(obj, target_node, extra_time),
+                    name=f"transfer-{obj.name}",
+                )
+                for obj in movers
+            ]
+            yield self.env.all_of(procs)
+            for obj, proc in zip(movers, procs):
+                moved, transfer = proc.value
+                if moved:
+                    outcome.moved.append(obj)
+                    outcome.transfer_time += transfer
+                else:
+                    # It was in transit towards (or already reached) the
+                    # target when we caught up with it.
+                    outcome.already_there.append(obj)
+
+        outcome.elapsed = self.env.now - start
+        if self.tracer.enabled:
+            self.tracer.emit(
+                self.env.now,
+                MessageKind.OBJECT_TRANSFER.value,
+                target=target_node,
+                moved=outcome.moved_count,
+                elapsed=outcome.elapsed,
+            )
+        return outcome

@@ -1,0 +1,41 @@
+"""Nodes of the distributed system."""
+
+from __future__ import annotations
+
+from typing import Set
+
+
+class Node:
+    """One machine of the distributed system.
+
+    Nodes are passive containers in the model: behaviour lives in
+    objects (clients/servers) and in the runtime services.  A node
+    tracks which objects currently reside on it, which the registry
+    keeps consistent with each object's own location field.
+    """
+
+    __slots__ = ("node_id", "name", "resident_ids")
+
+    def __init__(self, node_id: int, name: str = ""):
+        if node_id < 0:
+            raise ValueError(f"node_id must be >= 0, got {node_id}")
+        self.node_id = node_id
+        self.name = name or f"node-{node_id}"
+        #: Ids of objects currently installed on this node.
+        self.resident_ids: Set[int] = set()
+
+    @property
+    def population(self) -> int:
+        """Number of objects currently resident here."""
+        return len(self.resident_ids)
+
+    def __repr__(self) -> str:
+        return f"<Node {self.name} objects={self.population}>"
+
+    def __hash__(self) -> int:
+        return hash(self.node_id)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Node):
+            return NotImplemented
+        return self.node_id == other.node_id

@@ -1,0 +1,108 @@
+"""Object registry: id → object map plus node residency bookkeeping.
+
+The registry is the model's (idealized) location service: it always
+knows where every object is.  How expensive it is for *callers* to learn
+a location is decided by the pluggable locator (:mod:`repro.runtime.
+locator`); the paper's default normalizes that cost away (§4.1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.errors import UnknownNodeError, UnknownObjectError
+from repro.runtime.node import Node
+from repro.runtime.objects import DistributedObject
+
+
+class ObjectRegistry:
+    """Authoritative map of objects and their locations."""
+
+    def __init__(self):
+        self._objects: Dict[int, DistributedObject] = {}
+        self._nodes: Dict[int, Node] = {}
+
+    # -- nodes ------------------------------------------------------------------
+
+    def add_node(self, node: Node) -> None:
+        """Register a node (ids must be unique)."""
+        if node.node_id in self._nodes:
+            raise ValueError(f"duplicate node id {node.node_id}")
+        self._nodes[node.node_id] = node
+
+    def node(self, node_id: int) -> Node:
+        """Look up a node by id."""
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise UnknownNodeError(f"no node with id {node_id}") from None
+
+    @property
+    def nodes(self) -> List[Node]:
+        """All registered nodes, by id."""
+        return [self._nodes[k] for k in sorted(self._nodes)]
+
+    # -- objects ----------------------------------------------------------------
+
+    def add_object(self, obj: DistributedObject) -> None:
+        """Register an object and record its initial residency."""
+        if obj.object_id in self._objects:
+            raise ValueError(f"duplicate object id {obj.object_id}")
+        node = self.node(obj.node_id)  # validates the node exists
+        self._objects[obj.object_id] = obj
+        node.resident_ids.add(obj.object_id)
+
+    def get(self, object_id: int) -> DistributedObject:
+        """Look up an object by id."""
+        try:
+            return self._objects[object_id]
+        except KeyError:
+            raise UnknownObjectError(f"no object with id {object_id}") from None
+
+    @property
+    def objects(self) -> List[DistributedObject]:
+        """All registered objects, by id."""
+        return [self._objects[k] for k in sorted(self._objects)]
+
+    def location_of(self, object_id: int) -> int:
+        """The ``location_of()`` primitive of §2.2 (authoritative)."""
+        return self.get(object_id).node_id
+
+    def objects_at(self, node_id: int) -> List[DistributedObject]:
+        """Objects currently resident on a node."""
+        node = self.node(node_id)
+        return [self._objects[oid] for oid in sorted(node.resident_ids)]
+
+    # -- residency maintenance -----------------------------------------------------
+
+    def depart(self, obj: DistributedObject) -> None:
+        """Remove the object from its node's resident set (transit start)."""
+        self.node(obj.node_id).resident_ids.discard(obj.object_id)
+
+    def arrive(self, obj: DistributedObject, node_id: int) -> None:
+        """Record the object's arrival on its new node."""
+        self.node(node_id).resident_ids.add(obj.object_id)
+
+    def check_consistency(self) -> None:
+        """Assert the invariant: node residency sets mirror object state.
+
+        Every resident object appears in exactly its own node's set;
+        objects in transit appear in no set.  Raises ``AssertionError``
+        on violation — used heavily by the property tests.
+        """
+        for obj in self._objects.values():
+            for node in self._nodes.values():
+                present = obj.object_id in node.resident_ids
+                should_be = (
+                    not obj.in_transit and node.node_id == obj.node_id
+                )
+                assert present == should_be, (
+                    f"{obj!r}: residency mismatch on {node!r} "
+                    f"(present={present}, expected={should_be})"
+                )
+
+    def __repr__(self) -> str:
+        return (
+            f"<ObjectRegistry nodes={len(self._nodes)} "
+            f"objects={len(self._objects)}>"
+        )

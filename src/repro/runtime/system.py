@@ -1,0 +1,170 @@
+"""The :class:`DistributedSystem` facade.
+
+Wires together everything an experiment (or an application using the
+public API) needs: the simulation environment, the random streams, the
+network, the registry, and the invocation/migration services.  This is
+the object most user code starts from::
+
+    from repro import DistributedSystem
+
+    system = DistributedSystem(nodes=3, seed=42)
+    server = system.create_server(node=0)
+    client = system.create_client(node=1)
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.network.latency import LatencyModel, NormalizedExponentialLatency
+from repro.network.network import Network
+from repro.network.topology import FullyConnected, Topology
+from repro.runtime.invocation import InvocationService
+from repro.runtime.locator import ImmediateUpdateLocator, Locator
+from repro.runtime.migration import MigrationService
+from repro.runtime.node import Node
+from repro.runtime.objects import DistributedObject, ObjectKind
+from repro.runtime.registry import ObjectRegistry
+from repro.sim.kernel import Environment
+from repro.sim.rng import RandomStreams
+from repro.sim.trace import NULL_TRACER, Tracer
+
+
+class DistributedSystem:
+    """A simulated distributed object system.
+
+    Parameters
+    ----------
+    nodes:
+        Number of nodes to create up front (the paper's D).
+    seed:
+        Root random seed for all streams of this run.
+    migration_duration:
+        The paper's M — transfer time of a size-1 object (default 6,
+        the value used in every experiment of §4).
+    topology:
+        Physical network structure (default fully connected).
+    latency:
+        Message latency model (default normalized Exp(1)).
+    locator:
+        Location strategy (default immediate update = free lookup).
+    tracer:
+        Optional trace sink for tests/debugging.
+    """
+
+    def __init__(
+        self,
+        nodes: int = 0,
+        seed: int = 0,
+        migration_duration: float = 6.0,
+        topology: Optional[Topology] = None,
+        latency: Optional[LatencyModel] = None,
+        locator: Optional[Locator] = None,
+        tracer: Tracer = NULL_TRACER,
+        env: Optional[Environment] = None,
+    ):
+        self.env = env or Environment()
+        self.streams = RandomStreams(seed)
+        self.tracer = tracer
+        self.topology = topology or FullyConnected(max(nodes, 1))
+        self.network = Network(
+            self.env,
+            topology=self.topology,
+            latency=latency or NormalizedExponentialLatency(1.0),
+            streams=self.streams,
+        )
+        self.registry = ObjectRegistry()
+        self.locator = locator or ImmediateUpdateLocator(self.env, self.network)
+        self.invocations = InvocationService(
+            self.env, self.network, locator=self.locator, tracer=tracer
+        )
+        self.migrations = MigrationService(
+            self.env,
+            self.registry,
+            default_duration=migration_duration,
+            locator=self.locator,
+            tracer=tracer,
+        )
+        self._next_object_id = 0
+        for _ in range(nodes):
+            self.add_node()
+
+    # -- construction -----------------------------------------------------------
+
+    def add_node(self, name: str = "") -> Node:
+        """Create and register one more node."""
+        node = Node(len(self.registry.nodes), name=name)
+        self.registry.add_node(node)
+        if node.node_id >= self.topology.size:
+            # Growing past the topology: rebuild a fully connected one.
+            # (Fixed-size topologies should be passed in up front.)
+            self.topology = FullyConnected(node.node_id + 1)
+            self.network.topology = self.topology
+        return node
+
+    @property
+    def nodes(self) -> List[Node]:
+        """All nodes of the system."""
+        return self.registry.nodes
+
+    @property
+    def node_count(self) -> int:
+        """Number of nodes (the paper's D)."""
+        return len(self.registry.nodes)
+
+    def create_object(
+        self,
+        node: int,
+        kind: ObjectKind = ObjectKind.SERVER,
+        name: str = "",
+        fixed: bool = False,
+        size: float = 1.0,
+    ) -> DistributedObject:
+        """Create an object resident on ``node`` and register it."""
+        obj = DistributedObject(
+            self.env,
+            object_id=self._next_object_id,
+            node_id=node,
+            kind=kind,
+            name=name,
+            fixed=fixed,
+            size=size,
+        )
+        self._next_object_id += 1
+        self.registry.add_object(obj)
+        return obj
+
+    def create_server(
+        self, node: int, name: str = "", size: float = 1.0
+    ) -> DistributedObject:
+        """Create a movable server object on ``node``."""
+        return self.create_object(
+            node, kind=ObjectKind.SERVER, name=name, size=size
+        )
+
+    def create_client(self, node: int, name: str = "") -> DistributedObject:
+        """Create a sedentary client object on ``node``.
+
+        Clients are fixed: "Because clients are not invoked from other
+        objects, there is no point in migrating them" (§4.1).
+        """
+        return self.create_object(
+            node, kind=ObjectKind.CLIENT, name=name, fixed=True
+        )
+
+    # -- convenience -------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self.env.now
+
+    def run(self, until=None):
+        """Run the underlying simulation."""
+        return self.env.run(until=until)
+
+    def __repr__(self) -> str:
+        return (
+            f"<DistributedSystem nodes={self.node_count} "
+            f"objects={len(self.registry.objects)} t={self.env.now:.2f}>"
+        )

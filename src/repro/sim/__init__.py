@@ -1,0 +1,67 @@
+"""Discrete-event simulation kernel (substrate).
+
+A from-scratch, generator-based process simulation kernel in the style
+of SimPy, plus the statistics machinery the paper's evaluation needs
+(Welford accumulators, batch means, and the 1 %-CI-at-p-0.99 stopping
+rule of §4.1).
+
+Quick example::
+
+    from repro.sim import Environment
+
+    def ping(env, pong):
+        while True:
+            yield env.timeout(1)
+            pong.succeed()
+            pong = env.event()
+
+    env = Environment()
+    env.run(until=100)
+"""
+
+from repro.sim.events import AllOf, AnyOf, Condition, ConditionValue, Event, Timeout
+from repro.sim.kernel import Environment, Infinity
+from repro.sim.monitor import StateMonitor
+from repro.sim.process import Process
+from repro.sim.resources import Resource, Store, Waiters
+from repro.sim.rng import RandomStreams, Stream
+from repro.sim.stats import (
+    BatchMeans,
+    RunningStats,
+    TimeWeightedStats,
+    normal_ppf,
+    regularized_incomplete_beta,
+    student_t_cdf,
+    student_t_ppf,
+)
+from repro.sim.stopping import PrecisionStopping, StoppingConfig
+from repro.sim.trace import NULL_TRACER, NullTracer, TraceRecord, Tracer
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "BatchMeans",
+    "Condition",
+    "ConditionValue",
+    "Environment",
+    "Event",
+    "Infinity",
+    "NULL_TRACER",
+    "NullTracer",
+    "PrecisionStopping",
+    "Process",
+    "RandomStreams",
+    "Resource",
+    "StateMonitor",
+    "RunningStats",
+    "Store",
+    "StoppingConfig",
+    "Stream",
+    "TimeWeightedStats",
+    "Timeout",
+    "TraceRecord",
+    "Tracer",
+    "Waiters",
+    "normal_ppf",
+    "student_t_ppf",
+]

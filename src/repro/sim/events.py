@@ -1,0 +1,315 @@
+"""Event primitives for the discrete-event simulation kernel.
+
+The kernel follows the classic process-interaction style popularized by
+SimPy: simulation logic is written as Python generators that ``yield``
+:class:`Event` instances and are resumed when those events fire.  This
+module defines the event types; :mod:`repro.sim.kernel` owns the clock
+and the event calendar, and :mod:`repro.sim.process` turns generators
+into schedulable processes.
+
+Events move through three states:
+
+``pending``
+    Created but not yet triggered.  Callbacks may still be added.
+``triggered``
+    Scheduled on the event calendar with a value (or an exception); it
+    will fire when the kernel reaches its scheduled time.
+``processed``
+    Its callbacks have run.  Adding a callback to a processed event
+    raises :class:`~repro.errors.EventAlreadyTriggered`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, List, Optional
+
+from repro.errors import EventAlreadyTriggered
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.sim.kernel import Environment
+
+#: Sentinel distinguishing "no value yet" from a legitimate ``None`` value.
+PENDING = object()
+
+#: Priority used for ordinary events.
+NORMAL = 1
+
+#: Priority used for urgent events (processed before normal events that
+#: share the same timestamp).  The kernel uses this for process bootstrap
+#: so that a freshly started process runs before same-time timeouts.
+URGENT = 0
+
+
+class Event:
+    """A condition that may happen at a point in simulated time.
+
+    Parameters
+    ----------
+    env:
+        The environment the event lives in.
+
+    Notes
+    -----
+    An event can be *succeeded* with a value or *failed* with an
+    exception, exactly once.  Processes waiting on a failed event have
+    the exception re-raised at their ``yield`` statement.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        #: Callbacks to invoke when the event is processed.  ``None``
+        #: once the event has been processed.
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok: bool = True
+        self._defused: bool = False
+
+    # -- state inspection ---------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """``True`` once the event has been scheduled with a value."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """``True`` once the event's callbacks have been executed."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """``True`` if the event succeeded, ``False`` if it failed.
+
+        Only meaningful once :attr:`triggered` is true.
+        """
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The value the event was triggered with.
+
+        Raises
+        ------
+        AttributeError
+            If the event has not been triggered yet.
+        """
+        if self._value is PENDING:
+            raise AttributeError(f"value of {self!r} is not yet available")
+        return self._value
+
+    # -- triggering ---------------------------------------------------------
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``.
+
+        Returns the event so calls can be chained, e.g.
+        ``return env.event().succeed(42)``.
+        """
+        if self._value is not PENDING:
+            raise EventAlreadyTriggered(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        Waiting processes will see ``exception`` raised at their
+        ``yield``.  If nobody waits, the kernel re-raises the exception
+        at the end of the step unless the event is :meth:`defused`.
+        """
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        if self._value is not PENDING:
+            raise EventAlreadyTriggered(f"{self!r} has already been triggered")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Adopt the outcome of another (triggered) event.
+
+        Used as a callback: ``other.callbacks.append(this.trigger)``.
+        """
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            event.defuse()
+            self.fail(event._value)
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so the kernel does not crash."""
+        self._defused = True
+
+    # -- composition ----------------------------------------------------------
+
+    def __and__(self, other: "Event") -> "AllOf":
+        return AllOf(self.env, [self, other])
+
+    def __or__(self, other: "Event") -> "AnyOf":
+        return AnyOf(self.env, [self, other])
+
+    def __repr__(self) -> str:
+        state = (
+            "processed"
+            if self.processed
+            else "triggered"
+            if self.triggered
+            else "pending"
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after its creation.
+
+    Unlike a plain :class:`Event`, a timeout is scheduled immediately on
+    construction and cannot be cancelled (waiting processes can be
+    interrupted instead).
+    """
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay=delay)
+
+    def __repr__(self) -> str:
+        return f"<Timeout delay={self.delay} at {id(self):#x}>"
+
+
+class ConditionValue:
+    """Mapping-like result of a condition event.
+
+    Maps each fired sub-event to its value, preserving creation order.
+    """
+
+    __slots__ = ("events",)
+
+    def __init__(self):
+        self.events: List[Event] = []
+
+    def __getitem__(self, key: Event) -> Any:
+        if key not in self.events:
+            raise KeyError(repr(key))
+        return key.value
+
+    def __contains__(self, key: Event) -> bool:
+        return key in self.events
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ConditionValue):
+            return self.todict() == other.todict()
+        if isinstance(other, dict):
+            return self.todict() == other
+        return NotImplemented
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def todict(self) -> dict:
+        """Return a plain ``{event: value}`` dict."""
+        return {event: event.value for event in self.events}
+
+    def __repr__(self) -> str:
+        return f"<ConditionValue {self.todict()!r}>"
+
+
+class Condition(Event):
+    """An event that fires when ``evaluate(events, count)`` becomes true.
+
+    ``count`` is the number of sub-events that have fired so far.  The
+    pre-built evaluators :meth:`all_events` and :meth:`any_events` give
+    the usual ``&``/``|`` semantics.
+    """
+
+    __slots__ = ("_evaluate", "_events", "_count")
+
+    def __init__(
+        self,
+        env: "Environment",
+        evaluate: Callable[[List[Event], int], bool],
+        events: List[Event],
+    ):
+        super().__init__(env)
+        self._evaluate = evaluate
+        self._events = list(events)
+        self._count = 0
+
+        for event in self._events:
+            if event.env is not env:
+                raise ValueError("events belong to different environments")
+
+        if not self._events:
+            # An empty condition is trivially satisfied.
+            self.succeed(ConditionValue())
+            return
+
+        for event in self._events:
+            if event.processed:
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+
+    def _collect_values(self) -> ConditionValue:
+        value = ConditionValue()
+        for event in self._events:
+            # Only *processed* events count as having happened: a
+            # Timeout is "triggered" from birth (it carries its value
+            # immediately) but has not elapsed until processed.
+            if event.processed and event.ok:
+                value.events.append(event)
+        return value
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            if not event.ok:
+                event.defuse()
+            return
+        self._count += 1
+        if not event.ok:
+            # A failed sub-event fails the whole condition.
+            event.defuse()
+            self.fail(event.value)
+        elif self._evaluate(self._events, self._count):
+            self.succeed(self._collect_values())
+
+    @staticmethod
+    def all_events(events: List[Event], count: int) -> bool:
+        """Evaluator: fire when every sub-event has fired."""
+        return len(events) == count
+
+    @staticmethod
+    def any_events(events: List[Event], count: int) -> bool:
+        """Evaluator: fire when at least one sub-event has fired."""
+        return count > 0 or len(events) == 0
+
+
+class AllOf(Condition):
+    """Condition that fires once all of ``events`` have fired."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", events: List[Event]):
+        super().__init__(env, Condition.all_events, events)
+
+
+class AnyOf(Condition):
+    """Condition that fires once any of ``events`` has fired."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", events: List[Event]):
+        super().__init__(env, Condition.any_events, events)

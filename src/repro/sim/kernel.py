@@ -1,0 +1,173 @@
+"""The discrete-event simulation environment (clock + event calendar).
+
+:class:`Environment` owns simulated time and the pending-event heap.
+Events are totally ordered by ``(time, priority, sequence)``; the
+sequence number makes scheduling deterministic and FIFO among equals,
+which the reproduction relies on for repeatable experiments.
+
+Example
+-------
+>>> env = Environment()
+>>> def hello(env):
+...     yield env.timeout(3)
+...     return env.now
+>>> proc = env.process(hello(env))
+>>> env.run()
+>>> proc.value
+3
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from itertools import count
+from typing import Any, Iterable, List, Optional, Tuple
+
+from repro.errors import EmptySchedule, StopSimulation
+from repro.sim.events import AllOf, AnyOf, Event, NORMAL, Timeout
+from repro.sim.process import Process
+
+Infinity = float("inf")
+
+
+class Environment:
+    """Execution environment for a single simulation run.
+
+    Parameters
+    ----------
+    initial_time:
+        Starting value of the simulation clock (default ``0.0``).
+    """
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: List[Tuple[float, int, int, Event]] = []
+        self._eid = count()
+        self._active_process: Optional[Process] = None
+
+    # -- clock & introspection ----------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently executing, if any."""
+        return self._active_process
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none remain."""
+        return self._queue[0][0] if self._queue else Infinity
+
+    def __len__(self) -> int:
+        """Number of scheduled (not yet processed) events."""
+        return len(self._queue)
+
+    # -- event factories ------------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a new pending :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event firing ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator, name: Optional[str] = None) -> Process:
+        """Start a new :class:`Process` from ``generator``."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event firing when all of ``events`` have fired."""
+        return AllOf(self, list(events))
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event firing when any of ``events`` has fired."""
+        return AnyOf(self, list(events))
+
+    # -- scheduling & stepping ------------------------------------------------
+
+    def schedule(
+        self, event: Event, priority: int = NORMAL, delay: float = 0.0
+    ) -> None:
+        """Place a triggered event on the calendar ``delay`` from now."""
+        heappush(self._queue, (self._now + delay, priority, next(self._eid), event))
+
+    def step(self) -> None:
+        """Process the single next event.
+
+        Raises
+        ------
+        EmptySchedule
+            If no events remain.
+        """
+        try:
+            self._now, _, _, event = heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule("no scheduled events remain") from None
+
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+
+        if not event._ok and not event._defused:
+            # Nobody handled the failure: crash the simulation with the
+            # original exception so errors never pass silently.
+            exc = event._value
+            raise exc
+
+    def run(self, until: Any = None) -> Any:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            ``None``
+                run until the calendar is empty;
+            a number
+                run until the clock reaches that time (the clock is set
+                to exactly ``until`` on return);
+            an :class:`Event`
+                run until the event fires and return its value (raises
+                if the event failed).
+        """
+        if until is not None and not isinstance(until, Event):
+            at = float(until)
+            if at <= self._now:
+                raise ValueError(f"until={at} must lie in the future (now={self._now})")
+            until = Event(self)
+            until._ok = True
+            until._value = None
+            # URGENT so the stop fires before ordinary events at `at`.
+            self.schedule(until, priority=0, delay=at - self._now)
+
+        if until is not None:
+            if until.callbacks is None:
+                # Already processed: report its value immediately.
+                if until._ok:
+                    return until.value
+                raise until._value
+            until.callbacks.append(_stop_simulation)
+
+        try:
+            while True:
+                self.step()
+        except StopSimulation as stop:
+            return stop.value
+        except EmptySchedule:
+            if until is not None:
+                if not until.triggered:
+                    raise RuntimeError(
+                        f"no events scheduled but {until!r} never fired"
+                    ) from None
+            return None
+
+
+def _stop_simulation(event: Event) -> None:
+    """Callback attached to ``until`` events: unwinds :meth:`Environment.run`."""
+    if event._ok:
+        raise StopSimulation(event._value)
+    event._defused = True
+    raise event._value

@@ -1,0 +1,141 @@
+"""Periodic state sampling (simulation observability).
+
+Experiments report end-of-run aggregates; debugging a policy usually
+needs the *trajectory* — how many objects are in transit over time, how
+many locks are held, how long the hot object's queue is.  A
+:class:`StateMonitor` samples named probe callables at a fixed
+simulated-time interval and keeps the series for later inspection.
+
+Example::
+
+    monitor = StateMonitor(env, interval=50.0)
+    monitor.probe("locked", lambda: len(locks.locked_objects()))
+    monitor.probe("in_transit",
+                  lambda: sum(o.in_transit for o in registry.objects))
+    monitor.start()
+    env.run(until=10_000)
+    series = monitor.series("locked")      # [(t, value), ...]
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from repro.sim.kernel import Environment
+from repro.sim.stats import RunningStats
+
+Probe = Callable[[], float]
+Sample = Tuple[float, float]
+
+
+class StateMonitor:
+    """Samples registered probes every ``interval`` simulated time units.
+
+    Parameters
+    ----------
+    env:
+        The environment whose clock drives the sampling.
+    interval:
+        Simulated time between samples.
+    max_samples:
+        Per-probe retention cap; once reached, sampling keeps updating
+        the summary statistics but stops appending to the series (so
+        monitors cannot exhaust memory on long runs).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        interval: float = 100.0,
+        max_samples: int = 100_000,
+    ):
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        if max_samples < 1:
+            raise ValueError(f"max_samples must be >= 1, got {max_samples}")
+        self.env = env
+        self.interval = interval
+        self.max_samples = max_samples
+        self._probes: Dict[str, Probe] = {}
+        self._series: Dict[str, List[Sample]] = {}
+        self._stats: Dict[str, RunningStats] = {}
+        self._started = False
+
+    # -- configuration -------------------------------------------------------------
+
+    def probe(self, name: str, fn: Probe) -> None:
+        """Register a probe under ``name`` (must be unique)."""
+        if name in self._probes:
+            raise ValueError(f"probe {name!r} already registered")
+        self._probes[name] = fn
+        self._series[name] = []
+        self._stats[name] = RunningStats()
+
+    @property
+    def probe_names(self) -> List[str]:
+        """All registered probe names, sorted."""
+        return sorted(self._probes)
+
+    # -- lifecycle ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin sampling (idempotent).
+
+        The sampler reschedules itself forever, so a simulation with an
+        active monitor must be driven with ``env.run(until=...)`` — a
+        bare ``env.run()`` would never find an empty calendar.
+        """
+        if self._started:
+            return
+        self._started = True
+        self.env.process(self._sampler(), name="state-monitor")
+
+    def _sampler(self):
+        while True:
+            yield self.env.timeout(self.interval)
+            self.sample_now()
+
+    def sample_now(self) -> None:
+        """Take one sample of every probe immediately."""
+        now = self.env.now
+        for name, fn in self._probes.items():
+            value = float(fn())
+            self._stats[name].add(value)
+            series = self._series[name]
+            if len(series) < self.max_samples:
+                series.append((now, value))
+
+    # -- results --------------------------------------------------------------------
+
+    def series(self, name: str) -> List[Sample]:
+        """The (time, value) samples of one probe."""
+        try:
+            return list(self._series[name])
+        except KeyError:
+            raise KeyError(f"no probe named {name!r}") from None
+
+    def stats(self, name: str) -> RunningStats:
+        """Summary statistics of one probe over all samples."""
+        try:
+            return self._stats[name]
+        except KeyError:
+            raise KeyError(f"no probe named {name!r}") from None
+
+    def summary(self) -> Dict[str, dict]:
+        """Per-probe {mean, min, max, samples} summary."""
+        out = {}
+        for name in self.probe_names:
+            s = self._stats[name]
+            out[name] = {
+                "mean": s.mean,
+                "min": s.min if s.count else 0.0,
+                "max": s.max if s.count else 0.0,
+                "samples": s.count,
+            }
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"<StateMonitor probes={len(self._probes)} "
+            f"interval={self.interval}>"
+        )

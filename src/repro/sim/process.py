@@ -1,0 +1,181 @@
+"""Generator-based simulation processes.
+
+A :class:`Process` wraps a Python generator: each ``yield`` hands an
+:class:`~repro.sim.events.Event` to the kernel, and the process resumes
+when the event fires.  A process is itself an event that succeeds with
+the generator's return value, so processes can wait on each other:
+
+    def child(env):
+        yield env.timeout(5)
+        return "done"
+
+    def parent(env):
+        result = yield env.process(child(env))
+        assert result == "done"
+
+Processes support interruption (:meth:`Process.interrupt`), which raises
+:class:`~repro.errors.Interrupt` inside the target generator at its
+current ``yield``.
+"""
+
+from __future__ import annotations
+
+from types import GeneratorType
+from typing import TYPE_CHECKING, Any, Optional
+
+from repro.errors import Interrupt, ProcessError
+from repro.sim.events import Event, NORMAL, PENDING, URGENT
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Environment
+
+
+class Initialize(Event):
+    """Immediate event that starts a process' generator.
+
+    Scheduled with :data:`~repro.sim.events.URGENT` priority so a newly
+    created process begins executing before ordinary events that share
+    the current timestamp.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", process: "Process"):
+        super().__init__(env)
+        self.callbacks.append(process._resume)
+        self._ok = True
+        self._value = None
+        env.schedule(self, priority=URGENT)
+
+
+class Process(Event):
+    """A running simulation process.
+
+    Parameters
+    ----------
+    env:
+        The environment driving the process.
+    generator:
+        The generator implementing the process body.
+
+    Notes
+    -----
+    The process-as-event succeeds with the generator's ``return`` value
+    and fails if the generator raises.  An unhandled failure propagates
+    out of :meth:`Environment.run` unless some other process was waiting
+    on this one (or the failure is defused).
+    """
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(self, env: "Environment", generator, name: Optional[str] = None):
+        if not isinstance(generator, GeneratorType):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        #: The event this process is currently waiting on (``None`` when
+        #: the process is scheduled to resume or has terminated).
+        self._target: Optional[Event] = None
+        self.name = name if name is not None else generator.__name__
+        Initialize(env, self)
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event the process currently waits for, if any."""
+        return self._target
+
+    @property
+    def is_alive(self) -> bool:
+        """``True`` while the underlying generator has not terminated."""
+        return self._value is PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Raise :class:`~repro.errors.Interrupt` inside the process.
+
+        Interrupting a dead process is an error; interrupting yourself
+        is too (use plain exceptions for that).  The event the process
+        was waiting on stays triggered-able — the process may re-yield
+        it after handling the interrupt.
+        """
+        if not self.is_alive:
+            raise RuntimeError(f"{self} has terminated and cannot be interrupted")
+        if self is self.env.active_process:
+            raise RuntimeError("a process is not allowed to interrupt itself")
+
+        interrupt_event = Event(self.env)
+        interrupt_event._ok = False
+        interrupt_event._value = Interrupt(cause)
+        interrupt_event._defused = True
+        # Jump the queue: the interrupt must beat whatever the process
+        # was waiting on, even events already scheduled for "now".
+        interrupt_event.callbacks.append(self._resume)
+        self.env.schedule(interrupt_event, priority=URGENT)
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the outcome of ``event``."""
+        env = self.env
+        env._active_process = self
+
+        # If we were interrupted, unhook from the event we were waiting
+        # on (it may fire later; we must not be resumed twice for it).
+        if self._target is not None and self._target is not event:
+            if self._target.callbacks is not None:
+                try:
+                    self._target.callbacks.remove(self._resume)
+                except ValueError:  # pragma: no cover - defensive
+                    pass
+        self._target = None
+
+        while True:
+            try:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    # The waited-on event failed: re-raise inside the
+                    # generator so it can handle (or not) the failure.
+                    event._defused = True
+                    next_event = self._generator.throw(event._value)
+            except StopIteration as stop:
+                # Generator returned: the process-event succeeds.
+                self._ok = True
+                self._value = stop.value
+                env.schedule(self)
+                break
+            except BaseException as exc:
+                if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                    raise
+                # Generator crashed: the process-event fails.  Wrap in
+                # ProcessError so the traceback points at the process.
+                error = ProcessError(f"process {self.name!r} failed: {exc!r}")
+                error.__cause__ = exc
+                self._ok = False
+                self._value = error
+                env.schedule(self)
+                break
+
+            if not isinstance(next_event, Event):
+                # Yielding a non-event is a programming error; surface it
+                # inside the generator so its traceback is useful.
+                event = Event(env)
+                event._ok = False
+                event._value = RuntimeError(
+                    f"process {self.name!r} yielded non-event {next_event!r}"
+                )
+                event._defused = True
+                continue
+
+            if next_event.callbacks is not None:
+                # The event is pending or triggered-but-unprocessed: wait.
+                next_event.callbacks.append(self._resume)
+                self._target = next_event
+                break
+
+            # The event was already processed: feed its outcome straight
+            # back into the generator without a kernel round-trip.
+            event = next_event
+
+        env._active_process = None
+
+    def __repr__(self) -> str:
+        state = "alive" if self.is_alive else "dead"
+        return f"<Process {self.name!r} {state} at {id(self):#x}>"

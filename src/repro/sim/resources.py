@@ -1,0 +1,193 @@
+"""Shared resources for simulation processes.
+
+Three classic coordination primitives built on the event kernel:
+
+* :class:`Resource` — a counted resource with FIFO queueing (capacity
+  ``n``; ``request()``/``release()`` or the ``with``-style ``using()``).
+* :class:`Store` — an unbounded (or bounded) FIFO buffer of Python
+  objects; ``put()`` and ``get()`` return events.
+* :class:`Waiters` — a broadcast condition: processes ``wait()`` and a
+  controller ``notify_all()``s them.  The distributed runtime uses this
+  to park invocations that arrive while an object is in transit.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from repro.sim.events import Event
+from repro.sim.kernel import Environment
+
+
+class Request(Event):
+    """Event returned by :meth:`Resource.request`; fires when granted."""
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.env)
+        self.resource = resource
+
+
+class Resource:
+    """A counted, FIFO-queued resource (like ``simpy.Resource``).
+
+    Parameters
+    ----------
+    env:
+        Owning environment.
+    capacity:
+        Number of concurrent holders allowed (default 1, i.e. a mutex).
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self._users: int = 0
+        self._waiting: Deque[Request] = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of current holders."""
+        return self._users
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for the resource."""
+        return len(self._waiting)
+
+    def request(self) -> Request:
+        """Ask for one unit; the returned event fires when granted."""
+        req = Request(self)
+        if self._users < self.capacity:
+            self._users += 1
+            req.succeed()
+        else:
+            self._waiting.append(req)
+        return req
+
+    def release(self) -> None:
+        """Return one unit, waking the longest-waiting request if any."""
+        if self._users <= 0:
+            raise RuntimeError("release() without matching request()")
+        if self._waiting:
+            # Hand the unit straight to the next waiter; the count is
+            # unchanged because ownership transfers.
+            self._waiting.popleft().succeed()
+        else:
+            self._users -= 1
+
+    def using(self):
+        """Generator helper: ``yield from resource.using()`` inside a
+        process acquires the resource; the caller must ``release()``.
+
+        Provided for symmetry; most code calls :meth:`request` directly.
+        """
+        yield self.request()
+
+
+class StorePut(Event):
+    """Event returned by :meth:`Store.put`; fires when the item is stored."""
+
+    __slots__ = ("item",)
+
+    def __init__(self, env: Environment, item: Any):
+        super().__init__(env)
+        self.item = item
+
+
+class StoreGet(Event):
+    """Event returned by :meth:`Store.get`; fires with the retrieved item."""
+
+    __slots__ = ()
+
+
+class Store:
+    """FIFO buffer of Python objects with optional capacity bound."""
+
+    def __init__(self, env: Environment, capacity: Optional[int] = None):
+        if capacity is not None and capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[StoreGet] = deque()
+        self._putters: Deque[StorePut] = deque()
+
+    @property
+    def items(self) -> list:
+        """Snapshot of buffered items (oldest first)."""
+        return list(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> StorePut:
+        """Insert ``item``; the event fires once there is room."""
+        event = StorePut(self.env, item)
+        self._putters.append(event)
+        self._dispatch()
+        return event
+
+    def get(self) -> StoreGet:
+        """Remove the oldest item; the event fires with it as value."""
+        event = StoreGet(self.env)
+        self._getters.append(event)
+        self._dispatch()
+        return event
+
+    def _dispatch(self) -> None:
+        # Admit pending puts while capacity allows.
+        while self._putters and (
+            self.capacity is None or len(self._items) < self.capacity
+        ):
+            put = self._putters.popleft()
+            self._items.append(put.item)
+            put.succeed()
+        # Serve pending gets while items exist.
+        while self._getters and self._items:
+            get = self._getters.popleft()
+            get.succeed(self._items.popleft())
+        # Serving gets may have freed capacity for queued puts.
+        while self._putters and (
+            self.capacity is None or len(self._items) < self.capacity
+        ):
+            put = self._putters.popleft()
+            self._items.append(put.item)
+            put.succeed()
+            while self._getters and self._items:
+                get = self._getters.popleft()
+                get.succeed(self._items.popleft())
+
+
+class Waiters:
+    """Broadcast wait/notify condition.
+
+    ``wait()`` returns an event that fires at the next ``notify_all()``.
+    Unlike :class:`Resource` there is no ownership: every waiter wakes.
+    """
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self._waiting: list[Event] = []
+
+    @property
+    def waiting(self) -> int:
+        """Number of parked waiters."""
+        return len(self._waiting)
+
+    def wait(self) -> Event:
+        """Return an event that fires at the next notification."""
+        event = Event(self.env)
+        self._waiting.append(event)
+        return event
+
+    def notify_all(self, value: Any = None) -> int:
+        """Wake every waiter with ``value``; returns how many woke."""
+        waiting, self._waiting = self._waiting, []
+        for event in waiting:
+            event.succeed(value)
+        return len(waiting)

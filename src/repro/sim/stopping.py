@@ -1,0 +1,147 @@
+"""Stopping rules for sequential simulation runs.
+
+The paper (§4.1) stops every run once "a confidence interval of 1% was
+reached with probability p=0.99", i.e. the relative half-width of the
+99 % CI of the target metric is at most 1 %.  :class:`PrecisionStopping`
+implements exactly that rule on top of the batch-means estimator, with
+a safety cap so misconfigured runs terminate.
+
+The rule is evaluated *sequentially*: the experiment runner simulates a
+chunk, checks the rule, and continues until satisfied or capped (see
+:class:`repro.experiments.runner.ExperimentRunner`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import StoppingRuleError
+from repro.sim.stats import BatchMeans
+
+
+@dataclass(frozen=True)
+class StoppingConfig:
+    """Configuration of the sequential stopping rule.
+
+    Attributes
+    ----------
+    relative_precision:
+        Target relative CI half-width (paper: ``0.01``).
+    confidence:
+        Coverage probability of the interval (paper: ``0.99``).
+    batch_size:
+        Observations per batch for the batch-means estimator.
+    warmup:
+        Initial observations discarded as the transient phase.
+    min_batches:
+        Batches required before the rule may fire (guards against
+        spuriously small variance estimates early on).
+    max_observations:
+        Hard cap; when reached the run stops regardless of precision.
+        ``None`` disables the cap (true paper semantics — may be slow).
+    """
+
+    relative_precision: float = 0.01
+    confidence: float = 0.99
+    batch_size: int = 400
+    warmup: int = 500
+    min_batches: int = 10
+    max_observations: Optional[int] = 200_000
+
+    def __post_init__(self):
+        if not 0 < self.relative_precision < 1:
+            raise StoppingRuleError(
+                f"relative_precision must be in (0,1), got {self.relative_precision}"
+            )
+        if not 0 < self.confidence < 1:
+            raise StoppingRuleError(
+                f"confidence must be in (0,1), got {self.confidence}"
+            )
+        if self.min_batches < 2:
+            raise StoppingRuleError(
+                f"min_batches must be >= 2, got {self.min_batches}"
+            )
+
+    @classmethod
+    def paper(cls) -> "StoppingConfig":
+        """The paper's rule: 1 % relative CI at p = 0.99."""
+        return cls(relative_precision=0.01, confidence=0.99)
+
+    @classmethod
+    def fast(cls) -> "StoppingConfig":
+        """Loose rule for tests and smoke runs (5 % at p = 0.95)."""
+        return cls(
+            relative_precision=0.05,
+            confidence=0.95,
+            batch_size=100,
+            warmup=100,
+            min_batches=5,
+            max_observations=20_000,
+        )
+
+
+class PrecisionStopping:
+    """Sequential stopping rule driven by a batch-means estimator.
+
+    Feed observations with :meth:`add`; poll :meth:`should_stop`.
+    """
+
+    def __init__(self, config: Optional[StoppingConfig] = None):
+        self.config = config or StoppingConfig()
+        self.estimator = BatchMeans(
+            batch_size=self.config.batch_size, warmup=self.config.warmup
+        )
+        self._capped = False
+
+    @property
+    def capped(self) -> bool:
+        """``True`` if the run hit ``max_observations`` before converging."""
+        return self._capped
+
+    @property
+    def mean(self) -> float:
+        """Current estimate of the metric mean."""
+        return self.estimator.mean
+
+    @property
+    def observations(self) -> int:
+        """Post-warmup observations recorded so far."""
+        return self.estimator.observation_count
+
+    def add(self, value: float) -> None:
+        """Record one observation of the target metric."""
+        self.estimator.add(value)
+
+    def precision_reached(self) -> bool:
+        """``True`` once the relative CI half-width target is met."""
+        if self.estimator.batch_count < self.config.min_batches:
+            return False
+        return (
+            self.estimator.relative_halfwidth(self.config.confidence)
+            <= self.config.relative_precision
+        )
+
+    def should_stop(self) -> bool:
+        """Whether the run may terminate (precision met or cap hit)."""
+        if self.precision_reached():
+            return True
+        cap = self.config.max_observations
+        if cap is not None and self.estimator.observation_count >= cap:
+            self._capped = True
+            return True
+        return False
+
+    def summary(self) -> dict:
+        """Machine-readable snapshot of the rule's state."""
+        cfg = self.config
+        return {
+            "mean": self.estimator.mean,
+            "observations": self.estimator.observation_count,
+            "batches": self.estimator.batch_count,
+            "relative_halfwidth": self.estimator.relative_halfwidth(cfg.confidence),
+            "confidence": cfg.confidence,
+            "target": cfg.relative_precision,
+            "converged": self.precision_reached(),
+            "capped": self._capped,
+        }

@@ -1,0 +1,111 @@
+"""Structured trace log for simulation runs.
+
+A :class:`Tracer` collects timestamped, typed records during a run.
+Tracing is off by default (a :class:`NullTracer` swallows everything at
+near-zero cost); tests and debugging sessions install a real tracer to
+assert on the exact sequence of model events — e.g. that a rejected
+move-request never triggered a migration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced occurrence.
+
+    Attributes
+    ----------
+    time:
+        Simulated time of the occurrence.
+    kind:
+        Event type tag, e.g. ``"migration.start"`` or ``"move.rejected"``.
+    detail:
+        Free-form payload (object ids, node ids, sizes, …).
+    """
+
+    time: float
+    kind: str
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        pairs = " ".join(f"{k}={v}" for k, v in sorted(self.detail.items()))
+        return f"[{self.time:12.4f}] {self.kind:<24} {pairs}"
+
+
+class Tracer:
+    """Recording tracer with optional kind filtering and live callbacks."""
+
+    def __init__(self, kinds: Optional[set] = None):
+        #: When non-``None``, only these kinds are recorded.
+        self.kinds = kinds
+        self.records: List[TraceRecord] = []
+        self._listeners: List[Callable[[TraceRecord], None]] = []
+
+    @property
+    def enabled(self) -> bool:
+        """Real tracers record; :class:`NullTracer` overrides to False."""
+        return True
+
+    def emit(self, time: float, kind: str, **detail: Any) -> None:
+        """Record one occurrence (subject to the kind filter)."""
+        if self.kinds is not None and kind not in self.kinds:
+            return
+        record = TraceRecord(time=time, kind=kind, detail=detail)
+        self.records.append(record)
+        for listener in self._listeners:
+            listener(record)
+
+    def subscribe(self, listener: Callable[[TraceRecord], None]) -> None:
+        """Register a callback invoked for every recorded occurrence."""
+        self._listeners.append(listener)
+
+    def of_kind(self, kind: str) -> List[TraceRecord]:
+        """All records with the given kind tag, in time order."""
+        return [r for r in self.records if r.kind == kind]
+
+    def count(self, kind: str) -> int:
+        """Number of records with the given kind tag."""
+        return sum(1 for r in self.records if r.kind == kind)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __bool__(self) -> bool:
+        """A tracer is always truthy, even with zero records.
+
+        Without this, ``tracer or default`` silently discards a real
+        (but still empty) tracer because ``__len__`` makes it falsy.
+        """
+        return True
+
+    def dump(self) -> str:
+        """Human-readable rendering of the whole trace."""
+        return "\n".join(str(r) for r in self.records)
+
+
+class NullTracer(Tracer):
+    """Tracer that records nothing (the default)."""
+
+    def __init__(self):
+        super().__init__()
+
+    @property
+    def enabled(self) -> bool:
+        return False
+
+    def emit(self, time: float, kind: str, **detail: Any) -> None:  # noqa: D102
+        return
+
+    def subscribe(self, listener: Callable[[TraceRecord], None]) -> None:  # noqa: D102
+        raise RuntimeError("cannot subscribe to a NullTracer")
+
+
+#: Shared do-nothing tracer instance.
+NULL_TRACER = NullTracer()

@@ -1,0 +1,22 @@
+"""Workload generators: the paper's simulation scenarios (Figs 6/7)."""
+
+from repro.workload.clientserver import (
+    ClientServerWorkload,
+    WorkloadResult,
+    WorkloadRunner,
+    run_cell,
+)
+from repro.workload.generator import BlockPlan, BlockTimingGenerator
+from repro.workload.layered import LayeredWorkload
+from repro.workload.params import SimulationParameters
+
+__all__ = [
+    "BlockPlan",
+    "BlockTimingGenerator",
+    "ClientServerWorkload",
+    "LayeredWorkload",
+    "SimulationParameters",
+    "WorkloadResult",
+    "WorkloadRunner",
+    "run_cell",
+]

@@ -1,0 +1,47 @@
+"""Move-block timing generator.
+
+Draws the per-block random quantities of Table 1 from a client's
+private stream: the inter-block gap t_m, the number of calls N, and the
+inter-call gaps t_i.  Kept separate from the client processes so the
+draws can be unit-tested against their target distributions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.sim.rng import Stream
+from repro.workload.params import SimulationParameters
+
+
+@dataclass(frozen=True)
+class BlockPlan:
+    """The realized random plan of one move-block."""
+
+    #: Gap before the block starts (t_m draw).
+    lead_time: float
+    #: Number of invocations (N draw, integerized, >= 1).
+    calls: int
+    #: Gap before each invocation (t_i draws; length == calls).
+    intercall_times: List[float]
+
+
+class BlockTimingGenerator:
+    """Per-client source of :class:`BlockPlan` draws."""
+
+    def __init__(self, params: SimulationParameters, stream: Stream):
+        self.params = params
+        self.stream = stream
+
+    def next_plan(self) -> BlockPlan:
+        """Draw the plan of the client's next move-block."""
+        lead = self.stream.exponential(self.params.mean_interblock_time)
+        calls = self.stream.geometric_at_least_one(
+            self.params.mean_calls_per_block
+        )
+        gaps = [
+            self.stream.exponential(self.params.mean_intercall_time)
+            for _ in range(calls)
+        ]
+        return BlockPlan(lead_time=lead, calls=calls, intercall_times=gaps)

@@ -1,0 +1,132 @@
+"""The two-layer attachment workload (Fig 7).
+
+First-layer servers are "directly used by the clients.  Those servers
+use exactly the servers of the second layer belonging to the working
+set of this server.  All server objects in one working set are attached
+together" (§4.1).  Working sets of *different* first-layer servers
+partially overlap — the trigger for §2.4's underestimation effect:
+under unrestricted attachment the overlaps chain the working sets into
+one connected component, so any client's move drags everything.
+
+Structure built here, for S1 first-layer and S2 second-layer servers
+with working-set size w (default 2):
+
+* working set of first-layer server j = second-layer servers
+  ``{j·S2/S1 + k (mod S2) : k < w}`` — consecutive with wrap-around, so
+  adjacent working sets overlap and the unrestricted attachment graph
+  is one ring-shaped component;
+* one alliance per first-layer server containing it and its working
+  set; every attachment is issued inside that alliance, so A-transitive
+  closure = the single working set (§3.4);
+* a client's move-block targets a first-layer server; each of its N
+  invocations makes the server perform one nested invocation on a
+  uniformly chosen working-set member.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.alliance import Alliance, AllianceManager
+from repro.core.attachment import AttachmentManager
+from repro.core.moveblock import MoveBlock
+from repro.core.policies.base import MigrationPolicy
+from repro.core.policies.registry import make_policy
+from repro.runtime.objects import DistributedObject
+from repro.sim.stopping import StoppingConfig
+from repro.sim.trace import NULL_TRACER, Tracer
+from repro.workload.clientserver import ClientServerWorkload
+from repro.workload.params import SimulationParameters
+
+
+class LayeredWorkload(ClientServerWorkload):
+    """Fig 7: two server layers, overlapping attached working sets."""
+
+    def __init__(
+        self,
+        params: SimulationParameters,
+        stopping: Optional[StoppingConfig] = None,
+        tracer: Tracer = NULL_TRACER,
+    ):
+        if not params.is_layered:
+            raise ValueError(
+                "LayeredWorkload needs servers_layer2 > 0; use "
+                "ClientServerWorkload for the basic structure"
+            )
+        # Parent constructor builds system, servers (layer 1), clients,
+        # and calls _build_policy — which we override to need the
+        # attachment structures, so create them first via __dict__ state
+        # populated in _build_policy.
+        self.layer2: List[DistributedObject] = []
+        self.working_sets: Dict[int, List[DistributedObject]] = {}
+        self.alliances: Dict[int, Alliance] = {}
+        self.attachments: Optional[AttachmentManager] = None
+        super().__init__(params, stopping=stopping, tracer=tracer)
+
+    # -- construction -----------------------------------------------------------
+
+    def _build_policy(self) -> MigrationPolicy:
+        params = self.params
+        # Second-layer servers.
+        self.layer2 = [
+            self.system.create_server(
+                node=params.layer2_node(k), name=f"server2-{k}"
+            )
+            for k in range(params.servers_layer2)
+        ]
+        # Attachment graph in the configured closure mode, shared with
+        # the alliance manager so alliance edges land in the same graph.
+        self.attachments = AttachmentManager(params.attachment_mode)
+        alliance_manager = AllianceManager(self.attachments)
+
+        s1, s2, width = (
+            params.servers_layer1,
+            params.servers_layer2,
+            params.working_set_size,
+        )
+        for j, server in enumerate(self.servers):
+            start = (j * s2) // s1
+            members = [self.layer2[(start + k) % s2] for k in range(width)]
+            self.working_sets[server.object_id] = members
+
+            alliance = alliance_manager.create(name=f"ws-{j}")
+            alliance.admit(server)
+            for member in members:
+                alliance.admit(member)
+                # "All server objects in one working set are attached
+                # together": member attached to its server, inside the
+                # working set's alliance context.
+                alliance.attach(member, server)
+            self.alliances[server.object_id] = alliance
+
+        return make_policy(params.policy, self.system, self.attachments)
+
+    # -- behaviour ---------------------------------------------------------------
+
+    def _make_block(
+        self, client: DistributedObject, target: DistributedObject
+    ) -> MoveBlock:
+        alliance = (
+            self.alliances[target.object_id]
+            if self.params.use_alliances
+            else None
+        )
+        return MoveBlock(client.node_id, target, alliance=alliance)
+
+    def _block_body(self, client: DistributedObject, block: MoveBlock, plan):
+        """N invocations, each with one nested working-set sub-call."""
+        members = self.working_sets[block.target.object_id]
+        subpick = self.system.streams.stream(f"client.{client.name}.subpick")
+
+        for gap in plan.intercall_times:
+            if gap > 0:
+                yield self.system.env.timeout(gap)
+            member = subpick.choice(members)
+
+            def nested(callee_node: int, member=member):
+                yield from self.system.invocations.invoke(callee_node, member)
+
+            result = yield from self.system.invocations.invoke(
+                client.node_id, block.target, body=nested
+            )
+            block.record_call(result.duration)

@@ -1,0 +1,115 @@
+"""Unit tests for break-even/curve analysis."""
+
+import pytest
+
+from repro.analysis.breakeven import break_even, crossings, growth_rate, is_sublinear
+from repro.analysis.series import Curve, spread
+
+
+class TestCrossings:
+    def test_single_crossing_interpolated(self):
+        x = [0, 1, 2]
+        a = [0.0, 1.0, 2.0]
+        b = [1.0, 1.0, 1.0]
+        assert crossings(x, a, b) == pytest.approx([1.0])
+
+    def test_crossing_inside_interval(self):
+        x = [0, 2]
+        a = [0.0, 4.0]
+        b = [1.0, 1.0]
+        assert crossings(x, a, b) == pytest.approx([0.5])
+
+    def test_no_crossing(self):
+        assert crossings([0, 1], [0, 0], [1, 1]) == []
+
+    def test_touch_counts_once(self):
+        x = [0, 1, 2]
+        a = [0.0, 1.0, 0.0]
+        b = [1.0, 1.0, 1.0]
+        assert crossings(x, a, b) == pytest.approx([1.0])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            crossings([0, 1], [0], [1, 1])
+
+    def test_non_increasing_x_rejected(self):
+        with pytest.raises(ValueError):
+            crossings([1, 0], [0, 1], [1, 0])
+
+
+class TestBreakEven:
+    def test_fig12_style_break_even(self):
+        x = [1, 5, 10, 20]
+        migration = [0.5, 1.5, 3.0, 6.0]
+        sedentary = [1.9, 1.9, 1.9, 1.9]
+        be = break_even(x, migration, sedentary)
+        assert be == pytest.approx(6.6, rel=0.05)
+
+    def test_policy_never_worse(self):
+        x = [1, 5, 10]
+        assert break_even(x, [0.5, 1.0, 1.5], [2.0, 2.0, 2.0]) is None
+
+
+class TestGrowth:
+    def test_growth_rate_of_line(self):
+        slope, intercept = growth_rate([0, 1, 2], [1, 3, 5])
+        assert slope == pytest.approx(2.0)
+        assert intercept == pytest.approx(1.0)
+
+    def test_sublinear_detection(self):
+        x = [1, 2, 4, 8, 16]
+        sub = [1, 1.7, 2.6, 3.4, 4.0]  # decreasing slope
+        linear = [1, 2, 4, 8, 16]
+        assert is_sublinear(x, sub)
+        assert not is_sublinear(x, linear)
+
+    def test_needs_enough_points(self):
+        with pytest.raises(ValueError):
+            is_sublinear([1, 2], [1, 2])
+
+
+class TestCurve:
+    def test_from_points_and_interp(self):
+        c = Curve.from_points("a", [(0, 0.0), (10, 5.0)])
+        assert c.value_at(4) == pytest.approx(2.0)
+        assert c.min() == 0.0
+        assert c.max() == 5.0
+
+    def test_dominates(self):
+        x = (0, 1, 2)
+        low = Curve("low", x, (1, 1, 1))
+        high = Curve("high", x, (2, 2, 2))
+        assert low.dominates(high)
+        assert not high.dominates(low)
+        assert high.dominates(low, slack=1.5)
+
+    def test_dominates_requires_same_grid(self):
+        a = Curve("a", (0, 1), (0, 0))
+        b = Curve("b", (0, 2), (0, 0))
+        with pytest.raises(ValueError):
+            a.dominates(b)
+
+    def test_roughly_flat(self):
+        assert Curve("f", (0, 1, 2), (1.0, 1.05, 0.97)).roughly_flat()
+        assert not Curve("s", (0, 1, 2), (1.0, 2.0, 3.0)).roughly_flat()
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            Curve("bad", (0, 1), (0.0,))
+
+
+class TestSpread:
+    def test_spread_of_identical_curves_is_zero(self):
+        x = (0, 1)
+        assert spread([Curve("a", x, (1, 1)), Curve("b", x, (1, 1))]) == 0.0
+
+    def test_spread_max_gap(self):
+        x = (0, 1)
+        curves = [
+            Curve("a", x, (1.0, 1.0)),
+            Curve("b", x, (1.5, 3.0)),
+        ]
+        assert spread(curves) == pytest.approx(2.0)
+
+    def test_single_curve(self):
+        assert spread([Curve("a", (0,), (1.0,))]) == 0.0

@@ -1,0 +1,106 @@
+"""Unit tests for the metrics collector (§4.2.1's metric)."""
+
+import pytest
+
+from repro.analysis.metrics import MetricsCollector
+from repro.core.moveblock import MoveBlock
+from repro.core.policies.sedentary import SedentaryPolicy
+from repro.runtime.objects import DistributedObject
+from repro.runtime.system import DistributedSystem
+from repro.sim.stopping import StoppingConfig
+
+
+@pytest.fixture
+def target(env):
+    return DistributedObject(env, object_id=1, node_id=0)
+
+
+def block_with(target, durations, migration_cost, granted=True):
+    block = MoveBlock(0, target)
+    block.granted = granted
+    block.migration_cost = migration_cost
+    for d in durations:
+        block.record_call(d)
+    return block
+
+
+class TestRecording:
+    def test_single_block_decomposition(self, target):
+        m = MetricsCollector()
+        m.record_block(block_with(target, [1.0, 3.0], migration_cost=6.0))
+        assert m.call_count == 2
+        assert m.mean_call_duration == pytest.approx(2.0)
+        assert m.mean_migration_time_per_call == pytest.approx(3.0)
+        assert m.mean_communication_time_per_call == pytest.approx(5.0)
+
+    def test_multiple_blocks_weighted_by_calls(self, target):
+        m = MetricsCollector()
+        m.record_block(block_with(target, [2.0], migration_cost=4.0))
+        m.record_block(block_with(target, [0.0, 0.0, 0.0], 0.0))
+        # durations: 2,0,0,0 -> 0.5 ; migration 4 over 4 calls -> 1.0
+        assert m.mean_call_duration == pytest.approx(0.5)
+        assert m.mean_migration_time_per_call == pytest.approx(1.0)
+
+    def test_per_call_mean_matches_aggregate(self, target):
+        m = MetricsCollector()
+        m.record_block(block_with(target, [1.0, 2.0], migration_cost=6.0))
+        m.record_block(block_with(target, [4.0], migration_cost=2.0))
+        assert m.per_call.mean == pytest.approx(
+            m.mean_communication_time_per_call
+        )
+
+    def test_empty_block_cost_not_dropped(self, target):
+        m = MetricsCollector()
+        m.record_block(block_with(target, [], migration_cost=7.0))
+        m.record_block(block_with(target, [1.0], migration_cost=0.0))
+        assert m.empty_blocks == 1
+        assert m.unamortized_migration_cost == 7.0
+        assert m.mean_migration_time_per_call == pytest.approx(7.0)
+
+    def test_granted_rejected_counters(self, target):
+        m = MetricsCollector()
+        m.record_block(block_with(target, [1.0], 0.0, granted=True))
+        m.record_block(block_with(target, [1.0], 0.0, granted=False))
+        assert m.granted_blocks == 1
+        assert m.rejected_blocks == 1
+
+    def test_zero_calls_metrics_are_zero(self):
+        m = MetricsCollector()
+        assert m.mean_communication_time_per_call == 0.0
+        assert m.mean_call_duration == 0.0
+        assert m.mean_migration_time_per_call == 0.0
+
+
+class TestSystemMigrationCost:
+    def test_finalize_folds_policy_cost(self, target):
+        system = DistributedSystem(nodes=1)
+        policy = SedentaryPolicy(system)
+        policy.system_migration_cost = 12.0
+        m = MetricsCollector()
+        m.record_block(block_with(target, [1.0, 1.0], migration_cost=0.0))
+        m.finalize(policy)
+        assert m.mean_migration_time_per_call == pytest.approx(6.0)
+
+
+class TestStoppingIntegration:
+    def test_stopping_fed_per_call(self, target):
+        cfg = StoppingConfig(
+            relative_precision=0.5,
+            confidence=0.9,
+            batch_size=5,
+            warmup=0,
+            min_batches=2,
+            max_observations=100,
+        )
+        m = MetricsCollector(cfg)
+        for _ in range(20):
+            m.record_block(block_with(target, [1.0] * 5, migration_cost=0.0))
+        assert m.should_stop()
+        assert m.stopping.observations == 100
+
+    def test_summary_contains_stopping(self, target):
+        m = MetricsCollector()
+        m.record_block(block_with(target, [1.0], 0.0))
+        summary = m.summary()
+        assert "stopping" in summary
+        assert summary["calls"] == 1

@@ -1,0 +1,133 @@
+"""Unit tests for alliances (cooperation contexts)."""
+
+import pytest
+
+from repro.core.alliance import AllianceManager
+from repro.core.attachment import AttachmentManager, AttachmentMode
+from repro.errors import AllianceError
+from repro.runtime.objects import DistributedObject
+
+
+@pytest.fixture
+def objects(env):
+    return [
+        DistributedObject(env, object_id=i, node_id=0, name=f"o{i}")
+        for i in range(6)
+    ]
+
+
+@pytest.fixture
+def manager():
+    return AllianceManager()
+
+
+class TestMembership:
+    def test_admit_and_contains(self, manager, objects):
+        a = manager.create("team")
+        a.admit(objects[0])
+        assert objects[0] in a
+        assert objects[1] not in a
+        assert len(a) == 1
+
+    def test_admit_idempotent(self, manager, objects):
+        a = manager.create()
+        a.admit(objects[0])
+        a.admit(objects[0])
+        assert len(a) == 1
+
+    def test_members_sorted(self, manager, objects):
+        a = manager.create()
+        a.admit(objects[3])
+        a.admit(objects[1])
+        assert [m.object_id for m in a.members] == [1, 3]
+
+    def test_expel_removes_member_and_edges(self, manager, objects):
+        a = manager.create()
+        for obj in objects[:3]:
+            a.admit(obj)
+        a.attach(objects[1], objects[0])
+        a.attach(objects[2], objects[0])
+        a.expel(objects[0])
+        assert objects[0] not in a
+        assert a.partners_of(objects[1]) == []
+
+    def test_expel_non_member_raises(self, manager, objects):
+        a = manager.create()
+        with pytest.raises(AllianceError):
+            a.expel(objects[0])
+
+    def test_object_in_multiple_alliances(self, manager, objects):
+        a1, a2 = manager.create("a1"), manager.create("a2")
+        a1.admit(objects[0])
+        a2.admit(objects[0])
+        assert manager.alliances_of(objects[0]) == [a1, a2]
+
+
+class TestScopedAttachment:
+    def test_attach_requires_membership(self, manager, objects):
+        a = manager.create()
+        a.admit(objects[0])
+        with pytest.raises(AllianceError, match="not a member"):
+            a.attach(objects[0], objects[1])
+
+    def test_working_set_is_a_transitive_closure(self, manager, objects):
+        """The §3.4 scenario: a shared object belongs to two alliances;
+        each alliance's working set stays its own."""
+        s1, s2, w1, shared, w2 = objects[:5]
+        a1, a2 = manager.create("ws1"), manager.create("ws2")
+        for obj in (s1, w1, shared):
+            a1.admit(obj)
+        for obj in (s2, shared, w2):
+            a2.admit(obj)
+        a1.attach(w1, s1)
+        a1.attach(shared, s1)
+        a2.attach(shared, s2)
+        a2.attach(w2, s2)
+
+        assert set(a1.working_set(s1)) == {s1, w1, shared}
+        assert set(a2.working_set(s2)) == {s2, shared, w2}
+        # Unrestricted closure over the same graph chains everything.
+        assert set(manager.attachments.closure(s1)) == {s1, s2, w1, shared, w2}
+
+    def test_partners_scoped(self, manager, objects):
+        a1, a2 = manager.create(), manager.create()
+        x, y, z = objects[:3]
+        for a in (a1, a2):
+            for o in (x, y, z):
+                a.admit(o)
+        a1.attach(x, y)
+        a2.attach(x, z)
+        assert a1.partners_of(x) == [y]
+        assert a2.partners_of(x) == [z]
+
+    def test_detach_scoped(self, manager, objects):
+        a = manager.create()
+        a.admit(objects[0])
+        a.admit(objects[1])
+        a.attach(objects[0], objects[1])
+        assert a.detach(objects[0], objects[1])
+        assert a.partners_of(objects[0]) == []
+
+
+class TestManager:
+    def test_get_by_id(self, manager):
+        a = manager.create("x")
+        assert manager.get(a.alliance_id) is a
+
+    def test_get_unknown_raises(self, manager):
+        with pytest.raises(AllianceError):
+            manager.get(99)
+
+    def test_default_graph_is_a_transitive(self, manager):
+        assert manager.attachments.mode is AttachmentMode.A_TRANSITIVE
+
+    def test_shared_graph_respected(self):
+        graph = AttachmentManager(AttachmentMode.A_TRANSITIVE)
+        manager = AllianceManager(graph)
+        assert manager.attachments is graph
+
+    def test_alliance_names(self, manager):
+        named = manager.create("custom")
+        unnamed = manager.create()
+        assert named.name == "custom"
+        assert unnamed.name.startswith("alliance-")

@@ -1,0 +1,174 @@
+"""Unit tests for the attachment graph and its closure semantics."""
+
+import pytest
+
+from repro.core.attachment import AttachmentManager, AttachmentMode
+from repro.errors import AttachmentError
+from repro.runtime.objects import DistributedObject
+
+
+@pytest.fixture
+def objects(env):
+    return [
+        DistributedObject(env, object_id=i, node_id=0, name=f"o{i}")
+        for i in range(8)
+    ]
+
+
+class TestBasicAttach:
+    def test_attach_and_query(self, objects):
+        mgr = AttachmentManager()
+        a, b = objects[0], objects[1]
+        assert mgr.attach(a, b)
+        assert mgr.is_attached(a, b)
+        assert mgr.is_attached(b, a)
+        assert mgr.neighbors(a) == [b]
+
+    def test_self_attachment_rejected(self, objects):
+        mgr = AttachmentManager()
+        with pytest.raises(AttachmentError):
+            mgr.attach(objects[0], objects[0])
+
+    def test_attach_idempotent(self, objects):
+        mgr = AttachmentManager()
+        mgr.attach(objects[0], objects[1])
+        mgr.attach(objects[0], objects[1])
+        assert mgr.edge_count() == 1
+
+    def test_detach(self, objects):
+        mgr = AttachmentManager()
+        a, b = objects[0], objects[1]
+        mgr.attach(a, b)
+        assert mgr.detach(a, b)
+        assert not mgr.is_attached(a, b)
+        assert not mgr.detach(a, b)  # second detach reports absence
+
+    def test_detach_all(self, objects):
+        mgr = AttachmentManager()
+        a, b, c = objects[:3]
+        mgr.attach(a, b)
+        mgr.attach(c, a)
+        assert mgr.detach_all(a) == 2
+        assert mgr.neighbors(a) == []
+        assert mgr.closure(b) == [b]
+
+
+class TestUnrestrictedClosure:
+    def test_closure_includes_self(self, objects):
+        mgr = AttachmentManager()
+        assert mgr.closure(objects[0]) == [objects[0]]
+
+    def test_closure_is_connected_component(self, objects):
+        mgr = AttachmentManager()
+        a, b, c, d = objects[:4]
+        mgr.attach(a, b)
+        mgr.attach(b, c)
+        mgr.attach(objects[4], objects[5])  # disjoint pair
+        assert mgr.closure(a) == [a, b, c]
+        assert mgr.closure(c) == [a, b, c]
+        assert d not in mgr.closure(a)
+
+    def test_overlap_chains_working_sets(self, objects):
+        """The §2.4 hazard: overlapping working sets become one closure."""
+        mgr = AttachmentManager()
+        s1, s2, w1, shared, w2 = objects[:5]
+        mgr.attach(w1, s1)
+        mgr.attach(shared, s1)
+        mgr.attach(shared, s2)
+        mgr.attach(w2, s2)
+        assert mgr.closure(s1) == [s1, s2, w1, shared, w2]
+
+    def test_components(self, objects):
+        mgr = AttachmentManager()
+        mgr.attach(objects[0], objects[1])
+        mgr.attach(objects[2], objects[3])
+        comps = mgr.components()
+        assert len(comps) == 2
+        assert sorted(len(c) for c in comps) == [2, 2]
+
+
+class TestATransitiveClosure:
+    def test_closure_respects_context(self, objects):
+        mgr = AttachmentManager(AttachmentMode.A_TRANSITIVE)
+        s1, s2, w1, shared, w2 = objects[:5]
+        mgr.attach(w1, s1, context=1)
+        mgr.attach(shared, s1, context=1)
+        mgr.attach(shared, s2, context=2)
+        mgr.attach(w2, s2, context=2)
+        assert mgr.closure(s1, context=1) == [s1, w1, shared]
+        assert mgr.closure(s2, context=2) == [s2, shared, w2]
+
+    def test_no_context_follows_everything(self, objects):
+        mgr = AttachmentManager(AttachmentMode.A_TRANSITIVE)
+        a, b, c = objects[:3]
+        mgr.attach(a, b, context=1)
+        mgr.attach(b, c, context=2)
+        assert mgr.closure(a) == [a, b, c]
+
+    def test_scoped_closure_subset_of_unrestricted(self, objects):
+        mgr = AttachmentManager(AttachmentMode.A_TRANSITIVE)
+        a, b, c = objects[:3]
+        mgr.attach(a, b, context=1)
+        mgr.attach(b, c, context=2)
+        scoped = set(mgr.closure(a, context=1))
+        full = set(mgr.closure(a))
+        assert scoped <= full
+
+    def test_unrestricted_mode_ignores_context_filter(self, objects):
+        mgr = AttachmentManager(AttachmentMode.UNRESTRICTED)
+        a, b, c = objects[:3]
+        mgr.attach(a, b, context=1)
+        mgr.attach(b, c, context=2)
+        # In unrestricted mode the context does not restrict closure.
+        assert mgr.closure(a, context=1) == [a, b, c]
+
+    def test_neighbors_context_filter(self, objects):
+        mgr = AttachmentManager(AttachmentMode.A_TRANSITIVE)
+        a, b, c = objects[:3]
+        mgr.attach(a, b, context=1)
+        mgr.attach(a, c, context=2)
+        assert mgr.neighbors(a, context=1) == [b]
+        assert mgr.neighbors(a) == [b, c]
+
+
+class TestExclusiveAttachment:
+    def test_second_attachment_ignored(self, objects):
+        mgr = AttachmentManager(AttachmentMode.EXCLUSIVE)
+        child, p1, p2 = objects[:3]
+        assert mgr.attach(child, p1)
+        assert not mgr.attach(child, p2)
+        assert mgr.ignored_attachments == 1
+        assert mgr.is_attached(child, p1)
+        assert not mgr.is_attached(child, p2)
+
+    def test_reattach_same_parent_allowed(self, objects):
+        mgr = AttachmentManager(AttachmentMode.EXCLUSIVE)
+        child, parent = objects[:2]
+        assert mgr.attach(child, parent)
+        assert mgr.attach(child, parent)
+        assert mgr.ignored_attachments == 0
+
+    def test_parent_can_have_many_children(self, objects):
+        mgr = AttachmentManager(AttachmentMode.EXCLUSIVE)
+        parent = objects[0]
+        for child in objects[1:4]:
+            assert mgr.attach(child, parent)
+        assert len(mgr.neighbors(parent)) == 3
+
+    def test_detach_frees_exclusive_slot(self, objects):
+        mgr = AttachmentManager(AttachmentMode.EXCLUSIVE)
+        child, p1, p2 = objects[:3]
+        mgr.attach(child, p1)
+        mgr.detach(child, p1)
+        assert mgr.attach(child, p2)
+
+    def test_working_sets_stay_disjoint(self, objects):
+        """§3.4: exclusive attachment yields disjoint working sets."""
+        mgr = AttachmentManager(AttachmentMode.EXCLUSIVE)
+        s1, s2, w1, shared, w2 = objects[:5]
+        mgr.attach(w1, s1)
+        mgr.attach(shared, s1)  # shared joins s1's set first
+        mgr.attach(shared, s2)  # ignored
+        mgr.attach(w2, s2)
+        assert set(mgr.closure(s1)) == {s1, w1, shared}
+        assert set(mgr.closure(s2)) == {s2, w2}

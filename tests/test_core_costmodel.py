@@ -1,0 +1,88 @@
+"""Unit tests for the §3.2 analytic cost model."""
+
+import pytest
+
+from repro.core.costmodel import (
+    CostParameters,
+    cost_conventional_worst_case,
+    cost_no_migration,
+    cost_placement_concurrent,
+    migration_break_even_clients,
+    placement_advantage,
+)
+
+
+class TestParameters:
+    def test_defaults_are_papers(self):
+        p = CostParameters()
+        assert p.remote_message_cost == 1.0
+        assert p.migration_cost == 6.0
+        assert p.calls_per_block == 8.0
+        assert p.is_sensible  # N*C=8 > M=6
+
+    def test_insensible_detected(self):
+        p = CostParameters(calls_per_block=4.0)
+        assert not p.is_sensible
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"remote_message_cost": -1},
+            {"migration_cost": -1},
+            {"calls_per_block": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            CostParameters(**kwargs)
+
+
+class TestPaperFormulas:
+    def test_placement_formula(self):
+        p = CostParameters(remote_message_cost=1, migration_cost=6,
+                           calls_per_block=8)
+        # M + (2N+1)*C = 6 + 17 = 23
+        assert cost_placement_concurrent(p) == 23
+
+    def test_conventional_worst_case_formula(self):
+        p = CostParameters(remote_message_cost=1, migration_cost=6,
+                           calls_per_block=8)
+        # 2M + (2N+2)*C = 12 + 18 = 30
+        assert cost_conventional_worst_case(p) == 30
+
+    def test_advantage_is_m_plus_c(self):
+        p = CostParameters(remote_message_cost=2, migration_cost=5,
+                           calls_per_block=10)
+        assert placement_advantage(p) == pytest.approx(5 + 2)
+
+    def test_placement_always_cheaper_in_conflict(self):
+        for m in (1, 6, 20):
+            for n in (2, 8, 50):
+                p = CostParameters(migration_cost=m, calls_per_block=n)
+                assert cost_placement_concurrent(p) < (
+                    cost_conventional_worst_case(p)
+                )
+
+    def test_no_migration_cost(self):
+        p = CostParameters(calls_per_block=8)
+        assert cost_no_migration(p, movers=2) == 32  # 2 * 2N * C
+
+
+class TestBreakEven:
+    def test_order_of_magnitude_matches_paper(self):
+        p = CostParameters()  # the Fig 12 parameters
+        estimate = migration_break_even_clients(p, nodes=27)
+        assert 3 < estimate < 15  # paper's measured value is 6
+
+    def test_increases_with_n_over_m(self):
+        low = migration_break_even_clients(
+            CostParameters(calls_per_block=8), nodes=27
+        )
+        high = migration_break_even_clients(
+            CostParameters(calls_per_block=16), nodes=27
+        )
+        assert high > low
+
+    def test_needs_two_nodes(self):
+        with pytest.raises(ValueError):
+            migration_break_even_clients(CostParameters(), nodes=1)

@@ -1,0 +1,147 @@
+"""Tests for alliance distribution & cooperation policies (§3.4)."""
+
+import pytest
+
+from repro.core.alliance import AllianceManager
+from repro.core.distribution import (
+    AnchorToMember,
+    CollocateMembers,
+    DistributionPolicy,
+    SpreadMembers,
+)
+from repro.core.locking import LockManager
+from repro.core.moveblock import MoveBlock
+from repro.errors import AllianceError, UnknownNodeError
+from repro.network.latency import DeterministicLatency
+from repro.runtime.system import DistributedSystem
+
+
+@pytest.fixture
+def system():
+    return DistributedSystem(
+        nodes=4,
+        seed=0,
+        migration_duration=6.0,
+        latency=DeterministicLatency(1.0),
+    )
+
+
+@pytest.fixture
+def alliance_with_members(system):
+    manager = AllianceManager()
+    alliance = manager.create("team")
+    members = [system.create_server(node=i, name=f"m{i}") for i in range(4)]
+    for member in members:
+        alliance.admit(member)
+    return alliance, members
+
+
+def run(system, fragment):
+    def proc(env):
+        result = yield from fragment
+        return result
+
+    p = system.env.process(proc(system.env))
+    system.env.run()
+    return p.value
+
+
+class TestCollocate:
+    def test_moves_everyone_home(self, system, alliance_with_members):
+        alliance, members = alliance_with_members
+        policy = CollocateMembers(system, alliance, home_node=2)
+        moved = run(system, policy.apply())
+        assert moved == 3  # member on node 2 already there
+        assert all(m.node_id == 2 for m in members)
+        assert policy.relocations == 3
+
+    def test_apply_idempotent(self, system, alliance_with_members):
+        alliance, members = alliance_with_members
+        policy = CollocateMembers(system, alliance, home_node=2)
+        run(system, policy.apply())
+        moved = run(system, policy.apply())
+        assert moved == 0
+
+    def test_invalid_home_node(self, system, alliance_with_members):
+        alliance, _ = alliance_with_members
+        with pytest.raises(UnknownNodeError):
+            CollocateMembers(system, alliance, home_node=42)
+
+    def test_fixed_member_left_alone(self, system, alliance_with_members):
+        alliance, members = alliance_with_members
+        members[0].fixed = True
+        policy = CollocateMembers(system, alliance, home_node=3)
+        run(system, policy.apply())
+        assert members[0].node_id == 0  # untouched
+        assert all(m.node_id == 3 for m in members[1:])
+
+    def test_locked_member_left_alone(self, system, alliance_with_members):
+        alliance, members = alliance_with_members
+        locks = LockManager()
+        block = MoveBlock(0, members[1])
+        locks.lock(members[1], block)
+        policy = CollocateMembers(system, alliance, home_node=3)
+        run(system, policy.apply())
+        assert members[1].node_id == 1  # still where its holder put it
+
+
+class TestSpread:
+    def test_round_robin_over_given_nodes(self, system, alliance_with_members):
+        alliance, members = alliance_with_members
+        policy = SpreadMembers(system, alliance, nodes=[0, 1])
+        run(system, policy.apply())
+        assert [m.node_id for m in members] == [0, 1, 0, 1]
+
+    def test_defaults_to_all_nodes(self, system, alliance_with_members):
+        alliance, members = alliance_with_members
+        policy = SpreadMembers(system, alliance)
+        assert policy.nodes == [0, 1, 2, 3]
+
+    def test_empty_node_list_rejected(self, system, alliance_with_members):
+        alliance, _ = alliance_with_members
+        with pytest.raises(ValueError):
+            SpreadMembers(system, alliance, nodes=[])
+
+
+class TestAnchor:
+    def test_follows_anchor(self, system, alliance_with_members):
+        alliance, members = alliance_with_members
+        anchor = members[2]  # lives on node 2
+        policy = AnchorToMember(system, alliance, anchor)
+        run(system, policy.apply())
+        assert all(m.node_id == 2 for m in members)
+
+    def test_anchor_must_be_member(self, system, alliance_with_members):
+        alliance, _ = alliance_with_members
+        outsider = system.create_server(node=0)
+        with pytest.raises(ValueError, match="not a member"):
+            AnchorToMember(system, alliance, outsider)
+
+    def test_advice_excludes_anchor_itself(self, system, alliance_with_members):
+        alliance, members = alliance_with_members
+        policy = AnchorToMember(system, alliance, members[0])
+        advice = policy.advice()
+        assert members[0].object_id not in advice
+
+
+class TestCooperationPolicy:
+    def test_unrestricted_by_default(self, system, alliance_with_members):
+        alliance, members = alliance_with_members
+        outsider = system.create_server(node=0)
+        assert alliance.permits(members[0], outsider)
+
+    def test_restriction_blocks_outsiders(self, system, alliance_with_members):
+        alliance, members = alliance_with_members
+        alliance.restrict_interactions = True
+        outsider = system.create_server(node=0)
+        assert alliance.permits(members[0], members[1])
+        assert not alliance.permits(members[0], outsider)
+        assert not alliance.permits(outsider, members[0])
+
+    def test_check_interaction_raises(self, system, alliance_with_members):
+        alliance, members = alliance_with_members
+        alliance.restrict_interactions = True
+        outsider = system.create_server(node=0, name="stranger")
+        with pytest.raises(AllianceError, match="cooperation context"):
+            alliance.check_interaction(members[0], outsider)
+        alliance.check_interaction(members[0], members[1])  # fine

@@ -1,0 +1,131 @@
+"""Unit tests for the thrashing guard (transient fixing, §2.2)."""
+
+import pytest
+
+from repro.core.moveblock import MoveBlock
+from repro.core.policies.conventional import ConventionalMigration
+from repro.core.policies.guard import ThrashingGuard
+from repro.core.policies.registry import make_policy
+from repro.network.latency import DeterministicLatency
+from repro.runtime.system import DistributedSystem
+from repro.sim.trace import Tracer
+
+
+@pytest.fixture
+def system():
+    return DistributedSystem(
+        nodes=4,
+        seed=0,
+        migration_duration=6.0,
+        latency=DeterministicLatency(1.0),
+        tracer=Tracer(),
+    )
+
+
+@pytest.fixture
+def guard(system):
+    return ThrashingGuard(
+        ConventionalMigration(system),
+        max_migrations=2,
+        window=100.0,
+        cooldown=50.0,
+    )
+
+
+def do_move(system, policy, client_node, server):
+    block = MoveBlock(client_node, server)
+
+    def proc(env):
+        yield from policy.move(block)
+        yield from policy.end(block)
+
+    system.env.process(proc(system.env))
+    system.env.run()
+    return block
+
+
+class TestGuard:
+    def test_validation(self, system):
+        inner = ConventionalMigration(system)
+        with pytest.raises(ValueError):
+            ThrashingGuard(inner, max_migrations=0)
+        with pytest.raises(ValueError):
+            ThrashingGuard(inner, window=0)
+        with pytest.raises(ValueError):
+            ThrashingGuard(inner, cooldown=-1)
+
+    def test_delegates_below_threshold(self, system, guard):
+        server = system.create_server(node=3)
+        b1 = do_move(system, guard, 0, server)
+        b2 = do_move(system, guard, 1, server)
+        assert b1.granted and b2.granted
+        assert server.node_id == 1
+        assert not guard.is_pinned(server)
+        assert guard.guard_rejections == 0
+
+    def test_pins_after_threshold(self, system, guard):
+        server = system.create_server(node=3)
+        for node in (0, 1, 2):  # third grant exceeds max_migrations=2
+            do_move(system, guard, node, server)
+        assert guard.is_pinned(server)
+        blocked = do_move(system, guard, 0, server)
+        assert not blocked.granted
+        assert server.node_id == 2  # stayed where it was pinned
+        assert guard.guard_rejections == 1
+        assert system.tracer.count("guard.pinned") == 1
+
+    def test_cooldown_expires(self, system, guard):
+        server = system.create_server(node=3)
+        for node in (0, 1, 2):
+            do_move(system, guard, node, server)
+        assert guard.is_pinned(server)
+        # Let the cooldown elapse...
+        system.env.timeout(200.0)
+        system.env.run()
+        assert not guard.is_pinned(server)
+        after = do_move(system, guard, 0, server)
+        assert after.granted
+        assert server.node_id == 0
+
+    def test_window_prunes_old_grants(self, system):
+        guard = ThrashingGuard(
+            ConventionalMigration(system),
+            max_migrations=2,
+            window=10.0,  # short window: old grants age out
+            cooldown=50.0,
+        )
+        server = system.create_server(node=3)
+        do_move(system, guard, 0, server)
+        system.env.timeout(100.0)
+        system.env.run()
+        do_move(system, guard, 1, server)
+        system.env.timeout(100.0)
+        system.env.run()
+        do_move(system, guard, 2, server)
+        # Grants were spread far apart: never more than 1 per window.
+        assert not guard.is_pinned(server)
+
+    def test_co_located_mover_still_counts_granted(self, system, guard):
+        server = system.create_server(node=3)
+        for node in (0, 1, 2):
+            do_move(system, guard, node, server)
+        pinned = do_move(system, guard, 2, server)  # object IS at 2
+        assert pinned.granted  # co-located: effectively granted
+        assert guard.guard_rejections == 1
+
+    def test_stats_merge_inner(self, system, guard):
+        server = system.create_server(node=3)
+        do_move(system, guard, 0, server)
+        stats = guard.stats()
+        assert stats["policy"] == "guarded(migration)"
+        assert stats["moves_granted"] == 1
+        assert "guard_rejections" in stats
+
+    def test_registry_prefix(self, system):
+        policy = make_policy("guarded:placement", system)
+        assert isinstance(policy, ThrashingGuard)
+        assert policy.inner.name == "placement"
+
+    def test_registry_unknown_base(self, system):
+        with pytest.raises(ValueError, match="unknown policy"):
+            make_policy("guarded:teleport", system)

@@ -1,0 +1,80 @@
+"""Unit tests for place-policy locks."""
+
+import pytest
+
+from repro.core.locking import LockManager
+from repro.core.moveblock import MoveBlock
+from repro.errors import PolicyError
+from repro.runtime.objects import DistributedObject
+
+
+@pytest.fixture
+def obj(env):
+    return DistributedObject(env, object_id=1, node_id=0)
+
+
+@pytest.fixture
+def obj2(env):
+    return DistributedObject(env, object_id=2, node_id=0)
+
+
+@pytest.fixture
+def block(obj):
+    return MoveBlock(client_node=0, target=obj)
+
+
+class TestLocking:
+    def test_lock_marks_object(self, obj, block):
+        locks = LockManager()
+        locks.lock(obj, block)
+        assert locks.is_locked(obj)
+        assert obj.is_locked
+        assert locks.holder(obj) is block
+        assert obj in block.locked_objects
+
+    def test_double_lock_rejected(self, obj, obj2, block):
+        locks = LockManager()
+        locks.lock(obj, block)
+        other = MoveBlock(client_node=1, target=obj2)
+        with pytest.raises(PolicyError):
+            locks.lock(obj, other)
+
+    def test_lock_all(self, obj, obj2, block):
+        locks = LockManager()
+        locks.lock_all([obj, obj2], block)
+        assert locks.is_locked(obj) and locks.is_locked(obj2)
+
+    def test_release_block_frees_everything(self, obj, obj2, block):
+        locks = LockManager()
+        locks.lock_all([obj, obj2], block)
+        assert locks.release_block(block) == 2
+        assert not locks.is_locked(obj)
+        assert not locks.is_locked(obj2)
+
+    def test_release_is_idempotent(self, obj, block):
+        locks = LockManager()
+        locks.lock(obj, block)
+        locks.release_block(block)
+        assert locks.release_block(block) == 0
+
+    def test_release_unknown_block_is_noop(self, obj, block):
+        locks = LockManager()
+        assert locks.release_block(block) == 0
+
+    def test_locked_objects_listing(self, obj, obj2, block):
+        locks = LockManager()
+        locks.lock_all([obj2, obj], block)
+        assert locks.locked_objects() == [obj, obj2]
+
+    def test_invariant_check_passes(self, obj, obj2, block):
+        locks = LockManager()
+        locks.lock_all([obj, obj2], block)
+        locks.check_invariant()
+
+    def test_relock_after_release(self, obj, block, obj2):
+        locks = LockManager()
+        locks.lock(obj, block)
+        locks.release_block(block)
+        other = MoveBlock(client_node=1, target=obj2)
+        locks.lock(obj, other)
+        assert locks.holder(obj) is other

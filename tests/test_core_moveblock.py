@@ -1,0 +1,54 @@
+"""Unit tests for move-block accounting."""
+
+import pytest
+
+from repro.core.moveblock import MoveBlock
+from repro.runtime.objects import DistributedObject
+
+
+@pytest.fixture
+def target(env):
+    return DistributedObject(env, object_id=1, node_id=2)
+
+
+class TestMoveBlock:
+    def test_initial_state(self, target):
+        block = MoveBlock(client_node=0, target=target)
+        assert block.call_count == 0
+        assert not block.ended
+        assert not block.granted
+        assert block.alliance is None
+
+    def test_unique_ids(self, target):
+        b1 = MoveBlock(0, target)
+        b2 = MoveBlock(0, target)
+        assert b1.block_id != b2.block_id
+
+    def test_record_call(self, target):
+        block = MoveBlock(0, target)
+        block.record_call(1.5)
+        block.record_call(0.5)
+        assert block.call_count == 2
+        assert block.total_call_time == pytest.approx(2.0)
+
+    def test_per_call_observations_amortize_migration(self, target):
+        block = MoveBlock(0, target)
+        block.migration_cost = 6.0
+        for d in (1.0, 2.0, 3.0):
+            block.record_call(d)
+        obs = block.per_call_observations()
+        assert obs == pytest.approx([3.0, 4.0, 5.0])
+        # Mean of observations == mean duration + cost/N.
+        assert sum(obs) / 3 == pytest.approx(2.0 + 2.0)
+
+    def test_empty_block_yields_no_observations(self, target):
+        block = MoveBlock(0, target)
+        block.migration_cost = 6.0
+        assert block.per_call_observations() == []
+
+    def test_repr_states(self, target):
+        block = MoveBlock(0, target)
+        assert "open" in repr(block)
+        block.ended_at = 10.0
+        assert block.ended
+        assert "ended" in repr(block)

@@ -1,0 +1,202 @@
+"""Unit tests for the linguistic primitives layer."""
+
+import pytest
+
+from repro.core.alliance import AllianceManager
+from repro.core.attachment import AttachmentManager, AttachmentMode
+from repro.core.policies.conventional import ConventionalMigration
+from repro.core.policies.placement import TransientPlacement
+from repro.core.policies.sedentary import SedentaryPolicy
+from repro.core.primitives import MigrationPrimitives
+from repro.errors import ObjectFixedError
+from repro.network.latency import DeterministicLatency
+from repro.runtime.system import DistributedSystem
+
+
+@pytest.fixture
+def system():
+    return DistributedSystem(
+        nodes=4, seed=0, migration_duration=6.0,
+        latency=DeterministicLatency(1.0),
+    )
+
+
+@pytest.fixture
+def prims(system):
+    attachments = AttachmentManager()
+    policy = TransientPlacement(system, attachments)
+    return MigrationPrimitives(system, policy, attachments)
+
+
+def run_fragment(system, fragment):
+    def proc(env):
+        result = yield from fragment
+        return result
+
+    p = system.env.process(proc(system.env))
+    system.env.run()
+    return p.value
+
+
+class TestFixing:
+    def test_fix_unfix(self, system, prims):
+        server = system.create_server(node=0)
+        prims.fix(server)
+        assert server.fixed
+        prims.unfix(server)
+        assert not server.fixed
+
+    def test_fixed_object_cannot_migrate(self, system, prims):
+        server = system.create_server(node=0)
+        prims.fix(server)
+        with pytest.raises(ObjectFixedError):
+            run_fragment(system, prims.migrate(server, 1))
+
+    def test_refix_moves_and_repins(self, system, prims):
+        server = system.create_server(node=0)
+        prims.fix(server)
+        run_fragment(system, prims.refix(server, 3))
+        assert server.node_id == 3
+        assert server.fixed
+
+
+class TestMigratePrimitive:
+    def test_migrate_to_node(self, system, prims):
+        server = system.create_server(node=0)
+        run_fragment(system, prims.migrate(server, 2))
+        assert prims.location_of(server) == 2
+        assert prims.is_resident(server, 2)
+
+    def test_migrate_to_object_collocates(self, system, prims):
+        a = system.create_server(node=0)
+        b = system.create_server(node=3)
+        run_fragment(system, prims.migrate(a, b))
+        assert a.node_id == 3
+
+    def test_migrate_drags_attachments(self, system, prims):
+        a = system.create_server(node=0)
+        b = system.create_server(node=1)
+        prims.attach(b, a)
+        run_fragment(system, prims.migrate(a, 2))
+        assert a.node_id == 2
+        assert b.node_id == 2
+
+    def test_detach_stops_dragging(self, system, prims):
+        a = system.create_server(node=0)
+        b = system.create_server(node=1)
+        prims.attach(b, a)
+        prims.detach(b, a)
+        run_fragment(system, prims.migrate(a, 2))
+        assert b.node_id == 1
+
+
+class TestAllianceIntegration:
+    def test_attach_within_alliance(self, system):
+        manager = AllianceManager()
+        policy = TransientPlacement(system, manager.attachments)
+        prims = MigrationPrimitives(system, policy, manager.attachments)
+        a = system.create_server(node=0)
+        b = system.create_server(node=1)
+        alliance = manager.create("pair")
+        alliance.admit(a)
+        alliance.admit(b)
+        assert prims.attach(a, b, alliance=alliance)
+        assert alliance.partners_of(a) == [b]
+        assert prims.detach(a, b, alliance=alliance)
+
+    def test_attach_without_manager_raises(self, system):
+        prims = MigrationPrimitives(system, SedentaryPolicy(system))
+        a = system.create_server(node=0)
+        b = system.create_server(node=1)
+        with pytest.raises(RuntimeError, match="no attachment manager"):
+            prims.attach(a, b)
+
+
+class TestMoveScope:
+    def test_full_block_lifecycle(self, system, prims):
+        server = system.create_server(node=2)
+        client = system.create_client(node=0)
+
+        def proc(env):
+            scope = prims.move_block(client.node_id, server)
+            yield from scope.enter()
+            for _ in range(3):
+                yield from scope.call()
+            block = yield from scope.exit()
+            return block
+
+        p = system.env.process(proc(system.env))
+        system.env.run()
+        block = p.value
+        assert block.granted
+        assert block.call_count == 3
+        # All calls local after the move: zero duration each.
+        assert block.total_call_time == 0.0
+        assert block.ended
+        assert server.lock_holder is None
+
+    def test_enter_twice_rejected(self, system, prims):
+        server = system.create_server(node=1)
+        scope = prims.move_block(0, server)
+        run_fragment(system, scope.enter())
+        with pytest.raises(RuntimeError, match="already entered"):
+            run_fragment(system, scope.enter())
+
+    def test_call_before_enter_rejected(self, system, prims):
+        server = system.create_server(node=1)
+        scope = prims.move_block(0, server)
+        with pytest.raises(RuntimeError, match="before calling"):
+            run_fragment(system, scope.call())
+
+    def test_exit_before_enter_rejected(self, system, prims):
+        server = system.create_server(node=1)
+        scope = prims.move_block(0, server)
+        with pytest.raises(RuntimeError, match="never entered"):
+            run_fragment(system, scope.exit())
+
+
+class TestVisitScope:
+    def test_object_returns_home(self, system):
+        policy = ConventionalMigration(system)
+        prims = MigrationPrimitives(system, policy)
+        server = system.create_server(node=3)
+
+        def proc(env):
+            scope = prims.visit_block(0, server)
+            yield from scope.enter()
+            assert server.node_id == 0
+            yield from scope.call()
+            block = yield from scope.exit()
+            return block
+
+        p = system.env.process(proc(system.env))
+        system.env.run()
+        assert server.node_id == 3  # migrated back
+        assert server.migration_count == 2
+        # Visit pays both transfers in its migration cost.
+        assert p.value.migration_cost == pytest.approx(7.0 + 6.0)
+
+    def test_rejected_visit_does_not_migrate_back(self, system):
+        policy = TransientPlacement(system)
+        prims = MigrationPrimitives(system, policy)
+        server = system.create_server(node=3)
+
+        def winner(env):
+            scope = prims.move_block(1, server)
+            yield from scope.enter()
+            yield env.timeout(50)
+            yield from scope.exit()
+
+        def visitor(env):
+            yield env.timeout(10)
+            scope = prims.visit_block(0, server)
+            yield from scope.enter()
+            yield from scope.call()
+            block = yield from scope.exit()
+            return block
+
+        system.env.process(winner(system.env))
+        p = system.env.process(visitor(system.env))
+        system.env.run()
+        assert not p.value.granted
+        assert server.migration_count == 1  # only the winner's transfer

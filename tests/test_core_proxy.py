@@ -1,0 +1,126 @@
+"""Unit tests for the proxy layer (§3.1's system model)."""
+
+import pytest
+
+from repro.core.policies.placement import TransientPlacement
+from repro.core.proxy import Proxy, ProxyTable
+from repro.errors import UnknownNodeError
+from repro.network.latency import DeterministicLatency
+from repro.runtime.system import DistributedSystem
+
+
+@pytest.fixture
+def system():
+    return DistributedSystem(
+        nodes=3,
+        seed=0,
+        migration_duration=6.0,
+        latency=DeterministicLatency(1.0),
+    )
+
+
+@pytest.fixture
+def policy(system):
+    return TransientPlacement(system)
+
+
+@pytest.fixture
+def table(system, policy):
+    return ProxyTable(system, policy)
+
+
+def run(system, fragment):
+    def proc(env):
+        result = yield from fragment
+        return result
+
+    p = system.env.process(proc(system.env))
+    system.env.run()
+    return p.value
+
+
+class TestProxyTable:
+    def test_one_proxy_per_node_object_pair(self, system, table):
+        server = system.create_server(node=2)
+        p1 = table.proxy(0, server)
+        p2 = table.proxy(0, server)
+        p3 = table.proxy(1, server)
+        assert p1 is p2
+        assert p1 is not p3
+        assert len(table) == 2
+
+    def test_unknown_node_rejected(self, system, table):
+        server = system.create_server(node=0)
+        with pytest.raises(UnknownNodeError):
+            table.proxy(9, server)
+
+    def test_proxies_on_node(self, system, table):
+        a = system.create_server(node=0)
+        b = system.create_server(node=1)
+        table.proxy(2, a)
+        table.proxy(2, b)
+        table.proxy(0, a)
+        assert len(table.proxies_on(2)) == 2
+        assert len(table.proxies_on(0)) == 1
+
+
+class TestProxyCalls:
+    def test_invoke_forwards_to_current_location(self, system, table):
+        server = system.create_server(node=2)
+        proxy = table.proxy(0, server)
+        result = run(system, proxy.invoke())
+        assert result.duration == pytest.approx(2.0)
+        assert proxy.invocations == 1
+        assert server.invocation_count == 1
+
+    def test_local_proxy_call_free(self, system, table):
+        server = system.create_server(node=1)
+        proxy = table.proxy(1, server)
+        result = run(system, proxy.invoke())
+        assert result.duration == 0.0
+        assert proxy.is_local
+
+    def test_invoke_follows_migration(self, system, table, policy):
+        server = system.create_server(node=2)
+        mover = table.proxy(0, server)
+        observer = table.proxy(1, server)
+        block = run(system, mover.move())
+        assert block.granted
+        assert mover.is_local
+        assert not observer.is_local
+        result = run(system, observer.invoke())
+        assert result.duration == pytest.approx(2.0)  # forwarded to node 0
+
+
+class TestProxyMigrationControl:
+    def test_move_and_end_lifecycle(self, system, table):
+        server = system.create_server(node=2)
+        proxy = table.proxy(0, server)
+        block = run(system, proxy.move())
+        assert block.granted
+        assert server.lock_holder is block
+        run(system, proxy.end(block))
+        assert server.lock_holder is None
+
+    def test_conflicting_proxy_move_rejected(self, system, table):
+        server = system.create_server(node=2)
+        winner = table.proxy(0, server)
+        loser = table.proxy(1, server)
+        run(system, winner.move())
+        block = run(system, loser.move())
+        assert not block.granted
+        assert loser.location() == 0
+
+    def test_end_checks_block_ownership(self, system, table):
+        a = system.create_server(node=0)
+        b = system.create_server(node=1)
+        pa = table.proxy(2, a)
+        pb = table.proxy(2, b)
+        block = run(system, pa.move())
+        with pytest.raises(ValueError, match="belongs to"):
+            pb.end(block)
+
+    def test_repr_shows_locality(self, system, table):
+        server = system.create_server(node=1)
+        assert "local" in repr(table.proxy(1, server))
+        assert "remote" in repr(table.proxy(0, server))

@@ -1,0 +1,133 @@
+"""Tests for the exception hierarchy and the public API surface."""
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.SimulationError,
+            errors.EmptySchedule,
+            errors.EventAlreadyTriggered,
+            errors.ProcessError,
+            errors.RuntimeModelError,
+            errors.UnknownObjectError,
+            errors.UnknownNodeError,
+            errors.ObjectFixedError,
+            errors.MigrationInProgressError,
+            errors.AttachmentError,
+            errors.AllianceError,
+            errors.PolicyError,
+            errors.ConfigurationError,
+            errors.StoppingRuleError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    def test_runtime_errors_grouped(self):
+        for exc in (
+            errors.UnknownObjectError,
+            errors.ObjectFixedError,
+            errors.AttachmentError,
+            errors.PolicyError,
+        ):
+            assert issubclass(exc, errors.RuntimeModelError)
+
+    def test_kernel_errors_grouped(self):
+        for exc in (errors.EmptySchedule, errors.ProcessError):
+            assert issubclass(exc, errors.SimulationError)
+
+    def test_control_flow_signals_not_repro_errors(self):
+        # StopSimulation and Interrupt are control flow, not failures:
+        # user code catching ReproError must not swallow them.
+        assert not issubclass(errors.StopSimulation, errors.ReproError)
+        assert not issubclass(errors.Interrupt, errors.ReproError)
+
+    def test_interrupt_carries_cause(self):
+        interrupt = errors.Interrupt(cause={"reason": "test"})
+        assert interrupt.cause == {"reason": "test"}
+
+    def test_stop_simulation_carries_value(self):
+        stop = errors.StopSimulation(42)
+        assert stop.value == 42
+
+
+class TestPublicApi:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.{name} missing"
+
+    def test_version_string(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(p.isdigit() for p in parts)
+
+    def test_policy_names_match_figures_legends(self):
+        # The registry names are what experiment configs reference.
+        assert set(repro.POLICIES) == {
+            "sedentary",
+            "migration",
+            "placement",
+            "comparing",
+            "reinstantiation",
+        }
+
+    def test_figures_registry(self):
+        assert set(repro.FIGURES) == {
+            "fig8",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig14",
+            "fig16",
+        }
+
+    def test_subpackages_importable(self):
+        import repro.analysis
+        import repro.core
+        import repro.experiments
+        import repro.fragmentation
+        import repro.network
+        import repro.replication
+        import repro.runtime
+        import repro.sim
+        import repro.workload
+
+        for module in (
+            repro.analysis,
+            repro.core,
+            repro.experiments,
+            repro.fragmentation,
+            repro.network,
+            repro.replication,
+            repro.runtime,
+            repro.sim,
+            repro.workload,
+        ):
+            assert module.__doc__, f"{module.__name__} lacks a docstring"
+
+    def test_sub_all_exports_resolve(self):
+        import repro.core
+        import repro.experiments
+        import repro.network
+        import repro.replication
+        import repro.runtime
+        import repro.sim
+        import repro.workload
+
+        for module in (
+            repro.core,
+            repro.experiments,
+            repro.network,
+            repro.replication,
+            repro.runtime,
+            repro.sim,
+            repro.workload,
+        ):
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module.__name__}.{name}"

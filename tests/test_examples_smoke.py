@@ -1,0 +1,69 @@
+"""Smoke tests: the fast deterministic examples must stay runnable.
+
+The longer statistical examples (office_automation, hotspot_analysis,
+policy_playground, replication_outlook) are exercised through the same
+library calls by the integration suites; the two deterministic ones are
+cheap enough to run end-to-end as subprocesses here so the example code
+itself cannot rot.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestDeterministicExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "conventional migration" in out
+        assert "transient placement" in out
+        # The headline: placement's scenario ends earlier.
+        assert "finished at t=21.0" in out
+        assert "finished at t=15.0" in out
+
+    def test_factory_scheduling(self):
+        out = run_example("factory_scheduling.py")
+        assert "schedule moved 4 times" in out  # conventional ping-pong
+        assert "schedule moved 1 times" in out  # placement stability
+        assert "placement finished" in out
+
+    def test_alliance_distribution(self):
+        out = run_example("alliance_distribution.py")
+        assert "spread" in out
+        assert "collocate" in out
+        assert "anchor" in out
+        assert "cuts batch latency" in out
+
+
+class TestAllExamplesExist:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "quickstart.py",
+            "office_automation.py",
+            "hotspot_analysis.py",
+            "policy_playground.py",
+            "factory_scheduling.py",
+            "replication_outlook.py",
+            "alliance_distribution.py",
+        ],
+    )
+    def test_present_and_importable_syntax(self, name):
+        path = EXAMPLES / name
+        assert path.exists()
+        compile(path.read_text(), str(path), "exec")  # syntax check

@@ -1,0 +1,77 @@
+"""Tests for the 2-D parameter grid sweeps."""
+
+import pytest
+
+from repro.experiments.grid import Axis, GridResult, sweep_grid
+from repro.sim.stopping import StoppingConfig
+from repro.workload.params import SimulationParameters
+
+TINY = StoppingConfig(
+    relative_precision=0.3,
+    confidence=0.9,
+    batch_size=40,
+    warmup=40,
+    min_batches=2,
+    max_observations=1_200,
+)
+
+BASE = SimulationParameters(nodes=3, servers_layer1=3, seed=0)
+
+
+class TestAxis:
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="not a SimulationParameters"):
+            Axis("warp_factor", (1, 2))
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ValueError, match="at least one value"):
+            Axis("clients", ())
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def grid(self) -> GridResult:
+        return sweep_grid(
+            BASE,
+            rows=Axis("policy", ("sedentary", "placement")),
+            cols=Axis("clients", (2, 6)),
+            stopping=TINY,
+        )
+
+    def test_shape(self, grid):
+        assert len(grid.values) == 2
+        assert all(len(row) == 2 for row in grid.values)
+
+    def test_at_lookup(self, grid):
+        assert grid.at("sedentary", 2) == grid.values[0][0]
+        assert grid.at("placement", 6) == grid.values[1][1]
+
+    def test_sedentary_row_is_flat(self, grid):
+        row = grid.values[0]
+        assert row[0] == pytest.approx(row[1], rel=0.2)
+
+    def test_best_cell_is_minimum(self, grid):
+        _, _, best_value = grid.best_cell()
+        assert best_value == min(v for row in grid.values for v in row)
+
+    def test_format_contains_axes(self, grid):
+        text = grid.format()
+        assert "policy\\clients" in text
+        assert "sedentary" in text
+        assert "placement" in text
+
+    def test_same_axis_twice_rejected(self):
+        with pytest.raises(ValueError, match="must differ"):
+            sweep_grid(
+                BASE,
+                rows=Axis("clients", (1,)),
+                cols=Axis("clients", (2,)),
+                stopping=TINY,
+            )
+
+    def test_parallel_matches_serial(self):
+        rows = Axis("policy", ("sedentary",))
+        cols = Axis("clients", (2, 4))
+        serial = sweep_grid(BASE, rows, cols, stopping=TINY, workers=1)
+        parallel = sweep_grid(BASE, rows, cols, stopping=TINY, workers=2)
+        assert serial.values == parallel.values

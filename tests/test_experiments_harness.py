@@ -1,0 +1,177 @@
+"""Tests for experiment definitions, runner, reporting and CLI."""
+
+import pytest
+
+from repro.experiments.cli import build_parser, main
+from repro.experiments.config import ExperimentDef, SeriesDef
+from repro.experiments.figures import (
+    FIGURES,
+    figure8,
+    figure10,
+    figure11,
+    figure12,
+    figure14,
+    figure16,
+    make_figure,
+)
+from repro.experiments.report import format_table, summary_lines, to_csv
+from repro.experiments.runner import ExperimentRunner, run_figure
+from repro.sim.stopping import StoppingConfig
+from repro.workload.params import SimulationParameters
+
+TINY = StoppingConfig(
+    relative_precision=0.3,
+    confidence=0.9,
+    batch_size=40,
+    warmup=40,
+    min_batches=2,
+    max_observations=1_500,
+)
+
+
+def tiny_experiment():
+    base = SimulationParameters(policy="sedentary")
+    return ExperimentDef(
+        exp_id="tiny",
+        title="Tiny",
+        x_label="t_m",
+        x_values=(10.0, 30.0),
+        series=(
+            SeriesDef(
+                "sedentary",
+                lambda tm: base.with_overrides(mean_interblock_time=tm),
+            ),
+            SeriesDef(
+                "placement",
+                lambda tm: base.with_overrides(
+                    mean_interblock_time=tm, policy="placement"
+                ),
+            ),
+        ),
+    )
+
+
+class TestDefinitions:
+    @pytest.mark.parametrize("name", sorted(FIGURES))
+    def test_figures_well_formed(self, name):
+        defn = make_figure(name, fast=True)
+        assert defn.cell_count() == len(defn.series) * len(defn.x_values)
+        for label, x, params in defn.cells():
+            params.validate()
+            assert x in defn.x_values
+
+    def test_unknown_figure(self):
+        with pytest.raises(ValueError):
+            make_figure("fig99")
+
+    def test_fig8_family_shares_cells(self):
+        f8, f10, f11 = figure8(), figure10(), figure11()
+        assert f8.x_values == f10.x_values == f11.x_values
+        assert f8.metric == "mean_communication_time_per_call"
+        assert f10.metric == "mean_call_duration"
+        assert f11.metric == "mean_migration_time_per_call"
+
+    def test_fig12_parameters_match_paper(self):
+        defn = figure12()
+        _, _, params = defn.cells()[0]
+        assert params.nodes == 27
+        assert params.servers_layer1 == 3
+        assert params.mean_interblock_time == 30.0
+
+    def test_fig14_uses_dynamic_policies(self):
+        labels = [s.label for s in figure14().series]
+        assert "Comparing the Nodes" in labels
+        assert "Comparing and Reinstantiation" in labels
+
+    def test_fig16_has_five_series(self):
+        defn = figure16()
+        assert len(defn.series) == 5
+        _, _, params = defn.cells()[0]
+        assert params.nodes == 24
+        assert params.servers_layer1 == 6
+        assert params.servers_layer2 == 6
+        assert params.mean_calls_per_block == 6.0
+
+    def test_fast_mode_thins_sweep(self):
+        assert len(figure12(fast=True).x_values) < len(figure12().x_values)
+
+    def test_seed_propagates_to_cells(self):
+        defn = figure8(seed=77)
+        for _, _, params in defn.cells():
+            assert params.seed == 77
+
+
+class TestRunner:
+    def test_serial_run(self):
+        result = ExperimentRunner(stopping=TINY).run(tiny_experiment())
+        assert set(result.results) == {"sedentary", "placement"}
+        assert len(result.series("sedentary")) == 2
+        table = result.as_table()
+        assert len(table) == 2
+        assert len(table[0]) == 3  # x + 2 series
+
+    def test_parallel_run_matches_serial(self):
+        defn = tiny_experiment()
+        serial = ExperimentRunner(stopping=TINY, workers=1).run(defn)
+        parallel = ExperimentRunner(stopping=TINY, workers=2).run(defn)
+        assert serial.series("sedentary") == parallel.series("sedentary")
+        assert serial.series("placement") == parallel.series("placement")
+
+    def test_points_pairs(self):
+        result = run_figure(tiny_experiment(), stopping=TINY)
+        points = result.points("sedentary")
+        assert [p[0] for p in points] == [10.0, 30.0]
+
+    def test_worker_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentRunner(workers=0)
+
+
+class TestReport:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_figure(tiny_experiment(), stopping=TINY)
+
+    def test_format_table(self, result):
+        text = format_table(result)
+        assert "tiny: Tiny" in text
+        assert "sedentary" in text
+        assert "placement" in text
+        assert len(text.splitlines()) == 2 + 1 + 2  # header+rule+x rows
+
+    def test_to_csv(self, result):
+        csv_text = to_csv(result)
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "t_m,sedentary,placement"
+        assert len(lines) == 3
+
+    def test_summary_lines(self, result):
+        lines = summary_lines(result)
+        assert len(lines) == 2
+        assert all("start=" in line for line in lines)
+
+
+class TestCli:
+    def test_parser_choices(self):
+        parser = build_parser()
+        args = parser.parse_args(["fig8", "--fast", "--seed", "3"])
+        assert args.figure == "fig8"
+        assert args.fast
+        assert args.seed == 3
+
+    def test_main_runs_fast_figure(self, capsys, monkeypatch):
+        # Shrink the stopping rule so the CLI test stays quick.
+        monkeypatch.setattr(StoppingConfig, "fast", staticmethod(lambda: TINY))
+        rc = main(["fig8", "--fast"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fig8" in out
+        assert "Transient Placement" in out
+
+    def test_main_writes_csv(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setattr(StoppingConfig, "fast", staticmethod(lambda: TINY))
+        target = tmp_path / "out.csv"
+        rc = main(["fig8", "--fast", "--csv", str(target)])
+        assert rc == 0
+        assert target.exists()
+        assert "Migration" in target.read_text()

@@ -1,0 +1,51 @@
+"""Tests for Markdown report generation."""
+
+import pytest
+
+from repro.experiments.markdown import (
+    to_markdown_document,
+    to_markdown_section,
+    to_markdown_table,
+)
+from tests.test_experiments_plot import fake_result
+
+
+@pytest.fixture
+def result():
+    return fake_result(
+        {"Migration": [1.0, 2.0, 3.0], "Placement": [0.5, 1.0, 1.5]},
+        x_values=(1.0, 5.0, 10.0),
+    )
+
+
+class TestTable:
+    def test_header_and_divider(self, result):
+        table = to_markdown_table(result)
+        lines = table.splitlines()
+        assert lines[0] == "| x | Migration | Placement |"
+        assert lines[1] == "|---:|---:|---:|"
+
+    def test_rows_formatted(self, result):
+        table = to_markdown_table(result, precision=2)
+        assert "| 5 | 2.00 | 1.00 |" in table
+
+    def test_row_count(self, result):
+        table = to_markdown_table(result)
+        assert len(table.splitlines()) == 2 + 3  # header+divider+3 x values
+
+    def test_alternate_metric(self, result):
+        table = to_markdown_table(result, metric="mean_call_duration")
+        assert "| 1 | 1.000 | 0.500 |" in table
+
+
+class TestSection:
+    def test_heading_and_metric_note(self, result):
+        section = to_markdown_section(result, heading_level=3)
+        assert section.startswith("### fake — Fake")
+        assert "`mean_communication_time_per_call`" in section
+
+    def test_document_combines_sections(self, result):
+        doc = to_markdown_document([result, result], title="All figures")
+        assert doc.startswith("# All figures")
+        assert doc.count("## fake — Fake") == 2
+        assert doc.endswith("\n")

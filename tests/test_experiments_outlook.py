@@ -1,0 +1,85 @@
+"""Tests for the outlook-study sweeps and their CLI integration."""
+
+import pytest
+
+from repro.experiments.cli import main
+from repro.experiments.outlook import (
+    OUTLOOK_STUDIES,
+    availability_sweep,
+    format_outlook_table,
+    fragmentation_sweep,
+    replication_sweep,
+    run_outlook,
+)
+from repro.sim.stopping import StoppingConfig
+
+TINY = StoppingConfig(
+    relative_precision=0.3,
+    confidence=0.9,
+    batch_size=40,
+    warmup=40,
+    min_batches=2,
+    max_observations=1_200,
+)
+
+
+class TestSweeps:
+    def test_replication_shape(self):
+        header, rows = replication_sweep(
+            stopping=TINY, read_ratios=(0.99, 0.5)
+        )
+        assert header == ["read_ratio", "none", "eager", "threshold"]
+        assert len(rows) == 2
+        assert all(len(r) == 4 for r in rows)
+        # The qualitative crossover survives even at tiny precision.
+        eager_readheavy = rows[0][2]
+        eager_writeheavy = rows[1][2]
+        assert eager_readheavy < eager_writeheavy
+
+    def test_fragmentation_shape(self):
+        header, rows = fragmentation_sweep(
+            stopping=TINY, fragment_counts=(1, 4), clients=8
+        )
+        assert header == ["fragments", "migration", "placement"]
+        k1_migration, k4_migration = rows[0][1], rows[1][1]
+        assert k4_migration < k1_migration
+
+    def test_availability_shape(self):
+        header, rows = availability_sweep(
+            stopping=TINY, mixes=(0.0, 1.0)
+        )
+        assert header == ["group_op_fraction", "collocated", "spread"]
+        # Chains favor collocation.
+        assert rows[1][1] < rows[1][2]
+
+    def test_registry(self):
+        assert set(OUTLOOK_STUDIES) == {
+            "replication",
+            "fragmentation",
+            "availability",
+        }
+
+    def test_run_outlook_unknown(self):
+        with pytest.raises(ValueError, match="unknown outlook study"):
+            run_outlook("teleportation")
+
+
+class TestFormatting:
+    def test_table_layout(self):
+        table = format_outlook_table(
+            "demo", ["x", "a", "b"], [[1.0, 0.5, 0.25], [2.0, 1.5, 1.25]]
+        )
+        lines = table.splitlines()
+        assert lines[0] == "outlook:demo"
+        assert "a" in lines[2] and "b" in lines[2]
+        assert "0.500" in table and "1.250" in table
+
+
+class TestCli:
+    def test_outlook_via_cli(self, capsys, monkeypatch):
+        monkeypatch.setattr(StoppingConfig, "fast", staticmethod(lambda: TINY))
+        rc = main(["replication", "--fast"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "outlook:replication" in out
+        assert "eager" in out

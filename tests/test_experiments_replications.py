@@ -1,0 +1,74 @@
+"""Tests for the independent-replications runner."""
+
+import pytest
+
+from repro.experiments.replications import ReplicatedResult, run_replicated
+from repro.sim.stopping import StoppingConfig
+from repro.workload.params import SimulationParameters
+
+TINY = StoppingConfig(
+    relative_precision=0.3,
+    confidence=0.9,
+    batch_size=40,
+    warmup=40,
+    min_batches=2,
+    max_observations=1_500,
+)
+
+
+class TestReplications:
+    def test_default_seed_derivation(self):
+        params = SimulationParameters(policy="sedentary", seed=100)
+        result = run_replicated(params, replicates=3, stopping=TINY)
+        assert result.seeds == (100, 101, 102)
+        assert len(result.per_seed) == 3
+        assert result.stats.count == 3
+
+    def test_explicit_seeds(self):
+        params = SimulationParameters(policy="sedentary")
+        result = run_replicated(
+            params, stopping=TINY, seeds=(7, 70, 700)
+        )
+        assert result.seeds == (7, 70, 700)
+
+    def test_replicates_validation(self):
+        params = SimulationParameters()
+        with pytest.raises(ValueError):
+            run_replicated(params, replicates=0, stopping=TINY)
+        with pytest.raises(ValueError):
+            run_replicated(params, seeds=(), stopping=TINY)
+
+    def test_sedentary_ci_contains_anchor(self):
+        """Cross-seed CI of the Fig 8 baseline covers 4/3."""
+        params = SimulationParameters(policy="sedentary")
+        result = run_replicated(params, replicates=5, stopping=TINY)
+        low, high = result.interval(confidence=0.99)
+        assert low < 4.0 / 3.0 < high
+
+    def test_seeds_actually_vary(self):
+        params = SimulationParameters(policy="migration")
+        result = run_replicated(params, replicates=4, stopping=TINY)
+        assert len(set(result.per_seed)) > 1
+
+    def test_parallel_matches_serial(self):
+        params = SimulationParameters(policy="placement")
+        serial = run_replicated(params, replicates=3, stopping=TINY)
+        parallel = run_replicated(
+            params, replicates=3, stopping=TINY, workers=2
+        )
+        assert serial.per_seed == parallel.per_seed
+
+    def test_summary_shape(self):
+        params = SimulationParameters(policy="sedentary")
+        result = run_replicated(params, replicates=3, stopping=TINY)
+        summary = result.summary()
+        assert set(summary) == {
+            "mean",
+            "stddev",
+            "ci95",
+            "replicates",
+            "min",
+            "max",
+        }
+        assert summary["replicates"] == 3
+        assert summary["min"] <= summary["mean"] <= summary["max"]

@@ -1,0 +1,105 @@
+"""Workload-scale accounting integration tests.
+
+Cross-check the independent bookkeeping layers against each other:
+network message counters, migration counters, policy statistics and
+metric totals must tell one consistent story.
+"""
+
+import pytest
+
+from repro.sim.stopping import StoppingConfig
+from repro.sim.trace import Tracer
+from repro.workload.clientserver import ClientServerWorkload
+from repro.workload.params import SimulationParameters
+
+STOP = StoppingConfig(
+    relative_precision=0.2,
+    confidence=0.9,
+    batch_size=60,
+    warmup=60,
+    min_batches=3,
+    max_observations=5_000,
+)
+
+
+def run(policy, seed=0, clients=6, tracer=None):
+    params = SimulationParameters(
+        policy=policy, clients=clients, nodes=3, seed=seed
+    )
+    workload = ClientServerWorkload(
+        params,
+        stopping=STOP,
+        tracer=tracer if tracer is not None else Tracer(kinds=set()),
+    )
+    result = workload.run()
+    return workload, result
+
+
+class TestMessageAccounting:
+    def test_sedentary_message_count_matches_calls(self):
+        """Without migration every message is an invocation request or
+        reply: remote+local messages == 2 x invocations performed."""
+        workload, result = run("sedentary")
+        network = workload.system.network
+        invocations = workload.system.invocations.durations.count
+        total_messages = network.remote_messages + network.local_messages
+        # Calls in flight at cutoff have sent their request but not
+        # their reply: allow one message per client of slack.
+        assert 0 <= total_messages - 2 * invocations <= workload.params.clients
+
+    def test_placement_message_economy(self):
+        """§3.2: for the same workload, placement sends no more remote
+        messages per block than conventional migration (it only ever
+        saves transfers; move-request counts are identical)."""
+        w_migration, r_migration = run("migration", seed=42)
+        w_placement, r_placement = run("placement", seed=42)
+        per_block_migration = (
+            w_migration.system.network.remote_messages
+            / r_migration.raw["metrics"]["blocks"]
+        )
+        per_block_placement = (
+            w_placement.system.network.remote_messages
+            / r_placement.raw["metrics"]["blocks"]
+        )
+        assert per_block_placement <= per_block_migration * 1.05
+
+    def test_migration_transfers_match_object_counters(self):
+        workload, _ = run("migration")
+        service_total = workload.system.migrations.migration_count
+        object_total = sum(
+            s.migration_count for s in workload.servers
+        )
+        assert service_total == object_total
+
+    def test_policy_grant_counts_match_blocks(self):
+        workload, result = run("placement")
+        stats = workload.policy.stats()
+        blocks = result.raw["metrics"]["blocks"]
+        # Every completed block issued exactly one move request; a few
+        # requests may belong to blocks still open at cutoff.
+        assert stats["moves_requested"] >= blocks
+        assert stats["moves_requested"] <= blocks + workload.params.clients
+        undecided = stats["moves_requested"] - (
+            stats["moves_granted"] + stats["moves_rejected"]
+        )
+        # Requests whose decision was still pending at cutoff.
+        assert 0 <= undecided <= workload.params.clients
+
+    def test_metric_totals_match_running_sums(self):
+        workload, result = run("migration")
+        metrics = workload.metrics
+        # The decomposition identity at the totals level.
+        recomputed = (
+            metrics.call_durations.total
+            + metrics.total_migration_cost
+            + metrics.system_migration_cost
+            + metrics.unamortized_migration_cost
+        ) / metrics.call_count
+        assert result.mean_communication_time_per_call == pytest.approx(
+            recomputed
+        )
+
+    def test_comparing_policy_open_requests_bounded_by_clients(self):
+        workload, _ = run("comparing", clients=5)
+        for counts in workload.policy._open.values():
+            assert sum(counts.values()) <= 5

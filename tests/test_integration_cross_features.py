@@ -1,0 +1,130 @@
+"""Cross-feature integration: combinations the unit suites don't cover."""
+
+import pytest
+
+from repro.core.attachment import AttachmentMode
+from repro.sim.stopping import StoppingConfig
+from repro.workload.clientserver import run_cell
+from repro.workload.layered import LayeredWorkload
+from repro.workload.params import SimulationParameters
+
+TINY = StoppingConfig(
+    relative_precision=0.25,
+    confidence=0.9,
+    batch_size=50,
+    warmup=50,
+    min_batches=3,
+    max_observations=3_000,
+)
+
+LAYERED = SimulationParameters(
+    nodes=24,
+    clients=6,
+    servers_layer1=6,
+    servers_layer2=6,
+    mean_calls_per_block=6.0,
+    working_set_size=2,
+)
+
+
+class TestGuardedCombinations:
+    def test_guarded_policy_on_layered_workload(self):
+        """The thrashing guard composes with attachments."""
+        params = LAYERED.with_overrides(
+            policy="guarded:migration",
+            attachment_mode=AttachmentMode.UNRESTRICTED,
+            seed=0,
+        )
+        workload = LayeredWorkload(params, stopping=TINY)
+        result = workload.run()
+        assert result.mean_communication_time_per_call > 0
+        # The guard inherits the attachment graph through the wrapper.
+        assert workload.policy.inner.attachments is workload.attachments
+        workload.system.registry.check_consistency()
+
+    def test_guard_tames_unrestricted_attachment_devastation(self):
+        base = LAYERED.with_overrides(
+            attachment_mode=AttachmentMode.UNRESTRICTED, clients=8, seed=1
+        )
+        plain = run_cell(
+            base.with_overrides(policy="migration"), stopping=TINY
+        )
+        guarded = run_cell(
+            base.with_overrides(policy="guarded:migration"), stopping=TINY
+        )
+        assert (
+            guarded.mean_communication_time_per_call
+            < plain.mean_communication_time_per_call
+        )
+
+
+class TestDynamicPoliciesWithAttachments:
+    @pytest.mark.parametrize("policy", ["comparing", "reinstantiation"])
+    def test_dynamic_policy_on_layered_workload(self, policy):
+        """The dynamic policies respect A-transitive closures too."""
+        params = LAYERED.with_overrides(
+            policy=policy,
+            attachment_mode=AttachmentMode.A_TRANSITIVE,
+            use_alliances=True,
+            seed=2,
+        )
+        workload = LayeredWorkload(params, stopping=TINY)
+        result = workload.run()
+        workload.system.registry.check_consistency()
+        workload.policy.locks.check_invariant()
+        # Granted moves drag at most the 3-object alliance working set.
+        blocks = result.raw["metrics"]["blocks"]
+        migrations = result.raw["migrations"]
+        assert migrations <= 3 * blocks + 10
+
+
+class TestVisitOnLayered:
+    def test_visit_style_with_alliances(self):
+        params = LAYERED.with_overrides(
+            policy="placement",
+            attachment_mode=AttachmentMode.A_TRANSITIVE,
+            use_alliances=True,
+            block_style="visit",
+            seed=3,
+        )
+        workload = LayeredWorkload(params, stopping=TINY)
+        result = workload.run()
+        assert result.mean_communication_time_per_call > 0
+        workload.system.registry.check_consistency()
+
+
+class TestLocatorCombinations:
+    @pytest.mark.parametrize("locator", ["forwarding", "nameserver"])
+    def test_non_default_locator_with_placement(self, locator):
+        params = SimulationParameters(
+            policy="placement", locator=locator, clients=4, seed=4
+        )
+        result = run_cell(params, stopping=TINY)
+        assert result.mean_communication_time_per_call > 0
+
+    def test_forwarding_locator_charges_after_migrations(self):
+        """Under a migrating policy the forwarding locator must see
+        migrations (lookup_messages accrue)."""
+        from repro.workload.clientserver import ClientServerWorkload
+
+        params = SimulationParameters(
+            policy="migration",
+            locator="forwarding",
+            clients=6,
+            mean_interblock_time=10.0,
+            seed=5,
+        )
+        workload = ClientServerWorkload(params, stopping=TINY)
+        workload.run()
+        assert workload.system.locator.lookup_messages > 0
+
+
+class TestTopologyCombinations:
+    @pytest.mark.parametrize("topology", ["ring", "star", "grid"])
+    def test_every_policy_runs_on_every_topology(self, topology):
+        for policy in ("sedentary", "migration", "placement"):
+            params = SimulationParameters(
+                policy=policy, topology=topology, clients=3, seed=6
+            )
+            result = run_cell(params, stopping=TINY)
+            assert result.mean_communication_time_per_call >= 0

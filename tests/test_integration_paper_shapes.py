@@ -1,0 +1,223 @@
+"""End-to-end shape tests: the paper's qualitative claims, seeded.
+
+These are the reproduction's acceptance tests.  They use a loose (but
+non-trivial) stopping rule and fixed seeds; each asserts an *ordering*
+or *trend* from §4, not absolute values.
+"""
+
+import pytest
+
+from repro.analysis.breakeven import break_even, is_sublinear
+from repro.experiments.figures import (
+    FIG8_BASE,
+    FIG12_BASE,
+    FIG14_BASE,
+    FIG16_BASE,
+)
+from repro.core.attachment import AttachmentMode
+from repro.sim.stopping import StoppingConfig
+from repro.workload.clientserver import run_cell
+
+STOP = StoppingConfig(
+    relative_precision=0.05,
+    confidence=0.95,
+    batch_size=200,
+    warmup=200,
+    min_batches=5,
+    max_observations=30_000,
+)
+
+
+def comm_time(params):
+    return run_cell(params, stopping=STOP).mean_communication_time_per_call
+
+
+@pytest.fixture(scope="module")
+def fig8_curves():
+    """Three policies over a small t_m sweep (Fig 8)."""
+    tms = [4.0, 30.0, 100.0]
+    out = {}
+    for policy in ("sedentary", "migration", "placement"):
+        out[policy] = [
+            comm_time(
+                FIG8_BASE.with_overrides(
+                    policy=policy, mean_interblock_time=tm, seed=1
+                )
+            )
+            for tm in tms
+        ]
+    return out
+
+
+class TestFigure8:
+    def test_sedentary_anchor_is_4_thirds(self, fig8_curves):
+        for value in fig8_curves["sedentary"]:
+            assert value == pytest.approx(4.0 / 3.0, rel=0.08)
+
+    def test_migration_beats_sedentary_at_low_concurrency(self, fig8_curves):
+        assert fig8_curves["migration"][-1] < fig8_curves["sedentary"][-1]
+        assert fig8_curves["placement"][-1] < fig8_curves["sedentary"][-1]
+
+    def test_placement_never_worse_than_migration(self, fig8_curves):
+        for p, m in zip(fig8_curves["placement"], fig8_curves["migration"]):
+            assert p <= m * 1.05  # small stochastic slack
+
+    def test_cost_rises_with_concurrency(self, fig8_curves):
+        """Duration of invocations generally increases with concurrency
+        (i.e. as t_m falls)."""
+        for policy in ("migration", "placement"):
+            curve = fig8_curves[policy]
+            assert curve[0] > curve[-1]
+
+
+class TestFigure10And11:
+    def test_decomposition(self):
+        """Fig 10 + Fig 11 add up to Fig 8, and the migration share
+        falls at maximum concurrency (callee already collocated)."""
+        busy = run_cell(
+            FIG8_BASE.with_overrides(
+                policy="migration", mean_interblock_time=2.0, seed=1
+            ),
+            stopping=STOP,
+        )
+        quiet = run_cell(
+            FIG8_BASE.with_overrides(
+                policy="migration", mean_interblock_time=100.0, seed=1
+            ),
+            stopping=STOP,
+        )
+        for r in (busy, quiet):
+            assert r.mean_communication_time_per_call == pytest.approx(
+                r.mean_call_duration + r.mean_migration_time_per_call
+            )
+        # Call-duration component grows with concurrency...
+        assert busy.mean_call_duration > quiet.mean_call_duration
+        # ...while the migration component per call shrinks.
+        assert (
+            busy.mean_migration_time_per_call
+            < quiet.mean_migration_time_per_call
+        )
+
+
+@pytest.fixture(scope="module")
+def fig12_curves():
+    clients = [1, 3, 6, 10, 15, 20, 25]
+    out = {"x": clients}
+    for policy in ("sedentary", "migration", "placement"):
+        out[policy] = [
+            comm_time(
+                FIG12_BASE.with_overrides(policy=policy, clients=c, seed=2)
+            )
+            for c in clients
+        ]
+    return out
+
+
+class TestFigure12:
+    def test_sedentary_flattens_toward_2(self, fig12_curves):
+        assert fig12_curves["sedentary"][-1] == pytest.approx(1.93, rel=0.08)
+
+    def test_migration_break_even_near_6_clients(self, fig12_curves):
+        be = break_even(
+            fig12_curves["x"],
+            fig12_curves["migration"],
+            fig12_curves["sedentary"],
+        )
+        assert be is not None
+        assert 3.5 <= be <= 9.0  # paper: 6
+
+    def test_placement_break_even_far_beyond_migrations(self, fig12_curves):
+        """Paper: migration breaks even at 6 clients, placement at 20.
+        The seed-to-seed spread puts placement's point at 13-20; the
+        robust claim is that it is at least ~2x migration's."""
+        be_placement = break_even(
+            fig12_curves["x"],
+            fig12_curves["placement"],
+            fig12_curves["sedentary"],
+        )
+        be_migration = break_even(
+            fig12_curves["x"],
+            fig12_curves["migration"],
+            fig12_curves["sedentary"],
+        )
+        assert be_placement is not None and be_migration is not None
+        assert 10.0 <= be_placement <= 25.0  # paper: 20
+        assert be_placement >= 2.0 * be_migration
+
+    def test_placement_growth_is_sublinear(self, fig12_curves):
+        assert is_sublinear(fig12_curves["x"], fig12_curves["placement"])
+
+    def test_migration_worst_at_high_client_counts(self, fig12_curves):
+        assert fig12_curves["migration"][-1] > fig12_curves["placement"][-1]
+        assert fig12_curves["migration"][-1] > fig12_curves["sedentary"][-1]
+
+
+class TestFigure14:
+    def test_dynamic_policies_track_placement(self):
+        """§4.3: both strategies lead only to minor performance gains."""
+        clients = [10, 20]
+        for c in clients:
+            base = comm_time(
+                FIG14_BASE.with_overrides(policy="placement", clients=c, seed=3)
+            )
+            for policy in ("comparing", "reinstantiation"):
+                dynamic = comm_time(
+                    FIG14_BASE.with_overrides(policy=policy, clients=c, seed=3)
+                )
+                # Within +/-25% of conservative placement: no dramatic
+                # win, no dramatic loss.
+                assert dynamic == pytest.approx(base, rel=0.25)
+
+
+@pytest.fixture(scope="module")
+def fig16_values():
+    cells = {
+        "sedentary": ("sedentary", AttachmentMode.UNRESTRICTED, False),
+        "mig+unrestricted": ("migration", AttachmentMode.UNRESTRICTED, False),
+        "mig+atransitive": ("migration", AttachmentMode.A_TRANSITIVE, True),
+        "place+unrestricted": ("placement", AttachmentMode.UNRESTRICTED, False),
+        "place+atransitive": ("placement", AttachmentMode.A_TRANSITIVE, True),
+    }
+    out = {}
+    for label, (policy, mode, ally) in cells.items():
+        out[label] = comm_time(
+            FIG16_BASE.with_overrides(
+                policy=policy,
+                attachment_mode=mode,
+                use_alliances=ally,
+                clients=10,
+                seed=4,
+            )
+        )
+    return out
+
+
+class TestFigure16:
+    def test_unrestricted_migration_is_devastating(self, fig16_values):
+        assert fig16_values["mig+unrestricted"] > fig16_values["sedentary"]
+        assert (
+            fig16_values["mig+unrestricted"]
+            > 1.5 * fig16_values["mig+atransitive"]
+        )
+
+    def test_a_transitivity_helps_migration(self, fig16_values):
+        assert (
+            fig16_values["mig+atransitive"]
+            < fig16_values["mig+unrestricted"]
+        )
+
+    def test_placement_helps_under_both_attachment_modes(self, fig16_values):
+        assert (
+            fig16_values["place+unrestricted"]
+            < fig16_values["mig+unrestricted"]
+        )
+        assert (
+            fig16_values["place+atransitive"]
+            < fig16_values["mig+atransitive"]
+        )
+
+    def test_placement_plus_alliances_is_best(self, fig16_values):
+        best = fig16_values["place+atransitive"]
+        for label, value in fig16_values.items():
+            if label != "place+atransitive":
+                assert best <= value * 1.05

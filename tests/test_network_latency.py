@@ -1,0 +1,68 @@
+"""Unit tests for the latency models."""
+
+import numpy as np
+import pytest
+
+from repro.network.latency import (
+    DeterministicLatency,
+    NormalizedExponentialLatency,
+    PerHopExponentialLatency,
+)
+from repro.network.topology import Ring
+from repro.sim.rng import RandomStreams
+
+
+@pytest.fixture
+def stream(streams):
+    return streams.stream("latency-test")
+
+
+class TestNormalizedExponential:
+    def test_local_is_free(self, stream):
+        model = NormalizedExponentialLatency(1.0)
+        assert model.sample(2, 2, stream) == 0.0
+        assert model.mean(2, 2) == 0.0
+
+    def test_remote_mean(self, stream):
+        model = NormalizedExponentialLatency(1.0)
+        draws = [model.sample(0, 1, stream) for _ in range(20000)]
+        assert np.mean(draws) == pytest.approx(1.0, rel=0.05)
+        assert model.mean(0, 1) == 1.0
+
+    def test_pair_independent_mean(self, stream):
+        model = NormalizedExponentialLatency(2.5)
+        assert model.mean(0, 1) == model.mean(5, 9) == 2.5
+
+    def test_negative_mean_rejected(self):
+        with pytest.raises(ValueError):
+            NormalizedExponentialLatency(-1)
+
+
+class TestPerHop:
+    def test_scales_with_hops(self, stream):
+        topo = Ring(8)
+        model = PerHopExponentialLatency(topo, mean_per_hop=1.0)
+        assert model.mean(0, 1) == 1.0
+        assert model.mean(0, 4) == 4.0
+
+    def test_sample_mean_matches_hops(self, stream):
+        topo = Ring(8)
+        model = PerHopExponentialLatency(topo, mean_per_hop=0.5)
+        draws = [model.sample(0, 3, stream) for _ in range(20000)]
+        assert np.mean(draws) == pytest.approx(1.5, rel=0.05)
+
+    def test_local_free(self, stream):
+        model = PerHopExponentialLatency(Ring(4))
+        assert model.sample(1, 1, stream) == 0.0
+
+
+class TestDeterministic:
+    def test_constant(self, stream):
+        model = DeterministicLatency(3.0)
+        assert model.sample(0, 1, stream) == 3.0
+        assert model.sample(1, 1, stream) == 0.0
+        assert model.mean(0, 2) == 3.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            DeterministicLatency(-0.5)

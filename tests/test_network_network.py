@@ -1,0 +1,67 @@
+"""Unit tests for the Network facade."""
+
+import pytest
+
+from repro.network.latency import DeterministicLatency
+from repro.network.network import Network
+from repro.network.topology import FullyConnected
+from repro.sim.kernel import Environment
+from repro.sim.rng import RandomStreams
+
+
+@pytest.fixture
+def net(env, streams):
+    return Network(
+        env,
+        topology=FullyConnected(4),
+        latency=DeterministicLatency(2.0),
+        streams=streams,
+    )
+
+
+class TestTransmit:
+    def test_remote_message_takes_latency(self, env, net):
+        def proc(env):
+            delay = yield from net.transmit(0, 1)
+            return (env.now, delay)
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == (2.0, 2.0)
+
+    def test_local_message_is_instant(self, env, net):
+        def proc(env):
+            delay = yield from net.transmit(3, 3)
+            return (env.now, delay)
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == (0.0, 0.0)
+
+    def test_round_trip_sums_both_legs(self, env, net):
+        def proc(env):
+            total = yield from net.round_trip(0, 2)
+            return (env.now, total)
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == (4.0, 4.0)
+
+    def test_message_accounting(self, env, net):
+        def proc(env):
+            yield from net.transmit(0, 1)
+            yield from net.transmit(1, 1)
+            yield from net.round_trip(2, 3)
+
+        env.process(proc(env))
+        env.run()
+        assert net.remote_messages == 3
+        assert net.local_messages == 1
+        assert net.total_latency == pytest.approx(6.0)
+
+    def test_size_property(self, net):
+        assert net.size == 4
+
+    def test_default_network_is_paper_model(self, env):
+        net = Network(env)
+        assert type(net.latency).__name__ == "NormalizedExponentialLatency"

@@ -1,0 +1,104 @@
+"""Property-based tests for the discrete-event kernel."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.kernel import Environment
+
+delays = st.lists(
+    st.floats(min_value=0.0, max_value=1000.0, allow_nan=False),
+    min_size=1,
+    max_size=40,
+)
+
+
+@given(delays)
+def test_events_fire_in_nondecreasing_time_order(delay_list):
+    env = Environment()
+    fired = []
+    for d in delay_list:
+        env.timeout(d).callbacks.append(lambda e, d=d: fired.append(env.now))
+    env.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delay_list)
+
+
+@given(delays)
+def test_clock_never_goes_backwards(delay_list):
+    env = Environment()
+    observed = []
+
+    def watcher(env):
+        last = env.now
+        while True:
+            yield env.timeout(0.5)
+            assert env.now >= last
+            last = env.now
+            observed.append(env.now)
+            if env.now > max(delay_list):
+                return
+
+    for d in delay_list:
+        env.timeout(d)
+    env.process(watcher(env))
+    env.run()
+    assert observed == sorted(observed)
+
+
+@given(delays, delays)
+def test_run_until_stops_exactly(first, second):
+    """run(until=t) leaves the clock at exactly t and preserves later
+    events for a subsequent run."""
+    env = Environment()
+    horizon = max(first) + 1.0
+    for d in first + [horizon + d for d in second]:
+        env.timeout(d)
+    env.run(until=horizon)
+    assert env.now == horizon
+    env.run()
+    assert env.now >= horizon
+
+
+@given(st.lists(st.floats(min_value=0.01, max_value=50.0), min_size=1, max_size=20))
+def test_process_chain_accumulates_delays(delay_list):
+    """A process yielding a sequence of timeouts ends at their sum."""
+    env = Environment()
+
+    def proc(env):
+        for d in delay_list:
+            yield env.timeout(d)
+        return env.now
+
+    p = env.process(proc(env))
+    env.run()
+    assert abs(p.value - sum(delay_list)) < 1e-6 * max(1.0, sum(delay_list))
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=100.0),
+            st.integers(min_value=0, max_value=5),
+        ),
+        min_size=1,
+        max_size=30,
+    )
+)
+def test_deterministic_replay(spec):
+    """Two environments fed the same script produce identical traces."""
+
+    def execute():
+        env = Environment()
+        trace = []
+
+        def worker(env, delay, hops):
+            for i in range(hops + 1):
+                yield env.timeout(delay)
+                trace.append((round(env.now, 9), delay, i))
+
+        for delay, hops in spec:
+            env.process(worker(env, delay, hops))
+        env.run()
+        return trace
+
+    assert execute() == execute()

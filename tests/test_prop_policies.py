@@ -1,0 +1,120 @@
+"""Property-based tests for policy invariants under random workloads.
+
+These drive the real client-process machinery with randomized
+parameters and assert the safety properties that make the policies
+correct, rather than any performance number.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.stopping import StoppingConfig
+from repro.sim.trace import Tracer
+from repro.workload.clientserver import ClientServerWorkload
+from repro.workload.params import SimulationParameters
+
+TINY = StoppingConfig(
+    relative_precision=0.5,
+    confidence=0.9,
+    batch_size=30,
+    warmup=30,
+    min_batches=2,
+    max_observations=600,
+)
+
+small_cells = st.fixed_dictionaries(
+    {
+        "nodes": st.integers(min_value=2, max_value=6),
+        "clients": st.integers(min_value=1, max_value=6),
+        "servers_layer1": st.integers(min_value=1, max_value=4),
+        "mean_interblock_time": st.floats(min_value=2.0, max_value=40.0),
+        "seed": st.integers(min_value=0, max_value=10_000),
+    }
+)
+
+
+def run_workload(policy, cell, tracer=None):
+    params = SimulationParameters(
+        policy=policy,
+        mean_calls_per_block=8.0,
+        migration_duration=6.0,
+        **cell,
+    )
+    workload = ClientServerWorkload(
+        params,
+        stopping=TINY,
+        tracer=tracer if tracer is not None else Tracer(kinds=set()),
+    )
+    result = workload.run()
+    return workload, result
+
+
+@given(small_cells)
+@settings(max_examples=20, deadline=None)
+def test_placement_locks_always_drain(cell):
+    """After every block ends, no lock leaks: at quiescence points the
+    lock ledger only holds objects of still-open blocks."""
+    workload, result = run_workload("placement", cell)
+    locks = workload.policy.locks
+    locks.check_invariant()
+    # Every locked object's holder must be an un-ended block.
+    for obj in locks.locked_objects():
+        assert obj.lock_holder is not None
+        assert not obj.lock_holder.ended
+
+
+@given(small_cells)
+@settings(max_examples=20, deadline=None)
+def test_registry_consistency_for_every_policy(cell):
+    for policy in ("sedentary", "migration", "placement", "comparing"):
+        workload, _ = run_workload(policy, cell)
+        workload.system.registry.check_consistency()
+
+
+@given(small_cells)
+@settings(max_examples=20, deadline=None)
+def test_sedentary_objects_never_move(cell):
+    workload, result = run_workload("sedentary", cell)
+    assert workload.system.migrations.migration_count == 0
+    for server in workload.servers:
+        assert server.migration_count == 0
+
+
+@given(small_cells)
+@settings(max_examples=15, deadline=None)
+def test_metric_decomposition_identity(cell):
+    """comm_time == call_duration + migration_time, always."""
+    for policy in ("migration", "placement"):
+        _, result = run_workload(policy, cell)
+        total = result.mean_communication_time_per_call
+        parts = (
+            result.mean_call_duration + result.mean_migration_time_per_call
+        )
+        assert abs(total - parts) < 1e-9
+
+
+@given(small_cells)
+@settings(max_examples=15, deadline=None)
+def test_placement_rejections_never_migrate(cell):
+    """A rejected move-request must not cause any transfer (§3.2)."""
+    tracer = Tracer(kinds={"move.rejected", "move.granted"})
+    workload, result = run_workload("placement", cell, tracer=tracer)
+    granted = tracer.count("move.granted")
+    # Total transfers can only stem from granted moves; each granted
+    # move transfers at most the working set (1, no attachments here).
+    # A transfer may complete in the instant the run is cut off, before
+    # its mover resumes to emit the grant trace — allow one in-flight
+    # move per client.
+    assert (
+        workload.system.migrations.migration_count
+        <= granted + cell["clients"]
+    )
+
+
+@given(small_cells)
+@settings(max_examples=15, deadline=None)
+def test_comparing_counts_never_negative(cell):
+    workload, _ = run_workload("comparing", cell)
+    for obj_counts in workload.policy._open.values():
+        for count in obj_counts.values():
+            assert count >= 0

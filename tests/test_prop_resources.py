@@ -1,0 +1,111 @@
+"""Property-based tests for the shared-resource primitives."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.kernel import Environment
+from repro.sim.resources import Resource, Store, Waiters
+
+hold_times = st.lists(
+    st.floats(min_value=0.1, max_value=20.0), min_size=1, max_size=15
+)
+
+
+@given(hold_times, st.integers(min_value=1, max_value=4))
+@settings(max_examples=40, deadline=None)
+def test_resource_capacity_never_exceeded(holds, capacity):
+    env = Environment()
+    resource = Resource(env, capacity=capacity)
+    in_use = [0]
+    peak = [0]
+
+    def worker(env, hold):
+        yield resource.request()
+        in_use[0] += 1
+        peak[0] = max(peak[0], in_use[0])
+        assert in_use[0] <= capacity
+        yield env.timeout(hold)
+        in_use[0] -= 1
+        resource.release()
+
+    for hold in holds:
+        env.process(worker(env, hold))
+    env.run()
+    assert in_use[0] == 0
+    assert peak[0] <= capacity
+    assert resource.count == 0
+    assert resource.queue_length == 0
+
+
+@given(hold_times)
+@settings(max_examples=40, deadline=None)
+def test_mutex_grants_are_fifo(holds):
+    env = Environment()
+    resource = Resource(env)
+    grant_order = []
+
+    def worker(env, index, hold):
+        # Stagger arrivals so the queue order is well-defined.
+        yield env.timeout(index * 0.001)
+        yield resource.request()
+        grant_order.append(index)
+        yield env.timeout(hold)
+        resource.release()
+
+    for index, hold in enumerate(holds):
+        env.process(worker(env, index, hold))
+    env.run()
+    assert grant_order == sorted(grant_order)
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=999), max_size=30),
+    st.integers(min_value=1, max_value=5),
+)
+@settings(max_examples=40, deadline=None)
+def test_store_preserves_fifo_under_bounded_capacity(items, capacity):
+    env = Environment()
+    store = Store(env, capacity=capacity)
+    received = []
+
+    def producer(env):
+        for item in items:
+            yield store.put(item)
+            yield env.timeout(0.1)
+
+    def consumer(env):
+        for _ in items:
+            value = yield store.get()
+            received.append(value)
+            yield env.timeout(0.25)
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert received == items
+    assert len(store) == 0
+
+
+@given(st.integers(min_value=0, max_value=20))
+@settings(max_examples=30, deadline=None)
+def test_waiters_wake_exactly_once_per_notification(n_waiters):
+    env = Environment()
+    cond = Waiters(env)
+    wakeups = []
+
+    def sleeper(env, tag):
+        yield cond.wait()
+        wakeups.append(tag)
+
+    for i in range(n_waiters):
+        env.process(sleeper(env, i))
+
+    def notifier(env):
+        yield env.timeout(1)
+        count = cond.notify_all()
+        assert count == n_waiters
+
+    env.process(notifier(env))
+    env.run()
+    assert sorted(wakeups) == list(range(n_waiters))
+    assert cond.waiting == 0

@@ -1,0 +1,108 @@
+"""Property-based tests for runtime invariants under random interleavings."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.locking import LockManager
+from repro.core.moveblock import MoveBlock
+from repro.network.latency import DeterministicLatency
+from repro.runtime.system import DistributedSystem
+
+N_NODES = 4
+N_OBJECTS = 5
+
+#: A migration script: (object index, target node, start delay).
+migration_scripts = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=N_OBJECTS - 1),
+        st.integers(min_value=0, max_value=N_NODES - 1),
+        st.floats(min_value=0.0, max_value=30.0),
+    ),
+    min_size=1,
+    max_size=15,
+)
+
+
+@given(migration_scripts)
+@settings(max_examples=50, deadline=None)
+def test_registry_consistent_under_arbitrary_migrations(script):
+    """Residency bookkeeping survives any interleaving of migrations."""
+    system = DistributedSystem(
+        nodes=N_NODES, migration_duration=3.0, latency=DeterministicLatency(1.0)
+    )
+    objs = [system.create_server(node=i % N_NODES) for i in range(N_OBJECTS)]
+
+    def mover(env, obj, target, delay):
+        if delay > 0:
+            yield env.timeout(delay)
+        yield from system.migrations.migrate([obj], target)
+        system.registry.check_consistency()
+
+    for obj_idx, target, delay in script:
+        system.env.process(mover(system.env, objs[obj_idx], target, delay))
+    system.env.run()
+
+    system.registry.check_consistency()
+    # Every object landed somewhere and nothing is still in transit.
+    for obj in objs:
+        assert not obj.in_transit
+        assert 0 <= obj.node_id < N_NODES
+
+
+@given(migration_scripts)
+@settings(max_examples=50, deadline=None)
+def test_migration_counts_conserved(script):
+    """Total per-object migrations == service-wide migration count."""
+    system = DistributedSystem(
+        nodes=N_NODES, migration_duration=2.0, latency=DeterministicLatency(1.0)
+    )
+    objs = [system.create_server(node=0) for _ in range(N_OBJECTS)]
+
+    def mover(env, obj, target, delay):
+        if delay > 0:
+            yield env.timeout(delay)
+        yield from system.migrations.migrate([obj], target)
+
+    for obj_idx, target, delay in script:
+        system.env.process(mover(system.env, objs[obj_idx], target, delay))
+    system.env.run()
+
+    assert (
+        sum(o.migration_count for o in objs)
+        == system.migrations.migration_count
+    )
+
+
+#: Lock scripts: sequence of (action, object index) where action 0=try
+#: lock with a fresh block, 1=release most recent holder.
+lock_scripts = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=1),
+        st.integers(min_value=0, max_value=N_OBJECTS - 1),
+    ),
+    max_size=40,
+)
+
+
+@given(lock_scripts)
+def test_lock_safety_under_random_sequences(script):
+    """At most one holder per object, ever; ledger stays consistent."""
+    system = DistributedSystem(nodes=2)
+    objs = [system.create_server(node=0) for _ in range(N_OBJECTS)]
+    locks = LockManager()
+    holders = {}  # object index -> block
+
+    for action, idx in script:
+        obj = objs[idx]
+        if action == 0:
+            block = MoveBlock(0, obj)
+            if not locks.is_locked(obj):
+                locks.lock(obj, block)
+                holders[idx] = block
+        else:
+            block = holders.pop(idx, None)
+            if block is not None:
+                locks.release_block(block)
+        locks.check_invariant()
+        for i, o in enumerate(objs):
+            assert o.is_locked == (i in holders)

@@ -1,0 +1,96 @@
+"""Property-based tests for the statistics substrate."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.stats import BatchMeans, RunningStats, normal_ppf, student_t_cdf, student_t_ppf
+
+floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+samples = st.lists(floats, min_size=1, max_size=200)
+
+
+@given(samples)
+def test_welford_matches_numpy(data):
+    s = RunningStats()
+    for v in data:
+        s.add(v)
+    assert s.count == len(data)
+    assert s.mean == pytest.approx(np.mean(data), rel=1e-9, abs=1e-6)
+    if len(data) >= 2:
+        assert s.variance == pytest.approx(
+            np.var(data, ddof=1), rel=1e-6, abs=1e-6
+        )
+    assert s.min == min(data)
+    assert s.max == max(data)
+
+
+@given(samples, samples)
+def test_merge_equals_concatenation(a, b):
+    sa, sb, sc = RunningStats(), RunningStats(), RunningStats()
+    for v in a:
+        sa.add(v)
+    for v in b:
+        sb.add(v)
+    for v in a + b:
+        sc.add(v)
+    sa.merge(sb)
+    assert sa.count == sc.count
+    assert sa.mean == pytest.approx(sc.mean, rel=1e-9, abs=1e-6)
+    assert sa.variance == pytest.approx(sc.variance, rel=1e-6, abs=1e-6)
+
+
+@given(samples)
+def test_variance_nonnegative(data):
+    s = RunningStats()
+    for v in data:
+        s.add(v)
+    assert s.variance >= 0.0
+
+
+@given(st.floats(min_value=1e-6, max_value=1 - 1e-6))
+def test_normal_ppf_roundtrip(p):
+    """Phi(Phi^-1(p)) == p."""
+    x = normal_ppf(p)
+    back = 0.5 * math.erfc(-x / math.sqrt(2))
+    assert back == pytest.approx(p, rel=1e-7, abs=1e-9)
+
+
+@given(
+    st.floats(min_value=0.001, max_value=0.999),
+    st.integers(min_value=1, max_value=200),
+)
+def test_t_ppf_roundtrip(p, dof):
+    """F(F^-1(p)) == p for the Student-t distribution."""
+    x = student_t_ppf(p, dof)
+    assert student_t_cdf(x, dof) == pytest.approx(p, abs=1e-8)
+
+
+@given(
+    st.integers(min_value=2, max_value=200),
+    st.floats(min_value=0.5, max_value=0.999),
+)
+def test_t_quantile_heavier_than_normal(dof, p):
+    """For p > 0.5 the t quantile exceeds the normal quantile."""
+    assert student_t_ppf(p, dof) >= normal_ppf(p) - 1e-12
+
+
+@given(
+    st.lists(
+        st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+        min_size=1,
+        max_size=300,
+    ),
+    st.integers(min_value=1, max_value=20),
+)
+def test_batch_means_grand_mean_matches(data, batch_size):
+    bm = BatchMeans(batch_size=batch_size, warmup=0)
+    for v in data:
+        bm.add(v)
+    assert bm.mean == pytest.approx(np.mean(data), rel=1e-9, abs=1e-6)
+    assert bm.batch_count == len(data) // batch_size

@@ -1,0 +1,130 @@
+"""Unit tests for the replication service (§5 outlook substrate)."""
+
+import pytest
+
+from repro.network.latency import DeterministicLatency
+from repro.replication.service import ReplicationService
+from repro.runtime.system import DistributedSystem
+
+
+@pytest.fixture
+def system():
+    return DistributedSystem(
+        nodes=4, seed=0, latency=DeterministicLatency(1.0)
+    )
+
+
+@pytest.fixture
+def service(system):
+    return ReplicationService(
+        system.env, system.network, copy_duration=6.0
+    )
+
+
+def run(system, fragment):
+    def proc(env):
+        result = yield from fragment
+        return result
+
+    p = system.env.process(proc(system.env))
+    system.env.run()
+    return p.value
+
+
+class TestReplicate:
+    def test_copy_takes_duration(self, system, service):
+        obj = system.create_server(node=0)
+        created = run(system, service.replicate(obj, 2))
+        assert created
+        assert system.env.now == pytest.approx(6.0)
+        assert service.replicas_of(obj) == {2}
+        assert service.has_copy(obj, 2)
+        assert service.replications == 1
+
+    def test_replicate_existing_is_noop(self, system, service):
+        obj = system.create_server(node=0)
+        run(system, service.replicate(obj, 2))
+        t = system.env.now
+        created = run(system, service.replicate(obj, 2))
+        assert not created
+        assert system.env.now == t
+
+    def test_primary_node_never_replicates(self, system, service):
+        obj = system.create_server(node=1)
+        created = run(system, service.replicate(obj, 1))
+        assert not created
+        assert service.replica_count(obj) == 0
+
+    def test_drop_replica(self, system, service):
+        obj = system.create_server(node=0)
+        run(system, service.replicate(obj, 3))
+        assert service.drop_replica(obj, 3)
+        assert not service.drop_replica(obj, 3)
+        assert not service.has_copy(obj, 3)
+
+    def test_invalid_copy_duration(self, system):
+        with pytest.raises(ValueError):
+            ReplicationService(system.env, system.network, copy_duration=-1)
+
+
+class TestRead:
+    def test_local_primary_read_free(self, system, service):
+        obj = system.create_server(node=1)
+        result = run(system, service.read(1, obj))
+        assert result.duration == 0.0
+        assert result.was_local
+        assert service.local_reads == 1
+
+    def test_replica_read_free(self, system, service):
+        obj = system.create_server(node=0)
+        run(system, service.replicate(obj, 2))
+        result = run(system, service.read(2, obj))
+        assert result.duration == 0.0
+        assert result.was_local
+
+    def test_remote_read_round_trip(self, system, service):
+        obj = system.create_server(node=0)
+        result = run(system, service.read(3, obj))
+        assert result.duration == pytest.approx(2.0)
+        assert not result.was_local
+
+
+class TestWrite:
+    def test_local_write_no_replicas_free(self, system, service):
+        obj = system.create_server(node=0)
+        result = run(system, service.write(0, obj))
+        assert result.duration == 0.0
+        assert result.was_local
+        assert result.invalidations == 0
+
+    def test_remote_write_round_trip(self, system, service):
+        obj = system.create_server(node=0)
+        result = run(system, service.write(2, obj))
+        assert result.duration == pytest.approx(2.0)
+
+    def test_write_invalidates_all_replicas(self, system, service):
+        obj = system.create_server(node=0)
+        run(system, service.replicate(obj, 1))
+        run(system, service.replicate(obj, 2))
+        result = run(system, service.write(0, obj))
+        assert result.invalidations == 2
+        assert service.replica_count(obj) == 0
+        assert service.invalidations_sent == 2
+        # Parallel invalidations: elapsed = one message latency.
+        assert result.duration == pytest.approx(1.0)
+
+    def test_invalidated_reader_pays_again(self, system, service):
+        obj = system.create_server(node=0)
+        run(system, service.replicate(obj, 1))
+        run(system, service.write(0, obj))
+        result = run(system, service.read(1, obj))
+        assert not result.was_local
+
+    def test_stats_shape(self, system, service):
+        obj = system.create_server(node=0)
+        run(system, service.read(1, obj))
+        run(system, service.write(1, obj))
+        stats = service.stats()
+        assert stats["reads"] == 1
+        assert stats["writes"] == 1
+        assert stats["mean_read"] == pytest.approx(2.0)

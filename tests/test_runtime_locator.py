@@ -1,0 +1,125 @@
+"""Unit tests for the object-location strategies."""
+
+import pytest
+
+from repro.network.latency import DeterministicLatency
+from repro.network.network import Network
+from repro.network.topology import FullyConnected
+from repro.runtime.locator import (
+    BroadcastLocator,
+    ForwardingLocator,
+    ImmediateUpdateLocator,
+    NameServerLocator,
+    make_locator,
+)
+from repro.runtime.objects import DistributedObject
+from repro.sim.rng import RandomStreams
+
+
+@pytest.fixture
+def net(env):
+    return Network(
+        env,
+        topology=FullyConnected(4),
+        latency=DeterministicLatency(1.0),
+        streams=RandomStreams(0),
+    )
+
+
+@pytest.fixture
+def obj(env):
+    return DistributedObject(env, object_id=1, node_id=2)
+
+
+def locate(env, locator, caller, obj):
+    def proc(env):
+        node = yield from locator.locate(caller, obj)
+        return (env.now, node)
+
+    p = env.process(proc(env))
+    env.run()
+    return p.value
+
+
+class TestImmediateUpdate:
+    def test_free_and_correct(self, env, net, obj):
+        locator = ImmediateUpdateLocator(env, net)
+        elapsed, node = locate(env, locator, 0, obj)
+        assert elapsed == 0.0
+        assert node == 2
+        assert locator.lookup_messages == 0
+
+
+class TestNameServer:
+    def test_remote_caller_pays_round_trip(self, env, net, obj):
+        locator = NameServerLocator(env, net, server_node=0)
+        elapsed, node = locate(env, locator, 3, obj)
+        assert elapsed == pytest.approx(2.0)
+        assert node == 2
+        assert locator.lookup_messages == 2
+
+    def test_colocated_caller_is_free(self, env, net, obj):
+        locator = NameServerLocator(env, net, server_node=3)
+        elapsed, _ = locate(env, locator, 3, obj)
+        assert elapsed == 0.0
+
+
+class TestForwarding:
+    def test_fresh_knowledge_is_free(self, env, net, obj):
+        locator = ForwardingLocator(env, net)
+        elapsed, node = locate(env, locator, 0, obj)
+        assert elapsed == 0.0
+        assert node == 2
+
+    def test_stale_knowledge_pays_per_extra_move(self, env, net, obj):
+        locator = ForwardingLocator(env, net)
+        locate(env, locator, 0, obj)  # refresh caller 0's knowledge
+        # Object moves three times; caller 0 is now 3 moves stale.
+        for _ in range(3):
+            locator.note_migration(obj, 3)
+        elapsed, _ = locate(env, locator, 0, obj)
+        # hops=3 -> 2 extra forwarding legs charged.
+        assert elapsed == pytest.approx(2.0)
+        assert locator.lookup_messages == 2
+
+    def test_lookup_refreshes_knowledge(self, env, net, obj):
+        locator = ForwardingLocator(env, net)
+        locator.note_migration(obj, 3)
+        locator.note_migration(obj, 1)
+        locate(env, locator, 0, obj)
+        before = env.now
+        after, _ = locate(env, locator, 0, obj)
+        assert after == before  # second lookup is fresh: no extra time
+
+    def test_hops_capped(self, env, net, obj):
+        locator = ForwardingLocator(env, net, max_hops=2)
+        for _ in range(50):
+            locator.note_migration(obj, 1)
+        elapsed, _ = locate(env, locator, 0, obj)
+        assert elapsed == pytest.approx(1.0)  # capped at 2 hops -> 1 leg
+
+
+class TestBroadcast:
+    def test_remote_lookup_costs_round_trip(self, env, net, obj):
+        locator = BroadcastLocator(env, net)
+        elapsed, _ = locate(env, locator, 0, obj)
+        assert elapsed == pytest.approx(2.0)
+        assert locator.lookup_messages == 2
+
+    def test_local_lookup_free(self, env, net, obj):
+        locator = BroadcastLocator(env, net)
+        elapsed, _ = locate(env, locator, 2, obj)
+        assert elapsed == 0.0
+
+
+class TestRegistry:
+    @pytest.mark.parametrize(
+        "name", ["immediate", "nameserver", "forwarding", "broadcast"]
+    )
+    def test_make_locator(self, env, net, name):
+        locator = make_locator(name, env, net)
+        assert locator.name == name
+
+    def test_unknown_locator(self, env, net):
+        with pytest.raises(ValueError, match="unknown locator"):
+            make_locator("dns", env, net)

@@ -1,0 +1,177 @@
+"""Unit tests for the migration service."""
+
+import pytest
+
+from repro.errors import ObjectFixedError, ProcessError, UnknownNodeError
+from repro.network.latency import DeterministicLatency
+from repro.runtime.system import DistributedSystem
+from repro.sim.trace import Tracer
+
+
+@pytest.fixture
+def system():
+    return DistributedSystem(
+        nodes=4,
+        seed=0,
+        migration_duration=6.0,
+        latency=DeterministicLatency(1.0),
+        tracer=Tracer(),
+    )
+
+
+def migrate(system, objects, target):
+    def proc(env):
+        outcome = yield from system.migrations.migrate(objects, target)
+        return outcome
+
+    p = system.env.process(proc(system.env))
+    system.env.run()
+    return p.value
+
+
+def root_cause(exc):
+    """Unwrap nested ProcessError chains to the original exception."""
+    while isinstance(exc, ProcessError) and exc.__cause__ is not None:
+        exc = exc.__cause__
+    return exc
+
+
+class TestSingleObject:
+    def test_transfer_takes_m(self, system):
+        server = system.create_server(node=0)
+        outcome = migrate(system, [server], 3)
+        assert system.env.now == pytest.approx(6.0)
+        assert outcome.elapsed == pytest.approx(6.0)
+        assert outcome.transfer_time == pytest.approx(6.0)
+        assert outcome.moved == [server]
+        assert server.node_id == 3
+        system.registry.check_consistency()
+
+    def test_already_at_target_is_free(self, system):
+        server = system.create_server(node=2)
+        outcome = migrate(system, [server], 2)
+        assert system.env.now == 0.0
+        assert outcome.moved == []
+        assert outcome.already_there == [server]
+
+    def test_size_scales_duration(self, system):
+        big = system.create_server(node=0, size=2.0)
+        outcome = migrate(system, [big], 1)
+        assert outcome.transfer_time == pytest.approx(12.0)
+
+    def test_fixed_object_rejected(self, system):
+        client = system.create_client(node=0)
+        with pytest.raises(ProcessError) as exc_info:
+            migrate(system, [client], 1)
+        assert isinstance(root_cause(exc_info.value), ObjectFixedError)
+
+    def test_unknown_target_node(self, system):
+        server = system.create_server(node=0)
+        with pytest.raises(ProcessError) as exc_info:
+            migrate(system, [server], 42)
+        assert isinstance(root_cause(exc_info.value), UnknownNodeError)
+
+    def test_accounting(self, system):
+        a = system.create_server(node=0)
+        b = system.create_server(node=1)
+        migrate(system, [a, b], 2)
+        assert system.migrations.migration_count == 2
+        assert system.migrations.total_transfer_time == pytest.approx(12.0)
+
+
+class TestSetMigration:
+    def test_parallel_transfer_elapsed_is_max(self, system):
+        objs = [system.create_server(node=i) for i in range(3)]
+        outcome = migrate(system, objs, 3)
+        # All transfer concurrently: elapsed M, work 3*M.
+        assert outcome.elapsed == pytest.approx(6.0)
+        assert outcome.transfer_time == pytest.approx(18.0)
+        assert outcome.moved_count == 3
+        assert all(o.node_id == 3 for o in objs)
+
+    def test_mixed_set_skips_residents(self, system):
+        here = system.create_server(node=3)
+        away = system.create_server(node=0)
+        outcome = migrate(system, [here, away], 3)
+        assert outcome.moved == [away]
+        assert outcome.already_there == [here]
+
+
+class TestConcurrentMigrations:
+    def test_second_migration_waits_then_steals(self, system):
+        server = system.create_server(node=0)
+
+        def first(env):
+            yield from system.migrations.migrate([server], 1)
+
+        def second(env):
+            yield env.timeout(2)
+            outcome = yield from system.migrations.migrate([server], 2)
+            return (env.now, outcome)
+
+        system.env.process(first(system.env))
+        p = system.env.process(second(system.env))
+        system.env.run()
+        end, outcome = p.value
+        # Second waits for install at t=6, then transfers 6 more.
+        assert end == pytest.approx(12.0)
+        assert server.node_id == 2
+        assert server.migration_count == 2
+        system.registry.check_consistency()
+
+    def test_waiter_that_finds_object_at_target_skips(self, system):
+        server = system.create_server(node=0)
+
+        def first(env):
+            yield from system.migrations.migrate([server], 1)
+
+        def second(env):
+            yield env.timeout(2)
+            outcome = yield from system.migrations.migrate([server], 1)
+            return (env.now, outcome)
+
+        system.env.process(first(system.env))
+        p = system.env.process(second(system.env))
+        system.env.run()
+        end, outcome = p.value
+        assert end == pytest.approx(6.0)  # waited, then nothing to do
+        assert outcome.moved == []
+        assert server.migration_count == 1
+
+    def test_simultaneous_migrations_serialize(self, system):
+        server = system.create_server(node=0)
+        results = []
+
+        def mover(env, target):
+            outcome = yield from system.migrations.migrate([server], target)
+            results.append((env.now, target, outcome.moved_count))
+
+        system.env.process(mover(system.env, 1))
+        system.env.process(mover(system.env, 2))
+        system.env.run()
+        assert results == [(6.0, 1, 1), (12.0, 2, 1)]
+        assert server.node_id == 2
+
+    def test_trace_records_start_and_done(self, system):
+        server = system.create_server(node=0)
+        migrate(system, [server], 1)
+        assert system.tracer.count("migration.start") == 1
+        assert system.tracer.count("migration.done") == 1
+
+
+class TestZeroDuration:
+    def test_m_zero_still_moves(self):
+        system = DistributedSystem(
+            nodes=2, migration_duration=0.0, latency=DeterministicLatency(1.0)
+        )
+        server = system.create_server(node=0)
+
+        def proc(env):
+            outcome = yield from system.migrations.migrate([server], 1)
+            return outcome
+
+        p = system.env.process(proc(system.env))
+        system.env.run()
+        assert p.value.moved == [server]
+        assert server.node_id == 1
+        assert p.value.transfer_time == 0.0

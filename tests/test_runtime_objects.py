@@ -1,0 +1,98 @@
+"""Unit tests for DistributedObject's mobility state machine."""
+
+import pytest
+
+from repro.errors import MigrationInProgressError
+from repro.runtime.objects import DistributedObject, MobilityState, ObjectKind
+
+
+@pytest.fixture
+def obj(env):
+    return DistributedObject(env, object_id=1, node_id=0)
+
+
+class TestConstruction:
+    def test_defaults(self, obj):
+        assert obj.kind is ObjectKind.SERVER
+        assert not obj.fixed
+        assert obj.node_id == 0
+        assert obj.state is MobilityState.RESIDENT
+        assert not obj.is_locked
+
+    def test_client_naming(self, env):
+        c = DistributedObject(
+            env, object_id=2, node_id=1, kind=ObjectKind.CLIENT, fixed=True
+        )
+        assert c.name == "client-2"
+        assert c.fixed
+
+    def test_size_must_be_positive(self, env):
+        with pytest.raises(ValueError):
+            DistributedObject(env, object_id=3, node_id=0, size=0)
+
+    def test_equality_by_id(self, env, obj):
+        same = DistributedObject(env, object_id=1, node_id=5)
+        other = DistributedObject(env, object_id=2, node_id=0)
+        assert obj == same
+        assert obj != other
+        assert hash(obj) == hash(same)
+
+
+class TestTransit:
+    def test_begin_and_install(self, env, obj):
+        obj.begin_transit()
+        assert obj.in_transit
+        obj.install(2)
+        assert not obj.in_transit
+        assert obj.node_id == 2
+        assert obj.migration_count == 1
+
+    def test_double_begin_rejected(self, obj):
+        obj.begin_transit()
+        with pytest.raises(MigrationInProgressError):
+            obj.begin_transit()
+
+    def test_install_without_transit_rejected(self, obj):
+        with pytest.raises(MigrationInProgressError):
+            obj.install(1)
+
+    def test_install_wakes_waiters(self, env, obj):
+        woken = []
+
+        def waiter(env):
+            node = yield obj.reinstalled.wait()
+            woken.append((env.now, node))
+
+        def mover(env):
+            obj.begin_transit()
+            yield env.timeout(6)
+            obj.install(2)
+
+        env.process(waiter(env))
+        env.process(mover(env))
+        env.run()
+        assert woken == [(6, 2)]
+
+    def test_transit_time_accumulates(self, env, obj):
+        def mover(env):
+            obj.begin_transit()
+            yield env.timeout(4)
+            obj.install(1)
+            obj.begin_transit()
+            yield env.timeout(2)
+            obj.install(0)
+
+        env.process(mover(env))
+        env.run()
+        assert obj.transit_time == pytest.approx(6.0)
+
+    def test_is_resident_on(self, obj):
+        assert obj.is_resident_on(0)
+        assert not obj.is_resident_on(1)
+        obj.begin_transit()
+        assert not obj.is_resident_on(0)
+
+    def test_repr_shows_transit(self, obj):
+        assert "@0" in repr(obj)
+        obj.begin_transit()
+        assert "transit" in repr(obj)

@@ -1,0 +1,95 @@
+"""Unit tests for the object registry."""
+
+import pytest
+
+from repro.errors import UnknownNodeError, UnknownObjectError
+from repro.runtime.node import Node
+from repro.runtime.objects import DistributedObject
+from repro.runtime.registry import ObjectRegistry
+
+
+@pytest.fixture
+def registry(env):
+    reg = ObjectRegistry()
+    for i in range(3):
+        reg.add_node(Node(i))
+    return reg
+
+
+def make_obj(env, registry, object_id, node_id):
+    obj = DistributedObject(env, object_id=object_id, node_id=node_id)
+    registry.add_object(obj)
+    return obj
+
+
+class TestNodes:
+    def test_duplicate_node_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.add_node(Node(0))
+
+    def test_unknown_node(self, registry):
+        with pytest.raises(UnknownNodeError):
+            registry.node(9)
+
+    def test_nodes_sorted(self, registry):
+        assert [n.node_id for n in registry.nodes] == [0, 1, 2]
+
+    def test_node_id_validation(self):
+        with pytest.raises(ValueError):
+            Node(-1)
+
+    def test_node_equality(self):
+        assert Node(1) == Node(1, name="other")
+        assert Node(1) != Node(2)
+
+
+class TestObjects:
+    def test_add_records_residency(self, env, registry):
+        obj = make_obj(env, registry, 1, 2)
+        assert registry.location_of(1) == 2
+        assert obj in registry.objects_at(2)
+        assert registry.node(2).population == 1
+
+    def test_duplicate_object_rejected(self, env, registry):
+        make_obj(env, registry, 1, 0)
+        with pytest.raises(ValueError):
+            make_obj(env, registry, 1, 1)
+
+    def test_object_on_unknown_node_rejected(self, env, registry):
+        with pytest.raises(UnknownNodeError):
+            make_obj(env, registry, 1, 7)
+
+    def test_unknown_object(self, registry):
+        with pytest.raises(UnknownObjectError):
+            registry.get(42)
+
+    def test_objects_sorted_by_id(self, env, registry):
+        make_obj(env, registry, 5, 0)
+        make_obj(env, registry, 2, 0)
+        assert [o.object_id for o in registry.objects] == [2, 5]
+
+
+class TestResidencyMaintenance:
+    def test_depart_arrive_cycle(self, env, registry):
+        obj = make_obj(env, registry, 1, 0)
+        registry.depart(obj)
+        obj.begin_transit()
+        registry.check_consistency()
+        obj.install(2)
+        registry.arrive(obj, 2)
+        registry.check_consistency()
+        assert registry.location_of(1) == 2
+        assert registry.node(0).population == 0
+        assert registry.node(2).population == 1
+
+    def test_consistency_catches_stale_residency(self, env, registry):
+        obj = make_obj(env, registry, 1, 0)
+        registry.node(1).resident_ids.add(obj.object_id)  # corrupt
+        with pytest.raises(AssertionError):
+            registry.check_consistency()
+
+    def test_consistency_catches_missing_residency(self, env, registry):
+        obj = make_obj(env, registry, 1, 0)
+        registry.node(0).resident_ids.discard(obj.object_id)  # corrupt
+        with pytest.raises(AssertionError):
+            registry.check_consistency()

@@ -1,0 +1,70 @@
+"""Unit tests for the DistributedSystem facade."""
+
+import pytest
+
+from repro.network.topology import Ring
+from repro.runtime.objects import ObjectKind
+from repro.runtime.system import DistributedSystem
+
+
+class TestConstruction:
+    def test_creates_requested_nodes(self):
+        system = DistributedSystem(nodes=5)
+        assert system.node_count == 5
+        assert [n.node_id for n in system.nodes] == list(range(5))
+
+    def test_custom_topology_respected(self):
+        system = DistributedSystem(nodes=4, topology=Ring(4))
+        assert isinstance(system.topology, Ring)
+        assert system.network.topology is system.topology
+
+    def test_add_node_grows_topology(self):
+        system = DistributedSystem(nodes=2)
+        system.add_node()
+        assert system.node_count == 3
+        assert system.topology.size >= 3
+
+    def test_object_ids_are_sequential(self):
+        system = DistributedSystem(nodes=2)
+        a = system.create_server(node=0)
+        b = system.create_client(node=1)
+        assert (a.object_id, b.object_id) == (0, 1)
+
+    def test_clients_are_fixed(self):
+        system = DistributedSystem(nodes=1)
+        client = system.create_client(node=0)
+        assert client.fixed
+        assert client.kind is ObjectKind.CLIENT
+
+    def test_servers_are_mobile(self):
+        system = DistributedSystem(nodes=1)
+        server = system.create_server(node=0)
+        assert not server.fixed
+        assert server.kind is ObjectKind.SERVER
+
+    def test_migration_duration_plumbed(self):
+        system = DistributedSystem(nodes=1, migration_duration=9.0)
+        assert system.migrations.default_duration == 9.0
+
+    def test_now_and_run_delegate(self):
+        system = DistributedSystem(nodes=1)
+        assert system.now == 0.0
+        system.env.timeout(5)
+        system.run()
+        assert system.now == 5.0
+
+    def test_same_seed_same_network_draws(self):
+        def sample(seed):
+            system = DistributedSystem(nodes=3, seed=seed)
+            return [
+                system.network.sample_latency(0, 1) for _ in range(5)
+            ]
+
+        assert sample(7) == sample(7)
+        assert sample(7) != sample(8)
+
+    def test_repr(self):
+        system = DistributedSystem(nodes=2)
+        system.create_server(node=0)
+        assert "nodes=2" in repr(system)
+        assert "objects=1" in repr(system)

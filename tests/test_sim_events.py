@@ -1,0 +1,198 @@
+"""Unit tests for the event primitives."""
+
+import pytest
+
+from repro.errors import EventAlreadyTriggered
+from repro.sim.events import AllOf, AnyOf, ConditionValue, Event, Timeout
+from repro.sim.kernel import Environment
+
+
+class TestEvent:
+    def test_new_event_is_pending(self, env):
+        event = env.event()
+        assert not event.triggered
+        assert not event.processed
+        assert event.callbacks == []
+
+    def test_value_unavailable_before_trigger(self, env):
+        event = env.event()
+        with pytest.raises(AttributeError):
+            _ = event.value
+
+    def test_succeed_sets_value(self, env):
+        event = env.event().succeed(41)
+        assert event.triggered
+        assert event.ok
+        assert event.value == 41
+
+    def test_succeed_twice_raises(self, env):
+        event = env.event().succeed()
+        with pytest.raises(EventAlreadyTriggered):
+            event.succeed()
+
+    def test_fail_then_succeed_raises(self, env):
+        event = env.event()
+        event.fail(RuntimeError("boom"))
+        with pytest.raises(EventAlreadyTriggered):
+            event.succeed()
+
+    def test_fail_requires_exception(self, env):
+        event = env.event()
+        with pytest.raises(TypeError):
+            event.fail("not an exception")
+
+    def test_fail_records_not_ok(self, env):
+        event = env.event()
+        event.fail(ValueError("x"))
+        assert event.triggered
+        assert not event.ok
+        assert isinstance(event.value, ValueError)
+
+    def test_unhandled_failure_crashes_run(self, env):
+        event = env.event()
+        event.fail(ValueError("unhandled"))
+        with pytest.raises(ValueError, match="unhandled"):
+            env.run()
+
+    def test_defused_failure_does_not_crash(self, env):
+        event = env.event()
+        event.fail(ValueError("defused"))
+        event.defuse()
+        env.run()  # does not raise
+
+    def test_callbacks_invoked_on_processing(self, env):
+        event = env.event()
+        seen = []
+        event.callbacks.append(lambda e: seen.append(e.value))
+        event.succeed("payload")
+        env.run()
+        assert seen == ["payload"]
+        assert event.processed
+
+    def test_repr_shows_state(self, env):
+        event = env.event()
+        assert "pending" in repr(event)
+        event.succeed()
+        assert "triggered" in repr(event)
+        env.run()
+        assert "processed" in repr(event)
+
+
+class TestTimeout:
+    def test_negative_delay_rejected(self, env):
+        with pytest.raises(ValueError):
+            env.timeout(-1)
+
+    def test_timeout_fires_at_delay(self, env):
+        t = env.timeout(5, value="done")
+        env.run()
+        assert env.now == 5
+        assert t.value == "done"
+
+    def test_zero_delay_fires_immediately(self, env):
+        t = env.timeout(0)
+        env.run()
+        assert env.now == 0
+        assert t.processed
+
+    def test_timeouts_fire_in_order(self, env):
+        order = []
+        for delay in (3, 1, 2):
+            env.timeout(delay).callbacks.append(
+                lambda e, d=delay: order.append(d)
+            )
+        env.run()
+        assert order == [1, 2, 3]
+
+    def test_fifo_among_equal_times(self, env):
+        order = []
+        for tag in ("a", "b", "c"):
+            env.timeout(7).callbacks.append(lambda e, t=tag: order.append(t))
+        env.run()
+        assert order == ["a", "b", "c"]
+
+
+class TestConditions:
+    def test_all_of_waits_for_all(self, env):
+        a, b = env.timeout(1, value="a"), env.timeout(4, value="b")
+        cond = env.all_of([a, b])
+        env.run()
+        assert cond.processed
+        assert env.now == 4
+        assert cond.value == {a: "a", b: "b"}
+
+    def test_any_of_fires_on_first(self, env):
+        a, b = env.timeout(1, value="a"), env.timeout(4, value="b")
+        results = {}
+        cond = env.any_of([a, b])
+        cond.callbacks.append(lambda e: results.update(time=env.now))
+        env.run()
+        assert results["time"] == 1
+        assert a in cond.value
+        assert b not in cond.value
+
+    def test_empty_all_of_trivially_true(self, env):
+        cond = env.all_of([])
+        assert cond.triggered
+        env.run()
+        assert len(cond.value) == 0
+
+    def test_empty_any_of_trivially_true(self, env):
+        cond = env.any_of([])
+        assert cond.triggered
+
+    def test_operators_build_conditions(self, env):
+        a, b = env.timeout(1), env.timeout(2)
+        both = a & b
+        either = a | b
+        assert isinstance(both, AllOf)
+        assert isinstance(either, AnyOf)
+        env.run()
+        assert both.processed and either.processed
+
+    def test_failed_subevent_fails_condition(self, env):
+        a = env.timeout(1)
+        b = env.event()
+        cond = env.all_of([a, b])
+        cond.defuse()
+        b.fail(RuntimeError("sub failure"))
+        env.run()
+        assert cond.triggered
+        assert not cond.ok
+
+    def test_mixed_environments_rejected(self, env):
+        other = Environment()
+        a, b = env.timeout(1), other.timeout(1)
+        with pytest.raises(ValueError):
+            env.all_of([a, b])
+
+    def test_condition_with_already_processed_event(self, env):
+        a = env.timeout(1, value="early")
+        env.run()
+        cond = env.all_of([a])
+        env.run()
+        assert cond.processed
+        assert cond.value[a] == "early"
+
+
+class TestConditionValue:
+    def test_mapping_interface(self, env):
+        a = env.timeout(0, value=10)
+        b = env.timeout(0, value=20)
+        cond = env.all_of([a, b])
+        env.run()
+        value = cond.value
+        assert isinstance(value, ConditionValue)
+        assert value[a] == 10
+        assert list(value) == [a, b]
+        assert len(value) == 2
+        assert value.todict() == {a: 10, b: 20}
+        assert value == {a: 10, b: 20}
+
+    def test_missing_key_raises(self, env):
+        a = env.timeout(0)
+        other = env.timeout(0)
+        cond = env.all_of([a])
+        env.run()
+        with pytest.raises(KeyError):
+            cond.value[other]

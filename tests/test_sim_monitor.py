@@ -1,0 +1,128 @@
+"""Unit tests for the state monitor."""
+
+import pytest
+
+from repro.sim.kernel import Environment
+from repro.sim.monitor import StateMonitor
+
+
+class TestConfiguration:
+    def test_interval_validation(self, env):
+        with pytest.raises(ValueError):
+            StateMonitor(env, interval=0)
+        with pytest.raises(ValueError):
+            StateMonitor(env, max_samples=0)
+
+    def test_duplicate_probe_rejected(self, env):
+        monitor = StateMonitor(env)
+        monitor.probe("x", lambda: 1)
+        with pytest.raises(ValueError, match="already registered"):
+            monitor.probe("x", lambda: 2)
+
+    def test_unknown_probe_lookup(self, env):
+        monitor = StateMonitor(env)
+        with pytest.raises(KeyError):
+            monitor.series("ghost")
+        with pytest.raises(KeyError):
+            monitor.stats("ghost")
+
+
+class TestSampling:
+    def test_samples_at_interval(self, env):
+        monitor = StateMonitor(env, interval=10.0)
+        monitor.probe("clock", lambda: env.now)
+        monitor.start()
+        env.run(until=35)
+        series = monitor.series("clock")
+        assert [t for t, _ in series] == [10.0, 20.0, 30.0]
+        assert [v for _, v in series] == [10.0, 20.0, 30.0]
+
+    def test_tracks_changing_state(self, env):
+        state = {"value": 0}
+        monitor = StateMonitor(env, interval=5.0)
+        monitor.probe("v", lambda: state["value"])
+        monitor.start()
+
+        def mutator(env):
+            yield env.timeout(7)
+            state["value"] = 3
+            yield env.timeout(10)
+            state["value"] = 1
+
+        env.process(mutator(env))
+        env.run(until=21)
+        values = [v for _, v in monitor.series("v")]
+        assert values == [0.0, 3.0, 3.0, 1.0]
+
+    def test_sample_now_immediate(self, env):
+        monitor = StateMonitor(env)
+        monitor.probe("c", lambda: 42)
+        monitor.sample_now()
+        assert monitor.series("c") == [(0.0, 42.0)]
+
+    def test_start_idempotent(self, env):
+        monitor = StateMonitor(env, interval=1.0)
+        monitor.probe("x", lambda: 1)
+        monitor.start()
+        monitor.start()
+        env.run(until=3.5)
+        assert len(monitor.series("x")) == 3  # not doubled
+
+    def test_retention_cap_keeps_stats(self, env):
+        monitor = StateMonitor(env, interval=1.0, max_samples=5)
+        monitor.probe("x", lambda: env.now)
+        monitor.start()
+        env.run(until=20.5)
+        assert len(monitor.series("x")) == 5
+        assert monitor.stats("x").count == 20  # stats keep counting
+
+    def test_summary(self, env):
+        monitor = StateMonitor(env, interval=2.0)
+        monitor.probe("a", lambda: 1.0)
+        monitor.probe("b", lambda: env.now)
+        monitor.start()
+        env.run(until=6.5)
+        summary = monitor.summary()
+        assert summary["a"]["mean"] == 1.0
+        assert summary["b"]["max"] == 6.0
+        assert summary["b"]["samples"] == 3
+
+
+class TestIntegration:
+    def test_monitoring_a_workload(self):
+        """Monitor lock counts during a real placement run."""
+        from repro.sim.stopping import StoppingConfig
+        from repro.workload.clientserver import ClientServerWorkload
+        from repro.workload.params import SimulationParameters
+
+        params = SimulationParameters(
+            policy="placement", clients=6, mean_interblock_time=5.0, seed=0
+        )
+        workload = ClientServerWorkload(
+            params,
+            stopping=StoppingConfig(
+                relative_precision=0.3,
+                confidence=0.9,
+                batch_size=40,
+                warmup=40,
+                min_batches=2,
+                max_observations=1_000,
+            ),
+        )
+        monitor = StateMonitor(workload.system.env, interval=20.0)
+        monitor.probe(
+            "locks",
+            lambda: len(workload.policy.locks.locked_objects()),
+        )
+        monitor.probe(
+            "in_transit",
+            lambda: sum(
+                1 for o in workload.system.registry.objects if o.in_transit
+            ),
+        )
+        monitor.start()
+        workload.run()
+        lock_stats = monitor.stats("locks")
+        assert lock_stats.count > 10
+        assert 0 <= lock_stats.max <= len(workload.servers)
+        assert lock_stats.mean > 0  # locks were actually held sometimes

@@ -1,0 +1,221 @@
+"""Unit tests for generator-based processes."""
+
+import pytest
+
+from repro.errors import Interrupt, ProcessError
+from repro.sim.kernel import Environment
+
+
+class TestProcessBasics:
+    def test_requires_generator(self, env):
+        with pytest.raises(TypeError):
+            env.process(lambda: None)
+
+    def test_process_runs_and_returns(self, env):
+        def proc(env):
+            yield env.timeout(2)
+            return "result"
+
+        p = env.process(proc(env))
+        env.run()
+        assert not p.is_alive
+        assert p.value == "result"
+
+    def test_process_name_defaults_to_generator(self, env):
+        def my_proc(env):
+            yield env.timeout(1)
+
+        p = env.process(my_proc(env))
+        assert p.name == "my_proc"
+
+    def test_explicit_name(self, env):
+        def proc(env):
+            yield env.timeout(1)
+
+        p = env.process(proc(env), name="worker-7")
+        assert "worker-7" in repr(p)
+
+    def test_process_starts_before_same_time_timeouts(self, env):
+        order = []
+
+        def proc(env):
+            order.append("proc-start")
+            yield env.timeout(0)
+
+        env.timeout(0).callbacks.append(lambda e: order.append("timeout"))
+        env.process(proc(env))
+        env.run()
+        assert order[0] == "proc-start"
+
+    def test_waiting_on_another_process(self, env):
+        def child(env):
+            yield env.timeout(3)
+            return 99
+
+        def parent(env):
+            value = yield env.process(child(env))
+            return value + 1
+
+        p = env.process(parent(env))
+        env.run()
+        assert p.value == 100
+
+    def test_yield_already_processed_event_continues_inline(self, env):
+        def proc(env):
+            t = env.timeout(0, value="early")
+            yield env.timeout(1)  # t processes meanwhile
+            v = yield t  # already processed: no extra delay
+            assert env.now == 1
+            return v
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == "early"
+
+    def test_yield_non_event_fails_process(self, env):
+        def proc(env):
+            yield "not an event"
+
+        p = env.process(proc(env))
+        p.defuse()
+        env.run()
+        assert not p.ok
+        assert isinstance(p.value, ProcessError)
+
+    def test_active_process_visible_during_execution(self, env):
+        seen = []
+
+        def proc(env):
+            seen.append(env.active_process)
+            yield env.timeout(1)
+
+        p = env.process(proc(env))
+        env.run()
+        assert seen == [p]
+        assert env.active_process is None
+
+
+class TestProcessFailure:
+    def test_exception_wrapped_in_process_error(self, env):
+        def proc(env):
+            yield env.timeout(1)
+            raise KeyError("inner")
+
+        p = env.process(proc(env))
+        p.defuse()
+        env.run()
+        assert isinstance(p.value, ProcessError)
+        assert isinstance(p.value.__cause__, KeyError)
+
+    def test_unhandled_failure_propagates_out_of_run(self, env):
+        def proc(env):
+            yield env.timeout(1)
+            raise ValueError("crash")
+
+        env.process(proc(env))
+        with pytest.raises(ProcessError):
+            env.run()
+
+    def test_waiting_process_sees_failure(self, env):
+        def child(env):
+            yield env.timeout(1)
+            raise ValueError("child failed")
+
+        def parent(env):
+            try:
+                yield env.process(child(env))
+            except ProcessError as exc:
+                return f"caught: {exc.__cause__}"
+
+        p = env.process(parent(env))
+        env.run()
+        assert "child failed" in p.value
+
+    def test_failed_event_reraised_at_yield(self, env):
+        def proc(env):
+            bad = env.event()
+            bad.fail(RuntimeError("event failure"))
+            try:
+                yield bad
+            except RuntimeError as exc:
+                return str(exc)
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == "event failure"
+
+
+class TestInterrupts:
+    def test_interrupt_delivers_cause(self, env):
+        def victim(env):
+            try:
+                yield env.timeout(100)
+            except Interrupt as i:
+                return ("interrupted", i.cause, env.now)
+
+        def attacker(env, target):
+            yield env.timeout(5)
+            target.interrupt(cause="because")
+
+        v = env.process(victim(env))
+        env.process(attacker(env, v))
+        env.run()
+        assert v.value == ("interrupted", "because", 5)
+
+    def test_interrupted_process_can_rewait(self, env):
+        def victim(env):
+            timeout = env.timeout(10)
+            try:
+                yield timeout
+            except Interrupt:
+                pass
+            yield timeout  # the original event still fires at t=10
+            return env.now
+
+        def attacker(env, target):
+            yield env.timeout(3)
+            target.interrupt()
+
+        v = env.process(victim(env))
+        env.process(attacker(env, v))
+        env.run()
+        assert v.value == 10
+
+    def test_interrupting_dead_process_raises(self, env):
+        def quick(env):
+            yield env.timeout(1)
+
+        def late(env, target):
+            yield env.timeout(5)
+            target.interrupt()
+
+        q = env.process(quick(env))
+        env.process(late(env, q))
+        with pytest.raises(Exception, match="terminated"):
+            env.run()
+
+    def test_self_interrupt_rejected(self, env):
+        def selfish(env):
+            proc = env.active_process
+            try:
+                proc.interrupt()
+            except RuntimeError as exc:
+                return str(exc)
+            yield env.timeout(1)
+
+        p = env.process(selfish(env))
+        env.run()
+        assert "not allowed" in p.value
+
+    def test_unhandled_interrupt_fails_process(self, env):
+        def victim(env):
+            yield env.timeout(100)
+
+        def attacker(env, target):
+            yield env.timeout(1)
+            target.interrupt("boom")
+
+        v = env.process(victim(env))
+        env.process(attacker(env, v))
+        with pytest.raises(ProcessError):
+            env.run()

@@ -1,0 +1,149 @@
+"""Unit tests for Resource, Store and Waiters."""
+
+import pytest
+
+from repro.sim.resources import Resource, Store, Waiters
+
+
+class TestResource:
+    def test_capacity_must_be_positive(self, env):
+        with pytest.raises(ValueError):
+            Resource(env, capacity=0)
+
+    def test_grant_within_capacity(self, env):
+        res = Resource(env, capacity=2)
+        r1, r2 = res.request(), res.request()
+        assert r1.triggered and r2.triggered
+        assert res.count == 2
+
+    def test_queue_beyond_capacity(self, env):
+        res = Resource(env, capacity=1)
+        res.request()
+        r2 = res.request()
+        assert not r2.triggered
+        assert res.queue_length == 1
+
+    def test_release_hands_to_waiter_fifo(self, env):
+        res = Resource(env)
+        res.request()
+        r2, r3 = res.request(), res.request()
+        res.release()
+        assert r2.triggered and not r3.triggered
+        res.release()
+        assert r3.triggered
+
+    def test_release_without_request_raises(self, env):
+        res = Resource(env)
+        with pytest.raises(RuntimeError):
+            res.release()
+
+    def test_mutex_serializes_processes(self, env):
+        res = Resource(env)
+        log = []
+
+        def worker(env, tag):
+            yield res.request()
+            log.append((env.now, tag, "in"))
+            yield env.timeout(5)
+            log.append((env.now, tag, "out"))
+            res.release()
+
+        env.process(worker(env, "a"))
+        env.process(worker(env, "b"))
+        env.run()
+        assert log == [
+            (0, "a", "in"),
+            (5, "a", "out"),
+            (5, "b", "in"),
+            (10, "b", "out"),
+        ]
+
+
+class TestStore:
+    def test_invalid_capacity(self, env):
+        with pytest.raises(ValueError):
+            Store(env, capacity=0)
+
+    def test_put_then_get_fifo(self, env):
+        store = Store(env)
+        store.put("first")
+        store.put("second")
+        g = store.get()
+        env.run()
+        assert g.value == "first"
+        assert store.items == ["second"]
+
+    def test_get_waits_for_put(self, env):
+        store = Store(env)
+        got = []
+
+        def consumer(env):
+            item = yield store.get()
+            got.append((env.now, item))
+
+        def producer(env):
+            yield env.timeout(4)
+            yield store.put("late")
+
+        env.process(consumer(env))
+        env.process(producer(env))
+        env.run()
+        assert got == [(4, "late")]
+
+    def test_bounded_put_waits_for_room(self, env):
+        store = Store(env, capacity=1)
+        done = []
+
+        def producer(env):
+            yield store.put("a")
+            yield store.put("b")  # blocks until a is taken
+            done.append(env.now)
+
+        def consumer(env):
+            yield env.timeout(3)
+            yield store.get()
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert done == [3]
+
+    def test_len_reports_buffered(self, env):
+        store = Store(env)
+        store.put(1)
+        store.put(2)
+        assert len(store) == 2
+
+
+class TestWaiters:
+    def test_notify_wakes_all(self, env):
+        cond = Waiters(env)
+        woken = []
+
+        def sleeper(env, tag):
+            value = yield cond.wait()
+            woken.append((tag, value, env.now))
+
+        env.process(sleeper(env, "a"))
+        env.process(sleeper(env, "b"))
+
+        def notifier(env):
+            yield env.timeout(2)
+            count = cond.notify_all("go")
+            assert count == 2
+
+        env.process(notifier(env))
+        env.run()
+        assert sorted(woken) == [("a", "go", 2), ("b", "go", 2)]
+
+    def test_notify_with_no_waiters(self, env):
+        cond = Waiters(env)
+        assert cond.notify_all() == 0
+
+    def test_waiting_count(self, env):
+        cond = Waiters(env)
+        cond.wait()
+        cond.wait()
+        assert cond.waiting == 2
+        cond.notify_all()
+        assert cond.waiting == 0

@@ -1,0 +1,96 @@
+"""Unit tests for the named random-stream factory."""
+
+import numpy as np
+import pytest
+
+from repro.sim.rng import RandomStreams, Stream
+
+
+class TestRandomStreams:
+    def test_same_seed_same_draws(self):
+        a = RandomStreams(7).stream("x")
+        b = RandomStreams(7).stream("x")
+        assert [a.exponential(1) for _ in range(5)] == [
+            b.exponential(1) for _ in range(5)
+        ]
+
+    def test_different_names_independent(self):
+        streams = RandomStreams(7)
+        xs = [streams.stream("x").exponential(1) for _ in range(5)]
+        ys = [streams.stream("y").exponential(1) for _ in range(5)]
+        assert xs != ys
+
+    def test_stream_is_cached(self):
+        streams = RandomStreams(7)
+        assert streams.stream("x") is streams.stream("x")
+
+    def test_creation_order_does_not_matter(self):
+        s1 = RandomStreams(3)
+        s1.stream("a")
+        x1 = s1.stream("b").exponential(1)
+
+        s2 = RandomStreams(3)
+        x2 = s2.stream("b").exponential(1)  # no "a" created first
+        assert x1 == x2
+
+    def test_bulk_streams(self):
+        streams = RandomStreams(0).streams(["a", "b"])
+        assert set(streams) == {"a", "b"}
+        assert all(isinstance(s, Stream) for s in streams.values())
+
+
+class TestStreamDraws:
+    def test_exponential_mean(self):
+        stream = RandomStreams(42).stream("exp")
+        draws = [stream.exponential(3.0) for _ in range(20000)]
+        assert np.mean(draws) == pytest.approx(3.0, rel=0.05)
+
+    def test_exponential_zero_mean_is_zero(self):
+        stream = RandomStreams(0).stream("z")
+        assert stream.exponential(0) == 0.0
+
+    def test_exponential_negative_mean_rejected(self):
+        stream = RandomStreams(0).stream("n")
+        with pytest.raises(ValueError):
+            stream.exponential(-1)
+
+    def test_uniform_bounds(self):
+        stream = RandomStreams(1).stream("u")
+        draws = [stream.uniform(2, 5) for _ in range(1000)]
+        assert all(2 <= d < 5 for d in draws)
+
+    def test_integer_bounds(self):
+        stream = RandomStreams(1).stream("i")
+        draws = [stream.integer(0, 3) for _ in range(300)]
+        assert set(draws) == {0, 1, 2}
+
+    def test_choice_uniformity(self):
+        stream = RandomStreams(9).stream("c")
+        counts = {"a": 0, "b": 0, "c": 0}
+        for _ in range(3000):
+            counts[stream.choice(["a", "b", "c"])] += 1
+        for v in counts.values():
+            assert v == pytest.approx(1000, rel=0.15)
+
+    def test_choice_empty_rejected(self):
+        stream = RandomStreams(0).stream("e")
+        with pytest.raises(ValueError):
+            stream.choice([])
+
+    def test_geometric_at_least_one_floor(self):
+        stream = RandomStreams(5).stream("g")
+        draws = [stream.geometric_at_least_one(0.01) for _ in range(100)]
+        assert all(d >= 1 for d in draws)
+
+    def test_geometric_at_least_one_mean_preserved(self):
+        stream = RandomStreams(5).stream("g2")
+        draws = [stream.geometric_at_least_one(8.0) for _ in range(20000)]
+        assert np.mean(draws) == pytest.approx(8.0, rel=0.05)
+
+    def test_shuffle_permutes_in_place(self):
+        stream = RandomStreams(11).stream("s")
+        items = list(range(20))
+        original = list(items)
+        stream.shuffle(items)
+        assert sorted(items) == original
+        assert items != original  # vanishingly unlikely to be identity

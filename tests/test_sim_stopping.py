@@ -1,0 +1,103 @@
+"""Unit tests for the §4.1 stopping rule."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StoppingRuleError
+from repro.sim.stopping import PrecisionStopping, StoppingConfig
+
+
+class TestStoppingConfig:
+    def test_paper_preset(self):
+        cfg = StoppingConfig.paper()
+        assert cfg.relative_precision == 0.01
+        assert cfg.confidence == 0.99
+
+    def test_fast_preset_is_looser(self):
+        fast, paper = StoppingConfig.fast(), StoppingConfig.paper()
+        assert fast.relative_precision > paper.relative_precision
+        assert fast.confidence < paper.confidence
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"relative_precision": 0.0},
+            {"relative_precision": 1.0},
+            {"confidence": 0.0},
+            {"confidence": 1.5},
+            {"min_batches": 1},
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(StoppingRuleError):
+            StoppingConfig(**kwargs)
+
+
+class TestPrecisionStopping:
+    def test_does_not_stop_before_min_batches(self):
+        rule = PrecisionStopping(
+            StoppingConfig(batch_size=10, warmup=0, min_batches=5)
+        )
+        for _ in range(30):  # only 3 batches
+            rule.add(1.0)
+        assert not rule.precision_reached()
+
+    def test_stops_on_tight_data(self):
+        rule = PrecisionStopping(
+            StoppingConfig(
+                relative_precision=0.05,
+                confidence=0.95,
+                batch_size=20,
+                warmup=0,
+                min_batches=5,
+            )
+        )
+        rng = np.random.default_rng(0)
+        while not rule.should_stop():
+            rule.add(10.0 + rng.normal(0, 0.5))
+        assert not rule.capped
+        assert rule.mean == pytest.approx(10.0, rel=0.05)
+
+    def test_cap_triggers_on_noisy_data(self):
+        rule = PrecisionStopping(
+            StoppingConfig(
+                relative_precision=0.0001,
+                batch_size=10,
+                warmup=0,
+                min_batches=2,
+                max_observations=500,
+            )
+        )
+        rng = np.random.default_rng(1)
+        steps = 0
+        while not rule.should_stop():
+            rule.add(rng.exponential(5.0))
+            steps += 1
+        assert rule.capped
+        assert steps == 500
+
+    def test_no_cap_config(self):
+        cfg = StoppingConfig(
+            max_observations=None, batch_size=50, warmup=0, min_batches=5
+        )
+        rule = PrecisionStopping(cfg)
+        for _ in range(1000):
+            rule.add(1.0)
+        # Zero-variance data converges (halfwidth 0), never capped.
+        assert rule.should_stop()
+        assert not rule.capped
+
+    def test_summary_fields(self):
+        rule = PrecisionStopping(StoppingConfig.fast())
+        rule.add(1.0)
+        summary = rule.summary()
+        assert set(summary) == {
+            "mean",
+            "observations",
+            "batches",
+            "relative_halfwidth",
+            "confidence",
+            "target",
+            "converged",
+            "capped",
+        }

@@ -1,0 +1,66 @@
+"""Unit tests for the trace log."""
+
+import pytest
+
+from repro.sim.trace import NULL_TRACER, NullTracer, Tracer
+
+
+class TestTracer:
+    def test_records_in_order(self):
+        t = Tracer()
+        t.emit(1.0, "a", x=1)
+        t.emit(2.0, "b", y=2)
+        assert [r.kind for r in t] == ["a", "b"]
+        assert len(t) == 2
+
+    def test_kind_filter(self):
+        t = Tracer(kinds={"keep"})
+        t.emit(0, "keep")
+        t.emit(0, "drop")
+        assert t.count("keep") == 1
+        assert t.count("drop") == 0
+
+    def test_of_kind(self):
+        t = Tracer()
+        t.emit(0, "x", v=1)
+        t.emit(1, "y")
+        t.emit(2, "x", v=2)
+        assert [r.detail["v"] for r in t.of_kind("x")] == [1, 2]
+
+    def test_subscribe_listener(self):
+        t = Tracer()
+        seen = []
+        t.subscribe(lambda r: seen.append(r.kind))
+        t.emit(0, "ping")
+        assert seen == ["ping"]
+
+    def test_dump_renders_lines(self):
+        t = Tracer()
+        t.emit(1.5, "migration.start", object_id=3)
+        out = t.dump()
+        assert "migration.start" in out
+        assert "object_id=3" in out
+
+    def test_enabled_flag(self):
+        assert Tracer().enabled
+
+    def test_empty_tracer_is_truthy(self):
+        # `tracer or default` must never silently drop a real tracer.
+        tracer = Tracer()
+        assert bool(tracer)
+        assert (tracer or None) is tracer
+
+
+class TestNullTracer:
+    def test_swallows_everything(self):
+        assert len(NULL_TRACER) == 0
+        NULL_TRACER.emit(0, "anything", x=1)
+        assert len(NULL_TRACER) == 0
+
+    def test_not_enabled(self):
+        assert not NULL_TRACER.enabled
+        assert not NullTracer().enabled
+
+    def test_subscribe_rejected(self):
+        with pytest.raises(RuntimeError):
+            NULL_TRACER.subscribe(lambda r: None)

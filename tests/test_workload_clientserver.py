@@ -1,0 +1,112 @@
+"""Integration tests for the basic client–server workload (Fig 6)."""
+
+import pytest
+
+from repro.sim.trace import Tracer
+from repro.workload.clientserver import ClientServerWorkload, run_cell
+from repro.workload.params import SimulationParameters
+
+
+class TestConstruction:
+    def test_placement_matches_params(self):
+        params = SimulationParameters(nodes=3, clients=5, servers_layer1=3)
+        w = ClientServerWorkload(params)
+        assert [c.node_id for c in w.clients] == [0, 1, 2, 0, 1]
+        assert [s.node_id for s in w.servers] == [0, 1, 2]
+        assert all(c.fixed for c in w.clients)
+        assert not any(s.fixed for s in w.servers)
+
+    def test_policy_built_from_name(self):
+        w = ClientServerWorkload(SimulationParameters(policy="migration"))
+        assert w.policy.name == "migration"
+
+    def test_non_default_locator_wired(self):
+        w = ClientServerWorkload(
+            SimulationParameters(locator="nameserver")
+        )
+        assert w.system.invocations.locator.name == "nameserver"
+
+    def test_start_idempotent(self):
+        w = ClientServerWorkload(SimulationParameters())
+        w.start()
+        events_before = len(w.system.env)
+        w.start()
+        assert len(w.system.env) == events_before
+
+
+class TestExecution:
+    def test_sedentary_anchor(self, tiny_stopping):
+        """The paper's Fig 8 anchor: D=C=S1=3 sedentary => mean 4/3."""
+        result = run_cell(
+            SimulationParameters(policy="sedentary", seed=3),
+            stopping=tiny_stopping,
+        )
+        assert result.mean_communication_time_per_call == pytest.approx(
+            4.0 / 3.0, rel=0.1
+        )
+        assert result.mean_migration_time_per_call == 0.0
+
+    def test_metric_decomposition_adds_up(self, tiny_stopping):
+        result = run_cell(
+            SimulationParameters(policy="placement", seed=1),
+            stopping=tiny_stopping,
+        )
+        assert result.mean_communication_time_per_call == pytest.approx(
+            result.mean_call_duration + result.mean_migration_time_per_call
+        )
+
+    def test_same_seed_reproducible(self, tiny_stopping):
+        params = SimulationParameters(policy="migration", seed=9)
+        a = run_cell(params, stopping=tiny_stopping)
+        b = run_cell(params, stopping=tiny_stopping)
+        assert (
+            a.mean_communication_time_per_call
+            == b.mean_communication_time_per_call
+        )
+        assert a.raw["migrations"] == b.raw["migrations"]
+
+    def test_different_seeds_differ(self, tiny_stopping):
+        a = run_cell(
+            SimulationParameters(policy="migration", seed=1),
+            stopping=tiny_stopping,
+        )
+        b = run_cell(
+            SimulationParameters(policy="migration", seed=2),
+            stopping=tiny_stopping,
+        )
+        assert (
+            a.mean_communication_time_per_call
+            != b.mean_communication_time_per_call
+        )
+
+    def test_raw_summary_populated(self, tiny_stopping):
+        result = run_cell(
+            SimulationParameters(policy="placement", seed=0),
+            stopping=tiny_stopping,
+        )
+        assert result.raw["metrics"]["blocks"] > 0
+        assert result.raw["policy"]["policy"] == "placement"
+        assert result.raw["network"]["remote_messages"] > 0
+
+    def test_registry_consistent_after_run(self, tiny_stopping):
+        params = SimulationParameters(policy="migration", seed=4)
+        w = ClientServerWorkload(params, stopping=tiny_stopping)
+        w.run()
+        # Objects may be mid-flight when the run stops; consistency
+        # still must hold for the registry's residency sets.
+        w.system.registry.check_consistency()
+
+    def test_sedentary_sends_no_migrations(self, tiny_stopping):
+        result = run_cell(
+            SimulationParameters(policy="sedentary", seed=0),
+            stopping=tiny_stopping,
+        )
+        assert result.raw["migrations"] == 0
+
+    def test_trace_captures_moves(self, tiny_stopping):
+        tracer = Tracer(kinds={"move.granted", "move.rejected"})
+        params = SimulationParameters(policy="placement", seed=0, clients=6)
+        w = ClientServerWorkload(params, stopping=tiny_stopping, tracer=tracer)
+        w.run()
+        assert tracer.count("move.granted") > 0
+        assert tracer.count("move.rejected") > 0

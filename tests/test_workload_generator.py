@@ -1,0 +1,52 @@
+"""Unit tests for the move-block timing generator."""
+
+import numpy as np
+import pytest
+
+from repro.sim.rng import RandomStreams
+from repro.workload.generator import BlockTimingGenerator
+from repro.workload.params import SimulationParameters
+
+
+@pytest.fixture
+def generator():
+    params = SimulationParameters(
+        mean_calls_per_block=8.0,
+        mean_intercall_time=1.0,
+        mean_interblock_time=30.0,
+    )
+    return BlockTimingGenerator(params, RandomStreams(0).stream("t"))
+
+
+class TestPlans:
+    def test_plan_shape(self, generator):
+        plan = generator.next_plan()
+        assert plan.calls >= 1
+        assert len(plan.intercall_times) == plan.calls
+        assert plan.lead_time >= 0
+
+    def test_call_count_mean(self, generator):
+        draws = [generator.next_plan().calls for _ in range(5000)]
+        assert np.mean(draws) == pytest.approx(8.0, rel=0.1)
+
+    def test_lead_time_mean(self, generator):
+        draws = [generator.next_plan().lead_time for _ in range(5000)]
+        assert np.mean(draws) == pytest.approx(30.0, rel=0.1)
+
+    def test_intercall_mean(self, generator):
+        gaps = []
+        for _ in range(2000):
+            gaps.extend(generator.next_plan().intercall_times)
+        assert np.mean(gaps) == pytest.approx(1.0, rel=0.1)
+
+    def test_deterministic_given_stream(self):
+        params = SimulationParameters()
+
+        def draw(seed):
+            gen = BlockTimingGenerator(
+                params, RandomStreams(seed).stream("t")
+            )
+            return [gen.next_plan().calls for _ in range(10)]
+
+        assert draw(1) == draw(1)
+        assert draw(1) != draw(2)

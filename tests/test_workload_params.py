@@ -1,0 +1,94 @@
+"""Unit tests for SimulationParameters (Table 1)."""
+
+import pytest
+
+from repro.core.attachment import AttachmentMode
+from repro.errors import ConfigurationError
+from repro.workload.params import SimulationParameters
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        SimulationParameters().validate()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"nodes": 0},
+            {"clients": 0},
+            {"servers_layer1": 0},
+            {"servers_layer2": -1},
+            {"migration_duration": -1},
+            {"mean_calls_per_block": 0},
+            {"mean_intercall_time": -1},
+            {"mean_interblock_time": -0.5},
+            {"mean_message_latency": -1},
+            {"working_set_size": 0},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            SimulationParameters(**kwargs).validate()
+
+    def test_insensible_block_rejected_by_default(self):
+        params = SimulationParameters(
+            mean_calls_per_block=3.0, migration_duration=6.0
+        )
+        with pytest.raises(ConfigurationError, match="not sensible"):
+            params.validate()
+        params.validate(require_sensible=False)  # waivable
+
+    def test_paper_fig17_parameters_are_sensible(self):
+        # Fig 17 uses N~exp(6) with M=6: the condition is non-strict.
+        SimulationParameters(
+            mean_calls_per_block=6.0, migration_duration=6.0
+        ).validate()
+
+    def test_working_set_cannot_exceed_layer2(self):
+        params = SimulationParameters(servers_layer2=2, working_set_size=3)
+        with pytest.raises(ConfigurationError):
+            params.validate()
+
+
+class TestPlacementHelpers:
+    def test_clients_round_robin(self):
+        p = SimulationParameters(nodes=3, clients=7)
+        assert [p.client_node(i) for i in range(5)] == [0, 1, 2, 0, 1]
+
+    def test_servers_symmetric_with_clients(self):
+        p = SimulationParameters(nodes=3, servers_layer1=3)
+        assert [p.server_node(j) for j in range(3)] == [0, 1, 2]
+
+    def test_layer2_offset(self):
+        p = SimulationParameters(nodes=24, servers_layer1=6, servers_layer2=6)
+        assert [p.layer2_node(k) for k in range(3)] == [6, 7, 8]
+
+    def test_is_layered(self):
+        assert not SimulationParameters().is_layered
+        assert SimulationParameters(servers_layer2=4).is_layered
+
+
+class TestMisc:
+    def test_with_overrides_is_functional(self):
+        base = SimulationParameters(clients=3)
+        changed = base.with_overrides(clients=10, policy="migration")
+        assert base.clients == 3
+        assert changed.clients == 10
+        assert changed.policy == "migration"
+
+    def test_label_mentions_key_facts(self):
+        p = SimulationParameters(
+            policy="placement",
+            servers_layer2=6,
+            mean_calls_per_block=6.0,
+            attachment_mode=AttachmentMode.A_TRANSITIVE,
+        )
+        label = p.label()
+        assert "policy=placement" in label
+        assert "S2=6" in label
+        assert "a-transitive" in label
+
+    def test_frozen(self):
+        p = SimulationParameters()
+        with pytest.raises(AttributeError):
+            p.clients = 5

@@ -1,0 +1,124 @@
+"""Tests for call-by-visit block style and guarded policies in workloads."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.stopping import StoppingConfig
+from repro.workload.clientserver import ClientServerWorkload, run_cell
+from repro.workload.params import SimulationParameters
+
+TINY = StoppingConfig(
+    relative_precision=0.25,
+    confidence=0.9,
+    batch_size=50,
+    warmup=50,
+    min_batches=3,
+    max_observations=3_000,
+)
+
+
+class TestVisitStyle:
+    def test_block_style_validated(self):
+        with pytest.raises(ConfigurationError, match="block_style"):
+            SimulationParameters(block_style="teleport").validate()
+        SimulationParameters(block_style="visit").validate()
+
+    def test_visit_single_client_returns_object_home(self):
+        """With one client and visit semantics every granted block is
+        followed by a return transfer: migrations come in pairs."""
+        params = SimulationParameters(
+            policy="migration",
+            clients=1,
+            nodes=3,
+            block_style="visit",
+            seed=0,
+        )
+        workload = ClientServerWorkload(params, stopping=TINY)
+        result = workload.run()
+        migrations = workload.system.migrations.migration_count
+        granted = workload.policy.moves_granted
+        # Outbound + return per granted remote move; moves that found
+        # the object local transfer nothing.  Allow one in-flight pair.
+        assert migrations <= 2 * granted + 2
+        # Servers end up (nearly) where they started most of the time:
+        # after the run most servers should sit at their home nodes.
+        home_count = sum(
+            1
+            for j, server in enumerate(workload.servers)
+            if server.node_id == params.server_node(j)
+        )
+        assert home_count >= len(workload.servers) - 1
+
+    def test_visit_costs_more_than_move(self):
+        common = dict(
+            policy="migration", clients=6, nodes=27, servers_layer1=3,
+            mean_interblock_time=30.0, seed=1,
+        )
+        move = run_cell(
+            SimulationParameters(block_style="move", **common),
+            stopping=TINY,
+        )
+        visit = run_cell(
+            SimulationParameters(block_style="visit", **common),
+            stopping=TINY,
+        )
+        assert (
+            visit.mean_migration_time_per_call
+            > move.mean_migration_time_per_call
+        )
+
+    def test_visit_respects_placement_locks(self):
+        """A rejected visit block must not trigger a return transfer."""
+        params = SimulationParameters(
+            policy="placement",
+            clients=6,
+            nodes=3,
+            block_style="visit",
+            mean_interblock_time=5.0,
+            seed=2,
+        )
+        workload = ClientServerWorkload(params, stopping=TINY)
+        workload.run()
+        stats = workload.policy.stats()
+        migrations = workload.system.migrations.migration_count
+        # Transfers stem only from granted moves (out + return).
+        assert migrations <= 2 * stats["moves_granted"] + 2
+
+
+class TestGuardedPolicyInWorkload:
+    def test_guarded_policy_via_params(self):
+        params = SimulationParameters(
+            policy="guarded:migration", clients=8, nodes=3, seed=3,
+            mean_interblock_time=5.0,
+        )
+        workload = ClientServerWorkload(params, stopping=TINY)
+        result = workload.run()
+        stats = workload.policy.stats()
+        assert stats["policy"] == "guarded(migration)"
+        # Under this hot configuration the guard must have fired.
+        assert stats["guard_rejections"] > 0
+        assert result.mean_communication_time_per_call > 0
+
+    def test_guarded_caps_migration_rate(self):
+        common = dict(
+            clients=10, nodes=3, seed=4, mean_interblock_time=5.0
+        )
+        plain = ClientServerWorkload(
+            SimulationParameters(policy="migration", **common),
+            stopping=TINY,
+        )
+        plain_result = plain.run()
+        guarded = ClientServerWorkload(
+            SimulationParameters(policy="guarded:migration", **common),
+            stopping=TINY,
+        )
+        guarded_result = guarded.run()
+        plain_rate = (
+            plain.system.migrations.migration_count
+            / plain_result.simulated_time
+        )
+        guarded_rate = (
+            guarded.system.migrations.migration_count
+            / guarded_result.simulated_time
+        )
+        assert guarded_rate < plain_rate
