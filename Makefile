@@ -2,7 +2,8 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-full figures figures-paper examples clean
+.PHONY: install test test-faults bench bench-full figures figures-paper \
+        examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -12,6 +13,16 @@ test:
 
 test-output:
 	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
+
+# The fault-tolerance layer (loss, retry, rollback, leases) end to end.
+# Workload seeds are fixed inside the tests; the hypothesis suite gets a
+# pinned derandomized profile so this target is fully reproducible.
+test-faults:
+	$(PYTHON) -m pytest -q -p no:randomly \
+	  --hypothesis-seed=0 \
+	  tests/test_network_faults.py tests/test_runtime_retry.py \
+	  tests/test_runtime_migration_abort.py tests/test_core_leases.py \
+	  tests/test_prop_leases.py tests/test_availability_faulttolerance.py
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -33,6 +33,7 @@ Quickstart::
 """
 
 from repro._version import __version__
+from repro.core import LockManager, LeaseSweeper
 from repro.core import (
     Alliance,
     AllianceManager,
@@ -52,7 +53,8 @@ from repro.core import (
     VisitScope,
     make_policy,
 )
-from repro.errors import ReproError
+from repro.errors import FaultError, ReproError
+from repro.network import LinkFaultModel
 from repro.experiments import (
     ExperimentDef,
     ExperimentResult,
@@ -65,6 +67,7 @@ from repro.runtime import (
     DistributedSystem,
     Node,
     ObjectKind,
+    RetryPolicy,
 )
 from repro.sim import Environment, RandomStreams, StoppingConfig
 from repro.workload import (
@@ -91,7 +94,11 @@ __all__ = [
     "ExperimentDef",
     "ExperimentResult",
     "FIGURES",
+    "FaultError",
     "LayeredWorkload",
+    "LeaseSweeper",
+    "LinkFaultModel",
+    "LockManager",
     "MigrationPolicy",
     "MigrationPrimitives",
     "MoveBlock",
@@ -101,6 +108,7 @@ __all__ = [
     "POLICIES",
     "RandomStreams",
     "ReproError",
+    "RetryPolicy",
     "SedentaryPolicy",
     "SimulationParameters",
     "StoppingConfig",

@@ -8,6 +8,13 @@ group of related objects.  See
 """
 
 from repro.availability.faults import FaultInjector
+from repro.availability.faulttolerance import (
+    FT_POLICIES,
+    FaultToleranceParameters,
+    FaultToleranceResult,
+    FaultToleranceWorkload,
+    run_faulttolerance_cell,
+)
 from repro.availability.workload import (
     AvailabilityParameters,
     AvailabilityResult,
@@ -19,6 +26,11 @@ __all__ = [
     "AvailabilityParameters",
     "AvailabilityResult",
     "AvailabilityWorkload",
+    "FT_POLICIES",
     "FaultInjector",
+    "FaultToleranceParameters",
+    "FaultToleranceResult",
+    "FaultToleranceWorkload",
     "run_availability_cell",
+    "run_faulttolerance_cell",
 ]

@@ -11,6 +11,15 @@ stay up for Exp(mttf), go down for Exp(mttr).  While a node is down
 every object resident on it is unreachable; calls issued against it
 block until recovery (crash-recover semantics with stable state — the
 simplest model that exposes the placement trade-off).
+
+The injector is also the system's *node-health provider*: it wires
+itself into the migration service so transfers towards a down node
+abort and roll back instead of "succeeding" into a dead host, and the
+:class:`~repro.core.locking.LeaseSweeper` can consult it to reclaim
+place-policy locks held by crashed movers.  Nodes added to the system
+after the injector was built (``DistributedSystem.add_node``) are
+picked up lazily — state dictionaries grow on demand and a repeated
+:meth:`start` launches life processes for any nodes added since.
 """
 
 from __future__ import annotations
@@ -48,16 +57,24 @@ class FaultInjector:
         self.mttf = mttf
         self.mttr = mttr
         self._down: Set[int] = set()
-        self._recovered: Dict[int, Waiters] = {
-            node.node_id: Waiters(system.env)
-            for node in system.registry.nodes
-        }
-        self._availability: Dict[int, TimeWeightedStats] = {
-            node.node_id: TimeWeightedStats(initial_value=1.0)
-            for node in system.registry.nodes
-        }
+        self._recovered: Dict[int, Waiters] = {}
+        self._availability: Dict[int, TimeWeightedStats] = {}
+        for node in system.registry.nodes:
+            self._ensure(node.node_id)
         self.failures = 0
+        self._watched: Set[int] = set()
         self._started = False
+        # The injector is the authoritative health provider: migrations
+        # towards a node it reports down abort and roll back.
+        system.migrations.health = self
+
+    def _ensure(self, node_id: int) -> None:
+        """Create per-node state on demand (supports late add_node)."""
+        if node_id not in self._recovered:
+            self._recovered[node_id] = Waiters(self.system.env)
+            self._availability[node_id] = TimeWeightedStats(
+                initial_value=1.0, start_time=self.system.env.now
+            )
 
     # -- state ---------------------------------------------------------------------
 
@@ -66,20 +83,33 @@ class FaultInjector:
         return node_id in self._down
 
     def availability_of(self, node_id: int) -> float:
-        """Fraction of time the node has been up so far."""
+        """Fraction of time the node has been up since it was tracked."""
+        self._ensure(node_id)
         return self._availability[node_id].mean(self.system.env.now)
+
+    def recovered(self, node_id: int) -> Waiters:
+        """Broadcast condition fired each time the node comes back up."""
+        self._ensure(node_id)
+        return self._recovered[node_id]
 
     # -- lifecycle ------------------------------------------------------------------
 
     def start(self) -> None:
-        """Launch the crash/recover process on every node (idempotent)."""
-        if self._started:
-            return
+        """Launch the crash/recover process on every node.
+
+        Idempotent per node: calling it again only starts processes for
+        nodes added to the system since the previous call.
+        """
         self._started = True
         for node in self.system.registry.nodes:
+            node_id = node.node_id
+            if node_id in self._watched:
+                continue
+            self._watched.add(node_id)
+            self._ensure(node_id)
             self.system.env.process(
-                self._node_life(node.node_id),
-                name=f"faults-node-{node.node_id}",
+                self._node_life(node_id),
+                name=f"faults-node-{node_id}",
             )
 
     def _node_life(self, node_id: int) -> Generator:
@@ -97,6 +127,20 @@ class FaultInjector:
 
     # -- fault-aware invocation --------------------------------------------------------
 
+    def wait_until_up(self, node_id: int) -> Generator:
+        """Process fragment blocking while ``node_id`` is down.
+
+        Returns the time spent waiting.
+        """
+        env = self.system.env
+        blocked = 0.0
+        self._ensure(node_id)
+        while self.is_down(node_id):
+            t0 = env.now
+            yield self._recovered[node_id].wait()
+            blocked += env.now - t0
+        return blocked
+
     def invoke(
         self, caller_node: int, obj: DistributedObject, body=None
     ) -> Generator:
@@ -106,18 +150,10 @@ class FaultInjector:
         availability loss shows up directly in the latency metric.
         Returns ``(result, blocked_on_failure)``.
         """
-        env = self.system.env
-        blocked = 0.0
         # Callers on a downed node are themselves dead; model their
         # operation as deferred until their node recovers.
-        while self.is_down(caller_node):
-            t0 = env.now
-            yield self._recovered[caller_node].wait()
-            blocked += env.now - t0
-        while self.is_down(obj.node_id):
-            t0 = env.now
-            yield self._recovered[obj.node_id].wait()
-            blocked += env.now - t0
+        blocked = yield from self.wait_until_up(caller_node)
+        blocked += yield from self.wait_until_up(obj.node_id)
         result = yield from self.system.invocations.invoke(
             caller_node, obj, body=body
         )

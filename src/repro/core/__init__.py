@@ -30,7 +30,7 @@ from repro.core.distribution import (
     SpreadMembers,
 )
 from repro.core.gom import OperationDeclaration, OperationOutcome
-from repro.core.locking import LockManager
+from repro.core.locking import LeaseSweeper, LockManager
 from repro.core.moveblock import MoveBlock
 from repro.core.policies import (
     POLICIES,
@@ -59,6 +59,7 @@ __all__ = [
     "CostParameters",
     "DistributionPolicy",
     "GLOBAL_CONTEXT",
+    "LeaseSweeper",
     "LockManager",
     "MigrationPolicy",
     "MigrationPrimitives",

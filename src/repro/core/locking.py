@@ -1,4 +1,4 @@
-"""Place-policy locks (§3.2).
+"""Place-policy locks (§3.2), with optional lease-based fault tolerance.
 
 "As soon as it arrives, the object is locked.  A locked object is
 sedentary as long as the block or operation completes to which the
@@ -10,23 +10,127 @@ The :class:`LockManager` tracks which move-block holds which objects so
 ``end`` can release everything at once, and enforces the safety
 invariant that an object is held by at most one block (checked eagerly;
 the property tests hammer on it).
+
+Leases
+------
+The pure §3.2 lock has a failure mode the paper never considers: a
+mover that crashes inside its move-block never issues ``end``, so its
+locks are held forever and every later mover is rejected for the rest
+of the run — the non-monolithic conflict the place-policy was supposed
+to defuse comes back as permanent starvation.  Constructed with an
+environment and a ``lease_duration``, the manager instead grants each
+block a *lease*: once it expires, the block's locks are reclaimed
+lazily (any ``is_locked``/``lock`` touch) or eagerly by the
+:class:`LeaseSweeper`, a simulation process that also reclaims locks
+whose holding block's owner node crashed.  A live block that merely
+outlives its lease loses migration exclusivity — its objects may be
+moved away and further calls are forwarded, the same graceful
+degradation §3.2 prescribes for rejected movers.  Leases are off by
+default, so existing experiments reproduce bit-identically.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Set
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.core.moveblock import MoveBlock
 from repro.errors import PolicyError
 from repro.runtime.objects import DistributedObject
+from repro.sim.kernel import Environment
 
 
 class LockManager:
-    """Tracks place-policy locks per move-block."""
+    """Tracks place-policy locks per move-block.
 
-    def __init__(self):
+    Parameters
+    ----------
+    env:
+        Simulation environment; required when leases are enabled.
+    lease_duration:
+        Lease length granted to each block (refreshed whenever the
+        block takes another lock).  ``None`` (default) disables leases
+        entirely — locks are held until ``end``, exactly §3.2.
+    """
+
+    def __init__(
+        self,
+        env: Optional[Environment] = None,
+        lease_duration: Optional[float] = None,
+    ):
+        if lease_duration is not None:
+            if env is None:
+                raise ValueError("leases require an environment (env=...)")
+            if lease_duration <= 0:
+                raise ValueError(
+                    f"lease_duration must be positive, got {lease_duration}"
+                )
+        self.env = env
+        self.lease_duration = lease_duration
         #: block id -> objects it holds.
         self._held: Dict[int, List[DistributedObject]] = {}
+        #: block id -> the block itself (for lease/crash bookkeeping).
+        self._blocks: Dict[int, MoveBlock] = {}
+        #: block id -> lease expiry time (leases enabled only).
+        self._expiry: Dict[int, float] = {}
+        #: Locks reclaimed because their block's lease expired.
+        self.leases_expired = 0
+        #: Locks reclaimed because their block's owner node crashed.
+        self.leases_broken = 0
+
+    # -- leases ------------------------------------------------------------------
+
+    @property
+    def leases_enabled(self) -> bool:
+        """Whether this manager grants expiring leases."""
+        return self.lease_duration is not None
+
+    def _lease_expired(self, block_id: int) -> bool:
+        if not self.leases_enabled or block_id not in self._expiry:
+            return False
+        return self.env.now >= self._expiry[block_id]
+
+    def _reap_if_expired(self, obj: DistributedObject) -> None:
+        """Lazily release the holder's locks if its lease ran out."""
+        holder = obj.lock_holder
+        if holder is not None and self._lease_expired(holder.block_id):
+            self.leases_expired += self.release_block(holder)
+
+    def expire_due(self) -> int:
+        """Release every lock whose block's lease has expired.
+
+        Returns the number of locks released.  Called periodically by
+        the :class:`LeaseSweeper`; safe to call any time.
+        """
+        total = 0
+        for block_id in [b for b in self._held if self._lease_expired(b)]:
+            total += self.release_block(self._blocks[block_id])
+        self.leases_expired += total
+        return total
+
+    def break_crashed(self, health) -> int:
+        """Release every lock whose holding block's owner node is down.
+
+        ``health`` is any object with ``is_down(node_id) -> bool``
+        (usually a :class:`~repro.availability.faults.FaultInjector`).
+        Returns the number of locks released.
+        """
+        total = 0
+        for block in [
+            b for b in self._blocks.values() if health.is_down(b.client_node)
+        ]:
+            total += self.release_block(block)
+        self.leases_broken += total
+        return total
+
+    def held_blocks(self) -> List[MoveBlock]:
+        """Every block currently holding at least one lock."""
+        return [self._blocks[b] for b in self._held if self._held[b]]
+
+    def lease_of(self, block: MoveBlock) -> Optional[float]:
+        """The block's lease expiry time, if leases are enabled."""
+        return self._expiry.get(block.block_id)
+
+    # -- the §3.2 interface ---------------------------------------------------------
 
     def lock(self, obj: DistributedObject, block: MoveBlock) -> None:
         """Grant ``block`` the lock on ``obj``.
@@ -37,8 +141,10 @@ class LockManager:
             If the object is already locked (by any block, including
             this one) — callers must check :meth:`is_locked` first; a
             double grant would mean the mutual-exclusion invariant
-            broke.
+            broke.  A holder whose lease expired does not count: its
+            locks are reclaimed and the grant proceeds.
         """
+        self._reap_if_expired(obj)
         if obj.lock_holder is not None:
             raise PolicyError(
                 f"{obj.name} is already locked by block "
@@ -46,7 +152,11 @@ class LockManager:
             )
         obj.lock_holder = block
         self._held.setdefault(block.block_id, []).append(obj)
+        self._blocks[block.block_id] = block
         block.locked_objects.append(obj)
+        if self.leases_enabled:
+            # Each grant refreshes the block's lease.
+            self._expiry[block.block_id] = self.env.now + self.lease_duration
 
     def lock_all(self, objects: Iterable[DistributedObject], block: MoveBlock) -> None:
         """Lock several objects for the same block."""
@@ -54,11 +164,17 @@ class LockManager:
             self.lock(obj, block)
 
     def is_locked(self, obj: DistributedObject) -> bool:
-        """Whether any block currently holds the object."""
+        """Whether any block currently holds the object.
+
+        An expired lease is reclaimed on the spot, so the answer always
+        reflects enforceable locks only.
+        """
+        self._reap_if_expired(obj)
         return obj.lock_holder is not None
 
     def holder(self, obj: DistributedObject):
-        """The holding block, or None."""
+        """The holding block, or None (expired leases are reclaimed)."""
+        self._reap_if_expired(obj)
         return obj.lock_holder
 
     def release_block(self, block: MoveBlock) -> int:
@@ -66,9 +182,12 @@ class LockManager:
 
         Idempotent: releasing a block that holds nothing is a no-op
         (the place-policy "simply ignores" the end-request of a mover
-        whose move was rejected, §3.2).
+        whose move was rejected, §3.2) — including a block whose lease
+        was already reclaimed.
         """
         held = self._held.pop(block.block_id, [])
+        self._blocks.pop(block.block_id, None)
+        self._expiry.pop(block.block_id, None)
         for obj in held:
             if obj.lock_holder is not block:  # pragma: no cover - invariant
                 raise PolicyError(
@@ -89,6 +208,9 @@ class LockManager:
         """Assert every lock is held by exactly one block's ledger."""
         seen: Set[int] = set()
         for block_id, objs in self._held.items():
+            assert block_id in self._blocks, (
+                f"block #{block_id} in ledger but unknown to the manager"
+            )
             for obj in objs:
                 assert obj.object_id not in seen, (
                     f"{obj.name} appears in two blocks' ledgers"
@@ -100,4 +222,71 @@ class LockManager:
 
     def __repr__(self) -> str:
         total = sum(len(v) for v in self._held.values())
-        return f"<LockManager blocks={len(self._held)} locks={total}>"
+        lease = (
+            f" lease={self.lease_duration}" if self.leases_enabled else ""
+        )
+        return f"<LockManager blocks={len(self._held)} locks={total}{lease}>"
+
+
+class LeaseSweeper:
+    """Periodic reclamation of dead place-policy locks.
+
+    Runs as a simulation process: every ``interval`` it releases locks
+    whose lease expired and — when a ``health`` provider is given —
+    locks whose holding block's owner node is down.  Conflicting movers
+    that were being rejected by a dead holder's locks fall back to
+    remote invocation in the meantime (§3.2's graceful degradation) and
+    can win the lock again after the sweep.
+
+    Parameters
+    ----------
+    env, locks:
+        Environment and the (usually lease-enabled) lock manager.
+    health:
+        Optional node-health provider with ``is_down(node_id)``.
+    interval:
+        Sweep period.  Bounds how long a crashed holder can starve
+        conflicting movers beyond its lease.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        locks: LockManager,
+        health=None,
+        interval: float = 10.0,
+    ):
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self.env = env
+        self.locks = locks
+        self.health = health
+        self.interval = interval
+        self.sweeps = 0
+        self._started = False
+
+    def start(self) -> None:
+        """Launch the sweeping process (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        self.env.process(self._run(), name="lease-sweeper")
+
+    def sweep(self) -> Tuple[int, int]:
+        """One reclamation pass; returns ``(expired, broken)`` counts."""
+        expired = self.locks.expire_due()
+        broken = 0
+        if self.health is not None:
+            broken = self.locks.break_crashed(self.health)
+        self.sweeps += 1
+        return expired, broken
+
+    def _run(self):
+        while True:
+            yield self.env.timeout(self.interval)
+            self.sweep()
+
+    def __repr__(self) -> str:
+        return (
+            f"<LeaseSweeper interval={self.interval} sweeps={self.sweeps}>"
+        )

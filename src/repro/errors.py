@@ -106,6 +106,53 @@ class PolicyError(RuntimeModelError):
 
 
 # ---------------------------------------------------------------------------
+# Fault-model errors (injected failures a distributed application observes)
+# ---------------------------------------------------------------------------
+
+
+class FaultError(RuntimeModelError):
+    """Base class for conditions produced by the fault-tolerance layer.
+
+    These model failures a real distributed application would observe —
+    lost messages, dead nodes, timed-out calls — as opposed to
+    programming errors.  Code that wants to degrade gracefully catches
+    this base class.
+    """
+
+
+class MessageLostError(FaultError):
+    """A message was dropped by a lossy or partitioned link.
+
+    Raised by :meth:`repro.network.Network.transmit` after the message
+    has spent its latency on the wire, i.e. at the moment the receiver
+    *would* have gotten it.  The sender only learns about the loss via
+    a timeout (see :class:`repro.runtime.retry.RetryPolicy`).
+    """
+
+
+class TimeoutError(FaultError):  # noqa: A001 - deliberate shadow, scoped
+    """An invocation exhausted its retry budget without a reply.
+
+    Shadows the builtin of the same name *within this module only*; it
+    additionally derives from :class:`RuntimeModelError` so existing
+    ``except ReproError`` handlers keep working.
+    """
+
+
+class NodeDownError(FaultError):
+    """An operation targeted a node that is currently crashed."""
+
+
+class MigrationAbortedError(FaultError):
+    """A migration was aborted and the object rolled back to its origin.
+
+    Only raised by :meth:`MigrationService.migrate` in ``strict`` mode;
+    by default aborted members are surfaced in
+    :attr:`MigrationOutcome.aborted` instead.
+    """
+
+
+# ---------------------------------------------------------------------------
 # Experiment/configuration errors
 # ---------------------------------------------------------------------------
 

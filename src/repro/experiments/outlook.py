@@ -5,7 +5,9 @@ the three extension studies the same one-command treatment:
 
 * ``replication`` — read-ratio sweep, none/eager/threshold policies;
 * ``fragmentation`` — fragment-count sweep, migration vs placement;
-* ``availability`` — workload-mix sweep, collocated vs spread.
+* ``availability`` — workload-mix sweep, collocated vs spread;
+* ``faulttolerance`` — message-loss sweep under node crashes,
+  no-migration vs conventional vs leased place-policy.
 
 Each function returns ``(header_row, data_rows)`` ready for
 :func:`format_outlook_table`, keeping these studies printable and
@@ -16,7 +18,12 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence, Tuple
 
-from repro.availability import AvailabilityParameters, run_availability_cell
+from repro.availability import (
+    AvailabilityParameters,
+    FaultToleranceParameters,
+    run_availability_cell,
+    run_faulttolerance_cell,
+)
 from repro.fragmentation import (
     FragmentationParameters,
     run_fragmentation_cell,
@@ -106,11 +113,56 @@ def availability_sweep(
     return header, rows
 
 
+def faulttolerance_sweep(
+    seed: int = 0,
+    stopping: Optional[StoppingConfig] = None,
+    losses: Sequence[float] = (0.0, 0.01, 0.03, 0.05),
+    mttf: float = 150.0,
+    mttr: float = 50.0,
+    lease_duration: float = 60.0,
+    sim_time: float = 5_000.0,
+) -> Rows:
+    """Mean call duration per loss rate under crashes, three policies.
+
+    The place-policy column runs with leases enabled — the unleased
+    variant degenerates under crashes (abandoned blocks leak their
+    locks forever); the bench in
+    ``benchmarks/bench_outlook_faulttolerance.py`` demonstrates that
+    contrast directly.  ``stopping`` is accepted for registry symmetry
+    but unused: fault-tolerance cells run a fixed horizon so degraded
+    cells cannot cut their run short by producing few observations.
+    """
+    del stopping
+    policies = ("sedentary", "migration", "placement")
+    header = ["loss"] + list(policies)
+    rows = []
+    for loss in losses:
+        row = [float(loss)]
+        for policy in policies:
+            result = run_faulttolerance_cell(
+                FaultToleranceParameters(
+                    policy=policy,
+                    lease_duration=(
+                        lease_duration if policy == "placement" else None
+                    ),
+                    loss=loss,
+                    mttf=mttf,
+                    mttr=mttr,
+                    sim_time=sim_time,
+                    seed=seed,
+                )
+            )
+            row.append(result.mean_call_duration)
+        rows.append(row)
+    return header, rows
+
+
 #: Registry used by the CLI.
 OUTLOOK_STUDIES = {
     "replication": replication_sweep,
     "fragmentation": fragmentation_sweep,
     "availability": availability_sweep,
+    "faulttolerance": faulttolerance_sweep,
 }
 
 

@@ -1,5 +1,7 @@
-"""Network substrate: topologies, latency models, message accounting."""
+"""Network substrate: topologies, latency models, message accounting,
+link fault injection."""
 
+from repro.network.faults import LinkFaultModel
 from repro.network.latency import (
     DeterministicLatency,
     LatencyModel,
@@ -24,6 +26,7 @@ __all__ = [
     "Grid",
     "LatencyModel",
     "Line",
+    "LinkFaultModel",
     "Network",
     "NormalizedExponentialLatency",
     "PerHopExponentialLatency",

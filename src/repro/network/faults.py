@@ -1,0 +1,151 @@
+"""Link-level fault injection: message loss and partitions.
+
+The paper motivates migration partly by availability (§2.2) but models
+a perfectly reliable interconnect; every message sent is delivered.
+:class:`LinkFaultModel` adds the two classic link failure modes on top
+of :class:`~repro.network.network.Network`:
+
+* *lossy links* — every remote message is dropped independently with a
+  configurable probability (globally or per directed link);
+* *down links / partitions* — a link (or the whole cut between two node
+  groups) can be taken down administratively or by a schedule, in which
+  case every message on it is dropped deterministically until the link
+  is restored.
+
+The model is strictly pay-for-what-you-use: a network without a fault
+model installed takes the exact same code path and draws the exact same
+random numbers as before this layer existed, and an installed model
+with zero loss and no down links never touches its random stream — so
+fault-free runs stay bit-identical to the seed reproduction.
+
+Local messages (``src == dst``) never fail: intra-node delivery does
+not cross the network.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Set, Tuple
+
+from repro.sim.rng import Stream
+
+Link = Tuple[int, int]
+
+
+class LinkFaultModel:
+    """Loss probabilities and up/down state for every directed link.
+
+    Parameters
+    ----------
+    loss_probability:
+        Default probability that a remote message is dropped (applied
+        to every directed link without a specific override).
+    link_loss:
+        Optional per-directed-link ``{(src, dst): probability}``
+        overrides.
+    stream:
+        Random stream for the loss draws.  Usually left ``None`` and
+        bound by :meth:`repro.network.network.Network.install_faults`
+        to the ``"network.faults"`` stream so loss draws never perturb
+        latency sampling.
+    """
+
+    def __init__(
+        self,
+        loss_probability: float = 0.0,
+        link_loss: Optional[Dict[Link, float]] = None,
+        stream: Optional[Stream] = None,
+    ):
+        if not 0.0 <= loss_probability < 1.0:
+            raise ValueError(
+                f"loss_probability must be in [0, 1), got {loss_probability}"
+            )
+        self.loss_probability = loss_probability
+        self.link_loss: Dict[Link, float] = dict(link_loss or {})
+        for link, p in self.link_loss.items():
+            if not 0.0 <= p < 1.0:
+                raise ValueError(
+                    f"loss probability for link {link} must be in [0, 1), got {p}"
+                )
+        self._stream = stream
+        self._down_links: Set[Link] = set()
+        # Accounting (read by tests and the analysis layer).
+        self.dropped_messages = 0
+        self.dropped_by_link: Dict[Link, int] = {}
+
+    # -- wiring ---------------------------------------------------------------
+
+    def bind(self, stream: Stream) -> None:
+        """Attach the random stream used for loss draws."""
+        self._stream = stream
+
+    # -- link state -----------------------------------------------------------
+
+    def fail_link(self, a: int, b: int) -> None:
+        """Take the link between ``a`` and ``b`` down (both directions)."""
+        self._down_links.add((a, b))
+        self._down_links.add((b, a))
+
+    def restore_link(self, a: int, b: int) -> None:
+        """Bring the link between ``a`` and ``b`` back up."""
+        self._down_links.discard((a, b))
+        self._down_links.discard((b, a))
+
+    def partition(self, group_a: Iterable[int], group_b: Iterable[int]) -> None:
+        """Cut every link between the two node groups."""
+        for a in group_a:
+            for b in group_b:
+                if a != b:
+                    self.fail_link(a, b)
+
+    def heal(self) -> None:
+        """Restore every down link."""
+        self._down_links.clear()
+
+    def is_link_down(self, src: int, dst: int) -> bool:
+        """Whether the directed link is administratively down."""
+        return (src, dst) in self._down_links
+
+    @property
+    def down_links(self) -> Set[Link]:
+        """Snapshot of the directed links currently down."""
+        return set(self._down_links)
+
+    # -- the drop decision ----------------------------------------------------
+
+    def loss_for(self, src: int, dst: int) -> float:
+        """Effective loss probability of one message on ``src → dst``."""
+        if src == dst:
+            return 0.0
+        if (src, dst) in self._down_links:
+            return 1.0
+        return self.link_loss.get((src, dst), self.loss_probability)
+
+    def should_drop(self, src: int, dst: int) -> bool:
+        """Decide (and account) whether one message is lost.
+
+        Deterministically ``False`` for local messages and zero-loss
+        links — no random draw happens, which is what keeps fault-free
+        runs bit-identical.  Deterministically ``True`` on down links.
+        """
+        p = self.loss_for(src, dst)
+        if p <= 0.0:
+            return False
+        if p < 1.0:
+            if self._stream is None:
+                raise RuntimeError(
+                    "LinkFaultModel has no random stream bound; install it "
+                    "on a Network (or call bind()) before sampling losses"
+                )
+            if self._stream.uniform() >= p:
+                return False
+        self.dropped_messages += 1
+        link = (src, dst)
+        self.dropped_by_link[link] = self.dropped_by_link.get(link, 0) + 1
+        return True
+
+    def __repr__(self) -> str:
+        return (
+            f"<LinkFaultModel loss={self.loss_probability} "
+            f"overrides={len(self.link_loss)} down={len(self._down_links)} "
+            f"dropped={self.dropped_messages}>"
+        )

@@ -5,12 +5,20 @@ environment.  Runtime components call :meth:`Network.transmit` inside a
 process (``yield from``) to spend the latency of one message, and the
 network keeps aggregate message accounting used by the analysis layer
 (remote vs local message counts, total network time).
+
+With a :class:`~repro.network.faults.LinkFaultModel` installed,
+``transmit`` may instead raise
+:class:`~repro.errors.MessageLostError` after the latency has elapsed —
+the point in time where the receiver would have seen the message.
+Without one the delivery path is unchanged.
 """
 
 from __future__ import annotations
 
 from typing import Generator, Optional
 
+from repro.errors import MessageLostError
+from repro.network.faults import LinkFaultModel
 from repro.network.latency import LatencyModel, NormalizedExponentialLatency
 from repro.network.topology import FullyConnected, Topology
 from repro.sim.kernel import Environment
@@ -30,7 +38,11 @@ class Network:
         Latency model (default: normalized Exp(1), as in the paper).
     streams:
         Random-stream factory; the network draws from the stream named
-        ``"network.latency"``.
+        ``"network.latency"`` (and ``"network.faults"`` when a fault
+        model is installed).
+    fault_model:
+        Optional link fault model; may also be installed later via
+        :meth:`install_faults`.
     """
 
     def __init__(
@@ -39,16 +51,30 @@ class Network:
         topology: Optional[Topology] = None,
         latency: Optional[LatencyModel] = None,
         streams: Optional[RandomStreams] = None,
+        fault_model: Optional[LinkFaultModel] = None,
     ):
         self.env = env
         self.topology = topology or FullyConnected(1)
         self.latency = latency or NormalizedExponentialLatency(1.0)
-        streams = streams or RandomStreams(0)
-        self._stream: Stream = streams.stream("network.latency")
+        self._streams = streams or RandomStreams(0)
+        self._stream: Stream = self._streams.stream("network.latency")
         # Aggregate accounting.
         self.remote_messages = 0
         self.local_messages = 0
         self.total_latency = 0.0
+        self.dropped_messages = 0
+        self.faults: Optional[LinkFaultModel] = None
+        if fault_model is not None:
+            self.install_faults(fault_model)
+
+    def install_faults(self, model: LinkFaultModel) -> None:
+        """Install a link fault model, binding its loss-draw stream.
+
+        The model draws from the dedicated ``"network.faults"`` stream
+        so enabling faults never perturbs latency sampling.
+        """
+        model.bind(self._streams.stream("network.faults"))
+        self.faults = model
 
     @property
     def size(self) -> int:
@@ -70,10 +96,25 @@ class Network:
 
         Use as ``yield from network.transmit(a, b)`` inside a process.
         Returns the sampled latency.
+
+        Raises
+        ------
+        MessageLostError
+            When the installed fault model drops the message.  The
+            latency has already been spent at that point (the loss
+            happens on the wire); the *sender* additionally has to wait
+            out its timeout before it can react — that is the retry
+            layer's job (:mod:`repro.runtime.retry`).
         """
         delay = self.sample_latency(src, dst)
+        dropped = self.faults is not None and self.faults.should_drop(src, dst)
         if delay > 0:
             yield self.env.timeout(delay)
+        if dropped:
+            self.dropped_messages += 1
+            raise MessageLostError(
+                f"message {src} -> {dst} lost after {delay:.3f}"
+            )
         return delay
 
     def round_trip(self, src: int, dst: int) -> Generator:
@@ -87,8 +128,9 @@ class Network:
         return there + back
 
     def __repr__(self) -> str:
+        faults = f" dropped={self.dropped_messages}" if self.faults else ""
         return (
             f"<Network {type(self.topology).__name__}({self.topology.size}) "
             f"latency={type(self.latency).__name__} "
-            f"msgs={self.remote_messages}r/{self.local_messages}l>"
+            f"msgs={self.remote_messages}r/{self.local_messages}l{faults}>"
         )

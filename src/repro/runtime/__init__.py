@@ -19,6 +19,7 @@ from repro.runtime.migration import MigrationOutcome, MigrationService
 from repro.runtime.node import Node
 from repro.runtime.objects import DistributedObject, MobilityState, ObjectKind
 from repro.runtime.registry import ObjectRegistry
+from repro.runtime.retry import RetryPolicy
 from repro.runtime.system import DistributedSystem
 
 __all__ = [
@@ -39,5 +40,6 @@ __all__ = [
     "Node",
     "ObjectKind",
     "ObjectRegistry",
+    "RetryPolicy",
     "make_locator",
 ]

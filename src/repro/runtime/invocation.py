@@ -13,6 +13,21 @@ Implements the cost model of §4.1/§4.2.1:
 The caller's wall-clock view (send → reply received) is what the
 paper's "mean duration of one call" (Fig 10) measures; the invocation
 service returns it and also keeps aggregate accounting.
+
+Fault tolerance
+---------------
+When the network has a :class:`~repro.network.faults.LinkFaultModel`
+installed, either message of a call may be lost
+(:class:`~repro.errors.MessageLostError`).  The service then applies
+its :class:`~repro.runtime.retry.RetryPolicy`: the caller waits out the
+attempt timeout, backs off (exponentially, with jitter drawn from the
+``"invocation.retry"`` stream) and retries from scratch — including
+re-locating the callee, which may have moved meanwhile.  Retries give
+*at-least-once* semantics: a call whose reply was lost has already
+executed once at the callee.  After ``max_attempts`` tries the call
+fails with :class:`~repro.errors.TimeoutError`.  On a fault-free
+network none of this machinery runs and the behaviour (and random-draw
+sequence) is identical to the reliable model.
 """
 
 from __future__ import annotations
@@ -20,11 +35,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Generator, Optional
 
+from repro.errors import MessageLostError, TimeoutError
 from repro.network.network import Network
 from repro.runtime.locator import ImmediateUpdateLocator, Locator
 from repro.runtime.messages import Message, MessageKind
 from repro.runtime.objects import DistributedObject
+from repro.runtime.retry import RetryPolicy
 from repro.sim.kernel import Environment
+from repro.sim.rng import RandomStreams
 from repro.sim.stats import RunningStats
 from repro.sim.trace import NULL_TRACER, Tracer
 
@@ -37,21 +55,40 @@ class InvocationResult:
     ----------
     duration:
         Wall-clock time from send to reply receipt (includes blocking
-        on in-transit callees).
+        on in-transit callees, timeouts and backoff of failed attempts).
     was_local:
         True when both messages were node-local (cost 0).
     blocked_time:
         Portion of ``duration`` spent waiting for the callee to be
         reinstalled after a migration.
+    attempts:
+        Number of attempts performed (1 on a reliable network).
     """
 
     duration: float
     was_local: bool
     blocked_time: float
+    attempts: int = 1
 
 
 class InvocationService:
-    """Performs invocations on (possibly remote, possibly moving) objects."""
+    """Performs invocations on (possibly remote, possibly moving) objects.
+
+    Parameters
+    ----------
+    env, network:
+        Simulation environment and interconnect.
+    locator:
+        Location strategy (default immediate update = free lookup).
+    tracer:
+        Trace sink.
+    retry:
+        Timeout/retry policy applied when the network loses messages;
+        irrelevant (never consulted) on a fault-free network.
+    streams:
+        Random-stream factory; backoff jitter draws from the stream
+        named ``"invocation.retry"`` only when a retry actually occurs.
+    """
 
     def __init__(
         self,
@@ -59,16 +96,39 @@ class InvocationService:
         network: Network,
         locator: Optional[Locator] = None,
         tracer: Tracer = NULL_TRACER,
+        retry: Optional[RetryPolicy] = None,
+        streams: Optional[RandomStreams] = None,
     ):
         self.env = env
         self.network = network
         self.locator = locator or ImmediateUpdateLocator(env, network)
         self.tracer = tracer
-        #: Aggregate duration statistics over every invocation performed.
+        self.retry = retry or RetryPolicy()
+        self._streams = streams or RandomStreams(0)
+        #: Aggregate duration statistics over every completed invocation.
         self.durations = RunningStats()
         self.local_calls = 0
         self.remote_calls = 0
         self.blocked_calls = 0
+        # Fault-tolerance accounting (all zero on a reliable network).
+        self.timeouts = 0
+        self.retries = 0
+        self.failed_calls = 0
+        self.retry_wait_time = 0.0
+
+    def stats(self) -> dict:
+        """Aggregate counters for reports and degradation analysis."""
+        return {
+            "calls": self.durations.count,
+            "mean_duration": self.durations.mean if self.durations.count else 0.0,
+            "local_calls": self.local_calls,
+            "remote_calls": self.remote_calls,
+            "blocked_calls": self.blocked_calls,
+            "timeouts": self.timeouts,
+            "retries": self.retries,
+            "failed_calls": self.failed_calls,
+            "retry_wait_time": self.retry_wait_time,
+        }
 
     def invoke(
         self, caller_node: int, obj: DistributedObject, body=None
@@ -90,8 +150,87 @@ class InvocationService:
             nested synchronous invocations (a first-layer server calling
             its second-layer working set, Fig 7) are modelled.  The
             nested time is part of the caller's observed duration.
+
+        Raises
+        ------
+        TimeoutError
+            When the network loses messages and every attempt allowed
+            by the retry policy timed out.
         """
         start = self.env.now
+        blocked = 0.0
+        attempt = 0
+
+        while True:
+            attempt += 1
+            attempt_start = self.env.now
+            try:
+                call_latency, reply_latency, attempt_blocked = (
+                    yield from self._attempt(caller_node, obj, body)
+                )
+                blocked += attempt_blocked
+                break
+            except MessageLostError:
+                # Blocked time of a voided attempt is indistinguishable
+                # from timeout waiting to the caller; it stays part of
+                # the overall duration but not of ``blocked_time``.
+                self.timeouts += 1
+                # The sender learns nothing until its timeout elapses;
+                # the wire time already spent counts towards it.
+                remaining = self.retry.timeout - (self.env.now - attempt_start)
+                if remaining > 0:
+                    yield self.env.timeout(remaining)
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        self.env.now,
+                        "invocation.timeout",
+                        src=caller_node,
+                        object_id=obj.object_id,
+                        attempt=attempt,
+                    )
+                if attempt >= self.retry.max_attempts:
+                    self.failed_calls += 1
+                    raise TimeoutError(
+                        f"invocation of {obj.name} from node {caller_node} "
+                        f"failed after {attempt} attempts"
+                    ) from None
+                self.retries += 1
+                delay = self.retry.backoff(
+                    attempt - 1, self._streams.stream("invocation.retry")
+                )
+                if delay > 0:
+                    self.retry_wait_time += delay
+                    yield self.env.timeout(delay)
+
+        duration = self.env.now - start
+        was_local = (
+            call_latency == 0.0
+            and reply_latency == 0.0
+            and blocked == 0.0
+            and attempt == 1
+        )
+        self.durations.add(duration)
+        if was_local:
+            self.local_calls += 1
+        else:
+            self.remote_calls += 1
+        if blocked > 0:
+            self.blocked_calls += 1
+        return InvocationResult(
+            duration=duration,
+            was_local=was_local,
+            blocked_time=blocked,
+            attempts=attempt,
+        )
+
+    def _attempt(
+        self, caller_node: int, obj: DistributedObject, body
+    ) -> Generator:
+        """One try of the call/reply exchange.
+
+        Returns ``(call_latency, reply_latency, blocked_time)``;
+        propagates :class:`MessageLostError` from either message leg.
+        """
         blocked = 0.0
 
         # An object in transit cannot accept the request; the call
@@ -147,15 +286,4 @@ class InvocationService:
                 latency=reply_latency,
             )
 
-        duration = self.env.now - start
-        was_local = call_latency == 0.0 and reply_latency == 0.0 and blocked == 0.0
-        self.durations.add(duration)
-        if was_local:
-            self.local_calls += 1
-        else:
-            self.remote_calls += 1
-        if blocked > 0:
-            self.blocked_calls += 1
-        return InvocationResult(
-            duration=duration, was_local=was_local, blocked_time=blocked
-        )
+        return call_latency, reply_latency, blocked

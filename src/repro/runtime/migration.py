@@ -16,6 +16,21 @@ Objects that are already at the target are not transferred ("moving" an
 object to where it is costs nothing).  Objects in transit are waited
 for, then transferred — this is how a conventional move "steals" an
 object that is already moving elsewhere.
+
+Abort and rollback
+------------------
+Under the fault layer a transfer can fail: the target node may be down
+(per the installed ``health`` provider, usually a
+:class:`~repro.availability.faults.FaultInjector`) or the transfer
+message may be lost on the wire (per the network's
+:class:`~repro.network.faults.LinkFaultModel`).  The rollback rule: the
+object is reinstalled *at its origin*, every caller blocked on it is
+woken there, and the locator is corrected — the move simply never
+happened, except for the wasted wire time.  A target that is already
+known-dead aborts immediately without linearizing the object at all.
+Aborted members are surfaced in :attr:`MigrationOutcome.aborted` (or,
+in ``strict`` mode, raised as
+:class:`~repro.errors.MigrationAbortedError`).
 """
 
 from __future__ import annotations
@@ -23,7 +38,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Generator, Iterable, List, Optional
 
-from repro.errors import ObjectFixedError
+from repro.errors import MigrationAbortedError, ObjectFixedError
+from repro.network.network import Network
 from repro.runtime.locator import Locator
 from repro.runtime.messages import MessageKind
 from repro.runtime.objects import DistributedObject
@@ -44,23 +60,35 @@ class MigrationOutcome:
         Objects actually transferred.
     already_there:
         Objects that were resident at the target already.
+    aborted:
+        Objects whose transfer failed (dead target or lost transfer
+        message) and that were rolled back to their origin node.
     elapsed:
         Wall-clock duration of the whole operation (includes waiting
         for in-transit members).
     transfer_time:
         Sum of the individual transfer durations (the network work).
+    wasted_transfer_time:
+        Wire time spent on aborted transfers (outbound + rollback legs).
     """
 
     target_node: int
     moved: List[DistributedObject] = field(default_factory=list)
     already_there: List[DistributedObject] = field(default_factory=list)
+    aborted: List[DistributedObject] = field(default_factory=list)
     elapsed: float = 0.0
     transfer_time: float = 0.0
+    wasted_transfer_time: float = 0.0
 
     @property
     def moved_count(self) -> int:
         """Number of objects actually transferred."""
         return len(self.moved)
+
+    @property
+    def aborted_count(self) -> int:
+        """Number of objects whose transfer was aborted."""
+        return len(self.aborted)
 
 
 class MigrationService:
@@ -76,6 +104,14 @@ class MigrationService:
         Optional locator to notify of moves (forwarding addresses).
     tracer:
         Trace sink.
+    network:
+        Optional network reference; when present and a link fault model
+        is installed, transfer messages are subject to loss.
+    health:
+        Optional node-health provider (any object with
+        ``is_down(node_id) -> bool``); when present, transfers towards
+        down nodes abort.  :class:`~repro.availability.faults.FaultInjector`
+        wires itself in here.
     """
 
     def __init__(
@@ -85,6 +121,7 @@ class MigrationService:
         default_duration: float = 6.0,
         locator: Optional[Locator] = None,
         tracer: Tracer = NULL_TRACER,
+        network: Optional[Network] = None,
     ):
         if default_duration < 0:
             raise ValueError(
@@ -95,10 +132,28 @@ class MigrationService:
         self.default_duration = default_duration
         self.locator = locator
         self.tracer = tracer
+        self.network = network
+        #: Node-health provider consulted for abort decisions (duck
+        #: typed: anything with ``is_down(node_id)``; None = all up).
+        self.health = None
         #: Total number of object transfers performed.
         self.migration_count = 0
         #: Total transfer time spent (sum of per-object durations).
         self.total_transfer_time = 0.0
+        #: Transfers aborted and rolled back to their origin.
+        self.migrations_aborted = 0
+        #: Wire time wasted on aborted transfers.
+        self.wasted_transfer_time = 0.0
+
+    def _node_down(self, node_id: int) -> bool:
+        return self.health is not None and self.health.is_down(node_id)
+
+    def _transfer_lost(self, src: int, dst: int) -> bool:
+        return (
+            self.network is not None
+            and self.network.faults is not None
+            and self.network.faults.should_drop(src, dst)
+        )
 
     def duration_for(self, obj: DistributedObject) -> float:
         """Transfer time for one object (M scaled by object size)."""
@@ -107,7 +162,9 @@ class MigrationService:
     def _transfer_one(
         self, obj: DistributedObject, target_node: int, extra_time: float = 0.0
     ) -> Generator:
-        """Move a single object; returns ``(moved, transfer_time)``."""
+        """Move a single object; returns ``(status, transfer_time)``
+        with ``status`` one of ``"moved"``, ``"already"``, ``"aborted"``.
+        """
         # Wait out any in-flight migration of this object: the request
         # queues at the runtime and executes on reinstallation.
         while obj.in_transit:
@@ -117,9 +174,25 @@ class MigrationService:
             raise ObjectFixedError(f"{obj.name} is fixed and cannot migrate")
 
         if obj.node_id == target_node:
-            return (False, 0.0)
+            return ("already", 0.0)
 
         origin = obj.node_id
+
+        # Fast abort: a target known to be dead rejects the transfer at
+        # the origin runtime before the object is even linearized.
+        if self._node_down(target_node):
+            self.migrations_aborted += 1
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    self.env.now,
+                    "migration.abort",
+                    object_id=obj.object_id,
+                    src=origin,
+                    dst=target_node,
+                    reason="node-down",
+                )
+            return ("aborted", 0.0)
+
         duration = self.duration_for(obj) + extra_time
         self.registry.depart(obj)
         obj.begin_transit()
@@ -132,8 +205,39 @@ class MigrationService:
                 dst=target_node,
                 duration=duration,
             )
+
+        # The transfer message itself may be lost; the drop is decided
+        # now but only *observed* after the transfer window, when the
+        # origin's runtime times out waiting for the install ack.
+        lost = self._transfer_lost(origin, target_node)
         if duration > 0:
             yield self.env.timeout(duration)
+
+        if lost or self._node_down(target_node):
+            # Abort: roll the object back to its origin.  The return
+            # trip costs another transfer window, then the object is
+            # reinstalled where it started, blocked callers wake there
+            # and the locator forgets the move ever happened.
+            if duration > 0:
+                yield self.env.timeout(duration)
+            obj.install(origin)
+            self.registry.arrive(obj, origin)
+            if self.locator is not None:
+                self.locator.note_migration(obj, origin)
+            wasted = 2 * duration
+            self.migrations_aborted += 1
+            self.wasted_transfer_time += wasted
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    self.env.now,
+                    "migration.abort",
+                    object_id=obj.object_id,
+                    src=origin,
+                    dst=target_node,
+                    reason="transfer-lost" if lost else "node-down",
+                )
+            return ("aborted", wasted)
+
         obj.install(target_node)
         self.registry.arrive(obj, target_node)
         if self.locator is not None:
@@ -148,13 +252,14 @@ class MigrationService:
                 src=origin,
                 dst=target_node,
             )
-        return (True, duration)
+        return ("moved", duration)
 
     def migrate(
         self,
         objects: Iterable[DistributedObject],
         target_node: int,
         extra_time: float = 0.0,
+        strict: bool = False,
     ) -> Generator:
         """Process fragment migrating ``objects`` to ``target_node``.
 
@@ -165,6 +270,10 @@ class MigrationService:
         this is how §3.3's bookkeeping payload ("the size of data that
         has to be transferred when migrating an object increases") is
         charged when a dynamic policy opts into overhead accounting.
+
+        With ``strict=True`` an outcome with aborted members raises
+        :class:`MigrationAbortedError` (after every rollback finished);
+        by default callers inspect :attr:`MigrationOutcome.aborted`.
         """
         if extra_time < 0:
             raise ValueError(f"extra_time must be >= 0, got {extra_time}")
@@ -190,10 +299,13 @@ class MigrationService:
             ]
             yield self.env.all_of(procs)
             for obj, proc in zip(movers, procs):
-                moved, transfer = proc.value
-                if moved:
+                status, transfer = proc.value
+                if status == "moved":
                     outcome.moved.append(obj)
                     outcome.transfer_time += transfer
+                elif status == "aborted":
+                    outcome.aborted.append(obj)
+                    outcome.wasted_transfer_time += transfer
                 else:
                     # It was in transit towards (or already reached) the
                     # target when we caught up with it.
@@ -207,5 +319,10 @@ class MigrationService:
                 target=target_node,
                 moved=outcome.moved_count,
                 elapsed=outcome.elapsed,
+            )
+        if strict and outcome.aborted:
+            names = ", ".join(o.name for o in outcome.aborted)
+            raise MigrationAbortedError(
+                f"migration to node {target_node} aborted for {names}"
             )
         return outcome

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from repro.errors import ConfigurationError
+from repro.network.faults import LinkFaultModel
 from repro.network.latency import LatencyModel, NormalizedExponentialLatency
 from repro.network.network import Network
 from repro.network.topology import FullyConnected, Topology
@@ -25,6 +27,7 @@ from repro.runtime.migration import MigrationService
 from repro.runtime.node import Node
 from repro.runtime.objects import DistributedObject, ObjectKind
 from repro.runtime.registry import ObjectRegistry
+from repro.runtime.retry import RetryPolicy
 from repro.sim.kernel import Environment
 from repro.sim.rng import RandomStreams
 from repro.sim.trace import NULL_TRACER, Tracer
@@ -50,6 +53,13 @@ class DistributedSystem:
         Location strategy (default immediate update = free lookup).
     tracer:
         Optional trace sink for tests/debugging.
+    fault_model:
+        Optional link fault model (message loss / partitions).  Absent
+        by default, in which case the network is perfectly reliable and
+        behaves bit-identically to the pre-fault-layer model.
+    retry:
+        Invocation timeout/retry policy; only consulted when the fault
+        model actually loses a message.
     """
 
     def __init__(
@@ -62,21 +72,30 @@ class DistributedSystem:
         locator: Optional[Locator] = None,
         tracer: Tracer = NULL_TRACER,
         env: Optional[Environment] = None,
+        fault_model: Optional[LinkFaultModel] = None,
+        retry: Optional[RetryPolicy] = None,
     ):
         self.env = env or Environment()
         self.streams = RandomStreams(seed)
         self.tracer = tracer
+        self._custom_topology = topology is not None
         self.topology = topology or FullyConnected(max(nodes, 1))
         self.network = Network(
             self.env,
             topology=self.topology,
             latency=latency or NormalizedExponentialLatency(1.0),
             streams=self.streams,
+            fault_model=fault_model,
         )
         self.registry = ObjectRegistry()
         self.locator = locator or ImmediateUpdateLocator(self.env, self.network)
         self.invocations = InvocationService(
-            self.env, self.network, locator=self.locator, tracer=tracer
+            self.env,
+            self.network,
+            locator=self.locator,
+            tracer=tracer,
+            retry=retry,
+            streams=self.streams,
         )
         self.migrations = MigrationService(
             self.env,
@@ -84,6 +103,7 @@ class DistributedSystem:
             default_duration=migration_duration,
             locator=self.locator,
             tracer=tracer,
+            network=self.network,
         )
         self._next_object_id = 0
         for _ in range(nodes):
@@ -92,12 +112,27 @@ class DistributedSystem:
     # -- construction -----------------------------------------------------------
 
     def add_node(self, name: str = "") -> Node:
-        """Create and register one more node."""
+        """Create and register one more node.
+
+        Raises
+        ------
+        ConfigurationError
+            When growing past the size of a user-supplied topology:
+            custom topologies are fixed-size structures and silently
+            swapping one for a fully connected network would invalidate
+            the experiment's premise.  Pass a large-enough topology up
+            front instead.
+        """
         node = Node(len(self.registry.nodes), name=name)
+        if node.node_id >= self.topology.size and self._custom_topology:
+            raise ConfigurationError(
+                f"cannot grow to {node.node_id + 1} nodes: the supplied "
+                f"{type(self.topology).__name__} topology is fixed at size "
+                f"{self.topology.size}"
+            )
         self.registry.add_node(node)
         if node.node_id >= self.topology.size:
-            # Growing past the topology: rebuild a fully connected one.
-            # (Fixed-size topologies should be passed in up front.)
+            # Growing past the default topology: rebuild fully connected.
             self.topology = FullyConnected(node.node_id + 1)
             self.network.topology = self.topology
         return node

@@ -1,0 +1,164 @@
+"""Unit tests for lease-based place-policy locks and the sweeper."""
+
+import pytest
+
+from repro.core.locking import LeaseSweeper, LockManager
+from repro.core.moveblock import MoveBlock
+from repro.errors import PolicyError
+from repro.runtime.objects import DistributedObject
+from repro.sim.kernel import Environment
+
+
+class StubHealth:
+    def __init__(self, down=()):
+        self.down = set(down)
+
+    def is_down(self, node_id):
+        return node_id in self.down
+
+
+def make_obj(env, object_id=0, node=0):
+    return DistributedObject(
+        env, object_id=object_id, node_id=node, name=f"obj-{object_id}"
+    )
+
+
+def advance(env, until):
+    env.timeout(until - env.now)
+    env.run()
+
+
+class TestConstruction:
+    def test_leases_require_env(self):
+        with pytest.raises(ValueError, match="environment"):
+            LockManager(lease_duration=10.0)
+
+    def test_lease_duration_positive(self):
+        with pytest.raises(ValueError, match="positive"):
+            LockManager(env=Environment(), lease_duration=0.0)
+
+    def test_default_manager_has_no_leases(self):
+        locks = LockManager()
+        assert not locks.leases_enabled
+
+
+class TestLeaseExpiry:
+    def test_lock_held_until_expiry(self, env):
+        locks = LockManager(env=env, lease_duration=10.0)
+        obj = make_obj(env)
+        block = MoveBlock(1, obj)
+        locks.lock(obj, block)
+        assert locks.lease_of(block) == 10.0
+
+        advance(env, 9.9)
+        assert locks.is_locked(obj)
+        advance(env, 10.0)
+        # Lazy reclamation: the touch itself reaps the expired lease.
+        assert not locks.is_locked(obj)
+        assert obj.lock_holder is None
+        assert locks.leases_expired == 1
+
+    def test_expired_holder_loses_to_new_mover(self, env):
+        locks = LockManager(env=env, lease_duration=5.0)
+        obj = make_obj(env)
+        stale = MoveBlock(1, obj)
+        locks.lock(obj, stale)
+        advance(env, 7.0)
+        fresh = MoveBlock(2, obj)
+        # No PolicyError: the stale lease is reaped and the grant wins.
+        locks.lock(obj, fresh)
+        assert locks.holder(obj) is fresh
+        # The stale block's late end is the §3.2 ignored end-request.
+        assert locks.release_block(stale) == 0
+        assert locks.holder(obj) is fresh
+
+    def test_each_grant_refreshes_the_lease(self, env):
+        locks = LockManager(env=env, lease_duration=10.0)
+        a, b = make_obj(env, 0), make_obj(env, 1)
+        block = MoveBlock(1, a)
+        locks.lock(a, block)
+        advance(env, 8.0)
+        locks.lock(b, block)
+        assert locks.lease_of(block) == 18.0
+        advance(env, 12.0)
+        # The refresh kept the first lock alive too.
+        assert locks.is_locked(a)
+
+    def test_live_holder_semantics_unchanged(self, env):
+        locks = LockManager(env=env, lease_duration=100.0)
+        obj = make_obj(env)
+        block = MoveBlock(1, obj)
+        locks.lock(obj, block)
+        with pytest.raises(PolicyError, match="already locked"):
+            locks.lock(obj, MoveBlock(2, obj))
+        assert locks.release_block(block) == 1
+        assert not locks.is_locked(obj)
+
+    def test_expire_due_sweeps_everything_overdue(self, env):
+        locks = LockManager(env=env, lease_duration=5.0)
+        objs = [make_obj(env, i) for i in range(3)]
+        early = MoveBlock(1, objs[0])
+        locks.lock_all(objs[:2], early)
+        advance(env, 4.0)
+        late = MoveBlock(2, objs[2])
+        locks.lock(objs[2], late)
+        advance(env, 6.0)
+        assert locks.expire_due() == 2  # early's two locks, late survives
+        assert locks.held_blocks() == [late]
+        assert locks.leases_expired == 2
+
+
+class TestCrashReclamation:
+    def test_break_crashed_releases_only_dead_holders(self, env):
+        locks = LockManager(env=env, lease_duration=1_000.0)
+        a, b = make_obj(env, 0), make_obj(env, 1)
+        dead = MoveBlock(1, a)
+        alive = MoveBlock(2, b)
+        locks.lock(a, dead)
+        locks.lock(b, alive)
+        released = locks.break_crashed(StubHealth(down={1}))
+        assert released == 1
+        assert not locks.is_locked(a)
+        assert locks.holder(b) is alive
+        assert locks.leases_broken == 1
+
+    def test_break_crashed_works_without_leases(self):
+        # Crash reclamation is orthogonal to expiry: even a no-lease
+        # manager can break a dead holder's locks.
+        locks = LockManager()
+        env = Environment()
+        obj = make_obj(env)
+        block = MoveBlock(4, obj)
+        locks.lock(obj, block)
+        assert locks.break_crashed(StubHealth(down={4})) == 1
+        assert not locks.is_locked(obj)
+
+
+class TestLeaseSweeper:
+    def test_interval_validated(self, env):
+        with pytest.raises(ValueError, match="interval"):
+            LeaseSweeper(env, LockManager(), interval=0.0)
+
+    def test_periodic_sweep_reclaims_untouched_locks(self, env):
+        locks = LockManager(env=env, lease_duration=5.0)
+        obj = make_obj(env)
+        locks.lock(obj, MoveBlock(1, obj))
+        sweeper = LeaseSweeper(env, locks, interval=4.0)
+        sweeper.start()
+        sweeper.start()  # idempotent
+        env.run(until=21.0)
+        # Nobody ever touched the object again; the sweeper alone
+        # reclaimed it (first chance: the t=8 sweep).
+        assert not locks.is_locked(obj)
+        assert locks.leases_expired == 1
+        assert sweeper.sweeps == 5
+
+    def test_sweep_reports_both_kinds(self, env):
+        locks = LockManager(env=env, lease_duration=5.0)
+        a, b = make_obj(env, 0), make_obj(env, 1)
+        locks.lock(a, MoveBlock(1, a))
+        advance(env, 6.0)
+        locks.lock(b, MoveBlock(2, b))
+        sweeper = LeaseSweeper(env, locks, health=StubHealth(down={2}))
+        assert sweeper.sweep() == (1, 1)
+        assert locks.locked_objects() == []

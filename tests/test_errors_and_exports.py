@@ -22,6 +22,11 @@ class TestErrorHierarchy:
             errors.AttachmentError,
             errors.AllianceError,
             errors.PolicyError,
+            errors.FaultError,
+            errors.MessageLostError,
+            errors.TimeoutError,
+            errors.NodeDownError,
+            errors.MigrationAbortedError,
             errors.ConfigurationError,
             errors.StoppingRuleError,
         ],
@@ -41,6 +46,26 @@ class TestErrorHierarchy:
     def test_kernel_errors_grouped(self):
         for exc in (errors.EmptySchedule, errors.ProcessError):
             assert issubclass(exc, errors.SimulationError)
+
+    def test_fault_errors_grouped(self):
+        # Injected-failure conditions share FaultError (and through it
+        # RuntimeModelError) so applications can degrade gracefully
+        # with a single except clause.
+        for exc in (
+            errors.MessageLostError,
+            errors.TimeoutError,
+            errors.NodeDownError,
+            errors.MigrationAbortedError,
+        ):
+            assert issubclass(exc, errors.FaultError)
+            assert issubclass(exc, errors.RuntimeModelError)
+
+    def test_timeout_error_is_not_the_builtin(self):
+        # repro.errors.TimeoutError deliberately shadows the builtin
+        # inside the package; they must stay distinct types so builtin
+        # handlers don't accidentally swallow simulated faults.
+        assert errors.TimeoutError is not TimeoutError
+        assert not issubclass(errors.TimeoutError, TimeoutError)
 
     def test_control_flow_signals_not_repro_errors(self):
         # StopSimulation and Interrupt are control flow, not failures:

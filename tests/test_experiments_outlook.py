@@ -6,6 +6,7 @@ from repro.experiments.cli import main
 from repro.experiments.outlook import (
     OUTLOOK_STUDIES,
     availability_sweep,
+    faulttolerance_sweep,
     format_outlook_table,
     fragmentation_sweep,
     replication_sweep,
@@ -52,11 +53,22 @@ class TestSweeps:
         # Chains favor collocation.
         assert rows[1][1] < rows[1][2]
 
+    def test_faulttolerance_shape(self):
+        header, rows = faulttolerance_sweep(
+            losses=(0.0, 0.05), sim_time=1_500.0
+        )
+        assert header == ["loss", "sedentary", "migration", "placement"]
+        assert len(rows) == 2
+        assert all(len(r) == 4 for r in rows)
+        # Every cell produced observations despite crashes and loss.
+        assert all(v > 0 for r in rows for v in r[1:])
+
     def test_registry(self):
         assert set(OUTLOOK_STUDIES) == {
             "replication",
             "fragmentation",
             "availability",
+            "faulttolerance",
         }
 
     def test_run_outlook_unknown(self):

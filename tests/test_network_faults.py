@@ -1,0 +1,158 @@
+"""Unit tests for link fault injection and its pay-for-use guarantee."""
+
+import pytest
+
+from repro.errors import MessageLostError
+from repro.network.faults import LinkFaultModel
+from repro.network.latency import DeterministicLatency
+from repro.network.network import Network
+from repro.network.topology import FullyConnected
+from repro.runtime.retry import RetryPolicy
+from repro.runtime.system import DistributedSystem
+from repro.sim.rng import RandomStreams
+
+
+def make_net(env, streams, model=None):
+    return Network(
+        env,
+        topology=FullyConnected(4),
+        latency=DeterministicLatency(2.0),
+        streams=streams,
+        fault_model=model,
+    )
+
+
+class TestLinkFaultModel:
+    def test_loss_probability_validated(self):
+        with pytest.raises(ValueError, match="loss_probability"):
+            LinkFaultModel(loss_probability=1.0)
+        with pytest.raises(ValueError, match="loss_probability"):
+            LinkFaultModel(loss_probability=-0.1)
+        with pytest.raises(ValueError, match="link"):
+            LinkFaultModel(link_loss={(0, 1): 1.5})
+
+    def test_loss_for_precedence(self):
+        model = LinkFaultModel(
+            loss_probability=0.1, link_loss={(0, 1): 0.5}
+        )
+        assert model.loss_for(2, 3) == 0.1
+        assert model.loss_for(0, 1) == 0.5  # per-link override
+        assert model.loss_for(1, 0) == 0.1  # directed: reverse unaffected
+        assert model.loss_for(2, 2) == 0.0  # local never lost
+        model.fail_link(2, 3)
+        assert model.loss_for(2, 3) == 1.0
+        assert model.loss_for(3, 2) == 1.0  # fail_link cuts both ways
+
+    def test_zero_loss_never_draws(self):
+        # No stream bound: sampling would raise, so should_drop must
+        # decide without drawing — the bit-identity guarantee.
+        model = LinkFaultModel(loss_probability=0.0)
+        assert model.should_drop(0, 1) is False
+        assert model.dropped_messages == 0
+
+    def test_down_link_drops_without_stream(self):
+        model = LinkFaultModel()
+        model.fail_link(0, 1)
+        assert model.should_drop(0, 1) is True
+        assert model.dropped_messages == 1
+        assert model.dropped_by_link[(0, 1)] == 1
+
+    def test_probabilistic_loss_requires_stream(self):
+        model = LinkFaultModel(loss_probability=0.5)
+        with pytest.raises(RuntimeError, match="no random stream"):
+            model.should_drop(0, 1)
+
+    def test_probabilistic_loss_rate(self, streams):
+        model = LinkFaultModel(
+            loss_probability=0.3, stream=streams.stream("t")
+        )
+        drops = sum(model.should_drop(0, 1) for _ in range(4_000))
+        assert drops == model.dropped_messages
+        assert 0.25 < drops / 4_000 < 0.35
+
+    def test_partition_and_heal(self):
+        model = LinkFaultModel()
+        model.partition([0, 1], [2, 3])
+        assert model.is_link_down(0, 2)
+        assert model.is_link_down(3, 1)
+        assert not model.is_link_down(0, 1)  # same side untouched
+        assert len(model.down_links) == 8
+        model.restore_link(0, 2)
+        assert not model.is_link_down(2, 0)
+        model.heal()
+        assert model.down_links == set()
+
+
+class TestTransmitWithFaults:
+    def test_drop_raised_after_latency_spent(self, env, streams):
+        model = LinkFaultModel()
+        model.fail_link(0, 1)
+        net = make_net(env, streams, model)
+
+        def proc(env):
+            try:
+                yield from net.transmit(0, 1)
+            except MessageLostError:
+                return env.now
+            return None
+
+        p = env.process(proc(env))
+        env.run()
+        # The loss is observed where the receiver would have been: the
+        # latency is on the wire before the drop surfaces.
+        assert p.value == 2.0
+        assert net.dropped_messages == 1
+
+    def test_local_messages_never_dropped(self, env, streams):
+        model = LinkFaultModel(loss_probability=0.999)
+        net = make_net(env, streams, model)
+
+        def proc(env):
+            for _ in range(50):
+                yield from net.transmit(1, 1)
+
+        env.process(proc(env))
+        env.run()
+        assert net.dropped_messages == 0
+
+    def test_install_faults_binds_dedicated_stream(self, env, streams):
+        net = make_net(env, streams)
+        assert net.faults is None
+        model = LinkFaultModel(loss_probability=0.5)
+        net.install_faults(model)
+        assert net.faults is model
+        assert model.should_drop(0, 1) in (True, False)  # stream bound
+
+
+class TestPayForWhatYouUse:
+    def _trace(self, fault_model, retry):
+        """Timeline of a fixed invoke/migrate script on one system."""
+        system = DistributedSystem(
+            nodes=4, seed=99, fault_model=fault_model, retry=retry
+        )
+        server = system.create_server(node=3, name="s")
+        out = []
+
+        def proc():
+            for _ in range(5):
+                r = yield from system.invocations.invoke(0, server)
+                out.append((system.now, r.duration, r.attempts))
+            outcome = yield from system.migrations.migrate([server], 0)
+            out.append((system.now, outcome.elapsed, outcome.moved_count))
+            for _ in range(5):
+                r = yield from system.invocations.invoke(0, server)
+                out.append((system.now, r.duration, r.attempts))
+
+        system.env.process(proc(), name="script")
+        system.run()
+        return out
+
+    def test_zero_loss_model_is_bit_identical_to_no_model(self):
+        # Installing the fault layer with everything off must not move
+        # a single event: same seed, same draws, same timeline.
+        plain = self._trace(fault_model=None, retry=None)
+        gated = self._trace(
+            fault_model=LinkFaultModel(loss_probability=0.0),
+            retry=RetryPolicy(),
+        )
+        assert plain == gated

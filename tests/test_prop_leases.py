@@ -1,0 +1,142 @@
+"""Property tests for lock-lease safety under crash/expiry interleavings.
+
+Random interleavings of lock grants, releases, time advances, node
+crashes/recoveries and sweeps must preserve the two lease invariants:
+
+* *mutual exclusion* — no object is ever held by two blocks at once;
+* *reclamation* — after a sweep, no lock is held by a block whose
+  lease expired or whose owner node is crashed.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.locking import LeaseSweeper, LockManager
+from repro.core.moveblock import MoveBlock
+from repro.errors import PolicyError
+from repro.runtime.objects import DistributedObject
+from repro.sim.kernel import Environment
+
+N_OBJECTS = 4
+N_NODES = 3
+LEASE = 20.0
+
+op = st.one_of(
+    st.tuples(
+        st.just("advance"),
+        st.floats(min_value=0.5, max_value=30.0, allow_nan=False),
+    ),
+    st.tuples(
+        st.just("lock"),
+        st.integers(min_value=0, max_value=N_OBJECTS - 1),
+        st.integers(min_value=0, max_value=N_NODES - 1),
+    ),
+    st.tuples(st.just("end"), st.integers(min_value=0, max_value=10_000)),
+    st.tuples(st.just("crash"), st.integers(min_value=0, max_value=N_NODES - 1)),
+    st.tuples(st.just("recover"), st.integers(min_value=0, max_value=N_NODES - 1)),
+    st.tuples(st.just("sweep")),
+)
+
+
+class Health:
+    def __init__(self):
+        self.down = set()
+
+    def is_down(self, node_id):
+        return node_id in self.down
+
+
+def check_mutual_exclusion(locks, objects):
+    locks.check_invariant()
+    held = locks.locked_objects()
+    assert len(held) == len(set(held))
+    for obj in objects:
+        holder = obj.lock_holder
+        if holder is not None:
+            assert obj in locks._held.get(holder.block_id, [])
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(op, max_size=60))
+def test_lease_invariants_hold_under_random_interleavings(ops):
+    env = Environment()
+    locks = LockManager(env=env, lease_duration=LEASE)
+    health = Health()
+    sweeper = LeaseSweeper(env, locks, health=health)
+    objects = [
+        DistributedObject(env, object_id=i, node_id=0, name=f"o{i}")
+        for i in range(N_OBJECTS)
+    ]
+    blocks = []
+
+    for action in ops:
+        kind = action[0]
+        if kind == "advance":
+            env.timeout(action[1])
+            env.run()
+        elif kind == "lock":
+            obj, node = objects[action[1]], action[2]
+            block = MoveBlock(node, obj)
+            if locks.is_locked(obj):
+                # A live holder always rejects a conflicting grant.
+                try:
+                    locks.lock(obj, block)
+                    raise AssertionError("double grant succeeded")
+                except PolicyError:
+                    pass
+            else:
+                locks.lock(obj, block)
+                blocks.append(block)
+        elif kind == "end":
+            if blocks:
+                # Ending any block (even one already reclaimed) is safe.
+                locks.release_block(blocks[action[1] % len(blocks)])
+        elif kind == "crash":
+            health.down.add(action[1])
+        elif kind == "recover":
+            health.down.discard(action[1])
+        else:  # sweep
+            sweeper.sweep()
+        check_mutual_exclusion(locks, objects)
+
+    # Reclamation: one final sweep leaves no lock held by an expired
+    # lease or a crashed holder.
+    sweeper.sweep()
+    for block in locks.held_blocks():
+        assert not health.is_down(block.client_node)
+        assert locks.lease_of(block) > env.now
+    check_mutual_exclusion(locks, objects)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(
+        st.floats(min_value=0.1, max_value=50.0, allow_nan=False),
+        min_size=1,
+        max_size=20,
+    )
+)
+def test_every_lease_of_a_crashed_holder_is_eventually_released(gaps):
+    """A holder that crashes right after locking never survives the
+    lease horizon: whatever the advance pattern, once the lease ran out
+    any touch (or sweep) reclaims every one of its locks."""
+    env = Environment()
+    locks = LockManager(env=env, lease_duration=LEASE)
+    health = Health()
+    obj = DistributedObject(env, object_id=0, node_id=0, name="o")
+    block = MoveBlock(1, obj)
+    locks.lock(obj, block)
+    health.down.add(1)
+
+    for gap in gaps:
+        env.timeout(gap)
+        env.run()
+    if sum(gaps) < LEASE:
+        # Push clearly past the lease horizon (robust to fp rounding).
+        env.timeout(LEASE - sum(gaps) + 1.0)
+        env.run()
+
+    # Either path — lazy touch or eager sweep — must reclaim it now.
+    assert not locks.is_locked(obj)
+    assert obj.lock_holder is None
+    assert locks.leases_expired == 1

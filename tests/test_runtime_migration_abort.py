@@ -1,0 +1,156 @@
+"""Unit tests for migration abort-and-rollback under faults."""
+
+import pytest
+
+from repro.errors import MigrationAbortedError
+from repro.network.faults import LinkFaultModel
+from repro.runtime.system import DistributedSystem
+
+
+class StubHealth:
+    """Minimal node-health provider (what FaultInjector duck-types)."""
+
+    def __init__(self, down=()):
+        self.down = set(down)
+
+    def is_down(self, node_id):
+        return node_id in self.down
+
+
+def make_system(down=(), cut_links=()):
+    model = LinkFaultModel() if cut_links else None
+    system = DistributedSystem(
+        nodes=3, seed=3, migration_duration=6.0, fault_model=model
+    )
+    for a, b in cut_links:
+        model.fail_link(a, b)
+    system.migrations.health = StubHealth(down)
+    return system
+
+
+class TestFastAbort:
+    def test_known_dead_target_aborts_before_transit(self):
+        system = make_system(down={2})
+        obj = system.create_server(node=0, name="s")
+
+        def proc():
+            outcome = yield from system.migrations.migrate([obj], 2)
+            return outcome
+
+        p = system.env.process(proc(), name="mover")
+        system.run()
+
+        outcome = p.value
+        assert outcome.aborted == [obj]
+        assert outcome.moved == []
+        # No transit window was ever opened: the origin runtime rejects
+        # the transfer outright, at zero cost.
+        assert outcome.elapsed == 0.0
+        assert outcome.wasted_transfer_time == 0.0
+        assert obj.node_id == 0
+        assert not obj.in_transit
+        assert system.migrations.migrations_aborted == 1
+
+
+class TestRollback:
+    def test_lost_transfer_rolls_back_to_origin(self):
+        system = make_system(cut_links=[(0, 2)])
+        obj = system.create_server(node=0, name="s")
+
+        def proc():
+            outcome = yield from system.migrations.migrate([obj], 2)
+            return outcome
+
+        p = system.env.process(proc(), name="mover")
+        system.run()
+
+        outcome = p.value
+        assert outcome.aborted == [obj]
+        # Outbound transfer window + rollback window.
+        assert outcome.elapsed == pytest.approx(12.0)
+        assert outcome.wasted_transfer_time == pytest.approx(12.0)
+        assert obj.node_id == 0
+        assert not obj.in_transit
+        assert system.migrations.migration_count == 0
+        assert system.migrations.wasted_transfer_time == pytest.approx(12.0)
+
+    def test_blocked_caller_wakes_at_origin(self):
+        system = make_system(cut_links=[(0, 2)])
+        obj = system.create_server(node=0, name="s")
+
+        def mover():
+            yield from system.migrations.migrate([obj], 2)
+
+        def caller():
+            # Issued while the object is in transit: blocks, then is
+            # served wherever the object landed — its origin.
+            yield system.env.timeout(1.0)
+            result = yield from system.invocations.invoke(0, obj)
+            return (system.now, result.blocked_time, obj.node_id)
+
+        system.env.process(mover(), name="mover")
+        p = system.env.process(caller(), name="caller")
+        system.run()
+
+        now, blocked, node = p.value
+        assert node == 0
+        # Blocked from t=1 until the rollback reinstall at t=12.
+        assert blocked == pytest.approx(11.0)
+        assert obj.invocation_count == 1
+
+    def test_mixed_set_partially_aborts(self):
+        system = make_system(cut_links=[(0, 2)])
+        doomed = system.create_server(node=0, name="doomed")
+        fine = system.create_server(node=1, name="fine")
+
+        def proc():
+            outcome = yield from system.migrations.migrate(
+                [doomed, fine], 2
+            )
+            return outcome
+
+        p = system.env.process(proc(), name="mover")
+        system.run()
+
+        outcome = p.value
+        assert outcome.moved == [fine]
+        assert outcome.aborted == [doomed]
+        assert outcome.aborted_count == 1
+        assert fine.node_id == 2
+        assert doomed.node_id == 0
+        # The set operation waits for the slowest member — here the
+        # aborted one's out-and-back trip.
+        assert outcome.elapsed == pytest.approx(12.0)
+
+    def test_strict_mode_raises_after_rollback(self):
+        system = make_system(down={2})
+        obj = system.create_server(node=0, name="s")
+
+        def proc():
+            try:
+                yield from system.migrations.migrate([obj], 2, strict=True)
+            except MigrationAbortedError:
+                return ("raised", obj.node_id, obj.in_transit)
+            return None
+
+        p = system.env.process(proc(), name="mover")
+        system.run()
+        # The exception surfaces only once the rollback is complete.
+        assert p.value == ("raised", 0, False)
+
+
+class TestNoFaultPath:
+    def test_outcome_fields_quiet_without_faults(self):
+        system = DistributedSystem(nodes=2, seed=1)
+        obj = system.create_server(node=0, name="s")
+
+        def proc():
+            outcome = yield from system.migrations.migrate([obj], 1)
+            return outcome
+
+        p = system.env.process(proc(), name="mover")
+        system.run()
+        assert p.value.aborted == []
+        assert p.value.wasted_transfer_time == 0.0
+        assert system.migrations.migrations_aborted == 0
+        assert obj.node_id == 1

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.errors import ConfigurationError
 from repro.network.topology import Ring
 from repro.runtime.objects import ObjectKind
 from repro.runtime.system import DistributedSystem
@@ -23,6 +24,22 @@ class TestConstruction:
         system.add_node()
         assert system.node_count == 3
         assert system.topology.size >= 3
+
+    def test_add_node_refuses_to_outgrow_custom_topology(self):
+        # Regression: this used to silently replace the user's Ring
+        # with a FullyConnected network, invalidating the experiment.
+        system = DistributedSystem(nodes=4, topology=Ring(4))
+        with pytest.raises(ConfigurationError, match="fixed at size 4"):
+            system.add_node()
+        # The refused node was not half-registered.
+        assert system.node_count == 4
+        assert isinstance(system.topology, Ring)
+
+    def test_add_node_fills_oversized_custom_topology(self):
+        system = DistributedSystem(nodes=2, topology=Ring(4))
+        node = system.add_node()
+        assert node.node_id == 2
+        assert isinstance(system.topology, Ring)
 
     def test_object_ids_are_sequential(self):
         system = DistributedSystem(nodes=2)
