@@ -2,8 +2,8 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-faults bench bench-full figures figures-paper \
-        examples clean
+.PHONY: install test test-faults bench bench-kernel bench-full figures \
+        figures-paper examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -29,6 +29,14 @@ bench:
 
 bench-output:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+# Kernel microbenchmarks only, with machine-readable results at the repo
+# root (BENCH_kernel.json) and a copy under benchmarks/results/.
+bench-kernel:
+	mkdir -p benchmarks/results
+	$(PYTHON) -m pytest benchmarks/bench_kernel.py --benchmark-only \
+	  --benchmark-json=BENCH_kernel.json
+	cp BENCH_kernel.json benchmarks/results/BENCH_kernel.json
 
 # Full paper sweeps under the default stopping rule.
 bench-full:

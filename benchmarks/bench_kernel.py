@@ -9,6 +9,7 @@ import pytest
 
 from repro.network.network import Network
 from repro.network.topology import FullyConnected
+from repro.sim.events import AllOf
 from repro.sim.kernel import Environment
 from repro.sim.rng import RandomStreams
 from repro.sim.stats import BatchMeans, RunningStats
@@ -85,3 +86,43 @@ def test_stats_accumulator_throughput(benchmark):
         return rs.count
 
     assert benchmark(run) == 100_000
+
+
+@pytest.mark.benchmark(group="kernel")
+def test_sleep_throughput(benchmark):
+    """10k chained waits through the pooled ``env.sleep`` fast path."""
+
+    def run():
+        env = Environment()
+
+        def proc(env):
+            for _ in range(10_000):
+                yield env.sleep(1.0)
+
+        env.process(proc(env))
+        env.run()
+        return env.now
+
+    assert benchmark(run) == 10_000.0
+
+
+@pytest.mark.benchmark(group="kernel")
+def test_condition_lookup_throughput(benchmark):
+    """AllOf with wide fan-in plus per-member result lookups."""
+
+    def run():
+        env = Environment()
+        matched = 0
+
+        def proc(env):
+            nonlocal matched
+            for _ in range(50):
+                waits = [env.timeout(1.0) for _ in range(100)]
+                value = yield AllOf(env, waits)
+                matched += sum(1 for w in waits if w in value)
+
+        env.process(proc(env))
+        env.run()
+        return matched
+
+    assert benchmark(run) == 5_000

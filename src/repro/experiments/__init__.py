@@ -1,6 +1,12 @@
 """Experiment harness: figure definitions, sweep runner, reporting."""
 
+from repro.experiments.cache import CellCache, cell_key, resolve_cache_dir
 from repro.experiments.config import CellFactory, ExperimentDef, SeriesDef
+from repro.experiments.executor import (
+    ParallelExecutor,
+    resolve_workers,
+    shutdown_pools,
+)
 from repro.experiments.figures import (
     FIGURES,
     figure8,
@@ -37,6 +43,7 @@ from repro.experiments.runner import (
 
 __all__ = [
     "Axis",
+    "CellCache",
     "Claim",
     "ClaimResult",
     "GridResult",
@@ -47,8 +54,13 @@ __all__ = [
     "FIGURES",
     "OUTLOOK_STUDIES",
     "PAPER_EXPECTATIONS",
+    "ParallelExecutor",
     "ReplicatedResult",
     "SeriesDef",
+    "cell_key",
+    "resolve_cache_dir",
+    "resolve_workers",
+    "shutdown_pools",
     "figure10",
     "figure11",
     "figure12",

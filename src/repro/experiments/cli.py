@@ -13,11 +13,20 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.experiments.executor import ParallelExecutor, resolve_workers
 from repro.experiments.figures import FIGURES, make_figure
 from repro.experiments.outlook import OUTLOOK_STUDIES, run_outlook
 from repro.experiments.report import format_table, to_csv
 from repro.experiments.runner import run_figure
 from repro.sim.stopping import StoppingConfig
+
+
+def _workers_type(text: str) -> int:
+    """argparse type for --workers: a positive int or 'auto'."""
+    try:
+        return resolve_workers(text if text == "auto" else int(text))
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -51,7 +60,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="use the paper's 1%% CI at p=0.99 stopping rule (slow)",
     )
     parser.add_argument(
-        "--workers", type=int, default=1, help="parallel worker processes"
+        "--workers",
+        type=_workers_type,
+        default=1,
+        help="parallel worker processes: a positive int or 'auto' "
+        "(= CPU count)",
+    )
+    parser.add_argument(
+        "--cache",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="reuse cached cell results for unchanged parameters "
+        "(content-addressed; location: $REPRO_CACHE_DIR or "
+        "~/.cache/repro-objmig)",
     )
     parser.add_argument(
         "--csv", type=str, default=None, help="also write results to CSV file"
@@ -97,6 +118,15 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     names = sorted(FIGURES) if args.figure == "all" else [args.figure]
 
+    cache = None
+    if args.cache:
+        from repro.experiments.cache import CellCache
+
+        cache = CellCache()
+    # One executor for the whole invocation: the process pool (and the
+    # cache-hit counters) are shared across every figure.
+    executor = ParallelExecutor(workers=args.workers, cache=cache)
+
     for name in names:
         definition = make_figure(name, seed=args.seed, fast=args.fast)
         print(
@@ -104,7 +134,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"({len(definition.series)} series x {len(definition.x_values)} points)",
             file=sys.stderr,
         )
-        result = run_figure(definition, stopping=stopping, workers=args.workers)
+        result = run_figure(definition, stopping=stopping, executor=executor)
         print(format_table(result))
         print()
         if args.plot:
@@ -134,6 +164,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             print()
             if any(not v.passed for v in verdicts):
                 return 1
+    if cache is not None:
+        print(
+            f"cache: {executor.cache_hits} hits, "
+            f"{executor.cache_misses} misses "
+            f"({executor.cells_executed} cells simulated)",
+            file=sys.stderr,
+        )
     return 0
 
 

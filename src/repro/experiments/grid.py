@@ -10,12 +10,11 @@ matrix.
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, List, Optional, Tuple
 
+from repro.experiments.executor import ParallelExecutor, Workers
 from repro.sim.stopping import StoppingConfig
-from repro.workload.clientserver import run_cell
 from repro.workload.params import SimulationParameters
 
 
@@ -90,23 +89,21 @@ class GridResult:
         return "\n".join(lines)
 
 
-def _run_one(args):
-    params, stopping, metric = args
-    result = run_cell(params, stopping=stopping)
-    return getattr(result, metric)
-
-
 def sweep_grid(
     base: SimulationParameters,
     rows: Axis,
     cols: Axis,
     metric: str = "mean_communication_time_per_call",
     stopping: Optional[StoppingConfig] = None,
-    workers: int = 1,
+    workers: Workers = 1,
+    cache=None,
+    executor: Optional[ParallelExecutor] = None,
 ) -> GridResult:
     """Run the full rows × cols cross-product of parameter overrides."""
     if rows.field == cols.field:
         raise ValueError("row and column axes must differ")
+    if executor is None:
+        executor = ParallelExecutor(workers=workers, cache=cache)
     jobs = []
     for row_value in rows.values:
         for col_value in cols.values:
@@ -114,13 +111,11 @@ def sweep_grid(
                 **{rows.field: row_value, cols.field: col_value}
             )
             params.validate()
-            jobs.append((params, stopping, metric))
+            jobs.append((params, stopping))
 
-    if workers == 1:
-        flat = [_run_one(job) for job in jobs]
-    else:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            flat = list(pool.map(_run_one, jobs))
+    flat = [
+        getattr(result, metric) for result in executor.run_cells(jobs)
+    ]
 
     n_cols = len(cols.values)
     values = [

@@ -24,16 +24,23 @@ from repro.workload.params import SimulationParameters
 FORMAT_VERSION = 1
 
 
-def _params_to_dict(params: SimulationParameters) -> dict:
+def params_to_dict(params: SimulationParameters) -> dict:
+    """Serialize parameters to a JSON-compatible dict (shared codec)."""
     data = asdict(params)
     data["attachment_mode"] = params.attachment_mode.value
     return data
 
 
-def _params_from_dict(data: dict) -> SimulationParameters:
+def params_from_dict(data: dict) -> SimulationParameters:
+    """Rebuild :class:`SimulationParameters` from :func:`params_to_dict`."""
     data = dict(data)
     data["attachment_mode"] = AttachmentMode(data["attachment_mode"])
     return SimulationParameters(**data)
+
+
+# Backwards-compatible aliases (the codecs predate the cell cache).
+_params_to_dict = params_to_dict
+_params_from_dict = params_from_dict
 
 
 def result_to_dict(result: ExperimentResult) -> dict:

@@ -9,13 +9,12 @@ method, complementing the within-run batch-means rule of §4.1.
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
+from repro.experiments.executor import ParallelExecutor, Workers
 from repro.sim.stats import RunningStats
 from repro.sim.stopping import StoppingConfig
-from repro.workload.clientserver import run_cell
 from repro.workload.params import SimulationParameters
 
 
@@ -67,27 +66,26 @@ class ReplicatedResult:
         }
 
 
-def _run_one(args):
-    params, stopping = args
-    result = run_cell(params, stopping=stopping)
-    return result.mean_communication_time_per_call
-
-
 def run_replicated(
     params: SimulationParameters,
     replicates: int = 5,
     stopping: Optional[StoppingConfig] = None,
-    workers: int = 1,
+    workers: Workers = 1,
     seeds: Optional[Sequence[int]] = None,
+    cache=None,
+    executor: Optional[ParallelExecutor] = None,
 ) -> ReplicatedResult:
     """Run a cell under several seeds and summarize the means.
 
     ``seeds`` defaults to ``base_seed, base_seed + 1, ...`` — explicit
-    and reproducible.  With ``workers > 1`` replicates run in a process
-    pool.
+    and reproducible.  With ``workers > 1`` (or ``"auto"``) replicates
+    run over the shared executor's process pool; a ``cache`` answers
+    already-simulated replicates without re-running them.
     """
     if replicates < 1:
         raise ValueError(f"replicates must be >= 1, got {replicates}")
+    if executor is None:
+        executor = ParallelExecutor(workers=workers, cache=cache)
     if seeds is None:
         seeds = tuple(params.seed + i for i in range(replicates))
     else:
@@ -98,11 +96,8 @@ def run_replicated(
     jobs = [
         (params.with_overrides(seed=seed), stopping) for seed in seeds
     ]
-    if workers == 1:
-        values = [_run_one(job) for job in jobs]
-    else:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            values = list(pool.map(_run_one, jobs))
+    results = executor.run_cells(jobs)
+    values = [r.mean_communication_time_per_call for r in results]
 
     stats = RunningStats()
     for value in values:

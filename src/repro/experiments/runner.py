@@ -1,28 +1,23 @@
 """Experiment runner: executes a figure's cells and collects curves.
 
-Cells are independent simulations, so the runner can fan them out over
-a process pool (``workers > 1``).  Results come back as an
-:class:`ExperimentResult`: per-series lists of
+Cells are independent simulations, so the runner fans them out through
+the shared :class:`~repro.experiments.executor.ParallelExecutor`
+(``workers > 1``), optionally answering unchanged cells from the
+content-addressed :class:`~repro.experiments.cache.CellCache`.  Results
+come back as an :class:`ExperimentResult`: per-series lists of
 :class:`~repro.workload.clientserver.WorkloadResult` aligned with the
 definition's x-values, plus helpers for extracting plottable series.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.experiments.config import ExperimentDef
+from repro.experiments.executor import ParallelExecutor, Workers
 from repro.sim.stopping import StoppingConfig
-from repro.workload.clientserver import WorkloadResult, run_cell
-from repro.workload.params import SimulationParameters
-
-
-def _run_one(args: Tuple[SimulationParameters, Optional[StoppingConfig]]):
-    """Top-level worker entry point (must be picklable)."""
-    params, stopping = args
-    return run_cell(params, stopping=stopping)
+from repro.workload.clientserver import WorkloadResult
 
 
 @dataclass
@@ -60,28 +55,44 @@ class ExperimentResult:
 
 
 class ExperimentRunner:
-    """Runs experiment definitions, optionally in parallel."""
+    """Runs experiment definitions, optionally in parallel and cached.
+
+    Parameters
+    ----------
+    stopping:
+        Stopping rule applied to every cell.
+    workers:
+        Worker processes (int >= 1 or ``"auto"``); ignored when an
+        ``executor`` is supplied.
+    cache:
+        Optional :class:`~repro.experiments.cache.CellCache`; ignored
+        when an ``executor`` is supplied (the executor's cache wins).
+    executor:
+        Pre-built :class:`ParallelExecutor` to share across figures.
+    """
 
     def __init__(
         self,
         stopping: Optional[StoppingConfig] = None,
-        workers: int = 1,
+        workers: Workers = 1,
+        cache=None,
+        executor: Optional[ParallelExecutor] = None,
     ):
-        if workers < 1:
-            raise ValueError(f"workers must be >= 1, got {workers}")
+        if executor is None:
+            executor = ParallelExecutor(workers=workers, cache=cache)
         self.stopping = stopping
-        self.workers = workers
+        self.executor = executor
+
+    @property
+    def workers(self) -> int:
+        """Resolved worker count of the underlying executor."""
+        return self.executor.workers
 
     def run(self, definition: ExperimentDef) -> ExperimentResult:
         """Execute every cell of the definition."""
         cells = definition.cells()
         jobs = [(params, self.stopping) for _, _, params in cells]
-
-        if self.workers == 1:
-            outcomes = [_run_one(job) for job in jobs]
-        else:
-            with ProcessPoolExecutor(max_workers=self.workers) as pool:
-                outcomes = list(pool.map(_run_one, jobs))
+        outcomes = self.executor.run_cells(jobs)
 
         result = ExperimentResult(definition=definition)
         for (label, _x, _params), outcome in zip(cells, outcomes):
@@ -92,7 +103,11 @@ class ExperimentRunner:
 def run_figure(
     definition: ExperimentDef,
     stopping: Optional[StoppingConfig] = None,
-    workers: int = 1,
+    workers: Workers = 1,
+    cache=None,
+    executor: Optional[ParallelExecutor] = None,
 ) -> ExperimentResult:
     """Convenience one-shot wrapper around :class:`ExperimentRunner`."""
-    return ExperimentRunner(stopping=stopping, workers=workers).run(definition)
+    return ExperimentRunner(
+        stopping=stopping, workers=workers, cache=cache, executor=executor
+    ).run(definition)

@@ -109,7 +109,7 @@ class Network:
         delay = self.sample_latency(src, dst)
         dropped = self.faults is not None and self.faults.should_drop(src, dst)
         if delay > 0:
-            yield self.env.timeout(delay)
+            yield self.env.sleep(delay)
         if dropped:
             self.dropped_messages += 1
             raise MessageLostError(

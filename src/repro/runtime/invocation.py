@@ -179,7 +179,7 @@ class InvocationService:
                 # the wire time already spent counts towards it.
                 remaining = self.retry.timeout - (self.env.now - attempt_start)
                 if remaining > 0:
-                    yield self.env.timeout(remaining)
+                    yield self.env.sleep(remaining)
                 if self.tracer.enabled:
                     self.tracer.emit(
                         self.env.now,
@@ -200,7 +200,7 @@ class InvocationService:
                 )
                 if delay > 0:
                     self.retry_wait_time += delay
-                    yield self.env.timeout(delay)
+                    yield self.env.sleep(delay)
 
         duration = self.env.now - start
         was_local = (

@@ -211,7 +211,7 @@ class MigrationService:
         # origin's runtime times out waiting for the install ack.
         lost = self._transfer_lost(origin, target_node)
         if duration > 0:
-            yield self.env.timeout(duration)
+            yield self.env.sleep(duration)
 
         if lost or self._node_down(target_node):
             # Abort: roll the object back to its origin.  The return
@@ -219,7 +219,7 @@ class MigrationService:
             # reinstalled where it started, blocked callers wake there
             # and the locator forgets the move ever happened.
             if duration > 0:
-                yield self.env.timeout(duration)
+                yield self.env.sleep(duration)
             obj.install(origin)
             self.registry.arrive(obj, origin)
             if self.locator is not None:

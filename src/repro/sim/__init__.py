@@ -19,7 +19,15 @@ Quick example::
     env.run(until=100)
 """
 
-from repro.sim.events import AllOf, AnyOf, Condition, ConditionValue, Event, Timeout
+from repro.sim.events import (
+    AllOf,
+    AnyOf,
+    Condition,
+    ConditionValue,
+    Event,
+    Sleep,
+    Timeout,
+)
 from repro.sim.kernel import Environment, Infinity
 from repro.sim.monitor import StateMonitor
 from repro.sim.process import Process
@@ -54,6 +62,7 @@ __all__ = [
     "Resource",
     "StateMonitor",
     "RunningStats",
+    "Sleep",
     "Store",
     "StoppingConfig",
     "Stream",

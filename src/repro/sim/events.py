@@ -21,6 +21,7 @@ Events move through three states:
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import TYPE_CHECKING, Any, Callable, List, Optional
 
 from repro.errors import EventAlreadyTriggered
@@ -111,7 +112,10 @@ class Event:
             raise EventAlreadyTriggered(f"{self!r} has already been triggered")
         self._ok = True
         self._value = value
-        self.env.schedule(self)
+        # Equivalent to env.schedule(self) — zero-delay NORMAL events
+        # always land on the heap; inlined because triggering is hot.
+        env = self.env
+        heappush(env._queue, (env._now, NORMAL, next(env._eid), self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -127,7 +131,8 @@ class Event:
             raise EventAlreadyTriggered(f"{self!r} has already been triggered")
         self._ok = False
         self._value = exception
-        self.env.schedule(self)
+        env = self.env
+        heappush(env._queue, (env._now, NORMAL, next(env._eid), self))
         return self
 
     def trigger(self, event: "Event") -> None:
@@ -177,14 +182,34 @@ class Timeout(Event):
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        super().__init__(env)
-        self.delay = delay
-        self._ok = True
+        # Timeouts dominate event traffic; assign the base fields
+        # directly instead of chaining through Event.__init__.
+        self.env = env
+        self.callbacks = []
         self._value = value
-        env.schedule(self, delay=delay)
+        self._ok = True
+        self._defused = False
+        self.delay = delay
+        heappush(env._queue, (env._now + delay, NORMAL, next(env._eid), self))
 
     def __repr__(self) -> str:
-        return f"<Timeout delay={self.delay} at {id(self):#x}>"
+        return f"<{type(self).__name__} delay={self.delay} at {id(self):#x}>"
+
+
+class Sleep(Timeout):
+    """A pooled timeout handed out by :meth:`Environment.sleep`.
+
+    Behaves exactly like a :class:`Timeout` with one lifecycle caveat:
+    once processed, the kernel *recycles* the instance into the
+    environment's sleep pool, and a later ``env.sleep`` call may hand
+    the same object out again with fresh state.  A sleep event must
+    therefore be yielded immediately and exactly once — never stored,
+    re-yielded after an interrupt, or composed into a condition
+    (conditions keep references to their sub-events past processing).
+    Use :meth:`Environment.timeout` for those patterns.
+    """
+
+    __slots__ = ()
 
 
 class ConditionValue:
@@ -193,18 +218,29 @@ class ConditionValue:
     Maps each fired sub-event to its value, preserving creation order.
     """
 
-    __slots__ = ("events",)
+    __slots__ = ("events", "_index")
 
     def __init__(self):
         self.events: List[Event] = []
+        #: Identity index over ``events``, built on first lookup and
+        #: rebuilt if events were appended since.  Events have identity
+        #: equality, so ``id``-keyed lookups match list scans exactly
+        #: while turning ``AllOf``-heavy membership checks O(1).
+        self._index: Optional[dict] = None
+
+    def _lookup(self) -> dict:
+        index = self._index
+        if index is None or len(index) != len(self.events):
+            index = self._index = {id(event): event for event in self.events}
+        return index
 
     def __getitem__(self, key: Event) -> Any:
-        if key not in self.events:
+        if id(key) not in self._lookup():
             raise KeyError(repr(key))
         return key.value
 
     def __contains__(self, key: Event) -> bool:
-        return key in self.events
+        return id(key) in self._lookup()
 
     def __eq__(self, other: object) -> bool:
         if isinstance(other, ConditionValue):

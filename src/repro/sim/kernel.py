@@ -5,6 +5,20 @@ Events are totally ordered by ``(time, priority, sequence)``; the
 sequence number makes scheduling deterministic and FIFO among equals,
 which the reproduction relies on for repeatable experiments.
 
+Two fast paths keep the hot loop lean without changing that order:
+
+* Zero-delay :data:`~repro.sim.events.URGENT` events (process
+  bootstrap, interrupts, immediate sends) go onto a FIFO deque that the
+  stepper checks before the heap.  Such events always carry the current
+  timestamp and URGENT priority, so FIFO order *is* heap order; the
+  only events that may legally overtake them are already-heaped entries
+  at the same time with a smaller ``(priority, sequence)`` key, which
+  the stepper checks explicitly.
+* :meth:`Environment.sleep` hands out pooled
+  :class:`~repro.sim.events.Sleep` timeouts that are recycled after
+  processing, eliminating the allocation that dominates the
+  yield-timeout pattern.
+
 Example
 -------
 >>> env = Environment()
@@ -19,15 +33,28 @@ Example
 
 from __future__ import annotations
 
+from collections import deque
 from heapq import heappop, heappush
 from itertools import count
 from typing import Any, Iterable, List, Optional, Tuple
 
 from repro.errors import EmptySchedule, StopSimulation
-from repro.sim.events import AllOf, AnyOf, Event, NORMAL, Timeout
+from repro.sim.events import (
+    AllOf,
+    AnyOf,
+    Event,
+    NORMAL,
+    Sleep,
+    Timeout,
+    URGENT,
+)
 from repro.sim.process import Process
 
 Infinity = float("inf")
+
+#: Upper bound on retained recycled sleep events (bounds memory when a
+#: burst of concurrent sleepers drains all at once).
+_SLEEP_POOL_MAX = 256
 
 
 class Environment:
@@ -39,11 +66,24 @@ class Environment:
         Starting value of the simulation clock (default ``0.0``).
     """
 
+    __slots__ = (
+        "_now",
+        "_queue",
+        "_urgent",
+        "_eid",
+        "_active_process",
+        "_sleep_pool",
+    )
+
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
         self._queue: List[Tuple[float, int, int, Event]] = []
+        #: Zero-delay URGENT fast lane: ``(sequence, event)`` in FIFO
+        #: order, every entry stamped with the current ``_now``.
+        self._urgent: "deque[Tuple[int, Event]]" = deque()
         self._eid = count()
         self._active_process: Optional[Process] = None
+        self._sleep_pool: List[Sleep] = []
 
     # -- clock & introspection ----------------------------------------------
 
@@ -59,11 +99,14 @@ class Environment:
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none remain."""
+        if self._urgent:
+            # Fast-lane entries are always due at the current time.
+            return self._now
         return self._queue[0][0] if self._queue else Infinity
 
     def __len__(self) -> int:
         """Number of scheduled (not yet processed) events."""
-        return len(self._queue)
+        return len(self._queue) + len(self._urgent)
 
     # -- event factories ------------------------------------------------------
 
@@ -74,6 +117,30 @@ class Environment:
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """Create an event firing ``delay`` time units from now."""
         return Timeout(self, delay, value)
+
+    def sleep(self, delay: float, value: Any = None) -> Sleep:
+        """Pooled timeout for the dominant ``yield env.sleep(d)`` idiom.
+
+        Semantically identical to :meth:`timeout` but the returned
+        event is recycled once processed, so it must be yielded
+        immediately and exactly once — never stored, re-yielded after
+        an interrupt, or combined into a condition.
+        """
+        pool = self._sleep_pool
+        if not pool:
+            return Sleep(self, delay, value)
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        event = pool.pop()
+        event.callbacks = []
+        event._value = value
+        event._ok = True
+        event._defused = False
+        event.delay = delay
+        heappush(
+            self._queue, (self._now + delay, NORMAL, next(self._eid), event)
+        )
+        return event
 
     def process(self, generator, name: Optional[str] = None) -> Process:
         """Start a new :class:`Process` from ``generator``."""
@@ -93,7 +160,43 @@ class Environment:
         self, event: Event, priority: int = NORMAL, delay: float = 0.0
     ) -> None:
         """Place a triggered event on the calendar ``delay`` from now."""
-        heappush(self._queue, (self._now + delay, priority, next(self._eid), event))
+        if delay == 0.0 and priority == URGENT:
+            self._urgent.append((next(self._eid), event))
+        else:
+            heappush(
+                self._queue,
+                (self._now + delay, priority, next(self._eid), event),
+            )
+
+    def _pop(self) -> Event:
+        """Remove and return the next event in total order.
+
+        Raises
+        ------
+        EmptySchedule
+            If no events remain.
+        """
+        urgent = self._urgent
+        if urgent:
+            queue = self._queue
+            if queue:
+                # A heaped entry may only precede the fast lane when it
+                # is due now with a smaller (priority, sequence) key;
+                # heap times never lie in the past, so ``<=`` is an
+                # equality test.
+                top = queue[0]
+                if top[0] <= self._now and (
+                    top[1] < URGENT
+                    or (top[1] == URGENT and top[2] < urgent[0][0])
+                ):
+                    self._now, _, _, event = heappop(queue)
+                    return event
+            return urgent.popleft()[1]
+        try:
+            self._now, _, _, event = heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule("no scheduled events remain") from None
+        return event
 
     def step(self) -> None:
         """Process the single next event.
@@ -103,10 +206,7 @@ class Environment:
         EmptySchedule
             If no events remain.
         """
-        try:
-            self._now, _, _, event = heappop(self._queue)
-        except IndexError:
-            raise EmptySchedule("no scheduled events remain") from None
+        event = self._pop()
 
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
@@ -117,6 +217,11 @@ class Environment:
             # original exception so errors never pass silently.
             exc = event._value
             raise exc
+
+        if type(event) is Sleep:
+            pool = self._sleep_pool
+            if len(pool) < _SLEEP_POOL_MAX:
+                pool.append(event)
 
     def run(self, until: Any = None) -> Any:
         """Run the simulation.
@@ -151,18 +256,49 @@ class Environment:
                 raise until._value
             until.callbacks.append(_stop_simulation)
 
+        # Inlined stepping loop: identical semantics to step(), with
+        # the heap, fast lane and pool bound to locals.  This is the
+        # hottest loop in the repository.
+        queue = self._queue
+        urgent = self._urgent
+        pool = self._sleep_pool
+        pop = heappop
+        now = self._now
         try:
             while True:
-                self.step()
+                if urgent:
+                    event = None
+                    if queue:
+                        top = queue[0]
+                        if top[0] <= now and (
+                            top[1] < URGENT
+                            or (top[1] == URGENT and top[2] < urgent[0][0])
+                        ):
+                            t, _, _, event = pop(queue)
+                            self._now = now = t
+                    if event is None:
+                        event = urgent.popleft()[1]
+                elif queue:
+                    t, _, _, event = pop(queue)
+                    self._now = now = t
+                else:
+                    if until is not None and not until.triggered:
+                        raise RuntimeError(
+                            f"no events scheduled but {until!r} never fired"
+                        ) from None
+                    return None
+
+                callbacks, event.callbacks = event.callbacks, None
+                for callback in callbacks:
+                    callback(event)
+
+                if not event._ok and not event._defused:
+                    raise event._value
+
+                if type(event) is Sleep and len(pool) < _SLEEP_POOL_MAX:
+                    pool.append(event)
         except StopSimulation as stop:
             return stop.value
-        except EmptySchedule:
-            if until is not None:
-                if not until.triggered:
-                    raise RuntimeError(
-                        f"no events scheduled but {until!r} never fired"
-                    ) from None
-            return None
 
 
 def _stop_simulation(event: Event) -> None:

@@ -42,7 +42,7 @@ class Initialize(Event):
 
     def __init__(self, env: "Environment", process: "Process"):
         super().__init__(env)
-        self.callbacks.append(process._resume)
+        self.callbacks.append(process._bound_resume)
         self._ok = True
         self._value = None
         env.schedule(self, priority=URGENT)
@@ -66,7 +66,7 @@ class Process(Event):
     on this one (or the failure is defused).
     """
 
-    __slots__ = ("_generator", "_target", "name")
+    __slots__ = ("_generator", "_target", "name", "_bound_resume")
 
     def __init__(self, env: "Environment", generator, name: Optional[str] = None):
         if not isinstance(generator, GeneratorType):
@@ -77,6 +77,9 @@ class Process(Event):
         #: the process is scheduled to resume or has terminated).
         self._target: Optional[Event] = None
         self.name = name if name is not None else generator.__name__
+        #: Creating a bound method allocates; every wait registers this
+        #: callback, so bind it once for the process' lifetime.
+        self._bound_resume = self._resume
         Initialize(env, self)
 
     @property
@@ -108,7 +111,7 @@ class Process(Event):
         interrupt_event._defused = True
         # Jump the queue: the interrupt must beat whatever the process
         # was waiting on, even events already scheduled for "now".
-        interrupt_event.callbacks.append(self._resume)
+        interrupt_event.callbacks.append(self._bound_resume)
         self.env.schedule(interrupt_event, priority=URGENT)
 
     def _resume(self, event: Event) -> None:
@@ -118,23 +121,29 @@ class Process(Event):
 
         # If we were interrupted, unhook from the event we were waiting
         # on (it may fire later; we must not be resumed twice for it).
-        if self._target is not None and self._target is not event:
-            if self._target.callbacks is not None:
+        resume = self._bound_resume
+        target = self._target
+        if target is not None and target is not event:
+            if target.callbacks is not None:
                 try:
-                    self._target.callbacks.remove(self._resume)
+                    target.callbacks.remove(resume)
                 except ValueError:  # pragma: no cover - defensive
                     pass
         self._target = None
 
+        # Hot loop: every event delivery to every process runs through
+        # here, so keep the generator bound to a local.
+        generator = self._generator
+
         while True:
             try:
                 if event._ok:
-                    next_event = self._generator.send(event._value)
+                    next_event = generator.send(event._value)
                 else:
                     # The waited-on event failed: re-raise inside the
                     # generator so it can handle (or not) the failure.
                     event._defused = True
-                    next_event = self._generator.throw(event._value)
+                    next_event = generator.throw(event._value)
             except StopIteration as stop:
                 # Generator returned: the process-event succeeds.
                 self._ok = True
@@ -166,7 +175,7 @@ class Process(Event):
 
             if next_event.callbacks is not None:
                 # The event is pending or triggered-but-unprocessed: wait.
-                next_event.callbacks.append(self._resume)
+                next_event.callbacks.append(resume)
                 self._target = next_event
                 break
 

@@ -183,13 +183,23 @@ class RunningStats:
         self.total: float = 0.0
 
     def add(self, value: float) -> None:
-        """Record one observation."""
+        """Record one observation.
+
+        The arithmetic (and its order) is kept exactly as the textbook
+        Welford update so results stay bit-identical across releases;
+        only the attribute traffic is reduced to single read/write
+        pairs — this accumulator ingests every observation of every
+        simulation run.
+        """
         value = float(value)
-        self.count += 1
+        count = self.count + 1
+        self.count = count
         self.total += value
-        delta = value - self.mean
-        self.mean += delta / self.count
-        self._m2 += delta * (value - self.mean)
+        mean = self.mean
+        delta = value - mean
+        mean += delta / count
+        self.mean = mean
+        self._m2 += delta * (value - mean)
         if value < self.min:
             self.min = value
         if value > self.max:
@@ -307,6 +317,16 @@ class BatchMeans:
         Number of initial observations to discard (transient deletion).
     """
 
+    __slots__ = (
+        "batch_size",
+        "warmup",
+        "_seen",
+        "_current_sum",
+        "_current_n",
+        "_batches",
+        "_overall",
+    )
+
     def __init__(self, batch_size: int = 500, warmup: int = 0):
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
@@ -337,16 +357,21 @@ class BatchMeans:
 
     def add(self, value: float) -> None:
         """Record one observation."""
-        self._seen += 1
-        if self._seen <= self.warmup:
+        seen = self._seen + 1
+        self._seen = seen
+        if seen <= self.warmup:
             return
+        value = float(value)
         self._overall.add(value)
-        self._current_sum += float(value)
-        self._current_n += 1
-        if self._current_n == self.batch_size:
-            self._batches.add(self._current_sum / self._current_n)
+        current_sum = self._current_sum + value
+        current_n = self._current_n + 1
+        if current_n == self.batch_size:
+            self._batches.add(current_sum / current_n)
             self._current_sum = 0.0
             self._current_n = 0
+        else:
+            self._current_sum = current_sum
+            self._current_n = current_n
 
     def confidence_halfwidth(self, confidence: float = 0.99) -> float:
         """CI half-width for the mean from the batch-mean series."""

@@ -160,7 +160,7 @@ class ClientServerWorkload:
         """Process fragment: the N invocations of one block."""
         for gap in plan.intercall_times:
             if gap > 0:
-                yield self.system.env.timeout(gap)
+                yield self.system.env.sleep(gap)
             result = yield from self.system.invocations.invoke(
                 client.node_id, block.target
             )
@@ -183,7 +183,7 @@ class ClientServerWorkload:
         while True:
             plan = timing.next_plan()
             if plan.lead_time > 0:
-                yield self.system.env.timeout(plan.lead_time)
+                yield self.system.env.sleep(plan.lead_time)
             target = self._pick_server(picker)
             origin = target.node_id
             block = self._make_block(client, target)

@@ -120,7 +120,7 @@ class LayeredWorkload(ClientServerWorkload):
 
         for gap in plan.intercall_times:
             if gap > 0:
-                yield self.system.env.timeout(gap)
+                yield self.system.env.sleep(gap)
             member = subpick.choice(members)
 
             def nested(callee_node: int, member=member):

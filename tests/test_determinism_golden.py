@@ -1,0 +1,135 @@
+"""Bit-identical determinism guards for the fast-path kernel.
+
+The golden metric tuples below were produced by the heap-only kernel on
+the pre-fast-path main branch.  The fast-path kernel (URGENT deque,
+pooled ``env.sleep``, inlined run loop) must reproduce them *exactly*
+— equality is ``==`` on floats, not ``approx`` — and results must not
+depend on whether the cell cache or the process pool is in the loop.
+"""
+
+import json
+
+from repro.experiments.cache import CellCache
+from repro.experiments.executor import ParallelExecutor
+from repro.experiments.persistence import params_to_dict
+from repro.sim.stopping import StoppingConfig
+from repro.workload.clientserver import run_cell
+from repro.workload.params import SimulationParameters
+
+#: (policy, clients, seed) -> (mean_communication_time_per_call,
+#: mean_call_duration, mean_migration_time_per_call, simulated_time)
+#: under StoppingConfig.fast(), recorded on the heap-only kernel.
+GOLDEN_CELLS = {
+    ("placement", 5, 3): (
+        0.8292332162257126,
+        0.4038685880806477,
+        0.4253646281450649,
+        24000.0,
+    ),
+    ("sedentary", 5, 3): (
+        1.3569436330042595,
+        1.3569436330042595,
+        0.0,
+        16000.0,
+    ),
+}
+
+#: Loose-but-quick stopping rule for the multi-cell determinism tests.
+TINY = StoppingConfig(
+    relative_precision=0.3,
+    confidence=0.9,
+    batch_size=40,
+    warmup=40,
+    min_batches=2,
+    max_observations=1_200,
+)
+
+
+def _metrics(result):
+    return (
+        result.mean_communication_time_per_call,
+        result.mean_call_duration,
+        result.mean_migration_time_per_call,
+        result.simulated_time,
+    )
+
+
+def _fingerprint(result):
+    """Canonical serialization — catches drift in *any* field."""
+    document = {
+        "params": params_to_dict(result.params),
+        "mean_communication_time_per_call": (
+            result.mean_communication_time_per_call
+        ),
+        "mean_call_duration": result.mean_call_duration,
+        "mean_migration_time_per_call": result.mean_migration_time_per_call,
+        "simulated_time": result.simulated_time,
+        "raw": result.raw,
+    }
+    return json.dumps(document, sort_keys=True)
+
+
+class TestGoldenMetrics:
+    def test_seeded_cells_bit_identical_to_pre_fastpath_kernel(self):
+        for (policy, clients, seed), expected in GOLDEN_CELLS.items():
+            params = SimulationParameters(
+                policy=policy, clients=clients, seed=seed
+            )
+            result = run_cell(params, stopping=StoppingConfig.fast())
+            assert _metrics(result) == expected, (policy, clients, seed)
+
+    def test_repeated_runs_identical(self):
+        params = SimulationParameters(policy="placement", clients=5, seed=3)
+        a = run_cell(params, stopping=StoppingConfig.fast())
+        b = run_cell(params, stopping=StoppingConfig.fast())
+        assert _fingerprint(a) == _fingerprint(b)
+
+
+class TestCacheDeterminism:
+    def test_warm_cache_runs_zero_simulations_and_matches_cold(
+        self, tmp_path
+    ):
+        jobs = [
+            (
+                SimulationParameters(policy=policy, clients=5, seed=seed),
+                TINY,
+            )
+            for policy in ("placement", "sedentary")
+            for seed in (1, 2)
+        ]
+
+        cold = ParallelExecutor(workers=1, cache=CellCache(root=tmp_path))
+        cold_results = cold.run_cells(jobs)
+        assert cold.cache_misses == len(jobs)
+        assert cold.cells_executed == len(jobs)
+
+        warm = ParallelExecutor(workers=1, cache=CellCache(root=tmp_path))
+        warm_results = warm.run_cells(jobs)
+        assert warm.cells_executed == 0
+        assert warm.cache_hits == len(jobs)
+        assert warm.cache_misses == 0
+
+        uncached = ParallelExecutor(workers=1).run_cells(jobs)
+
+        for cold_r, warm_r, plain_r in zip(
+            cold_results, warm_results, uncached
+        ):
+            assert _fingerprint(cold_r) == _fingerprint(warm_r)
+            assert _fingerprint(cold_r) == _fingerprint(plain_r)
+
+
+class TestWorkerDeterminism:
+    def test_workers_1_vs_4_identical(self):
+        jobs = [
+            (
+                SimulationParameters(policy=policy, clients=3, seed=seed),
+                TINY,
+            )
+            for policy in ("placement", "sedentary")
+            for seed in (0, 1)
+        ]
+        serial = ParallelExecutor(workers=1).run_cells(jobs)
+        pooled = ParallelExecutor(workers=4).run_cells(jobs)
+        assert [_fingerprint(r) for r in serial] == [
+            _fingerprint(r) for r in pooled
+        ]

@@ -1,0 +1,235 @@
+"""Unit tests for the unified executor, the cell cache and the CLI flags."""
+
+import os
+
+import pytest
+
+from repro.experiments.cache import (
+    CellCache,
+    cell_key,
+    resolve_cache_dir,
+)
+from repro.experiments.cli import build_parser
+from repro.experiments.executor import ParallelExecutor, resolve_workers
+from repro.experiments.grid import Axis, sweep_grid
+from repro.experiments.replications import run_replicated
+from repro.experiments.runner import ExperimentRunner
+from repro.sim.events import ConditionValue
+from repro.sim.kernel import Environment
+from repro.sim.stopping import StoppingConfig
+from repro.workload.clientserver import run_cell
+from repro.workload.params import SimulationParameters
+
+TINY = StoppingConfig(
+    relative_precision=0.3,
+    confidence=0.9,
+    batch_size=40,
+    warmup=40,
+    min_batches=2,
+    max_observations=1_200,
+)
+
+
+class TestResolveWorkers:
+    def test_positive_int_passes_through(self):
+        assert resolve_workers(1) == 1
+        assert resolve_workers(7) == 7
+
+    def test_auto_is_cpu_count(self):
+        assert resolve_workers("auto") == (os.cpu_count() or 1)
+
+    @pytest.mark.parametrize("bad", [0, -1, -100])
+    def test_non_positive_rejected(self, bad):
+        with pytest.raises(ValueError, match="workers must be >= 1"):
+            resolve_workers(bad)
+
+    @pytest.mark.parametrize("bad", ["four", "", "0", 1.5, None, True])
+    def test_non_int_rejected(self, bad):
+        with pytest.raises(ValueError):
+            resolve_workers(bad)
+
+
+class TestWorkersValidationEverywhere:
+    """workers=0 must be rejected with the same error at every entry."""
+
+    def test_experiment_runner(self):
+        with pytest.raises(ValueError, match="workers must be >= 1"):
+            ExperimentRunner(workers=0)
+
+    def test_run_replicated(self):
+        params = SimulationParameters(seed=0)
+        with pytest.raises(ValueError, match="workers must be >= 1"):
+            run_replicated(params, replicates=2, workers=0)
+
+    def test_sweep_grid(self):
+        base = SimulationParameters(seed=0)
+        rows = Axis("clients", (1, 2))
+        cols = Axis("seed", (0, 1))
+        with pytest.raises(ValueError, match="workers must be >= 1"):
+            sweep_grid(base, rows, cols, workers=0)
+
+    def test_parallel_executor(self):
+        with pytest.raises(ValueError, match="workers must be >= 1"):
+            ParallelExecutor(workers=0)
+
+
+class TestExecutorCounters:
+    def test_serial_execution_counts_cells(self):
+        executor = ParallelExecutor(workers=1)
+        jobs = [
+            (SimulationParameters(seed=seed), TINY) for seed in (0, 1, 2)
+        ]
+        results = executor.run_cells(jobs)
+        assert len(results) == 3
+        assert executor.cells_executed == 3
+        assert executor.cache_hits == 0
+        assert executor.cache_misses == 0
+        counters = executor.counters()
+        assert counters["cells_executed"] == 3
+
+    def test_run_one_matches_run_cell(self):
+        params = SimulationParameters(seed=5)
+        direct = run_cell(params, stopping=TINY)
+        via_executor = ParallelExecutor(workers=1).run_one(
+            params, stopping=TINY
+        )
+        assert (
+            via_executor.mean_communication_time_per_call
+            == direct.mean_communication_time_per_call
+        )
+
+
+class TestCliFlags:
+    def test_workers_auto(self):
+        args = build_parser().parse_args(["fig8", "--workers", "auto"])
+        assert args.workers == (os.cpu_count() or 1)
+
+    def test_workers_positive_int(self):
+        args = build_parser().parse_args(["fig8", "--workers", "3"])
+        assert args.workers == 3
+
+    @pytest.mark.parametrize("bad", ["0", "-2", "four"])
+    def test_workers_invalid_exits(self, bad, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig8", "--workers", bad])
+        assert "--workers" in capsys.readouterr().err
+
+    def test_cache_flag_default_off(self):
+        assert build_parser().parse_args(["fig8"]).cache is False
+
+    def test_cache_flag_on_off(self):
+        assert build_parser().parse_args(["fig8", "--cache"]).cache is True
+        assert (
+            build_parser().parse_args(["fig8", "--no-cache"]).cache is False
+        )
+
+
+class TestCacheDir:
+    def test_explicit_root_wins(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env"))
+        assert resolve_cache_dir(tmp_path / "explicit") == (
+            tmp_path / "explicit"
+        )
+
+    def test_env_var_wins_over_default(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env"))
+        assert resolve_cache_dir() == tmp_path / "env"
+
+    def test_default_under_home_cache(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert resolve_cache_dir().name == "repro-objmig"
+
+
+class TestCellKey:
+    def test_stable_for_equal_inputs(self):
+        a = cell_key(SimulationParameters(seed=1), TINY)
+        b = cell_key(SimulationParameters(seed=1), TINY)
+        assert a == b
+        assert len(a) == 64  # hex SHA-256
+
+    def test_sensitive_to_every_input(self):
+        base = cell_key(SimulationParameters(seed=1), TINY)
+        assert cell_key(SimulationParameters(seed=2), TINY) != base
+        assert (
+            cell_key(SimulationParameters(seed=1, clients=7), TINY) != base
+        )
+        assert cell_key(SimulationParameters(seed=1), None) != base
+        assert (
+            cell_key(SimulationParameters(seed=1), StoppingConfig.fast())
+            != base
+        )
+
+
+class TestCellCache:
+    def test_get_on_empty_cache_is_miss(self, tmp_path):
+        cache = CellCache(root=tmp_path)
+        assert cache.get(SimulationParameters(seed=0), TINY) is None
+        assert cache.misses == 1
+        assert len(cache) == 0
+
+    def test_put_get_round_trip(self, tmp_path):
+        cache = CellCache(root=tmp_path)
+        params = SimulationParameters(seed=4)
+        result = run_cell(params, stopping=TINY)
+        path = cache.put(params, TINY, result)
+        assert path.is_file()
+        assert len(cache) == 1
+
+        loaded = cache.get(params, TINY)
+        assert loaded is not None
+        assert cache.hits == 1
+        assert loaded.params == result.params
+        assert (
+            loaded.mean_communication_time_per_call
+            == result.mean_communication_time_per_call
+        )
+        assert loaded.mean_call_duration == result.mean_call_duration
+        assert (
+            loaded.mean_migration_time_per_call
+            == result.mean_migration_time_per_call
+        )
+        assert loaded.simulated_time == result.simulated_time
+        assert loaded.raw == result.raw
+
+    def test_corrupt_entry_is_miss(self, tmp_path):
+        cache = CellCache(root=tmp_path)
+        params = SimulationParameters(seed=4)
+        result = run_cell(params, stopping=TINY)
+        path = cache.put(params, TINY, result)
+        path.write_text("{not json")
+        assert cache.get(params, TINY) is None
+        assert cache.misses == 1
+
+    def test_wipe_removes_all_entries(self, tmp_path):
+        cache = CellCache(root=tmp_path)
+        result = run_cell(SimulationParameters(seed=4), stopping=TINY)
+        for seed in (1, 2, 3):
+            cache.put(SimulationParameters(seed=seed), TINY, result)
+        assert len(cache) == 3
+        assert cache.wipe() == 3
+        assert len(cache) == 0
+
+    def test_cache_honors_env_var(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "from-env"))
+        cache = CellCache()
+        assert cache.root == tmp_path / "from-env"
+
+
+class TestConditionValueLookup:
+    def test_membership_and_getitem_use_identity(self):
+        env = Environment()
+        a, b = env.event(), env.event()
+        a._value, b._value = "va", "vb"
+        value = ConditionValue()
+        value.events.append(a)
+        assert a in value
+        assert b not in value
+        assert value[a] == "va"
+        with pytest.raises(KeyError):
+            value[b]
+
+        # Appending after a lookup must invalidate the cached index.
+        value.events.append(b)
+        assert b in value
+        assert value[b] == "vb"
+        assert list(value) == [a, b]

@@ -1,0 +1,241 @@
+"""Fast-path kernel guarantees: golden trace, urgent lane, sleep pool.
+
+The kernel's hot-loop optimizations (URGENT deque, inlined run loop,
+pooled sleep events) must never change the ``(time, priority,
+sequence)`` total order.  The golden trace below was recorded on the
+pre-fast-path heap-only kernel and is asserted verbatim: any reordering
+— however subtle — fails this file before it can corrupt an experiment.
+"""
+
+import pytest
+
+from repro.errors import EmptySchedule, Interrupt
+from repro.sim.events import NORMAL, Sleep, Timeout, URGENT
+from repro.sim.kernel import Environment, Infinity
+
+#: Recorded on the heap-only kernel (commit 80a4644); (time, label) per
+#: observable action of the scripted scenario below.
+GOLDEN_TRACE = [
+    (0.0, "zd.z0"), (0.0, "zd.z1"), (0.0, "zd.z2"), (0.0, "zd.z3"),
+    (0.0, "zd.z4"), (1.0, "w0.0"), (1.5, "w1.0"), (2.0, "w2.0"),
+    (2.0, "w0.1"), (2.5, "w3.0"), (3.0, "w1.1"), (3.0, "w0.2"),
+    (4.0, "w2.1"), (4.0, "w0.3"), (4.5, "w1.2"), (5.0, "w3.1"),
+    (5.0, "w0.4"), (5.0, "allof.2"), (6.0, "w2.2"), (6.0, "w1.3"),
+    (6.0, "w0.5"), (6.0, "anyof.1"), (7.0, "fired-interrupt"),
+    (7.0, "interrupted.Interrupt"), (7.5, "w3.2"), (7.5, "w1.4"),
+    (8.0, "w2.3"), (9.0, "post-interrupt"), (9.0, "w1.5"),
+    (10.0, "w3.3"), (10.0, "w2.4"), (12.0, "w2.5"), (12.5, "w3.4"),
+    (15.0, "w3.5"),
+]
+
+
+def _golden_scenario(env, trace):
+    """Processes, equal-time timeouts, interrupts and conditions."""
+
+    def worker(name, period, n):
+        for i in range(n):
+            yield env.timeout(period)
+            trace.append((env.now, f"{name}.{i}"))
+
+    def zero_delay(name):
+        for i in range(5):
+            yield env.timeout(0)
+            trace.append((env.now, f"{name}.z{i}"))
+
+    def condition_user():
+        t1, t2 = env.timeout(3), env.timeout(5)
+        res = yield t1 & t2
+        trace.append((env.now, f"allof.{len(res)}"))
+        r2 = yield env.timeout(1) | env.timeout(9)
+        trace.append((env.now, f"anyof.{len(r2)}"))
+
+    def interruptee():
+        try:
+            yield env.timeout(100)
+        except Interrupt:
+            trace.append((env.now, "interrupted.Interrupt"))
+        yield env.timeout(2)
+        trace.append((env.now, "post-interrupt"))
+
+    def interrupter(victim):
+        yield env.timeout(7)
+        victim.interrupt("now")
+        trace.append((env.now, "fired-interrupt"))
+
+    for i in range(4):
+        env.process(worker(f"w{i}", 1.0 + i * 0.5, 6), name=f"w{i}")
+    env.process(zero_delay("zd"))
+    env.process(condition_user())
+    victim = env.process(interruptee())
+    env.process(interrupter(victim))
+
+
+class TestGoldenTrace:
+    def test_event_order_matches_heap_only_kernel(self):
+        trace = []
+        env = Environment()
+        _golden_scenario(env, trace)
+        env.run()
+        assert trace == GOLDEN_TRACE
+        assert env.now == 100.0
+
+    def test_stepping_manually_matches_run(self):
+        """step() and the inlined run() loop share one total order."""
+        trace = []
+        env = Environment()
+        _golden_scenario(env, trace)
+        with pytest.raises(EmptySchedule):
+            while True:
+                env.step()
+        assert trace == GOLDEN_TRACE
+
+
+class TestUrgentLane:
+    def test_urgent_beats_normal_at_same_time(self):
+        env = Environment()
+        order = []
+        normal = env.event()
+        urgent = env.event()
+        normal.callbacks.append(lambda e: order.append("normal"))
+        urgent.callbacks.append(lambda e: order.append("urgent"))
+        normal._ok = urgent._ok = True
+        normal._value = urgent._value = None
+        env.schedule(normal, priority=NORMAL)
+        env.schedule(urgent, priority=URGENT)
+        env.run()
+        assert order == ["urgent", "normal"]
+
+    def test_urgent_lane_is_fifo(self):
+        env = Environment()
+        order = []
+        for i in range(5):
+            ev = env.event()
+            ev._ok, ev._value = True, None
+            ev.callbacks.append(lambda e, i=i: order.append(i))
+            env.schedule(ev, priority=URGENT)
+        env.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_earlier_heaped_urgent_beats_later_deque_urgent(self):
+        """A delayed URGENT event still in the heap must precede a
+        zero-delay URGENT deque entry created at the same instant,
+        because its sequence number is smaller."""
+        env = Environment()
+        order = []
+
+        def heaped(label):
+            ev = env.event()
+            ev._ok, ev._value = True, None
+            ev.callbacks.append(lambda e: order.append(label))
+            env.schedule(ev, priority=URGENT, delay=5.0)
+            return ev
+
+        first = heaped("heaped-first")
+        heaped("heaped-second")
+
+        def spawn_deque(event):
+            # While heaped-second is still in the heap, push a
+            # zero-delay URGENT entry onto the fast lane.
+            immediate = env.event()
+            immediate._ok, immediate._value = True, None
+            immediate.callbacks.append(lambda e: order.append("deque-urgent"))
+            env.schedule(immediate, priority=URGENT)
+
+        first.callbacks.insert(0, spawn_deque)
+        env.run()
+        assert order == ["heaped-first", "heaped-second", "deque-urgent"]
+
+    def test_peek_and_len_include_urgent_lane(self):
+        env = Environment()
+        assert env.peek() == Infinity
+        assert len(env) == 0
+        ev = env.event()
+        ev._ok, ev._value = True, None
+        env.schedule(ev, priority=URGENT)
+        env.timeout(3.0)
+        assert env.peek() == 0.0
+        assert len(env) == 2
+        env.step()  # urgent event
+        assert env.peek() == 3.0
+        assert len(env) == 1
+
+
+class TestSleep:
+    def test_sleep_behaves_like_timeout(self):
+        env = Environment()
+        log = []
+
+        def proc(env):
+            value = yield env.sleep(2.5, "payload")
+            log.append((env.now, value))
+
+        env.process(proc(env))
+        env.run()
+        assert log == [(2.5, "payload")]
+
+    def test_negative_delay_rejected_fresh_and_pooled(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            env.sleep(-1.0)
+
+        def proc(env):
+            yield env.sleep(1.0)  # populates the pool once processed
+
+        env.process(proc(env))
+        env.run()
+        with pytest.raises(ValueError):
+            env.sleep(-1.0)
+
+    def test_sleep_events_are_recycled(self):
+        # An event is recycled only after its callbacks finish, so the
+        # second sleep is freshly allocated and the *third* reuses the
+        # first's storage.
+        env = Environment()
+        seen = []
+
+        def proc(env):
+            for _ in range(3):
+                ev = env.sleep(1.0)
+                seen.append(ev)
+                yield ev
+
+        env.process(proc(env))
+        env.run()
+        assert seen[2] is seen[0]
+        assert all(isinstance(ev, Sleep) for ev in seen)
+        assert all(isinstance(ev, Timeout) for ev in seen)
+
+    def test_recycled_sleep_carries_fresh_state(self):
+        env = Environment()
+        values = []
+
+        def proc(env):
+            values.append((yield env.sleep(1.0, "a")))
+            values.append((yield env.sleep(0.0, "b")))
+            values.append((yield env.sleep(2.0)))
+
+        env.process(proc(env))
+        env.run()
+        assert values == ["a", "b", None]
+        assert env.now == 3.0
+
+    def test_sleep_interleaves_identically_to_timeout(self):
+        """Replacing timeout with sleep must not reorder anything."""
+
+        def scenario(wait):
+            env = Environment()
+            trace = []
+
+            def worker(name, period):
+                for i in range(20):
+                    yield wait(env, period)
+                    trace.append((env.now, f"{name}.{i}"))
+
+            for i in range(5):
+                env.process(worker(f"p{i}", 1.0 + 0.25 * i), name=f"p{i}")
+            env.run()
+            return trace
+
+        with_timeout = scenario(lambda env, d: env.timeout(d))
+        with_sleep = scenario(lambda env, d: env.sleep(d))
+        assert with_sleep == with_timeout
