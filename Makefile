@@ -2,8 +2,8 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-faults bench bench-kernel bench-full figures \
-        figures-paper examples clean
+.PHONY: install test test-faults test-chaos bench bench-kernel bench-full \
+        figures figures-paper examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -23,6 +23,14 @@ test-faults:
 	  tests/test_network_faults.py tests/test_runtime_retry.py \
 	  tests/test_runtime_migration_abort.py tests/test_core_leases.py \
 	  tests/test_prop_leases.py tests/test_availability_faulttolerance.py
+
+# Failure detection and chaos campaigns over a small pinned seed matrix:
+# every built-in scenario must survive with invariants held, and the
+# heartbeat detector must be bit-identical to the oracle when fault-free.
+test-chaos:
+	$(PYTHON) -m pytest -q -p no:randomly \
+	  tests/test_runtime_failure.py tests/test_sim_invariants.py \
+	  tests/test_chaos.py tests/test_detector_golden.py
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -7,8 +7,22 @@ group of related objects.  See
 ``benchmarks/bench_outlook_availability.py``.
 """
 
+from repro.availability.chaos import (
+    SCENARIOS,
+    ChaosCampaign,
+    ChaosCampaignParameters,
+    ChaosCampaignResult,
+    ChaosOrchestrator,
+    ChaosScenario,
+    CrashDuringMigration,
+    CrashStorm,
+    FlappingLink,
+    RollingPartition,
+    run_chaos_campaign,
+)
 from repro.availability.faults import FaultInjector
 from repro.availability.faulttolerance import (
+    FT_DETECTION_MODES,
     FT_POLICIES,
     FaultToleranceParameters,
     FaultToleranceResult,
@@ -26,11 +40,23 @@ __all__ = [
     "AvailabilityParameters",
     "AvailabilityResult",
     "AvailabilityWorkload",
+    "ChaosCampaign",
+    "ChaosCampaignParameters",
+    "ChaosCampaignResult",
+    "ChaosOrchestrator",
+    "ChaosScenario",
+    "CrashDuringMigration",
+    "CrashStorm",
+    "FT_DETECTION_MODES",
     "FT_POLICIES",
     "FaultInjector",
     "FaultToleranceParameters",
     "FaultToleranceResult",
     "FaultToleranceWorkload",
+    "FlappingLink",
+    "RollingPartition",
+    "SCENARIOS",
     "run_availability_cell",
+    "run_chaos_campaign",
     "run_faulttolerance_cell",
 ]

@@ -24,7 +24,7 @@ picked up lazily — state dictionaries grow on demand and a repeated
 
 from __future__ import annotations
 
-from typing import Dict, Generator, Set
+from typing import Dict, Generator, Optional, Set
 
 from repro.runtime.objects import DistributedObject
 from repro.runtime.system import DistributedSystem
@@ -51,8 +51,11 @@ class FaultInjector:
         mttf: float = 1_000.0,
         mttr: float = 50.0,
     ):
-        if mttf <= 0 or mttr <= 0:
-            raise ValueError("mttf and mttr must be positive")
+        if mttf < 0 or mttr <= 0:
+            raise ValueError(
+                "mttf must be >= 0 (0 = scripted crashes only) and "
+                "mttr positive"
+            )
         self.system = system
         self.mttf = mttf
         self.mttr = mttr
@@ -98,7 +101,10 @@ class FaultInjector:
         """Launch the crash/recover process on every node.
 
         Idempotent per node: calling it again only starts processes for
-        nodes added to the system since the previous call.
+        nodes added to the system since the previous call.  With
+        ``mttf == 0`` no autonomous life processes run — the injector
+        is then purely scripted via :meth:`crash`/:meth:`recover`
+        (chaos campaigns drive it this way).
         """
         self._started = True
         for node in self.system.registry.nodes:
@@ -107,23 +113,69 @@ class FaultInjector:
                 continue
             self._watched.add(node_id)
             self._ensure(node_id)
-            self.system.env.process(
-                self._node_life(node_id),
-                name=f"faults-node-{node_id}",
-            )
+            if self.mttf > 0:
+                self.system.env.process(
+                    self._node_life(node_id),
+                    name=f"faults-node-{node_id}",
+                )
 
     def _node_life(self, node_id: int) -> Generator:
         stream = self.system.streams.stream(f"faults.node.{node_id}")
         env = self.system.env
         while True:
             yield env.timeout(stream.exponential(self.mttf))
-            self._down.add(node_id)
-            self._availability[node_id].update(0.0, env.now)
-            self.failures += 1
+            self._fail(node_id)
             yield env.timeout(stream.exponential(self.mttr))
-            self._down.discard(node_id)
-            self._availability[node_id].update(1.0, env.now)
-            self._recovered[node_id].notify_all()
+            self._repair(node_id)
+
+    # -- state transitions (shared by autonomous and scripted failures) --------
+
+    def _fail(self, node_id: int) -> bool:
+        if node_id in self._down:
+            return False
+        self._ensure(node_id)
+        self._down.add(node_id)
+        self._availability[node_id].update(0.0, self.system.env.now)
+        self.failures += 1
+        return True
+
+    def _repair(self, node_id: int) -> bool:
+        if node_id not in self._down:
+            return False
+        self._down.discard(node_id)
+        self._availability[node_id].update(1.0, self.system.env.now)
+        self._recovered[node_id].notify_all()
+        return True
+
+    # -- scripted failures (chaos campaigns) -----------------------------------
+
+    def crash(self, node_id: int, duration: Optional[float] = None) -> bool:
+        """Crash a node now (scripted fault injection).
+
+        Returns False (and does nothing) when the node is already
+        down.  With ``duration`` set, a recovery is scheduled that many
+        time units from now; otherwise the node stays down until
+        :meth:`recover` is called.
+        """
+        self.system.registry.node(node_id)  # validate the node exists
+        if duration is not None and duration <= 0:
+            raise ValueError(f"duration must be positive, got {duration}")
+        if not self._fail(node_id):
+            return False
+        if duration is not None:
+            self.system.env.process(
+                self._timed_recovery(node_id, duration),
+                name=f"chaos-recover-{node_id}",
+            )
+        return True
+
+    def recover(self, node_id: int) -> bool:
+        """Repair a node now; returns False if it was not down."""
+        return self._repair(node_id)
+
+    def _timed_recovery(self, node_id: int, duration: float) -> Generator:
+        yield self.system.env.timeout(duration)
+        self._repair(node_id)
 
     # -- fault-aware invocation --------------------------------------------------------
 

@@ -36,14 +36,25 @@ from repro.core.moveblock import MoveBlock
 from repro.core.policies.conventional import ConventionalMigration
 from repro.core.policies.placement import TransientPlacement
 from repro.core.policies.sedentary import SedentaryPolicy
-from repro.errors import ConfigurationError, MessageLostError, TimeoutError
+from repro.errors import (
+    ConfigurationError,
+    MessageLostError,
+    NodeDownError,
+    TimeoutError,
+)
 from repro.network.faults import LinkFaultModel
+from repro.runtime.failure import FailureDetector
 from repro.runtime.retry import RetryPolicy
 from repro.runtime.system import DistributedSystem
 from repro.sim.stats import RunningStats
+from repro.sim.trace import NULL_TRACER, Tracer
 
 #: Policies the study compares (registry names as in the paper study).
 FT_POLICIES = ("sedentary", "migration", "placement")
+
+#: How crashed lock holders are detected: the ground-truth oracle of
+#: PR 1, or the heartbeat failure detector (suspicion can be wrong).
+FT_DETECTION_MODES = ("oracle", "heartbeat")
 
 
 @dataclass(frozen=True)
@@ -67,6 +78,19 @@ class FaultToleranceParameters:
     mttf: float = 0.0
     #: Mean node repair time.
     mttr: float = 50.0
+    #: Build the fault injector even with ``mttf == 0`` so scripted
+    #: (chaos-campaign) crashes can be injected.
+    scripted_faults: bool = False
+    #: "oracle" = ground-truth health provider (PR 1 behaviour);
+    #: "heartbeat" = heartbeat failure detector with possible false
+    #: suspicion drives lock breaking, failover and chain repair.
+    detection: str = "oracle"
+    #: Heartbeat period (heartbeat detection only).
+    heartbeat_interval: float = 1.0
+    #: Silence threshold before a node is suspected (timeout mode).
+    heartbeat_timeout: float = 15.0
+    #: When set, the detector runs in phi-accrual mode instead.
+    phi_threshold: Optional[float] = None
     #: Mean gap between a client's move-blocks.
     mean_think_time: float = 4.0
     #: Mean calls per move-block (the paper's N).
@@ -104,6 +128,17 @@ class FaultToleranceParameters:
             raise ConfigurationError(
                 "mttf must be >= 0 (0 = no crashes) and mttr positive"
             )
+        if self.detection not in FT_DETECTION_MODES:
+            raise ConfigurationError(
+                f"detection must be one of {FT_DETECTION_MODES}, "
+                f"got {self.detection!r}"
+            )
+        if self.heartbeat_interval <= 0 or self.heartbeat_timeout <= 0:
+            raise ConfigurationError(
+                "heartbeat_interval and heartbeat_timeout must be positive"
+            )
+        if self.phi_threshold is not None and self.phi_threshold <= 0:
+            raise ConfigurationError("phi_threshold must be positive")
         if self.mean_think_time < 0:
             raise ConfigurationError("mean_think_time must be >= 0")
         if self.mean_block_calls <= 0:
@@ -131,13 +166,21 @@ class FaultToleranceResult:
     locks_expired: int
     locks_broken: int
     node_failures: int
+    #: Suspicion transitions of the heartbeat detector (0 with oracle).
+    suspicions: int = 0
+    #: Suspicions of nodes that were actually up (0 with oracle).
+    false_suspicions: int = 0
+    #: Calls abandoned early because the callee was suspected dead.
+    failovers: int = 0
     raw: Dict = field(default_factory=dict)
 
 
 class FaultToleranceWorkload:
     """Builds and runs one fault-tolerance cell."""
 
-    def __init__(self, params: FaultToleranceParameters):
+    def __init__(
+        self, params: FaultToleranceParameters, tracer: Tracer = NULL_TRACER
+    ):
         params.validate()
         self.params = params
         fault_model = (
@@ -151,6 +194,7 @@ class FaultToleranceWorkload:
             migration_duration=params.migration_duration,
             fault_model=fault_model,
             retry=params.retry,
+            tracer=tracer,
         )
         # Servers round-robin from the far end of the node range so most
         # clients (which sit at the low end) start remote from them.
@@ -162,9 +206,24 @@ class FaultToleranceWorkload:
         ]
         self.faults: Optional[FaultInjector] = (
             FaultInjector(self.system, mttf=params.mttf, mttr=params.mttr)
-            if params.mttf > 0
+            if params.mttf > 0 or params.scripted_faults
             else None
         )
+        # With heartbeat detection, lock breaking / failover run on
+        # *suspicion*: the detector replaces the ground-truth oracle
+        # everywhere a decision (rather than physics) is made.
+        self.detector: Optional[FailureDetector] = None
+        health = self.faults
+        if params.detection == "heartbeat":
+            self.detector = FailureDetector(
+                self.system,
+                faults=self.faults,
+                interval=params.heartbeat_interval,
+                timeout=params.heartbeat_timeout,
+                phi_threshold=params.phi_threshold,
+            )
+            self.system.invocations.failure_detector = self.detector
+            health = self.detector
         self.locks: Optional[LockManager] = None
         self.sweeper: Optional[LeaseSweeper] = None
         if params.policy == "placement":
@@ -176,7 +235,7 @@ class FaultToleranceWorkload:
                 self.sweeper = LeaseSweeper(
                     self.system.env,
                     self.locks,
-                    health=self.faults,
+                    health=health,
                     interval=params.sweep_interval,
                 )
         elif params.policy == "migration":
@@ -187,6 +246,7 @@ class FaultToleranceWorkload:
         self.completed_blocks = 0
         self.abandoned_blocks = 0
         self.failed_calls = 0
+        self.failed_over_calls = 0
         self.lost_move_requests = 0
         self._started = False
 
@@ -248,6 +308,16 @@ class FaultToleranceWorkload:
                         break
                     try:
                         duration = yield from self._invoke(node, server)
+                    except NodeDownError:
+                        # The callee is *suspected* crashed (heartbeat
+                        # detection): fail over to another server for
+                        # the rest of the block instead of retrying
+                        # into the void.
+                        self.failed_over_calls += 1
+                        others = [s for s in self.servers if s is not server]
+                        if others:
+                            server = stream.choice(others)
+                        continue
                     except TimeoutError:
                         self.failed_calls += 1
                         continue
@@ -271,6 +341,8 @@ class FaultToleranceWorkload:
         self._started = True
         if self.faults is not None:
             self.faults.start()
+        if self.detector is not None:
+            self.detector.start()
         if self.sweeper is not None:
             self.sweeper.start()
         for i in range(self.params.clients):
@@ -278,12 +350,16 @@ class FaultToleranceWorkload:
                 self.client_process(i), name=f"ft-client-{i}"
             )
 
-    def run(self) -> FaultToleranceResult:
-        """Simulate the fixed horizon and return the metrics."""
-        self.start()
-        self.system.run(until=self.params.sim_time)
+    def collect_result(self) -> FaultToleranceResult:
+        """Assemble the metrics from the current simulation state.
+
+        Split out of :meth:`run` so harnesses that drive the clock
+        themselves (chaos campaigns interleaving scripted faults and
+        invariant checks) can still produce the standard result record.
+        """
         invocations = self.system.invocations
         migrations = self.system.migrations
+        detector = self.detector
         return FaultToleranceResult(
             params=self.params,
             mean_call_duration=(
@@ -299,14 +375,24 @@ class FaultToleranceWorkload:
             locks_expired=self.locks.leases_expired if self.locks else 0,
             locks_broken=self.locks.leases_broken if self.locks else 0,
             node_failures=self.faults.failures if self.faults else 0,
+            suspicions=detector.suspicions if detector else 0,
+            false_suspicions=detector.false_suspicions if detector else 0,
+            failovers=self.failed_over_calls,
             raw={
                 "calls": self.call_durations.count,
                 "lost_move_requests": self.lost_move_requests,
                 "invocations": invocations.stats(),
                 "policy": self.policy.stats(),
                 "dropped_messages": self.system.network.dropped_messages,
+                "detector": detector.stats() if detector else {},
             },
         )
+
+    def run(self) -> FaultToleranceResult:
+        """Simulate the fixed horizon and return the metrics."""
+        self.start()
+        self.system.run(until=self.params.sim_time)
+        return self.collect_result()
 
 
 def run_faulttolerance_cell(

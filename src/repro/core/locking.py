@@ -76,6 +76,14 @@ class LockManager:
         self.leases_expired = 0
         #: Locks reclaimed because their block's owner node crashed.
         self.leases_broken = 0
+        #: Blocks whose locks were force-broken (owner crashed or
+        #: suspected crashed).  A broken block can never re-acquire a
+        #: lock: a lease renewal racing with ``break_crashed`` in the
+        #: same tick must not resurrect the lock, and under a heartbeat
+        #: detector the "crashed" verdict may be a false suspicion of a
+        #: live mover — which then degrades to remote invocation
+        #: (§3.2) instead of silently regaining exclusivity.
+        self._broken: Set[int] = set()
 
     # -- leases ------------------------------------------------------------------
 
@@ -110,17 +118,28 @@ class LockManager:
     def break_crashed(self, health) -> int:
         """Release every lock whose holding block's owner node is down.
 
-        ``health`` is any object with ``is_down(node_id) -> bool``
-        (usually a :class:`~repro.availability.faults.FaultInjector`).
-        Returns the number of locks released.
+        ``health`` is any object with ``is_down(node_id) -> bool`` — the
+        ground-truth :class:`~repro.availability.faults.FaultInjector`
+        or a heartbeat :class:`~repro.runtime.failure.FailureDetector`
+        (whose verdict may be a *false* suspicion; breaking the lock is
+        still safe, the falsely suspected mover merely loses migration
+        exclusivity).  Returns the number of locks released.  Broken
+        blocks are remembered and permanently barred from re-acquiring
+        locks, so a lease renewal racing with the break in the same
+        tick cannot resurrect the lock.
         """
         total = 0
         for block in [
             b for b in self._blocks.values() if health.is_down(b.client_node)
         ]:
+            self._broken.add(block.block_id)
             total += self.release_block(block)
         self.leases_broken += total
         return total
+
+    def was_broken(self, block: MoveBlock) -> bool:
+        """Whether the block's locks were ever force-broken."""
+        return block.block_id in self._broken
 
     def held_blocks(self) -> List[MoveBlock]:
         """Every block currently holding at least one lock."""
@@ -142,8 +161,16 @@ class LockManager:
             this one) — callers must check :meth:`is_locked` first; a
             double grant would mean the mutual-exclusion invariant
             broke.  A holder whose lease expired does not count: its
-            locks are reclaimed and the grant proceeds.
+            locks are reclaimed and the grant proceeds.  Also raised
+            when ``block`` was force-broken by :meth:`break_crashed`:
+            a dead (or suspected-dead) mover's renewal must not
+            resurrect its lock.
         """
+        if block.block_id in self._broken:
+            raise PolicyError(
+                f"block #{block.block_id} was broken (owner crashed or "
+                f"suspected crashed) and cannot re-acquire locks"
+            )
         self._reap_if_expired(obj)
         if obj.lock_holder is not None:
             raise PolicyError(
@@ -210,6 +237,9 @@ class LockManager:
         for block_id, objs in self._held.items():
             assert block_id in self._blocks, (
                 f"block #{block_id} in ledger but unknown to the manager"
+            )
+            assert block_id not in self._broken, (
+                f"broken block #{block_id} still holds locks"
             )
             for obj in objs:
                 assert obj.object_id not in seen, (

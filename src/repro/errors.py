@@ -143,6 +143,18 @@ class NodeDownError(FaultError):
     """An operation targeted a node that is currently crashed."""
 
 
+class NodeCrashedError(NodeDownError):
+    """A protocol step ran into a crashed (or suspected-crashed) node.
+
+    Raised where continuing would mean waiting on a dead participant —
+    e.g. a forwarding chain whose intermediate hop is hosted on a node
+    the failure detector suspects (:class:`repro.runtime.locator.
+    ForwardingLocator`), or an invocation failed over away from a
+    suspected callee.  Derives from :class:`NodeDownError` so existing
+    crash handlers keep working.
+    """
+
+
 class MigrationAbortedError(FaultError):
     """A migration was aborted and the object rolled back to its origin.
 
@@ -150,6 +162,47 @@ class MigrationAbortedError(FaultError):
     by default aborted members are surfaced in
     :attr:`MigrationOutcome.aborted` instead.
     """
+
+
+# ---------------------------------------------------------------------------
+# Runtime invariant monitoring
+# ---------------------------------------------------------------------------
+
+
+class InvariantViolationError(SimulationError):
+    """A runtime safety invariant failed during a simulation run.
+
+    Raised by :class:`repro.sim.monitor.InvariantMonitor` when a
+    registered invariant evaluates false.  Carries a bounded excerpt of
+    the most recent trace records so the violation is diagnosable
+    without re-running the simulation.
+
+    Both the message and the trace excerpt live in ``args`` so the
+    exception round-trips through :mod:`pickle` unchanged (worker
+    processes under the parallel executor propagate failures by
+    pickling them).
+    """
+
+    def __init__(self, message: str = "", trace=()):
+        super().__init__(message, tuple(trace))
+
+    @property
+    def message(self) -> str:
+        """The human-readable description of the violated invariant."""
+        return self.args[0] if self.args else ""
+
+    @property
+    def trace(self):
+        """Bounded tuple of recent trace lines captured at failure."""
+        return self.args[1] if len(self.args) > 1 else ()
+
+    def __str__(self) -> str:
+        if not self.trace:
+            return self.message
+        lines = "\n".join(f"    {line}" for line in self.trace)
+        return (
+            f"{self.message}\n  last {len(self.trace)} trace records:\n{lines}"
+        )
 
 
 # ---------------------------------------------------------------------------

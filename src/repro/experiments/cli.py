@@ -43,8 +43,16 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(FIGURES) + sorted(OUTLOOK_STUDIES) + ["all"],
         help=(
             "which figure to regenerate (figN), or one of the outlook "
-            "studies (replication / fragmentation / availability)"
+            "studies (replication / fragmentation / availability / "
+            "faulttolerance / chaos)"
         ),
+    )
+    parser.add_argument(
+        "--scenario",
+        type=str,
+        default=None,
+        help="chaos study only: run a single named scenario "
+        "(e.g. crash-storm, mayhem) instead of the full matrix",
     )
     parser.add_argument(
         "--seed", type=int, default=0, help="root random seed (default 0)"
@@ -108,6 +116,30 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
     stopping = _stopping(args)
+
+    if args.scenario is not None and args.figure != "chaos":
+        print("--scenario only applies to the chaos study", file=sys.stderr)
+        return 2
+
+    if args.figure == "chaos" and args.scenario is not None:
+        from repro.availability.chaos import SCENARIOS
+        from repro.experiments.outlook import chaos_sweep, format_outlook_table
+
+        if args.scenario not in SCENARIOS:
+            print(
+                f"unknown scenario {args.scenario!r}; choose from "
+                f"{sorted(SCENARIOS)}",
+                file=sys.stderr,
+            )
+            return 2
+        print(
+            f"running chaos scenario {args.scenario!r}", file=sys.stderr
+        )
+        header, rows = chaos_sweep(
+            seed=args.seed, scenarios=[args.scenario]
+        )
+        print(format_outlook_table("chaos", header, rows))
+        return 0
 
     if args.figure in OUTLOOK_STUDIES:
         print(

@@ -7,7 +7,10 @@ the three extension studies the same one-command treatment:
 * ``fragmentation`` — fragment-count sweep, migration vs placement;
 * ``availability`` — workload-mix sweep, collocated vs spread;
 * ``faulttolerance`` — message-loss sweep under node crashes,
-  no-migration vs conventional vs leased place-policy.
+  no-migration vs conventional vs leased place-policy;
+* ``chaos`` — every built-in chaos scenario under heartbeat detection
+  and invariant monitoring (availability metrics per scenario; a run
+  that reaches the table at all held every safety invariant).
 
 Each function returns ``(header_row, data_rows)`` ready for
 :func:`format_outlook_table`, keeping these studies printable and
@@ -157,21 +160,75 @@ def faulttolerance_sweep(
     return header, rows
 
 
+def chaos_sweep(
+    seed: int = 0,
+    stopping: Optional[StoppingConfig] = None,
+    scenarios: Optional[Sequence[str]] = None,
+    sim_time: float = 2_000.0,
+) -> Rows:
+    """One row per chaos scenario: call duration, suspicion, failovers.
+
+    Every cell runs the leased place-policy with heartbeat failure
+    detection and the full invariant-monitor suite; a scenario that
+    violates a safety invariant raises
+    :class:`~repro.errors.InvariantViolationError` instead of
+    producing a row.  ``stopping`` is accepted for registry symmetry
+    but unused (chaos campaigns run a fixed horizon).
+    """
+    del stopping
+    from repro.availability import ChaosCampaignParameters, run_chaos_campaign
+    from repro.availability.chaos import SCENARIOS
+
+    names = list(scenarios) if scenarios is not None else sorted(SCENARIOS)
+    header = [
+        "scenario",
+        "mean_call",
+        "suspicions",
+        "false_susp",
+        "failovers",
+        "crashes",
+    ]
+    rows: List[list] = []
+    for name in names:
+        result = run_chaos_campaign(
+            ChaosCampaignParameters(
+                scenario=name, sim_time=sim_time, seed=seed
+            )
+        )
+        rows.append(
+            [
+                name,
+                result.ft.mean_call_duration,
+                float(result.ft.suspicions),
+                float(result.ft.false_suspicions),
+                float(result.ft.failovers),
+                float(result.injections["crashes_injected"]),
+            ]
+        )
+    return header, rows
+
+
 #: Registry used by the CLI.
 OUTLOOK_STUDIES = {
     "replication": replication_sweep,
     "fragmentation": fragmentation_sweep,
     "availability": availability_sweep,
     "faulttolerance": faulttolerance_sweep,
+    "chaos": chaos_sweep,
 }
 
 
 def format_outlook_table(
     name: str, header: List[str], rows: List[List[float]], precision: int = 3
 ) -> str:
-    """Aligned text table, matching the figure tables' style."""
+    """Aligned text table, matching the figure tables' style.
+
+    The first column may be numeric (a swept parameter) or a string
+    (e.g. a chaos scenario name).
+    """
     str_rows = [header] + [
-        [f"{row[0]:g}"] + [f"{v:.{precision}f}" for v in row[1:]]
+        [row[0] if isinstance(row[0], str) else f"{row[0]:g}"]
+        + [f"{v:.{precision}f}" for v in row[1:]]
         for row in rows
     ]
     widths = [max(len(r[i]) for r in str_rows) for i in range(len(header))]

@@ -81,9 +81,18 @@ class Network:
         """Number of nodes the network connects."""
         return self.topology.size
 
-    def sample_latency(self, src: int, dst: int) -> float:
-        """Draw (and account) the latency of one message."""
-        delay = self.latency.sample(src, dst, self._stream)
+    def sample_latency(
+        self, src: int, dst: int, stream: Optional[Stream] = None
+    ) -> float:
+        """Draw (and account) the latency of one message.
+
+        ``stream`` overrides the shared ``"network.latency"`` stream.
+        Background traffic (e.g. failure-detector heartbeats) passes
+        its own stream so enabling it never perturbs the latency draws
+        of application messages — that is what keeps detector-enabled
+        fault-free runs bit-identical to the oracle path.
+        """
+        delay = self.latency.sample(src, dst, stream or self._stream)
         if src == dst:
             self.local_messages += 1
         else:
@@ -91,11 +100,14 @@ class Network:
         self.total_latency += delay
         return delay
 
-    def transmit(self, src: int, dst: int) -> Generator:
+    def transmit(
+        self, src: int, dst: int, stream: Optional[Stream] = None
+    ) -> Generator:
         """Process fragment that spends one message latency.
 
         Use as ``yield from network.transmit(a, b)`` inside a process.
-        Returns the sampled latency.
+        Returns the sampled latency.  ``stream`` optionally overrides
+        the latency-draw stream (see :meth:`sample_latency`).
 
         Raises
         ------
@@ -106,7 +118,7 @@ class Network:
             out its timeout before it can react — that is the retry
             layer's job (:mod:`repro.runtime.retry`).
         """
-        delay = self.sample_latency(src, dst)
+        delay = self.sample_latency(src, dst, stream)
         dropped = self.faults is not None and self.faults.should_drop(src, dst)
         if delay > 0:
             yield self.env.sleep(delay)

@@ -4,6 +4,7 @@ Nodes, mobile objects, proxy-style invocation forwarding, and the
 linearize–transfer–reinstall migration mechanism (§3.1's system model).
 """
 
+from repro.runtime.failure import FailureDetector
 from repro.runtime.invocation import InvocationResult, InvocationService
 from repro.runtime.locator import (
     LOCATORS,
@@ -26,6 +27,7 @@ __all__ = [
     "BroadcastLocator",
     "DistributedObject",
     "DistributedSystem",
+    "FailureDetector",
     "ForwardingLocator",
     "ImmediateUpdateLocator",
     "InvocationResult",

@@ -1,0 +1,271 @@
+"""Heartbeat-based failure detection (imperfect liveness knowledge).
+
+The fault layer of the first fault-tolerance PR broke crashed movers'
+locks by consulting a ground-truth health oracle — something no real
+non-monolithic system has.  A real runtime can only *suspect* a node is
+dead from the absence of its heartbeats, and that suspicion can be
+wrong: a lossy link or a partition silences a perfectly healthy node.
+The place-policy stays safe under such false suspicion (a live mover
+that loses its locks merely degrades to remote invocation, §3.2), and
+this module makes the imperfection explicit so it can be exercised.
+
+:class:`FailureDetector` runs one heartbeat process per node over the
+simulated :class:`~repro.network.network.Network`.  Each node sends a
+heartbeat every ``interval`` to the ``monitor_node``; the detector
+records arrival times and suspects a node once no heartbeat has been
+seen for ``timeout`` (or, in *phi-accrual* mode, once the suspicion
+level :meth:`phi` crosses ``phi_threshold``).  Heartbeat messages ride
+the real network: they pay latency, they are lost on lossy links, and
+partitions silence whole groups — which is exactly how false suspicion
+arises.  Suspicion clears the moment a fresh heartbeat arrives, so the
+system converges once connectivity returns.
+
+Determinism: heartbeat latencies are drawn from dedicated per-node
+streams (``"failure.heartbeat.<id>"``) passed into
+:meth:`Network.transmit`, never from the shared ``"network.latency"``
+stream — enabling the detector on a fault-free run leaves every other
+component's random draws, and therefore every paper-figure result,
+bit-identical.
+
+The detector is duck-type compatible with the ground-truth
+:class:`~repro.availability.faults.FaultInjector` wherever a *health
+provider* is expected (``is_down(node_id) -> bool``): it can drive
+:meth:`LockManager.break_crashed <repro.core.locking.LockManager.
+break_crashed>`, the :class:`~repro.core.locking.LeaseSweeper`,
+invocation failover and forwarding-chain repair.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Deque, Dict, Generator, Optional, Set
+
+from repro.errors import MessageLostError
+
+#: ln(10), used by the phi-accrual suspicion level.
+_LN10 = math.log(10.0)
+
+
+class FailureDetector:
+    """Per-node heartbeat processes plus a suspicion evaluator.
+
+    Parameters
+    ----------
+    system:
+        The :class:`~repro.runtime.system.DistributedSystem` whose
+        nodes are monitored.
+    faults:
+        Optional ground-truth :class:`~repro.availability.faults.
+        FaultInjector`.  Used for two things only: a crashed node's
+        heartbeat process stops sending (a process dies with its host —
+        that is local knowledge, not an oracle), and suspicion events
+        are classified as true or false for the accounting counters.
+        The *suspicion decision itself* never consults it.
+    interval:
+        Simulated time between heartbeats of one node.
+    timeout:
+        Suspicion threshold in timeout mode: a node is suspected when
+        no heartbeat arrived for this long.  Should be a comfortable
+        multiple of ``interval`` plus the typical message latency,
+        otherwise latency jitter alone produces false suspicions.
+    phi_threshold:
+        When set, enables *phi-accrual* mode (Hayashibara et al.): the
+        node is suspected when :meth:`phi` — the negative decimal log of
+        the probability that the silence observed so far is ordinary,
+        under an exponential model of heartbeat inter-arrivals —
+        reaches this value.  ``timeout`` is ignored in this mode.
+    window:
+        Number of recent inter-arrival samples kept per node for the
+        phi estimate.
+    monitor_node:
+        Node hosting the detector; heartbeats from this node are local
+        (never lost, zero latency).
+    """
+
+    def __init__(
+        self,
+        system,
+        faults=None,
+        interval: float = 1.0,
+        timeout: float = 15.0,
+        phi_threshold: Optional[float] = None,
+        window: int = 32,
+        monitor_node: int = 0,
+    ):
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        if timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {timeout}")
+        if phi_threshold is not None and phi_threshold <= 0:
+            raise ValueError(
+                f"phi_threshold must be positive, got {phi_threshold}"
+            )
+        if window < 2:
+            raise ValueError(f"window must be >= 2, got {window}")
+        self.system = system
+        self.faults = faults
+        self.interval = interval
+        self.timeout = timeout
+        self.phi_threshold = phi_threshold
+        self.window = window
+        self.monitor_node = monitor_node
+        #: node id -> arrival time of its most recent heartbeat.
+        self._last: Dict[int, float] = {}
+        #: node id -> recent heartbeat inter-arrival samples.
+        self._intervals: Dict[int, Deque[float]] = {}
+        #: Nodes currently suspected (transition bookkeeping only; the
+        #: authoritative answer is computed lazily by :meth:`is_down`).
+        self._suspected: Set[int] = set()
+        self._watched: Set[int] = set()
+        self._started = False
+        # Accounting.
+        self.heartbeats_sent = 0
+        self.heartbeats_received = 0
+        self.heartbeats_lost = 0
+        self.suspicions = 0
+        self.false_suspicions = 0
+        self.suspicions_cleared = 0
+
+    # -- the health-provider interface ----------------------------------------
+
+    def is_down(self, node_id: int) -> bool:
+        """Whether the detector currently *suspects* the node.
+
+        Unlike the ground-truth injector this answer can be wrong in
+        both directions: a freshly crashed node is not yet suspected
+        (its last heartbeat is still recent), and a live node behind a
+        lossy link may be falsely suspected.
+        """
+        last = self._last.get(node_id)
+        if last is None:
+            return False  # never monitored: assume up (no evidence)
+        if self.phi_threshold is not None:
+            return self.phi(node_id) >= self.phi_threshold
+        return (self.system.env.now - last) > self.timeout
+
+    def phi(self, node_id: int) -> float:
+        """Phi-accrual suspicion level of one node.
+
+        Models heartbeat inter-arrivals as exponential with the
+        observed mean ``m``; the probability that a healthy node stays
+        silent for ``t`` is ``exp(-t/m)``, so
+        ``phi = t / (m * ln 10)``.  A ``phi`` of 1 means a 10% chance
+        the silence is ordinary, 2 means 1%, and so on.
+        """
+        last = self._last.get(node_id)
+        if last is None:
+            return 0.0
+        elapsed = self.system.env.now - last
+        samples = self._intervals.get(node_id)
+        if samples:
+            mean = sum(samples) / len(samples)
+        else:
+            mean = self.interval
+        if mean <= 0:
+            mean = self.interval
+        return elapsed / (mean * _LN10)
+
+    def suspected_nodes(self) -> Set[int]:
+        """Snapshot of every node the detector currently suspects."""
+        return {n for n in self._last if self.is_down(n)}
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> None:
+        """Launch heartbeat senders and the suspicion evaluator.
+
+        Idempotent per node, like the fault injector: calling it again
+        only starts senders for nodes added since the previous call.
+        """
+        env = self.system.env
+        if not self._started:
+            self._started = True
+            env.process(self._evaluator(), name="failure-detector")
+        for node in self.system.registry.nodes:
+            node_id = node.node_id
+            if node_id in self._watched:
+                continue
+            self._watched.add(node_id)
+            # Bootstrap: a node is considered heard-from at start time,
+            # so suspicion needs a full timeout of real silence.
+            self._last.setdefault(node_id, env.now)
+            self._intervals.setdefault(node_id, deque(maxlen=self.window))
+            env.process(
+                self._heartbeat(node_id), name=f"heartbeat-{node_id}"
+            )
+
+    def _heartbeat(self, node_id: int) -> Generator:
+        env = self.system.env
+        network = self.system.network
+        stream = self.system.streams.stream(f"failure.heartbeat.{node_id}")
+        while True:
+            yield env.timeout(self.interval)
+            if self.faults is not None and self.faults.is_down(node_id):
+                # A crashed host runs no processes: nothing is sent.
+                # This is local knowledge (the process died with the
+                # node), not an oracle consultation.
+                continue
+            self.heartbeats_sent += 1
+            if node_id == self.monitor_node:
+                self._record(node_id)
+                continue
+            try:
+                yield from network.transmit(
+                    node_id, self.monitor_node, stream=stream
+                )
+            except MessageLostError:
+                self.heartbeats_lost += 1
+                continue
+            self._record(node_id)
+
+    def _record(self, node_id: int) -> None:
+        now = self.system.env.now
+        prev = self._last.get(node_id)
+        if prev is not None:
+            self._intervals[node_id].append(now - prev)
+        self._last[node_id] = now
+        self.heartbeats_received += 1
+        if node_id in self._suspected:
+            # Fresh evidence of life clears the suspicion — this is
+            # what makes false suspicion recoverable.
+            self._suspected.discard(node_id)
+            self.suspicions_cleared += 1
+
+    def _evaluator(self) -> Generator:
+        """Periodic suspicion-transition bookkeeping (accounting only)."""
+        env = self.system.env
+        while True:
+            yield env.timeout(self.interval)
+            for node_id in self._watched:
+                if node_id in self._suspected or not self.is_down(node_id):
+                    continue
+                self._suspected.add(node_id)
+                self.suspicions += 1
+                # Without an injector no node is ever really down, so
+                # every suspicion is false by definition.
+                if self.faults is None or not self.faults.is_down(node_id):
+                    self.false_suspicions += 1
+
+    def stats(self) -> dict:
+        """Aggregate counters for reports and tests."""
+        return {
+            "heartbeats_sent": self.heartbeats_sent,
+            "heartbeats_received": self.heartbeats_received,
+            "heartbeats_lost": self.heartbeats_lost,
+            "suspicions": self.suspicions,
+            "false_suspicions": self.false_suspicions,
+            "suspicions_cleared": self.suspicions_cleared,
+        }
+
+    def __repr__(self) -> str:
+        mode = (
+            f"phi>={self.phi_threshold}"
+            if self.phi_threshold is not None
+            else f"timeout={self.timeout}"
+        )
+        return (
+            f"<FailureDetector nodes={len(self._watched)} "
+            f"interval={self.interval} {mode} "
+            f"suspected={len(self._suspected)}>"
+        )

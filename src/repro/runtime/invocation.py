@@ -35,7 +35,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Generator, Optional
 
-from repro.errors import MessageLostError, TimeoutError
+from repro.errors import MessageLostError, NodeDownError, TimeoutError
 from repro.network.network import Network
 from repro.runtime.locator import ImmediateUpdateLocator, Locator
 from repro.runtime.messages import Message, MessageKind
@@ -105,6 +105,22 @@ class InvocationService:
         self.tracer = tracer
         self.retry = retry or RetryPolicy()
         self._streams = streams or RandomStreams(0)
+        #: Optional heartbeat :class:`~repro.runtime.failure.
+        #: FailureDetector`.  When set, a caller whose attempt timed
+        #: out against a node the detector suspects stops burning
+        #: retries and fails over immediately with
+        #: :class:`~repro.errors.NodeDownError` — the caller can then
+        #: redirect to a replica instead of waiting out the full retry
+        #: budget against a (suspected) corpse.  ``None`` (default)
+        #: keeps the retry behaviour bit-identical.
+        self.failure_detector = None
+        #: Optional ground-truth liveness provider (``is_down`` +
+        #: ``wait_until_up`` generator).  When set, a request arriving
+        #: at a crashed node parks until the node recovers instead of
+        #: executing on it — the physical crash-recover semantics the
+        #: invariant monitors assert.  ``None`` keeps the pre-chaos
+        #: behaviour.
+        self.liveness = None
         #: Aggregate duration statistics over every completed invocation.
         self.durations = RunningStats()
         self.local_calls = 0
@@ -115,6 +131,12 @@ class InvocationService:
         self.retries = 0
         self.failed_calls = 0
         self.retry_wait_time = 0.0
+        #: Calls abandoned early because the detector suspected the callee.
+        self.failovers = 0
+        #: Executions that went through on a node the liveness provider
+        #: reported down — must stay 0; the chaos invariant monitors
+        #: assert on it.
+        self.executions_on_crashed = 0
 
     def stats(self) -> dict:
         """Aggregate counters for reports and degradation analysis."""
@@ -128,6 +150,8 @@ class InvocationService:
             "retries": self.retries,
             "failed_calls": self.failed_calls,
             "retry_wait_time": self.retry_wait_time,
+            "failovers": self.failovers,
+            "executions_on_crashed": self.executions_on_crashed,
         }
 
     def invoke(
@@ -188,6 +212,18 @@ class InvocationService:
                         object_id=obj.object_id,
                         attempt=attempt,
                     )
+                detector = self.failure_detector
+                if detector is not None and detector.is_down(obj.node_id):
+                    # Failover: the callee's node is suspected dead —
+                    # stop burning the retry budget against it and let
+                    # the caller redirect (e.g. to a replica).
+                    self.failed_calls += 1
+                    self.failovers += 1
+                    raise NodeDownError(
+                        f"invocation of {obj.name} from node {caller_node} "
+                        f"abandoned after {attempt} attempts: node "
+                        f"{obj.node_id} is suspected crashed"
+                    ) from None
                 if attempt >= self.retry.max_attempts:
                     self.failed_calls += 1
                     raise TimeoutError(
@@ -263,8 +299,25 @@ class InvocationService:
             yield obj.reinstalled.wait()
             blocked += self.env.now - t0
 
+        # Crash-recover semantics: a request present at a crashed node
+        # parks until recovery (stable state) rather than executing on
+        # a corpse.  Only active when a liveness provider is wired in
+        # (the chaos harness does); otherwise the pre-fault behaviour
+        # and event sequence are untouched.
+        liveness = self.liveness
+        if liveness is not None:
+            while liveness.is_down(obj.node_id):
+                blocked += yield from liveness.wait_until_up(obj.node_id)
+                # The object may have moved while the request was parked.
+                while obj.in_transit:
+                    t1 = self.env.now
+                    yield obj.reinstalled.wait()
+                    blocked += self.env.now - t1
+
         # Local processing is neglected (four orders of magnitude below
         # a remote action, §4.1).
+        if liveness is not None and liveness.is_down(obj.node_id):
+            self.executions_on_crashed += 1  # pragma: no cover - invariant
         obj.invocation_count += 1
 
         # Nested invocations performed by the callee while serving this

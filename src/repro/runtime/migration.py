@@ -36,7 +36,7 @@ in ``strict`` mode, raised as
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Generator, Iterable, List, Optional
+from typing import Dict, Generator, Iterable, List, Optional, Tuple
 
 from repro.errors import MigrationAbortedError, ObjectFixedError
 from repro.network.network import Network
@@ -144,6 +144,11 @@ class MigrationService:
         self.migrations_aborted = 0
         #: Wire time wasted on aborted transfers.
         self.wasted_transfer_time = 0.0
+        #: Transfers currently on the wire: object id -> (origin,
+        #: target).  Chaos campaigns read this to crash a participant
+        #: mid-transfer; entries exist exactly while the object is in
+        #: transit on the outbound leg.
+        self.active_transfers: Dict[int, Tuple[int, int]] = {}
 
     def _node_down(self, node_id: int) -> bool:
         return self.health is not None and self.health.is_down(node_id)
@@ -196,6 +201,7 @@ class MigrationService:
         duration = self.duration_for(obj) + extra_time
         self.registry.depart(obj)
         obj.begin_transit()
+        self.active_transfers[obj.object_id] = (origin, target_node)
         if self.tracer.enabled:
             self.tracer.emit(
                 self.env.now,
@@ -212,6 +218,7 @@ class MigrationService:
         lost = self._transfer_lost(origin, target_node)
         if duration > 0:
             yield self.env.sleep(duration)
+        self.active_transfers.pop(obj.object_id, None)
 
         if lost or self._node_down(target_node):
             # Abort: roll the object back to its origin.  The return

@@ -187,6 +187,46 @@ class DistributedSystem:
             node, kind=ObjectKind.CLIENT, name=name, fixed=True
         )
 
+    # -- failure detection -------------------------------------------------------
+
+    def install_failure_detector(
+        self,
+        faults=None,
+        interval: float = 1.0,
+        timeout: float = 15.0,
+        phi_threshold: Optional[float] = None,
+        monitor_node: int = 0,
+        start: bool = False,
+    ):
+        """Build a heartbeat failure detector and wire it into the stack.
+
+        The detector replaces the ground-truth health oracle wherever
+        *suspicion* (not physical truth) is the right knowledge: it
+        drives invocation failover (:attr:`InvocationService.
+        failure_detector`) and forwarding-chain crash repair
+        (``locator.health``).  Physical consequences of crashes —
+        migration aborts towards truly-dead targets, calls blocking on
+        truly-dead hosts — stay with the ground-truth ``faults``
+        injector.  Returns the detector; pass ``start=True`` to launch
+        its processes immediately.
+        """
+        from repro.runtime.failure import FailureDetector
+
+        detector = FailureDetector(
+            self,
+            faults=faults,
+            interval=interval,
+            timeout=timeout,
+            phi_threshold=phi_threshold,
+            monitor_node=monitor_node,
+        )
+        self.invocations.failure_detector = detector
+        if hasattr(self.locator, "health"):
+            self.locator.health = detector
+        if start:
+            detector.start()
+        return detector
+
     # -- convenience -------------------------------------------------------------
 
     @property

@@ -139,3 +139,146 @@ class StateMonitor:
             f"<StateMonitor probes={len(self._probes)} "
             f"interval={self.interval}>"
         )
+
+
+#: An invariant callable: returns True/None for pass, False (optionally
+#: ``(False, detail)``) for fail; an AssertionError also counts as fail.
+Invariant = Callable[[], object]
+
+
+class InvariantMonitor:
+    """Always-on runtime safety assertions over a simulation run.
+
+    Where :class:`StateMonitor` *samples* quantities, this monitor
+    *asserts* properties: each registered invariant is re-evaluated
+    every ``interval`` simulated time units (and once more at
+    :meth:`check_now`, which harnesses call after the horizon).  The
+    first failing invariant raises
+    :class:`~repro.errors.InvariantViolationError` carrying a bounded
+    excerpt of the most recent trace records, so a violation deep into
+    a chaos campaign is diagnosable without re-running it.
+
+    An invariant callable may
+
+    * return ``True``/``None`` — pass;
+    * return ``False`` or ``(False, "detail")`` — fail;
+    * raise :class:`AssertionError` — fail with the assertion message
+      (this makes existing checkers like ``LockManager.check_invariant``
+      and ``ObjectRegistry.check_consistency`` usable directly).
+
+    Parameters
+    ----------
+    env:
+        Environment whose clock drives the checks.
+    interval:
+        Simulated time between evaluation rounds.
+    tracer:
+        Optional tracer (usually a :class:`~repro.sim.trace.RingTracer`)
+        whose recent records are embedded in the violation diagnostic.
+    trace_limit:
+        Maximum number of trace records included in a diagnostic.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        interval: float = 10.0,
+        tracer=None,
+        trace_limit: int = 50,
+    ):
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        if trace_limit < 0:
+            raise ValueError(f"trace_limit must be >= 0, got {trace_limit}")
+        self.env = env
+        self.interval = interval
+        self.tracer = tracer
+        self.trace_limit = trace_limit
+        self._invariants: Dict[str, Invariant] = {}
+        #: Per-invariant evaluation counts.
+        self.evaluations: Dict[str, int] = {}
+        #: Total evaluation rounds performed.
+        self.checks = 0
+        #: Violations seen so far (messages; normally empty because the
+        #: first one raises, but kept for post-mortem inspection).
+        self.violations: List[str] = []
+        self._started = False
+
+    # -- configuration -------------------------------------------------------------
+
+    def invariant(self, name: str, fn: Invariant) -> None:
+        """Register an invariant under ``name`` (must be unique)."""
+        if name in self._invariants:
+            raise ValueError(f"invariant {name!r} already registered")
+        self._invariants[name] = fn
+        self.evaluations[name] = 0
+
+    @property
+    def invariant_names(self) -> List[str]:
+        """All registered invariant names, sorted."""
+        return sorted(self._invariants)
+
+    # -- lifecycle ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin periodic checking (idempotent).
+
+        Like :class:`StateMonitor`, the checker reschedules itself
+        forever — drive the simulation with ``env.run(until=...)``.
+        """
+        if self._started:
+            return
+        self._started = True
+        self.env.process(self._checker(), name="invariant-monitor")
+
+    def _checker(self):
+        while True:
+            yield self.env.timeout(self.interval)
+            self.check_now()
+
+    # -- evaluation -----------------------------------------------------------------
+
+    def _recent_trace(self) -> tuple:
+        if self.tracer is None or self.trace_limit == 0:
+            return ()
+        records = getattr(self.tracer, "records", None)
+        if not records:
+            return ()
+        return tuple(str(r) for r in list(records)[-self.trace_limit :])
+
+    def check_now(self) -> None:
+        """Evaluate every invariant immediately.
+
+        Raises
+        ------
+        InvariantViolationError
+            On the first invariant that fails, with the bounded trace
+            diagnostic attached.
+        """
+        self.checks += 1
+        now = self.env.now
+        for name in sorted(self._invariants):
+            fn = self._invariants[name]
+            self.evaluations[name] += 1
+            detail = ""
+            try:
+                verdict = fn()
+            except AssertionError as exc:
+                verdict, detail = False, str(exc)
+            if isinstance(verdict, tuple):
+                verdict, detail = verdict[0], str(verdict[1])
+            if verdict is False:
+                message = (
+                    f"invariant {name!r} violated at t={now:.4f}"
+                    + (f": {detail}" if detail else "")
+                )
+                self.violations.append(message)
+                from repro.errors import InvariantViolationError
+
+                raise InvariantViolationError(message, self._recent_trace())
+
+    def __repr__(self) -> str:
+        return (
+            f"<InvariantMonitor invariants={len(self._invariants)} "
+            f"interval={self.interval} checks={self.checks}>"
+        )

@@ -90,6 +90,34 @@ class Tracer:
         return "\n".join(str(r) for r in self.records)
 
 
+class RingTracer(Tracer):
+    """Tracer that retains only the most recent ``capacity`` records.
+
+    Long chaos runs cannot afford an unbounded trace, but the invariant
+    monitors need recent history to produce a useful diagnostic when a
+    safety property fails.  The ring keeps memory constant while the
+    tail of the event stream stays inspectable; ``recent(n)`` renders
+    the last ``n`` records for embedding in an
+    :class:`~repro.errors.InvariantViolationError`.
+    """
+
+    def __init__(self, capacity: int = 256, kinds: Optional[set] = None):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        super().__init__(kinds=kinds)
+        from collections import deque
+
+        self.capacity = capacity
+        self.records = deque(maxlen=capacity)  # type: ignore[assignment]
+
+    def recent(self, n: Optional[int] = None) -> List[str]:
+        """The last ``n`` (default: all retained) records, rendered."""
+        records = list(self.records)
+        if n is not None:
+            records = records[-n:]
+        return [str(r) for r in records]
+
+
 class NullTracer(Tracer):
     """Tracer that records nothing (the default)."""
 

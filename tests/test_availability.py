@@ -27,9 +27,22 @@ class TestFaultInjector:
     def test_parameter_validation(self):
         system = DistributedSystem(nodes=2)
         with pytest.raises(ValueError):
-            FaultInjector(system, mttf=0)
+            FaultInjector(system, mttf=-1)
         with pytest.raises(ValueError):
             FaultInjector(system, mttr=-1)
+
+    def test_mttf_zero_means_scripted_only(self):
+        # mttf=0 builds a valid injector that never crashes nodes on
+        # its own — chaos campaigns drive it via crash()/recover().
+        system = DistributedSystem(nodes=2, seed=0)
+        faults = FaultInjector(system, mttf=0)
+        faults.start()
+        system.run(until=1_000)
+        assert faults.failures == 0
+        assert faults.crash(1)
+        assert faults.is_down(1)
+        assert faults.recover(1)
+        assert not faults.is_down(1)
 
     def test_nodes_fail_and_recover(self):
         system = DistributedSystem(nodes=3, seed=0)

@@ -1,0 +1,141 @@
+"""Race tests for the lock manager's crash-breaking path.
+
+The dangerous schedule: a mover's lease renewal (a fresh ``lock`` call,
+which refreshes the lease) lands in the *same simulation tick* as the
+sweeper's ``break_crashed``.  Without the broken-block guard the order
+of the two events decides whether a crashed (or falsely suspected)
+mover walks away holding a lock nobody can ever reclaim again.  These
+tests pin both orders of the seeded schedule and assert the lock never
+resurrects.
+"""
+
+import pytest
+
+from repro.core.locking import LeaseSweeper, LockManager
+from repro.core.moveblock import MoveBlock
+from repro.errors import PolicyError
+from repro.runtime.objects import DistributedObject
+
+
+class OneNodeDown:
+    """Health stub reporting a single node as down."""
+
+    def __init__(self, node_id):
+        self.node_id = node_id
+
+    def is_down(self, node_id):
+        return node_id == self.node_id
+
+
+@pytest.fixture
+def objects(env):
+    return [
+        DistributedObject(env, object_id=i, node_id=5, name=f"obj-{i}")
+        for i in range(3)
+    ]
+
+
+class TestSameTickRenewalVsBreak:
+    def test_break_then_renewal_does_not_resurrect(self, env, objects):
+        """break_crashed first, renewal second — renewal must fail."""
+        locks = LockManager(env=env, lease_duration=30.0)
+        block = MoveBlock(client_node=2, target=objects[0])
+        locks.lock(objects[0], block)
+        health = OneNodeDown(2)
+
+        def schedule(env):
+            yield env.timeout(10.0)
+            # Same tick, deterministic order: the sweep runs first...
+            assert locks.break_crashed(health) == 1
+            # ...and the crashed mover's renewal arrives right after.
+            with pytest.raises(PolicyError, match="was broken"):
+                locks.lock(objects[1], block)
+
+        env.process(schedule(env))
+        env.run()
+        assert locks.locked_objects() == []
+        assert locks.was_broken(block)
+        locks.check_invariant()
+
+    def test_renewal_then_break_releases_everything(self, env, objects):
+        """Renewal first, break second — the break wins anyway."""
+        locks = LockManager(env=env, lease_duration=30.0)
+        block = MoveBlock(client_node=2, target=objects[0])
+        locks.lock(objects[0], block)
+        health = OneNodeDown(2)
+
+        def schedule(env):
+            yield env.timeout(10.0)
+            # The renewal sneaks in before the sweep this time: it
+            # succeeds (the block is not broken yet)...
+            locks.lock(objects[1], block)
+            assert len(locks.locked_objects()) == 2
+            # ...but the break in the same tick reclaims everything,
+            # including the lock the renewal just took.
+            assert locks.break_crashed(health) == 2
+
+        env.process(schedule(env))
+        env.run()
+        assert locks.locked_objects() == []
+        assert locks.was_broken(block)
+        # And any later renewal stays dead.
+        with pytest.raises(PolicyError, match="was broken"):
+            locks.lock(objects[2], block)
+        locks.check_invariant()
+
+    def test_broken_guard_applies_without_leases(self, env, objects):
+        # Plain §3.2 locks (no leases) get the same protection.
+        locks = LockManager()
+        block = MoveBlock(client_node=2, target=objects[0])
+        locks.lock(objects[0], block)
+        locks.break_crashed(OneNodeDown(2))
+        with pytest.raises(PolicyError, match="was broken"):
+            locks.lock(objects[0], block)
+
+    def test_other_blocks_unaffected(self, env, objects):
+        locks = LockManager(env=env, lease_duration=30.0)
+        crashed = MoveBlock(client_node=2, target=objects[0])
+        healthy = MoveBlock(client_node=3, target=objects[1])
+        locks.lock(objects[0], crashed)
+        locks.lock(objects[1], healthy)
+        assert locks.break_crashed(OneNodeDown(2)) == 1
+        assert not locks.was_broken(healthy)
+        assert locks.locked_objects() == [objects[1]]
+        # The healthy block keeps renewing without trouble.
+        locks.lock(objects[2], healthy)
+        locks.check_invariant()
+
+
+class TestSweeperDrivesTheBreak:
+    def test_sweeper_breaks_crashed_holder_between_renewals(self, env, objects):
+        locks = LockManager(env=env, lease_duration=100.0)
+        sweeper = LeaseSweeper(
+            env, locks, health=OneNodeDown(2), interval=10.0
+        )
+        block = MoveBlock(client_node=2, target=objects[0])
+        locks.lock(objects[0], block)
+        renewal_outcomes = []
+
+        def renewer(env):
+            # The (suspected-crashed) mover tries to renew every tick
+            # that the sweeper fires, alternating arrival order via a
+            # sub-tick offset.
+            for _ in range(5):
+                yield env.timeout(10.0)
+                try:
+                    locks.lock(objects[1], block)
+                    renewal_outcomes.append("ok")
+                    locks.release_block(block)
+                except PolicyError:
+                    renewal_outcomes.append("refused")
+
+        sweeper.start()
+        env.process(renewer(env))
+        env.run(until=60)
+        # After the first sweep broke the block, every renewal refused.
+        assert locks.was_broken(block)
+        assert "refused" in renewal_outcomes
+        assert renewal_outcomes[-1] == "refused"
+        assert all(o == "refused" for o in renewal_outcomes[1:])
+        assert locks.locked_objects() == []
+        locks.check_invariant()

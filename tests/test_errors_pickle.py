@@ -1,0 +1,96 @@
+"""Every exception in the taxonomy must round-trip through pickle.
+
+The parallel experiment executor propagates worker failures by pickling
+them back to the parent process; an exception class whose constructor
+signature diverges from its ``args`` silently turns into a
+``PicklingError`` (or worse, a different exception) at the boundary.
+The whole taxonomy is collected by introspection so new exception
+classes are covered the day they are added.
+"""
+
+import inspect
+import pickle
+
+import pytest
+
+import repro.errors as errors_module
+from repro.errors import InvariantViolationError, ReproError
+
+
+def exception_classes():
+    """Every exception class defined in repro.errors."""
+    return sorted(
+        (
+            cls
+            for _, cls in inspect.getmembers(errors_module, inspect.isclass)
+            if issubclass(cls, BaseException)
+            and cls.__module__ == errors_module.__name__
+        ),
+        key=lambda cls: cls.__name__,
+    )
+
+
+def sample_instance(cls):
+    """Build a representative instance of one exception class."""
+    if cls is InvariantViolationError:
+        return cls("invariant 'x' violated at t=3.0", ("rec-a", "rec-b"))
+    if cls is errors_module.StopSimulation:
+        return cls(42)
+    if cls is errors_module.Interrupt:
+        return cls("preempted")
+    return cls(f"sample {cls.__name__} message")
+
+
+class TestTaxonomyIsCovered:
+    def test_collection_found_the_taxonomy(self):
+        names = [cls.__name__ for cls in exception_classes()]
+        # Spot-check the corners: base, kernel, fault and monitor errors.
+        for expected in (
+            "ReproError",
+            "SimulationError",
+            "MessageLostError",
+            "NodeCrashedError",
+            "InvariantViolationError",
+            "ConfigurationError",
+        ):
+            assert expected in names
+        assert len(names) >= 15
+
+
+@pytest.mark.parametrize(
+    "cls", exception_classes(), ids=lambda cls: cls.__name__
+)
+class TestPickleRoundTrip:
+    def test_round_trips_unchanged(self, cls):
+        original = sample_instance(cls)
+        clone = pickle.loads(pickle.dumps(original))
+        assert type(clone) is cls
+        assert clone.args == original.args
+        assert str(clone) == str(original)
+
+    def test_survives_raise_across_boundary(self, cls):
+        # The executor's actual pattern: raise, catch, pickle, re-raise.
+        original = sample_instance(cls)
+        try:
+            raise original
+        except BaseException as exc:
+            clone = pickle.loads(pickle.dumps(exc))
+        with pytest.raises(cls):
+            raise clone
+
+
+class TestInvariantViolationPayload:
+    def test_message_and_trace_survive(self):
+        exc = InvariantViolationError("boom", ("line1", "line2"))
+        clone = pickle.loads(pickle.dumps(exc))
+        assert clone.message == "boom"
+        assert clone.trace == ("line1", "line2")
+        assert "line2" in str(clone)
+
+    def test_trace_is_always_a_tuple(self):
+        exc = InvariantViolationError("boom", ["a", "b"])
+        assert exc.trace == ("a", "b")
+        assert InvariantViolationError("x").trace == ()
+
+    def test_is_a_repro_error(self):
+        assert issubclass(InvariantViolationError, ReproError)

@@ -69,6 +69,7 @@ class TestSweeps:
             "fragmentation",
             "availability",
             "faulttolerance",
+            "chaos",
         }
 
     def test_run_outlook_unknown(self):

@@ -1,0 +1,220 @@
+"""Tests for the heartbeat failure detector."""
+
+import pytest
+
+from repro.availability import FaultInjector
+from repro.network.faults import LinkFaultModel
+from repro.runtime.failure import FailureDetector
+from repro.runtime.system import DistributedSystem
+
+
+def build(nodes=4, seed=0, fault_model=None, **kw):
+    system = DistributedSystem(nodes=nodes, seed=seed, fault_model=fault_model)
+    faults = FaultInjector(system, mttf=0)
+    detector = FailureDetector(system, faults=faults, **kw)
+    return system, faults, detector
+
+
+class TestValidation:
+    def test_interval_must_be_positive(self):
+        system = DistributedSystem(nodes=2)
+        with pytest.raises(ValueError, match="interval"):
+            FailureDetector(system, interval=0)
+
+    def test_timeout_must_be_positive(self):
+        system = DistributedSystem(nodes=2)
+        with pytest.raises(ValueError, match="timeout"):
+            FailureDetector(system, timeout=-1)
+
+    def test_phi_threshold_must_be_positive(self):
+        system = DistributedSystem(nodes=2)
+        with pytest.raises(ValueError, match="phi_threshold"):
+            FailureDetector(system, phi_threshold=0)
+
+    def test_window_must_hold_two_samples(self):
+        system = DistributedSystem(nodes=2)
+        with pytest.raises(ValueError, match="window"):
+            FailureDetector(system, window=1)
+
+
+class TestFaultFree:
+    def test_no_suspicion_without_faults(self):
+        system, faults, detector = build()
+        faults.start()
+        detector.start()
+        system.run(until=500)
+        assert detector.suspicions == 0
+        assert detector.false_suspicions == 0
+        assert detector.suspected_nodes() == set()
+        assert detector.heartbeats_received > 0
+        assert detector.heartbeats_lost == 0
+
+    def test_unmonitored_node_assumed_up(self):
+        system, _, detector = build()
+        # Never started: no evidence about anyone, so nobody is down.
+        assert not detector.is_down(0)
+        assert not detector.is_down(99)
+
+    def test_start_is_idempotent(self):
+        system, faults, detector = build()
+        detector.start()
+        detector.start()
+        system.run(until=50)
+        # One heartbeat process per node, not two: per-node counters
+        # would double if start() were not idempotent.
+        expected = system.node_count * int(50 / detector.interval)
+        assert detector.heartbeats_sent <= expected
+
+
+class TestCrashDetection:
+    def test_crash_suspected_then_cleared(self):
+        system, faults, detector = build(interval=1.0, timeout=15.0)
+        faults.start()
+        detector.start()
+        system.run(until=50)
+        faults.crash(2)
+        system.run(until=80)
+        assert detector.is_down(2)
+        assert 2 in detector.suspected_nodes()
+        assert detector.suspicions >= 1
+        # The node really is down: not a false suspicion.
+        assert detector.false_suspicions == 0
+        faults.recover(2)
+        system.run(until=120)
+        assert not detector.is_down(2)
+        assert detector.suspicions_cleared >= 1
+
+    def test_fresh_crash_not_yet_suspected(self):
+        # Detection has a lag of up to `timeout`: a just-crashed node
+        # is still considered up (the detector can be wrong in both
+        # directions).
+        system, faults, detector = build(interval=1.0, timeout=15.0)
+        faults.start()
+        detector.start()
+        system.run(until=50)
+        faults.crash(2)
+        system.run(until=52)
+        assert faults.is_down(2)
+        assert not detector.is_down(2)
+
+
+class TestFalseSuspicion:
+    def test_partition_causes_recoverable_false_suspicion(self):
+        fault_model = LinkFaultModel()
+        system, faults, detector = build(
+            fault_model=fault_model, interval=1.0, timeout=10.0
+        )
+        faults.start()
+        detector.start()
+        system.run(until=20)
+        # Silence node 3 towards the monitor: its heartbeats all drop.
+        fault_model.fail_link(3, 0)
+        system.run(until=60)
+        assert detector.is_down(3)
+        assert not faults.is_down(3)  # the node is perfectly healthy
+        assert detector.false_suspicions >= 1
+        assert detector.heartbeats_lost > 0
+        # Connectivity returns: the next heartbeat clears the suspicion.
+        fault_model.restore_link(3, 0)
+        system.run(until=100)
+        assert not detector.is_down(3)
+        assert detector.suspicions_cleared >= 1
+
+
+class TestPhiAccrual:
+    def test_phi_grows_with_silence(self):
+        fault_model = LinkFaultModel()
+        system, faults, detector = build(
+            fault_model=fault_model, interval=1.0, phi_threshold=3.0
+        )
+        faults.start()
+        detector.start()
+        system.run(until=30)
+        fault_model.fail_link(2, 0)
+        system.run(until=35)
+        early = detector.phi(2)
+        system.run(until=55)
+        late = detector.phi(2)
+        assert late > early > 0.0
+
+    def test_phi_mode_suspects_and_recovers(self):
+        fault_model = LinkFaultModel()
+        system, faults, detector = build(
+            fault_model=fault_model, interval=1.0, phi_threshold=3.0
+        )
+        faults.start()
+        detector.start()
+        system.run(until=30)
+        assert detector.suspected_nodes() == set()
+        fault_model.fail_link(2, 0)
+        system.run(until=80)
+        assert detector.is_down(2)
+        fault_model.restore_link(2, 0)
+        system.run(until=120)
+        assert not detector.is_down(2)
+
+    def test_phi_zero_without_evidence(self):
+        system, _, detector = build(phi_threshold=3.0)
+        assert detector.phi(1) == 0.0
+
+
+class TestWiring:
+    def test_install_failure_detector(self):
+        system = DistributedSystem(nodes=3, seed=0)
+        detector = system.install_failure_detector()
+        assert system.invocations.failure_detector is detector
+
+    def test_install_wires_locator_health(self):
+        from repro.network.network import Network
+        from repro.runtime.locator import ForwardingLocator
+        from repro.sim.kernel import Environment
+        from repro.sim.rng import RandomStreams
+
+        env = Environment()
+        streams = RandomStreams(0)
+        from repro.network.latency import DeterministicLatency
+        from repro.network.topology import FullyConnected
+
+        net = Network(
+            env,
+            topology=FullyConnected(3),
+            latency=DeterministicLatency(1.0),
+            streams=streams,
+        )
+        system = DistributedSystem(
+            nodes=3, seed=0, env=env, locator=ForwardingLocator(env, net)
+        )
+        detector = system.install_failure_detector()
+        assert system.locator.health is detector
+
+    def test_stats_keys(self):
+        system, faults, detector = build()
+        faults.start()
+        detector.start()
+        system.run(until=30)
+        stats = detector.stats()
+        assert set(stats) == {
+            "heartbeats_sent",
+            "heartbeats_received",
+            "heartbeats_lost",
+            "suspicions",
+            "false_suspicions",
+            "suspicions_cleared",
+        }
+        assert stats["heartbeats_sent"] >= stats["heartbeats_received"]
+
+
+class TestDeterminism:
+    def test_same_seed_same_counters(self):
+        def run(seed):
+            fault_model = LinkFaultModel(loss_probability=0.1)
+            system, faults, detector = build(
+                seed=seed, fault_model=fault_model, interval=1.0, timeout=8.0
+            )
+            faults.start()
+            detector.start()
+            system.run(until=300)
+            return detector.stats()
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)

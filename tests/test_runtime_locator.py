@@ -98,6 +98,74 @@ class TestForwarding:
         elapsed, _ = locate(env, locator, 0, obj)
         assert elapsed == pytest.approx(1.0)  # capped at 2 hops -> 1 leg
 
+    def test_chain_tracked_per_migration(self, env, net, obj):
+        locator = ForwardingLocator(env, net)
+        locator.note_migration(obj, 3)
+        locator.note_migration(obj, 1)
+        locator.note_migration(obj, 3)
+        assert locator.chain_of(obj) == [3, 1, 3]
+
+    def test_successful_locate_compacts_chain(self, env, net, obj):
+        locator = ForwardingLocator(env, net)
+        locate(env, locator, 0, obj)  # caller 0 knows seq 0
+        locate(env, locator, 1, obj)  # caller 1 knows seq 0
+        for target in (3, 1, 3):
+            locator.note_migration(obj, target)
+        # Caller 0 walks the whole 3-hop chain and compacts it.
+        t0 = env.now
+        elapsed, _ = locate(env, locator, 0, obj)
+        assert elapsed - t0 == pytest.approx(2.0)
+        assert locator.chains_compacted == 1
+        # Caller 1 is equally stale but now jumps straight to the home:
+        # a single hop, whose leg is covered by the request message.
+        before = locator.lookup_messages
+        t1 = env.now
+        elapsed2, _ = locate(env, locator, 1, obj)
+        assert elapsed2 - t1 == pytest.approx(0.0)
+        assert locator.lookup_messages == before
+
+    def test_chain_through_crashed_node_raises(self, env, net, obj):
+        class Health:
+            def __init__(self, down):
+                self.down = down
+
+            def is_down(self, node_id):
+                return node_id in self.down
+
+        from repro.errors import NodeCrashedError
+
+        locator = ForwardingLocator(env, net, health=Health({3}))
+        locator.note_migration(obj, 3)  # intermediate forwarder: node 3
+        locator.note_migration(obj, 1)  # current home: node 1
+
+        def proc(env):
+            try:
+                yield from locator.locate(0, obj)
+            except NodeCrashedError as exc:
+                return exc
+            return None
+
+        p = env.process(proc(env))
+        env.run()
+        assert isinstance(p.value, NodeCrashedError)
+        assert "crashed node 3" in str(p.value)
+
+    def test_crashed_final_home_does_not_raise_in_locate(self, env, net, obj):
+        # Only *intermediate* forwarders are refused: the final hop is
+        # the object's current home, and whether that node is reachable
+        # is the invocation layer's problem, not the locator's.
+        class Health:
+            def is_down(self, node_id):
+                return node_id == 1
+
+        locator = ForwardingLocator(env, net, health=Health())
+        locator.note_migration(obj, 3)
+        locator.note_migration(obj, 1)
+        # Chain 3 -> 1 with only the final home (1) down: traversal
+        # passes through live node 3 and completes.
+        elapsed, _ = locate(env, locator, 0, obj)
+        assert elapsed == pytest.approx(1.0)
+
 
 class TestBroadcast:
     def test_remote_lookup_costs_round_trip(self, env, net, obj):

@@ -1,0 +1,117 @@
+"""Tests for the invariant monitor and the bounded ring tracer."""
+
+import pytest
+
+from repro.errors import InvariantViolationError, ProcessError
+from repro.sim.monitor import InvariantMonitor
+from repro.sim.trace import RingTracer
+
+
+class TestRingTracer:
+    def test_capacity_bounds_retention(self):
+        tracer = RingTracer(capacity=5)
+        for i in range(12):
+            tracer.emit(float(i), "evt", i=i)
+        assert len(tracer.records) == 5
+        # Oldest records were evicted; the tail survives.
+        assert tracer.records[0].time == 7.0
+
+    def test_recent_renders_tail(self):
+        tracer = RingTracer(capacity=10)
+        for i in range(4):
+            tracer.emit(float(i), "evt", i=i)
+        assert len(tracer.recent()) == 4
+        assert len(tracer.recent(2)) == 2
+        assert tracer.recent(2)[-1] == str(tracer.records[-1])
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError, match="capacity"):
+            RingTracer(capacity=0)
+
+
+class TestInvariantMonitorConfig:
+    def test_interval_must_be_positive(self, env):
+        with pytest.raises(ValueError, match="interval"):
+            InvariantMonitor(env, interval=0)
+
+    def test_duplicate_name_rejected(self, env):
+        monitor = InvariantMonitor(env)
+        monitor.invariant("x", lambda: True)
+        with pytest.raises(ValueError, match="already registered"):
+            monitor.invariant("x", lambda: True)
+
+    def test_invariant_names_sorted(self, env):
+        monitor = InvariantMonitor(env)
+        monitor.invariant("b", lambda: True)
+        monitor.invariant("a", lambda: True)
+        assert monitor.invariant_names == ["a", "b"]
+
+
+class TestEvaluation:
+    def test_passing_invariants_accumulate_checks(self, env):
+        monitor = InvariantMonitor(env, interval=10.0)
+        monitor.invariant("truthy", lambda: True)
+        monitor.invariant("noney", lambda: None)
+        monitor.start()
+        env.run(until=100)
+        # Checks at t=10..90; the one at t=100 loses to the stop event
+        # (URGENT stops fire before ordinary events at the same time).
+        assert monitor.checks == 9
+        assert monitor.evaluations["truthy"] == 9
+        assert monitor.evaluations["noney"] == 9
+        assert monitor.violations == []
+
+    def test_false_with_detail_raises(self, env):
+        monitor = InvariantMonitor(env)
+        monitor.invariant("bad", lambda: (False, "oops: 3 ghosts"))
+        with pytest.raises(InvariantViolationError, match="oops: 3 ghosts"):
+            monitor.check_now()
+        assert len(monitor.violations) == 1
+
+    def test_bare_false_raises(self, env):
+        monitor = InvariantMonitor(env)
+        monitor.invariant("bad", lambda: False)
+        with pytest.raises(InvariantViolationError, match="'bad' violated"):
+            monitor.check_now()
+
+    def test_assertion_error_counts_as_failure(self, env):
+        def inv():
+            assert 1 == 2, "broken math"
+
+        monitor = InvariantMonitor(env)
+        monitor.invariant("asserting", inv)
+        with pytest.raises(InvariantViolationError, match="broken math"):
+            monitor.check_now()
+
+    def test_violation_mid_run_stops_simulation(self, env):
+        # The checker runs as a process, so the violation surfaces as
+        # a ProcessError wrapping the InvariantViolationError.
+        monitor = InvariantMonitor(env, interval=10.0)
+        monitor.invariant("time-bound", lambda: env.now < 35)
+        monitor.start()
+        with pytest.raises(ProcessError) as excinfo:
+            env.run(until=100)
+        assert isinstance(excinfo.value.__cause__, InvariantViolationError)
+        assert env.now == pytest.approx(40.0)
+
+
+class TestDiagnostics:
+    def test_violation_carries_bounded_trace(self, env):
+        tracer = RingTracer(capacity=100)
+        for i in range(30):
+            tracer.emit(float(i), "step", i=i)
+        monitor = InvariantMonitor(env, tracer=tracer, trace_limit=5)
+        monitor.invariant("bad", lambda: False)
+        with pytest.raises(InvariantViolationError) as excinfo:
+            monitor.check_now()
+        exc = excinfo.value
+        assert len(exc.trace) == 5
+        assert exc.trace[-1] == str(tracer.records[-1])
+        assert "last 5 trace records" in str(exc)
+
+    def test_no_tracer_means_empty_trace(self, env):
+        monitor = InvariantMonitor(env)
+        monitor.invariant("bad", lambda: False)
+        with pytest.raises(InvariantViolationError) as excinfo:
+            monitor.check_now()
+        assert excinfo.value.trace == ()
