@@ -2,8 +2,8 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-faults test-chaos bench bench-kernel bench-full \
-        figures figures-paper examples clean
+.PHONY: install test test-faults test-chaos test-telemetry bench \
+        bench-kernel bench-full figures figures-paper examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -31,6 +31,14 @@ test-chaos:
 	$(PYTHON) -m pytest -q -p no:randomly \
 	  tests/test_runtime_failure.py tests/test_sim_invariants.py \
 	  tests/test_chaos.py tests/test_detector_golden.py
+
+# The telemetry subsystem: metric instruments, span lifecycle,
+# exporters, and the end-to-end wiring through the runtime stack.
+test-telemetry:
+	$(PYTHON) -m pytest -q -p no:randomly \
+	  tests/test_telemetry_metrics.py tests/test_telemetry_spans.py \
+	  tests/test_telemetry_export.py tests/test_telemetry_integration.py \
+	  tests/test_sim_trace.py
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

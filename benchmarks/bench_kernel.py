@@ -5,6 +5,8 @@ experiment rests on, so performance regressions in the kernel are
 visible independently of the model.
 """
 
+import time
+
 import pytest
 
 from repro.network.network import Network
@@ -104,6 +106,80 @@ def test_sleep_throughput(benchmark):
         return env.now
 
     assert benchmark(run) == 10_000.0
+
+
+class _PreTelemetryNetwork(Network):
+    """The message path exactly as it was before telemetry existed.
+
+    Baseline for the overhead guard below: the current path adds one
+    cached-boolean branch per message; replicating the old bodies here
+    lets the guard measure that delta in-process instead of against
+    stored numbers from a different machine.
+    """
+
+    def sample_latency(self, src, dst, stream=None):
+        delay = self.latency.sample(src, dst, stream or self._stream)
+        if src == dst:
+            self.local_messages += 1
+        else:
+            self.remote_messages += 1
+        self.total_latency += delay
+        return delay
+
+    def transmit(self, src, dst, stream=None):
+        delay = self.sample_latency(src, dst, stream)
+        dropped = self.faults is not None and self.faults.should_drop(src, dst)
+        if delay > 0:
+            yield self.env.sleep(delay)
+        if dropped:
+            self.dropped_messages += 1
+            raise RuntimeError("unreachable: no fault model installed")
+        return delay
+
+
+@pytest.mark.benchmark(group="kernel")
+def test_telemetry_disabled_overhead(benchmark):
+    """Guard: NULL-telemetry transmit must stay within 2% of baseline.
+
+    Interleaved min-of-N wall-clock comparison between the current
+    network (NULL telemetry) and the pre-telemetry bodies; the ratio is
+    recorded into ``BENCH_kernel.json`` via ``extra_info`` so the CI
+    history tracks it.
+    """
+
+    def run_with(cls):
+        env = Environment()
+        net = cls(env, topology=FullyConnected(8), streams=RandomStreams(0))
+
+        def proc(env):
+            for i in range(10_000):
+                yield from net.transmit(i % 8, (i + 1) % 8)
+
+        env.process(proc(env))
+        env.run()
+        return net.remote_messages
+
+    # Warm both paths, then interleave timings so drift hits both
+    # equally; min-of-N discards scheduler noise.
+    run_with(Network), run_with(_PreTelemetryNetwork)
+    current, baseline = [], []
+    for _ in range(9):
+        t0 = time.perf_counter()
+        assert run_with(Network) == 10_000
+        current.append(time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        assert run_with(_PreTelemetryNetwork) == 10_000
+        baseline.append(time.perf_counter() - t0)
+    overhead_pct = (min(current) / min(baseline) - 1.0) * 100.0
+    benchmark.extra_info["telemetry_disabled_overhead_pct"] = round(
+        overhead_pct, 3
+    )
+    benchmark.extra_info["baseline_best_s"] = round(min(baseline), 6)
+    benchmark(lambda: run_with(Network))
+    assert overhead_pct < 2.0, (
+        f"disabled-telemetry transmit is {overhead_pct:.2f}% slower than "
+        f"the pre-telemetry baseline (budget: 2%)"
+    )
 
 
 @pytest.mark.benchmark(group="kernel")

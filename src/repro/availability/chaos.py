@@ -56,6 +56,7 @@ from repro.runtime.retry import RetryPolicy
 from repro.sim.monitor import InvariantMonitor
 from repro.sim.rng import Stream
 from repro.sim.trace import RingTracer
+from repro.telemetry.core import NULL_TELEMETRY, Telemetry
 
 
 # ---------------------------------------------------------------------------
@@ -484,12 +485,17 @@ class ChaosCampaign:
     violation; a clean return means the system survived the scenario.
     """
 
-    def __init__(self, params: ChaosCampaignParameters):
+    def __init__(
+        self,
+        params: ChaosCampaignParameters,
+        telemetry: Telemetry = NULL_TELEMETRY,
+    ):
         params.validate()
         self.params = params
+        self.telemetry = telemetry
         self.tracer = RingTracer(capacity=params.trace_capacity)
         self.workload = FaultToleranceWorkload(
-            params.to_ft(), tracer=self.tracer
+            params.to_ft(), tracer=self.tracer, telemetry=telemetry
         )
         self.scenario = SCENARIOS[params.scenario]
         self.orchestrator = ChaosOrchestrator(self.workload, self.scenario)

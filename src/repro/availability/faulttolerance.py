@@ -48,6 +48,7 @@ from repro.runtime.retry import RetryPolicy
 from repro.runtime.system import DistributedSystem
 from repro.sim.stats import RunningStats
 from repro.sim.trace import NULL_TRACER, Tracer
+from repro.telemetry.core import NULL_TELEMETRY, Telemetry
 
 #: Policies the study compares (registry names as in the paper study).
 FT_POLICIES = ("sedentary", "migration", "placement")
@@ -176,13 +177,23 @@ class FaultToleranceResult:
 
 
 class FaultToleranceWorkload:
-    """Builds and runs one fault-tolerance cell."""
+    """Builds and runs one fault-tolerance cell.
+
+    ``telemetry`` (default NULL) threads a
+    :class:`~repro.telemetry.core.Telemetry` sink through the whole
+    stack — network, invocations, migrations, locks — and starts the
+    kernel sampler alongside the clients.
+    """
 
     def __init__(
-        self, params: FaultToleranceParameters, tracer: Tracer = NULL_TRACER
+        self,
+        params: FaultToleranceParameters,
+        tracer: Tracer = NULL_TRACER,
+        telemetry: Telemetry = NULL_TELEMETRY,
     ):
         params.validate()
         self.params = params
+        self.telemetry = telemetry
         fault_model = (
             LinkFaultModel(loss_probability=params.loss)
             if params.loss > 0
@@ -195,6 +206,7 @@ class FaultToleranceWorkload:
             fault_model=fault_model,
             retry=params.retry,
             tracer=tracer,
+            telemetry=telemetry,
         )
         # Servers round-robin from the far end of the node range so most
         # clients (which sit at the low end) start remote from them.
@@ -228,7 +240,9 @@ class FaultToleranceWorkload:
         self.sweeper: Optional[LeaseSweeper] = None
         if params.policy == "placement":
             self.locks = LockManager(
-                env=self.system.env, lease_duration=params.lease_duration
+                env=self.system.env,
+                lease_duration=params.lease_duration,
+                telemetry=telemetry,
             )
             self.policy = TransientPlacement(self.system, locks=self.locks)
             if params.lease_duration is not None:
@@ -339,6 +353,10 @@ class FaultToleranceWorkload:
         if self._started:
             return
         self._started = True
+        if self.telemetry.enabled:
+            # Safe here: the workload always runs to a fixed horizon,
+            # so the self-rescheduling sampler cannot keep it alive.
+            self.telemetry.start_kernel_sampler(self.system.env)
         if self.faults is not None:
             self.faults.start()
         if self.detector is not None:

@@ -37,6 +37,7 @@ from repro.core.moveblock import MoveBlock
 from repro.errors import PolicyError
 from repro.runtime.objects import DistributedObject
 from repro.sim.kernel import Environment
+from repro.telemetry.core import NULL_TELEMETRY, Telemetry
 
 
 class LockManager:
@@ -50,12 +51,15 @@ class LockManager:
         Lease length granted to each block (refreshed whenever the
         block takes another lock).  ``None`` (default) disables leases
         entirely — locks are held until ``end``, exactly §3.2.
+    telemetry:
+        Metrics sink; grant/reclaim counters when enabled.
     """
 
     def __init__(
         self,
         env: Optional[Environment] = None,
         lease_duration: Optional[float] = None,
+        telemetry: Telemetry = NULL_TELEMETRY,
     ):
         if lease_duration is not None:
             if env is None:
@@ -84,6 +88,13 @@ class LockManager:
         #: live mover — which then degrades to remote invocation
         #: (§3.2) instead of silently regaining exclusivity.
         self._broken: Set[int] = set()
+        self.telemetry = telemetry
+        self._telemetry_on = telemetry.enabled
+        if self._telemetry_on:
+            metrics = telemetry.metrics
+            self._m_granted = metrics.counter("locks.granted")
+            self._m_expired = metrics.counter("locks.lease_expired")
+            self._m_broken = metrics.counter("locks.lease_broken")
 
     # -- leases ------------------------------------------------------------------
 
@@ -101,7 +112,10 @@ class LockManager:
         """Lazily release the holder's locks if its lease ran out."""
         holder = obj.lock_holder
         if holder is not None and self._lease_expired(holder.block_id):
-            self.leases_expired += self.release_block(holder)
+            reaped = self.release_block(holder)
+            self.leases_expired += reaped
+            if self._telemetry_on:
+                self._m_expired.inc(reaped)
 
     def expire_due(self) -> int:
         """Release every lock whose block's lease has expired.
@@ -113,6 +127,8 @@ class LockManager:
         for block_id in [b for b in self._held if self._lease_expired(b)]:
             total += self.release_block(self._blocks[block_id])
         self.leases_expired += total
+        if total and self._telemetry_on:
+            self._m_expired.inc(total)
         return total
 
     def break_crashed(self, health) -> int:
@@ -135,6 +151,8 @@ class LockManager:
             self._broken.add(block.block_id)
             total += self.release_block(block)
         self.leases_broken += total
+        if total and self._telemetry_on:
+            self._m_broken.inc(total)
         return total
 
     def was_broken(self, block: MoveBlock) -> bool:
@@ -181,6 +199,8 @@ class LockManager:
         self._held.setdefault(block.block_id, []).append(obj)
         self._blocks[block.block_id] = block
         block.locked_objects.append(obj)
+        if self._telemetry_on:
+            self._m_granted.inc()
         if self.leases_enabled:
             # Each grant refreshes the block's lease.
             self._expiry[block.block_id] = self.env.now + self.lease_duration

@@ -30,6 +30,7 @@ from repro.core.moveblock import MoveBlock
 from repro.runtime.messages import MessageKind
 from repro.runtime.objects import DistributedObject
 from repro.runtime.system import DistributedSystem
+from repro.telemetry.spans import ERROR
 
 
 class MigrationPolicy(ABC):
@@ -92,9 +93,27 @@ class MigrationPolicy(ABC):
         the sampled latency.
         """
         obj = block.target
-        latency = yield from self.system.network.transmit(
-            block.client_node, obj.node_id
-        )
+        telemetry = self.system.telemetry
+        if telemetry.enabled:
+            span = telemetry.start_span(
+                "move.request",
+                node=block.client_node,
+                block=block.block_id,
+                object=obj.name,
+                dst=obj.node_id,
+            )
+            try:
+                latency = yield from self.system.network.transmit(
+                    block.client_node, obj.node_id
+                )
+            except BaseException as exc:
+                telemetry.end_span(span, status=ERROR, error=type(exc).__name__)
+                raise
+            telemetry.end_span(span, latency=latency)
+        else:
+            latency = yield from self.system.network.transmit(
+                block.client_node, obj.node_id
+            )
         if self.system.tracer.enabled:
             self.system.tracer.emit(
                 self.system.env.now,
@@ -106,6 +125,29 @@ class MigrationPolicy(ABC):
                 latency=latency,
             )
         return latency
+
+    def _start_move_span(self, block: MoveBlock):
+        """Open the root ``move`` span for one move request (or None).
+
+        Policies call this first thing in :meth:`move`; every exit path
+        must pair it with :meth:`_end_move_span` so rejected and
+        granted moves alike close their tree.
+        """
+        telemetry = self.system.telemetry
+        if not telemetry.enabled:
+            return None
+        return telemetry.start_span(
+            "move",
+            node=block.client_node,
+            block=block.block_id,
+            object=block.target.name,
+            policy=self.name,
+        )
+
+    def _end_move_span(self, span, outcome: str, **tags) -> None:
+        """Close the root ``move`` span with its decision tag."""
+        if span is not None:
+            self.system.telemetry.end_span(span, outcome=outcome, **tags)
 
     def _trace_decision(self, block: MoveBlock, decision: str, **extra) -> None:
         if self.system.tracer.enabled:

@@ -29,10 +29,22 @@ class ConventionalMigration(MigrationPolicy):
         env = self.system.env
         block.started_at = env.now
         self.moves_requested += 1
+        span = self._start_move_span(block)
 
         yield from self._send_move_request(block)
 
-        working_set = self.working_set(block)
+        if span is not None:
+            telemetry = self.system.telemetry
+            cspan = telemetry.start_span(
+                "closure", node=block.target.node_id, object=block.target.name
+            )
+            working_set = self.working_set(block)
+            telemetry.metrics.histogram("migration.closure_size").observe(
+                len(working_set)
+            )
+            telemetry.end_span(cspan, size=len(working_set))
+        else:
+            working_set = self.working_set(block)
         outcome = yield from self.system.migrations.migrate(
             working_set, block.client_node
         )
@@ -41,6 +53,7 @@ class ConventionalMigration(MigrationPolicy):
         block.moved_objects = outcome.moved_count
         block.migration_cost = env.now - block.started_at
         self.moves_granted += 1
+        self._end_move_span(span, "granted", moved=outcome.moved_count)
         self._trace_decision(block, "granted", moved=outcome.moved_count)
         return outcome
 

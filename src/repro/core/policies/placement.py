@@ -50,8 +50,10 @@ class TransientPlacement(MigrationPolicy):
 
     def move(self, block: MoveBlock) -> Generator:
         env = self.system.env
+        telemetry = self.system.telemetry
         block.started_at = env.now
         self.moves_requested += 1
+        span = self._start_move_span(block)
 
         yield from self._send_move_request(block)
 
@@ -62,18 +64,47 @@ class TransientPlacement(MigrationPolicy):
             block.granted = False
             block.migration_cost = env.now - block.started_at
             self.moves_rejected += 1
-            self._trace_decision(
-                block,
-                "rejected",
-                holder=target.lock_holder.block_id,
-            )
+            holder = target.lock_holder.block_id
+            if span is not None:
+                # The "locked" indication is a zero-duration decision at
+                # the object's node: an instant child in the trace.
+                rejection = telemetry.start_span(
+                    "place.locked",
+                    node=target.node_id,
+                    object=target.name,
+                    holder=holder,
+                )
+                telemetry.end_span(rejection)
+                telemetry.metrics.counter(
+                    "migration.rejections", policy=self.name
+                ).inc()
+                telemetry.metrics.counter("locks.conflicts").inc()
+                self._end_move_span(span, "rejected", holder=holder)
+            self._trace_decision(block, "rejected", holder=holder)
             return None
 
         # Grant: lock first (the commit point — atomic with the check,
         # no yield in between), then transfer.  Working-set members
         # already held by other blocks are skipped, not stolen.
-        working_set = self.working_set(block)
-        movable = [obj for obj in working_set if not self.locks.is_locked(obj)]
+        if span is not None:
+            cspan = telemetry.start_span(
+                "closure", node=target.node_id, object=target.name
+            )
+            working_set = self.working_set(block)
+            movable = [
+                obj for obj in working_set if not self.locks.is_locked(obj)
+            ]
+            telemetry.metrics.histogram("migration.closure_size").observe(
+                len(working_set)
+            )
+            telemetry.end_span(
+                cspan, size=len(working_set), movable=len(movable)
+            )
+        else:
+            working_set = self.working_set(block)
+            movable = [
+                obj for obj in working_set if not self.locks.is_locked(obj)
+            ]
         self.locks.lock_all(movable, block)
 
         outcome = yield from self.system.migrations.migrate(
@@ -84,6 +115,9 @@ class TransientPlacement(MigrationPolicy):
         block.moved_objects = outcome.moved_count
         block.migration_cost = env.now - block.started_at
         self.moves_granted += 1
+        self._end_move_span(
+            span, "granted", moved=outcome.moved_count, locked=len(movable)
+        )
         self._trace_decision(
             block,
             "granted",

@@ -40,19 +40,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "figure",
-        choices=sorted(FIGURES) + sorted(OUTLOOK_STUDIES) + ["all"],
+        choices=sorted(FIGURES) + sorted(OUTLOOK_STUDIES) + ["all", "telemetry"],
         help=(
-            "which figure to regenerate (figN), or one of the outlook "
+            "which figure to regenerate (figN), one of the outlook "
             "studies (replication / fragmentation / availability / "
-            "faulttolerance / chaos)"
+            "faulttolerance / chaos), or 'telemetry' for one fully "
+            "instrumented run with exported traces"
         ),
     )
     parser.add_argument(
         "--scenario",
         type=str,
         default=None,
-        help="chaos study only: run a single named scenario "
+        help="chaos/telemetry only: run a single named scenario "
         "(e.g. crash-storm, mayhem) instead of the full matrix",
+    )
+    parser.add_argument(
+        "--telemetry",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help="faulttolerance/chaos only: run ONE instrumented seeded "
+        "cell (not the sweep) and export metrics.jsonl, spans.jsonl and "
+        "a Perfetto-loadable trace.json into DIR",
     )
     parser.add_argument(
         "--seed", type=int, default=0, help="root random seed (default 0)"
@@ -112,14 +122,83 @@ def _stopping(args) -> StoppingConfig:
     return StoppingConfig()
 
 
+def _run_telemetry(args) -> int:
+    """One instrumented run + artifact export (see telemetry_run.py).
+
+    ``repro-experiment telemetry`` runs the default fault-tolerance
+    cell (or, with ``--scenario``, one chaos scenario).  The study
+    commands with ``--telemetry DIR`` run their single-cell equivalent:
+    a sweep would pool many environments into one trace, so the
+    instrumented path always runs exactly one seeded cell.
+    """
+    from repro.availability.chaos import SCENARIOS
+    from repro.experiments.telemetry_run import (
+        describe_run,
+        run_instrumented_chaos,
+        run_instrumented_faulttolerance,
+    )
+    from repro.telemetry.export import summary_table
+
+    out_dir = args.telemetry or "telemetry-out"
+    use_chaos = args.figure == "chaos" or args.scenario is not None
+    if use_chaos:
+        scenario = args.scenario or "crash-storm"
+        if scenario not in SCENARIOS:
+            print(
+                f"unknown scenario {scenario!r}; choose from "
+                f"{sorted(SCENARIOS)}",
+                file=sys.stderr,
+            )
+            return 2
+        print(
+            f"instrumented chaos scenario {scenario!r} "
+            f"(seed {args.seed}) -> {out_dir}",
+            file=sys.stderr,
+        )
+        _, telemetry, paths = run_instrumented_chaos(
+            out_dir, scenario=scenario, seed=args.seed
+        )
+    else:
+        print(
+            f"instrumented fault-tolerance cell (seed {args.seed}) "
+            f"-> {out_dir}",
+            file=sys.stderr,
+        )
+        _, telemetry, paths = run_instrumented_faulttolerance(
+            out_dir, seed=args.seed
+        )
+    print(summary_table(telemetry))
+    print()
+    print(describe_run(telemetry, paths))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
     stopping = _stopping(args)
 
-    if args.scenario is not None and args.figure != "chaos":
-        print("--scenario only applies to the chaos study", file=sys.stderr)
+    if args.scenario is not None and args.figure not in ("chaos", "telemetry"):
+        print(
+            "--scenario only applies to the chaos study and telemetry runs",
+            file=sys.stderr,
+        )
         return 2
+
+    if args.telemetry is not None and args.figure not in (
+        "faulttolerance",
+        "chaos",
+        "telemetry",
+    ):
+        print(
+            "--telemetry only applies to faulttolerance, chaos and "
+            "telemetry runs",
+            file=sys.stderr,
+        )
+        return 2
+
+    if args.figure == "telemetry" or args.telemetry is not None:
+        return _run_telemetry(args)
 
     if args.figure == "chaos" and args.scenario is not None:
         from repro.availability.chaos import SCENARIOS

@@ -23,6 +23,7 @@ from repro.network.latency import LatencyModel, NormalizedExponentialLatency
 from repro.network.topology import FullyConnected, Topology
 from repro.sim.kernel import Environment
 from repro.sim.rng import RandomStreams, Stream
+from repro.telemetry.core import NULL_TELEMETRY, Telemetry
 
 
 class Network:
@@ -43,6 +44,10 @@ class Network:
     fault_model:
         Optional link fault model; may also be installed later via
         :meth:`install_faults`.
+    telemetry:
+        Metrics sink; per-link message counters, a latency histogram
+        and drop counters when enabled.  The default NULL sink reduces
+        instrumentation to one cached-boolean branch per message.
     """
 
     def __init__(
@@ -52,6 +57,7 @@ class Network:
         latency: Optional[LatencyModel] = None,
         streams: Optional[RandomStreams] = None,
         fault_model: Optional[LinkFaultModel] = None,
+        telemetry: Telemetry = NULL_TELEMETRY,
     ):
         self.env = env
         self.topology = topology or FullyConnected(1)
@@ -64,6 +70,13 @@ class Network:
         self.total_latency = 0.0
         self.dropped_messages = 0
         self.faults: Optional[LinkFaultModel] = None
+        self.telemetry = telemetry
+        self._telemetry_on = telemetry.enabled
+        if self._telemetry_on:
+            metrics = telemetry.metrics
+            self._m_latency = metrics.histogram("network.latency")
+            self._m_local = metrics.counter("network.messages", scope="local")
+            self._m_remote = metrics.counter("network.messages", scope="remote")
         if fault_model is not None:
             self.install_faults(fault_model)
 
@@ -98,6 +111,15 @@ class Network:
         else:
             self.remote_messages += 1
         self.total_latency += delay
+        if self._telemetry_on:
+            (self._m_local if src == dst else self._m_remote).inc()
+            self._m_latency.observe(delay)
+            self.telemetry.metrics.counter(
+                "network.link.messages", src=src, dst=dst
+            ).inc()
+            self.telemetry.metrics.counter(
+                "network.link.time", src=src, dst=dst
+            ).inc(delay)
         return delay
 
     def transmit(
@@ -124,6 +146,10 @@ class Network:
             yield self.env.sleep(delay)
         if dropped:
             self.dropped_messages += 1
+            if self._telemetry_on:
+                self.telemetry.metrics.counter(
+                    "network.dropped", src=src, dst=dst
+                ).inc()
             raise MessageLostError(
                 f"message {src} -> {dst} lost after {delay:.3f}"
             )

@@ -45,6 +45,8 @@ from repro.sim.kernel import Environment
 from repro.sim.rng import RandomStreams
 from repro.sim.stats import RunningStats
 from repro.sim.trace import NULL_TRACER, Tracer
+from repro.telemetry.core import NULL_TELEMETRY, Telemetry
+from repro.telemetry.spans import ERROR
 
 
 @dataclass(frozen=True)
@@ -88,6 +90,10 @@ class InvocationService:
     streams:
         Random-stream factory; backoff jitter draws from the stream
         named ``"invocation.retry"`` only when a retry actually occurs.
+    telemetry:
+        Metrics/span sink.  With the NULL default, :meth:`invoke`
+        dispatches straight to the untraced generator — the disabled
+        path executes the exact pre-telemetry bytecode.
     """
 
     def __init__(
@@ -98,6 +104,7 @@ class InvocationService:
         tracer: Tracer = NULL_TRACER,
         retry: Optional[RetryPolicy] = None,
         streams: Optional[RandomStreams] = None,
+        telemetry: Telemetry = NULL_TELEMETRY,
     ):
         self.env = env
         self.network = network
@@ -105,6 +112,16 @@ class InvocationService:
         self.tracer = tracer
         self.retry = retry or RetryPolicy()
         self._streams = streams or RandomStreams(0)
+        self.telemetry = telemetry
+        self._telemetry_on = telemetry.enabled
+        if self._telemetry_on:
+            metrics = telemetry.metrics
+            self._m_local = metrics.counter("invocation.calls", scope="local")
+            self._m_remote = metrics.counter("invocation.calls", scope="remote")
+            self._m_retries = metrics.counter("invocation.retries")
+            self._m_timeouts = metrics.counter("invocation.timeouts")
+            self._m_failed = metrics.counter("invocation.failed")
+            self._m_duration = metrics.histogram("invocation.duration")
         #: Optional heartbeat :class:`~repro.runtime.failure.
         #: FailureDetector`.  When set, a caller whose attempt timed
         #: out against a node the detector suspects stops burning
@@ -181,6 +198,40 @@ class InvocationService:
             When the network loses messages and every attempt allowed
             by the retry policy timed out.
         """
+        if self._telemetry_on:
+            return self._invoke_traced(caller_node, obj, body)
+        return self._invoke(caller_node, obj, body)
+
+    def _invoke_traced(
+        self, caller_node: int, obj: DistributedObject, body
+    ) -> Generator:
+        """Span-wrapped :meth:`_invoke`: one ``invocation`` span per call.
+
+        Every exit path closes the span — error status carries the
+        exception type, so abandoned calls (retry exhaustion, failover)
+        never leak an open span.
+        """
+        telemetry = self.telemetry
+        span = telemetry.start_span(
+            "invocation", node=caller_node, object=obj.name
+        )
+        try:
+            result = yield from self._invoke(caller_node, obj, body)
+        except BaseException as exc:
+            telemetry.end_span(span, status=ERROR, error=type(exc).__name__)
+            raise
+        telemetry.end_span(
+            span,
+            attempts=result.attempts,
+            local=result.was_local,
+            blocked=result.blocked_time,
+        )
+        return result
+
+    def _invoke(
+        self, caller_node: int, obj: DistributedObject, body
+    ) -> Generator:
+        """The untraced invocation generator (see :meth:`invoke`)."""
         start = self.env.now
         blocked = 0.0
         attempt = 0
@@ -199,6 +250,8 @@ class InvocationService:
                 # from timeout waiting to the caller; it stays part of
                 # the overall duration but not of ``blocked_time``.
                 self.timeouts += 1
+                if self._telemetry_on:
+                    self._m_timeouts.inc()
                 # The sender learns nothing until its timeout elapses;
                 # the wire time already spent counts towards it.
                 remaining = self.retry.timeout - (self.env.now - attempt_start)
@@ -219,6 +272,8 @@ class InvocationService:
                     # the caller redirect (e.g. to a replica).
                     self.failed_calls += 1
                     self.failovers += 1
+                    if self._telemetry_on:
+                        self._m_failed.inc()
                     raise NodeDownError(
                         f"invocation of {obj.name} from node {caller_node} "
                         f"abandoned after {attempt} attempts: node "
@@ -226,11 +281,15 @@ class InvocationService:
                     ) from None
                 if attempt >= self.retry.max_attempts:
                     self.failed_calls += 1
+                    if self._telemetry_on:
+                        self._m_failed.inc()
                     raise TimeoutError(
                         f"invocation of {obj.name} from node {caller_node} "
                         f"failed after {attempt} attempts"
                     ) from None
                 self.retries += 1
+                if self._telemetry_on:
+                    self._m_retries.inc()
                 delay = self.retry.backoff(
                     attempt - 1, self._streams.stream("invocation.retry")
                 )
@@ -252,6 +311,9 @@ class InvocationService:
             self.remote_calls += 1
         if blocked > 0:
             self.blocked_calls += 1
+        if self._telemetry_on:
+            (self._m_local if was_local else self._m_remote).inc()
+            self._m_duration.observe(duration)
         return InvocationResult(
             duration=duration,
             was_local=was_local,
@@ -277,7 +339,23 @@ class InvocationService:
             blocked += self.env.now - t0
 
         # Resolve the current location (free under immediate update).
-        dst = yield from self.locator.locate(caller_node, obj)
+        if self._telemetry_on:
+            lspan = self.telemetry.start_span(
+                "locate", node=caller_node, object=obj.name
+            )
+            try:
+                dst = yield from self.locator.locate(caller_node, obj)
+            except BaseException as exc:
+                self.telemetry.end_span(
+                    lspan, status=ERROR, error=type(exc).__name__
+                )
+                raise
+            hops = getattr(self.locator, "last_hops", None)
+            if hops is not None:
+                lspan.tag(hops=hops)
+            self.telemetry.end_span(lspan, dst=dst)
+        else:
+            dst = yield from self.locator.locate(caller_node, obj)
 
         # Call message.
         call_latency = yield from self.network.transmit(caller_node, dst)

@@ -133,6 +133,9 @@ class ForwardingLocator(Locator):
         self._jump: Dict[int, List[int]] = {}
         #: Number of chain stretches collapsed after successful locates.
         self.chains_compacted = 0
+        #: Forwarding hops followed by the most recent :meth:`locate`
+        #: (telemetry tags its ``locate`` spans with this).
+        self.last_hops = 0
 
     def note_migration(self, obj: DistributedObject, target_node: int) -> None:
         oid = obj.object_id
@@ -153,6 +156,7 @@ class ForwardingLocator(Locator):
             (caller_node, oid), (0, obj.node_id)
         )
         hops = 0
+        self.last_hops = 0
         if seq > seen_seq:
             chain = self._chain[oid]
             jump = self._jump[oid]
@@ -175,6 +179,7 @@ class ForwardingLocator(Locator):
                 path.append(pos)
                 pos = nxt
                 hops += 1
+                self.last_hops = hops
             # Following a forwarding chain: one extra message per stale
             # hop.  The final hop lands at the object, so the
             # subsequent request does not need to be re-charged; we

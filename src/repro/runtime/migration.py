@@ -46,6 +46,8 @@ from repro.runtime.objects import DistributedObject
 from repro.runtime.registry import ObjectRegistry
 from repro.sim.kernel import Environment
 from repro.sim.trace import NULL_TRACER, Tracer
+from repro.telemetry.core import NULL_TELEMETRY, Telemetry
+from repro.telemetry.spans import ERROR, Span
 
 
 @dataclass
@@ -112,6 +114,11 @@ class MigrationService:
         ``is_down(node_id) -> bool``); when present, transfers towards
         down nodes abort.  :class:`~repro.availability.faults.FaultInjector`
         wires itself in here.
+    telemetry:
+        Metrics/span sink.  With the NULL default, :meth:`migrate`
+        dispatches straight to the untraced generator; enabled, each
+        ``migrate`` renders as one ``migration`` span with per-object
+        ``transfer`` children (and ``rollback`` grandchildren on abort).
     """
 
     def __init__(
@@ -122,6 +129,7 @@ class MigrationService:
         locator: Optional[Locator] = None,
         tracer: Tracer = NULL_TRACER,
         network: Optional[Network] = None,
+        telemetry: Telemetry = NULL_TELEMETRY,
     ):
         if default_duration < 0:
             raise ValueError(
@@ -149,6 +157,12 @@ class MigrationService:
         #: mid-transfer; entries exist exactly while the object is in
         #: transit on the outbound leg.
         self.active_transfers: Dict[int, Tuple[int, int]] = {}
+        self.telemetry = telemetry
+        self._telemetry_on = telemetry.enabled
+        if self._telemetry_on:
+            metrics = telemetry.metrics
+            self._m_moves = metrics.counter("migration.moves")
+            self._m_transfer = metrics.histogram("migration.transfer_time")
 
     def _node_down(self, node_id: int) -> bool:
         return self.health is not None and self.health.is_down(node_id)
@@ -165,10 +179,18 @@ class MigrationService:
         return self.default_duration * obj.size
 
     def _transfer_one(
-        self, obj: DistributedObject, target_node: int, extra_time: float = 0.0
+        self,
+        obj: DistributedObject,
+        target_node: int,
+        extra_time: float = 0.0,
+        parent: Optional[Span] = None,
     ) -> Generator:
         """Move a single object; returns ``(status, transfer_time)``
         with ``status`` one of ``"moved"``, ``"already"``, ``"aborted"``.
+
+        ``parent`` is the spawning migration's span: transfers run as
+        freshly spawned processes, so the causal link must be handed
+        over explicitly (the parent's span context is per-process).
         """
         # Wait out any in-flight migration of this object: the request
         # queues at the runtime and executes on reinstallation.
@@ -182,11 +204,27 @@ class MigrationService:
             return ("already", 0.0)
 
         origin = obj.node_id
+        tspan = None
+        if self._telemetry_on:
+            tspan = self.telemetry.start_span(
+                "transfer",
+                node=origin,
+                parent=parent,
+                object=obj.name,
+                dst=target_node,
+            )
 
         # Fast abort: a target known to be dead rejects the transfer at
         # the origin runtime before the object is even linearized.
         if self._node_down(target_node):
             self.migrations_aborted += 1
+            if self._telemetry_on:
+                self.telemetry.metrics.counter(
+                    "migration.aborted", reason="node-down"
+                ).inc()
+                self.telemetry.end_span(
+                    tspan, status=ERROR, reason="node-down"
+                )
             if self.tracer.enabled:
                 self.tracer.emit(
                     self.env.now,
@@ -225,6 +263,16 @@ class MigrationService:
             # trip costs another transfer window, then the object is
             # reinstalled where it started, blocked callers wake there
             # and the locator forgets the move ever happened.
+            reason = "transfer-lost" if lost else "node-down"
+            rspan = None
+            if self._telemetry_on:
+                rspan = self.telemetry.start_span(
+                    "rollback",
+                    node=origin,
+                    parent=tspan,
+                    object=obj.name,
+                    reason=reason,
+                )
             if duration > 0:
                 yield self.env.sleep(duration)
             obj.install(origin)
@@ -234,6 +282,12 @@ class MigrationService:
             wasted = 2 * duration
             self.migrations_aborted += 1
             self.wasted_transfer_time += wasted
+            if self._telemetry_on:
+                self.telemetry.metrics.counter(
+                    "migration.aborted", reason=reason
+                ).inc()
+                self.telemetry.end_span(rspan)
+                self.telemetry.end_span(tspan, status=ERROR, reason=reason)
             if self.tracer.enabled:
                 self.tracer.emit(
                     self.env.now,
@@ -241,7 +295,7 @@ class MigrationService:
                     object_id=obj.object_id,
                     src=origin,
                     dst=target_node,
-                    reason="transfer-lost" if lost else "node-down",
+                    reason=reason,
                 )
             return ("aborted", wasted)
 
@@ -251,6 +305,10 @@ class MigrationService:
             self.locator.note_migration(obj, target_node)
         self.migration_count += 1
         self.total_transfer_time += duration
+        if self._telemetry_on:
+            self._m_moves.inc()
+            self._m_transfer.observe(duration)
+            self.telemetry.end_span(tspan)
         if self.tracer.enabled:
             self.tracer.emit(
                 self.env.now,
@@ -282,6 +340,47 @@ class MigrationService:
         :class:`MigrationAbortedError` (after every rollback finished);
         by default callers inspect :attr:`MigrationOutcome.aborted`.
         """
+        if self._telemetry_on:
+            return self._migrate_traced(objects, target_node, extra_time, strict)
+        return self._migrate(objects, target_node, extra_time, strict)
+
+    def _migrate_traced(
+        self,
+        objects: Iterable[DistributedObject],
+        target_node: int,
+        extra_time: float,
+        strict: bool,
+    ) -> Generator:
+        """Span-wrapped :meth:`_migrate` (one ``migration`` span)."""
+        objects = list(objects)
+        telemetry = self.telemetry
+        span = telemetry.start_span(
+            "migration", node=target_node, objects=len(objects)
+        )
+        try:
+            outcome = yield from self._migrate(
+                objects, target_node, extra_time, strict, span=span
+            )
+        except BaseException as exc:
+            telemetry.end_span(span, status=ERROR, error=type(exc).__name__)
+            raise
+        telemetry.end_span(
+            span,
+            moved=outcome.moved_count,
+            aborted=outcome.aborted_count,
+            already=len(outcome.already_there),
+        )
+        return outcome
+
+    def _migrate(
+        self,
+        objects: Iterable[DistributedObject],
+        target_node: int,
+        extra_time: float = 0.0,
+        strict: bool = False,
+        span: Optional[Span] = None,
+    ) -> Generator:
+        """The untraced migration generator (see :meth:`migrate`)."""
         if extra_time < 0:
             raise ValueError(f"extra_time must be >= 0, got {extra_time}")
         self.registry.node(target_node)  # validate target exists
@@ -299,7 +398,7 @@ class MigrationService:
         if movers:
             procs = [
                 self.env.process(
-                    self._transfer_one(obj, target_node, extra_time),
+                    self._transfer_one(obj, target_node, extra_time, span),
                     name=f"transfer-{obj.name}",
                 )
                 for obj in movers

@@ -31,6 +31,7 @@ from repro.runtime.retry import RetryPolicy
 from repro.sim.kernel import Environment
 from repro.sim.rng import RandomStreams
 from repro.sim.trace import NULL_TRACER, Tracer
+from repro.telemetry.core import NULL_TELEMETRY, Telemetry
 
 
 class DistributedSystem:
@@ -60,6 +61,11 @@ class DistributedSystem:
     retry:
         Invocation timeout/retry policy; only consulted when the fault
         model actually loses a message.
+    telemetry:
+        Metrics/span sink threaded into the network, invocation and
+        migration services (and read by policies via
+        ``system.telemetry``).  The NULL default keeps every layer on
+        its untraced fast path.
     """
 
     def __init__(
@@ -74,10 +80,14 @@ class DistributedSystem:
         env: Optional[Environment] = None,
         fault_model: Optional[LinkFaultModel] = None,
         retry: Optional[RetryPolicy] = None,
+        telemetry: Telemetry = NULL_TELEMETRY,
     ):
         self.env = env or Environment()
         self.streams = RandomStreams(seed)
         self.tracer = tracer
+        self.telemetry = telemetry
+        if telemetry.enabled:
+            telemetry.bind(self.env)
         self._custom_topology = topology is not None
         self.topology = topology or FullyConnected(max(nodes, 1))
         self.network = Network(
@@ -86,6 +96,7 @@ class DistributedSystem:
             latency=latency or NormalizedExponentialLatency(1.0),
             streams=self.streams,
             fault_model=fault_model,
+            telemetry=telemetry,
         )
         self.registry = ObjectRegistry()
         self.locator = locator or ImmediateUpdateLocator(self.env, self.network)
@@ -96,6 +107,7 @@ class DistributedSystem:
             tracer=tracer,
             retry=retry,
             streams=self.streams,
+            telemetry=telemetry,
         )
         self.migrations = MigrationService(
             self.env,
@@ -104,6 +116,7 @@ class DistributedSystem:
             locator=self.locator,
             tracer=tracer,
             network=self.network,
+            telemetry=telemetry,
         )
         self._next_object_id = 0
         for _ in range(nodes):

@@ -108,6 +108,19 @@ class Environment:
         """Number of scheduled (not yet processed) events."""
         return len(self._queue) + len(self._urgent)
 
+    @property
+    def scheduled_events(self) -> int:
+        """Total events ever placed on the calendar (monotonic).
+
+        Recovered from the event-id allocator, so the hot loop carries
+        no counter: the telemetry sampler derives event throughput as
+        the per-interval delta of this value, and the disabled-telemetry
+        path is untouched by construction.
+        """
+        # count.__reduce__() -> (count, (next_value,)): the next id to
+        # be handed out equals the number of ids consumed so far.
+        return self._eid.__reduce__()[1][0]
+
     # -- event factories ------------------------------------------------------
 
     def event(self) -> Event:

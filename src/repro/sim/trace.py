@@ -37,13 +37,42 @@ class TraceRecord:
 
 
 class Tracer:
-    """Recording tracer with optional kind filtering and live callbacks."""
+    """Recording tracer with optional kind filtering and live callbacks.
+
+    ``kinds`` restricts what is recorded.  Each entry is either an
+    exact kind tag (``"migration.start"``) or a trailing-``*`` prefix
+    pattern (``"migration.*"`` matches every kind starting with
+    ``"migration."``).  ``None`` records everything.
+    """
 
     def __init__(self, kinds: Optional[set] = None):
-        #: When non-``None``, only these kinds are recorded.
         self.kinds = kinds
         self.records: List[TraceRecord] = []
         self._listeners: List[Callable[[TraceRecord], None]] = []
+
+    @property
+    def kinds(self) -> Optional[set]:
+        """The kind filter: exact tags and/or ``prefix.*`` patterns."""
+        return self._kinds
+
+    @kinds.setter
+    def kinds(self, kinds: Optional[set]) -> None:
+        # Compile once: exact tags stay a set (same semantics and cost
+        # as before), patterns become one tuple for str.startswith.
+        self._kinds = kinds
+        if kinds is None:
+            self._exact: Optional[set] = None
+            self._prefixes: tuple = ()
+            return
+        self._exact = {k for k in kinds if not k.endswith("*")}
+        self._prefixes = tuple(k[:-1] for k in kinds if k.endswith("*"))
+
+    def _matches(self, kind: str) -> bool:
+        if self._exact is None:
+            return True
+        if kind in self._exact:
+            return True
+        return bool(self._prefixes) and kind.startswith(self._prefixes)
 
     @property
     def enabled(self) -> bool:
@@ -52,12 +81,20 @@ class Tracer:
 
     def emit(self, time: float, kind: str, **detail: Any) -> None:
         """Record one occurrence (subject to the kind filter)."""
-        if self.kinds is not None and kind not in self.kinds:
+        if not self._matches(kind):
             return
         record = TraceRecord(time=time, kind=kind, detail=detail)
         self.records.append(record)
         for listener in self._listeners:
             listener(record)
+
+    def clear(self) -> None:
+        """Drop every retained record (filters and listeners stay).
+
+        Lets one tracer be reused across replications instead of
+        rebuilding it — the kind filter is compiled only once.
+        """
+        self.records.clear()
 
     def subscribe(self, listener: Callable[[TraceRecord], None]) -> None:
         """Register a callback invoked for every recorded occurrence."""
@@ -111,11 +148,17 @@ class RingTracer(Tracer):
         self.records = deque(maxlen=capacity)  # type: ignore[assignment]
 
     def recent(self, n: Optional[int] = None) -> List[str]:
-        """The last ``n`` (default: all retained) records, rendered."""
-        records = list(self.records)
-        if n is not None:
-            records = records[-n:]
-        return [str(r) for r in records]
+        """The last ``n`` (default: all retained) records, rendered.
+
+        Renders in one pass over the deque tail — no intermediate full
+        copy just to slice it.
+        """
+        records = self.records
+        if n is None or n >= len(records):
+            return [str(r) for r in records]
+        from itertools import islice
+
+        return [str(r) for r in islice(records, len(records) - n, None)]
 
 
 class NullTracer(Tracer):

@@ -1,0 +1,64 @@
+"""Observability layer: metrics, causal spans, exporters.
+
+The reproduction's end-of-run aggregates say *that* a policy degraded;
+this package says *why*: a :class:`MetricsRegistry` samples kernel,
+network, locking, invocation and migration counters in simulated time,
+and causal :class:`~repro.telemetry.spans.Span` trees follow one
+``move()`` through request, policy decision, closure computation,
+transfer and rollback across nodes.  Exporters render both as JSONL and
+as Chrome trace-event JSON loadable in Perfetto.
+
+Everything defaults to :data:`NULL_TELEMETRY` (mirroring
+:data:`~repro.sim.trace.NULL_TRACER`), whose disabled path is a single
+attribute check — fault-free golden traces and metrics stay
+bit-identical with telemetry off.
+"""
+
+from repro.telemetry.core import (
+    NULL_SPAN,
+    NULL_TELEMETRY,
+    NullTelemetry,
+    Telemetry,
+)
+from repro.telemetry.export import (
+    export_run,
+    summary_table,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_metrics_jsonl,
+    write_spans_jsonl,
+)
+from repro.telemetry.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+)
+from repro.telemetry.spans import ERROR, OK, OPEN, Span
+from repro.telemetry.validate import validate_chrome_trace
+
+__all__ = [
+    "Telemetry",
+    "NullTelemetry",
+    "NULL_TELEMETRY",
+    "NULL_SPAN",
+    "Span",
+    "OPEN",
+    "OK",
+    "ERROR",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_BUCKETS",
+    "export_run",
+    "summary_table",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "write_metrics_jsonl",
+    "write_spans_jsonl",
+    "validate_chrome_trace",
+]

@@ -1,0 +1,260 @@
+"""The :class:`Telemetry` facade: metrics + spans for one run.
+
+One ``Telemetry`` instance is threaded through the stack the same way a
+:class:`~repro.sim.trace.Tracer` is: constructor parameter with a
+shared :data:`NULL_TELEMETRY` default whose ``enabled`` is False.  Every
+instrumentation site guards with ``if telemetry.enabled:`` so the
+disabled path costs one attribute read and a branch — the golden
+determinism tests stay bit-identical.
+
+Span context
+------------
+Simulation processes interleave cooperatively, so "the current span"
+is per-process state: the facade keys its current-span table by
+``env.active_process``.  Code between two yields runs atomically,
+start/end pairs nest within one process, and a span started in process
+A can be handed to a child process as an explicit ``parent`` (the
+migration service does this for its parallel transfer processes).
+Enabling telemetry draws no randomness and schedules no events except
+the optional kernel sampler, whose timeouts never reorder other events
+— seeded results with telemetry on are bit-identical to telemetry off.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from itertools import count
+from typing import Any, Dict, List, Optional
+
+from repro.telemetry.metrics import MetricsRegistry, NullMetricsRegistry
+from repro.telemetry.spans import ERROR, OK, Span
+
+
+class Telemetry:
+    """Collects metrics and spans for one (or several pooled) runs.
+
+    Parameters
+    ----------
+    max_spans:
+        Hard cap on retained spans; beyond it new spans are still
+        created (so context propagation keeps working) but not
+        retained.  Bounds memory on very long instrumented runs.
+    """
+
+    def __init__(self, max_spans: int = 200_000):
+        self.metrics = MetricsRegistry(clock=self.now)
+        self.max_spans = max_spans
+        #: Every retained span, in start order (open ones included).
+        self.spans: List[Span] = []
+        #: Spans created beyond ``max_spans`` (dropped from retention).
+        self.spans_dropped = 0
+        self._env = None
+        self._span_ids = count(1)
+        self._trace_ids = count(1)
+        #: Context key (process) -> innermost open span.
+        self._current: Dict[Any, Span] = {}
+        self._sampler_started = False
+
+    @property
+    def enabled(self) -> bool:
+        """Real telemetry records; :class:`NullTelemetry` overrides."""
+        return True
+
+    # -- clock & context ------------------------------------------------------
+
+    def bind(self, env) -> None:
+        """Attach to a simulation environment (clock + span context)."""
+        self._env = env
+
+    def now(self) -> float:
+        """Current simulated time (0.0 before :meth:`bind`)."""
+        env = self._env
+        return env.now if env is not None else 0.0
+
+    def _context_key(self):
+        env = self._env
+        return env.active_process if env is not None else None
+
+    def current_span(self) -> Optional[Span]:
+        """The innermost open span of the active process, if any."""
+        return self._current.get(self._context_key())
+
+    # -- span lifecycle -------------------------------------------------------
+
+    def start_span(
+        self,
+        name: str,
+        node: Optional[int] = None,
+        parent: Optional[Span] = None,
+        **tags: Any,
+    ) -> Span:
+        """Open a span; it becomes the active process' current span.
+
+        ``parent`` defaults to the current span of the active process;
+        pass it explicitly when handing work to a freshly spawned
+        process (the spawning process' span is not visible there).
+        A span with no parent starts a new trace.
+        """
+        key = self._context_key()
+        if parent is None:
+            parent = self._current.get(key)
+        if parent is not None:
+            trace_id = parent.trace_id
+            parent_id = parent.span_id
+        else:
+            trace_id = next(self._trace_ids)
+            parent_id = None
+        span = Span(
+            trace_id=trace_id,
+            span_id=next(self._span_ids),
+            parent_id=parent_id,
+            name=name,
+            node=node,
+            start=self.now(),
+            tags=tags,
+        )
+        span._prev = self._current.get(key)
+        self._current[key] = span
+        if len(self.spans) < self.max_spans:
+            self.spans.append(span)
+        else:
+            self.spans_dropped += 1
+        return span
+
+    def end_span(self, span: Span, status: str = OK, **tags: Any) -> Span:
+        """Close a span, restoring its predecessor as current."""
+        if span.end is not None:
+            return span
+        span.end = self.now()
+        span.status = status
+        if tags:
+            span.tags.update(tags)
+        key = self._context_key()
+        if self._current.get(key) is span:
+            if span._prev is not None:
+                self._current[key] = span._prev
+            else:
+                self._current.pop(key, None)
+        span._prev = None
+        return span
+
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        node: Optional[int] = None,
+        parent: Optional[Span] = None,
+        **tags: Any,
+    ):
+        """Context manager for spans over non-yielding sections.
+
+        Closes with ``error`` status (tagged with the exception type)
+        when the body raises.  Inside process generators that yield
+        while a span is open, prefer explicit start/end so every exit
+        path (abort, rollback, retry exhaustion) sets its own status.
+        """
+        span = self.start_span(name, node=node, parent=parent, **tags)
+        try:
+            yield span
+        except BaseException as exc:
+            self.end_span(span, status=ERROR, error=type(exc).__name__)
+            raise
+        self.end_span(span)
+
+    def open_spans(self) -> List[Span]:
+        """Every retained span not yet finished (must be [] after a run)."""
+        return [s for s in self.spans if s.is_open]
+
+    def spans_named(self, name: str) -> List[Span]:
+        """All retained spans with the given name, in start order."""
+        return [s for s in self.spans if s.name == name]
+
+    # -- kernel sampling ------------------------------------------------------
+
+    def start_kernel_sampler(self, env, interval: float = 25.0) -> None:
+        """Sample kernel gauges (queue depth, event throughput) periodically.
+
+        Launches one simulation process; call only on runs driven with
+        a finite horizon (``run(until=...)``) — the sampler reschedules
+        itself forever and would keep an unbounded run alive.
+        Idempotent per telemetry instance.
+        """
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        if self._sampler_started:
+            return
+        self._sampler_started = True
+        self.bind(env)
+        env.process(self._sample_kernel(env, interval), name="telemetry-sampler")
+
+    def _sample_kernel(self, env, interval: float):
+        depth = self.metrics.gauge("kernel.queue_depth", track_series=True)
+        scheduled = self.metrics.gauge("kernel.events_scheduled", track_series=True)
+        rate = self.metrics.gauge("kernel.event_rate", track_series=True)
+        clock = self.metrics.gauge("kernel.sim_time")
+        last = env.scheduled_events
+        while True:
+            total = env.scheduled_events
+            depth.set(len(env))
+            scheduled.set(total)
+            rate.set((total - last) / interval)
+            clock.set(env.now)
+            last = total
+            yield env.timeout(interval)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Telemetry metrics={len(self.metrics)} spans={len(self.spans)} "
+            f"open={len(self.open_spans())}>"
+        )
+
+
+class _NullSpan(Span):
+    """Shared inert span handed out by :class:`NullTelemetry`."""
+
+    __slots__ = ()
+
+    def __init__(self):
+        super().__init__(
+            trace_id=0, span_id=0, parent_id=None, name="null",
+            node=None, start=0.0, tags={},
+        )
+
+    def tag(self, **tags: Any) -> "Span":  # noqa: D102
+        return self
+
+
+#: Shared do-nothing span (returned by every NullTelemetry span call).
+NULL_SPAN = _NullSpan()
+
+
+class NullTelemetry(Telemetry):
+    """Telemetry that records nothing (the default everywhere)."""
+
+    def __init__(self):
+        super().__init__(max_spans=0)
+        self.metrics = NullMetricsRegistry()
+
+    @property
+    def enabled(self) -> bool:
+        return False
+
+    def start_span(self, name, node=None, parent=None, **tags):  # noqa: D102
+        return NULL_SPAN
+
+    def end_span(self, span, status=OK, **tags):  # noqa: D102
+        return NULL_SPAN
+
+    @contextmanager
+    def span(self, name, node=None, parent=None, **tags):  # noqa: D102
+        yield NULL_SPAN
+
+    def current_span(self):  # noqa: D102
+        return None
+
+    def start_kernel_sampler(self, env, interval: float = 25.0) -> None:  # noqa: D102
+        return
+
+
+#: Shared do-nothing telemetry instance.
+NULL_TELEMETRY = NullTelemetry()

@@ -1,0 +1,198 @@
+"""Exporters: JSONL, Chrome trace-event JSON, and a text summary.
+
+Three consumers, three formats:
+
+* ``metrics.jsonl`` / ``spans.jsonl`` — one JSON document per line,
+  greppable and ``jq``-able, stable field names;
+* ``trace.json`` — Chrome trace-event format, loadable in Perfetto or
+  ``chrome://tracing``.  Simulated time maps to microseconds 1:1 and
+  each simulated node maps to one ``pid`` lane, so a cross-node
+  ``move()`` renders as a span tree spread over the participating
+  nodes' rows.  Gauge series become counter (``ph: "C"``) tracks;
+* :func:`summary_table` — the per-run text table the CLI prints.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.telemetry.core import Telemetry
+from repro.telemetry.spans import ERROR
+
+#: One simulated time unit maps to this many Chrome-trace microseconds.
+SIM_TO_US = 1.0
+
+#: The pid lane for events not tied to a simulated node (kernel
+#: samplers, closure computations without a home).
+SYSTEM_PID = -1
+
+
+def write_metrics_jsonl(telemetry: Telemetry, path: Union[str, Path]) -> Path:
+    """Write every instrument as one JSON line; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as fh:
+        for record in telemetry.metrics.snapshot():
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+    return path
+
+
+def write_spans_jsonl(telemetry: Telemetry, path: Union[str, Path]) -> Path:
+    """Write every retained span as one JSON line; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as fh:
+        for span in telemetry.spans:
+            fh.write(json.dumps(span.to_dict(), sort_keys=True) + "\n")
+    return path
+
+
+def _pid(node) -> int:
+    return SYSTEM_PID if node is None else int(node)
+
+
+def to_chrome_trace(telemetry: Telemetry) -> dict:
+    """Render spans + gauge series as a Chrome trace-event document.
+
+    Mapping: sim-time → µs (×:data:`SIM_TO_US`), node → ``pid``,
+    trace id → ``tid`` (so one trace's spans share a row per node).
+    Zero-duration spans (policy decisions, closure computations) become
+    instant (``ph: "i"``) markers so they stay visible in Perfetto.
+    """
+    events: List[dict] = []
+    pids = {SYSTEM_PID}
+    for span in telemetry.spans:
+        pids.add(_pid(span.node))
+
+    for pid in sorted(pids):
+        name = "system" if pid == SYSTEM_PID else f"node-{pid}"
+        events.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": pid,
+                "tid": 0,
+                "ts": 0,
+                "args": {"name": name},
+            }
+        )
+
+    for span in telemetry.spans:
+        if span.is_open:
+            continue
+        args = {
+            "trace_id": span.trace_id,
+            "span_id": span.span_id,
+            "parent_id": span.parent_id,
+            "status": span.status,
+            **span.tags,
+        }
+        ts = span.start * SIM_TO_US
+        dur = span.duration * SIM_TO_US
+        base = {
+            "name": span.name,
+            "cat": "span" if span.status != ERROR else "span,error",
+            "pid": _pid(span.node),
+            "tid": span.trace_id,
+            "ts": ts,
+            "args": args,
+        }
+        if dur > 0:
+            events.append({**base, "ph": "X", "dur": dur})
+        else:
+            events.append({**base, "ph": "i", "s": "t"})
+
+    for metric in telemetry.metrics:
+        series = getattr(metric, "series", None)
+        if not series:
+            continue
+        for t, value in series:
+            events.append(
+                {
+                    "ph": "C",
+                    "name": metric.name,
+                    "pid": SYSTEM_PID,
+                    "tid": 0,
+                    "ts": t * SIM_TO_US,
+                    "args": {"value": value},
+                }
+            )
+
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(telemetry: Telemetry, path: Union[str, Path]) -> Path:
+    """Write the Chrome trace-event document; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(to_chrome_trace(telemetry)))
+    return path
+
+
+def summary_table(telemetry: Telemetry) -> str:
+    """Human-readable per-run summary of metrics and spans."""
+    lines = ["telemetry summary", "=" * 17, "", "metrics:"]
+    rows = [["name", "labels", "type", "value", "count/mean"]]
+    for record in telemetry.metrics.snapshot():
+        labels = ",".join(f"{k}={v}" for k, v in sorted(record["labels"].items()))
+        if record["type"] == "histogram":
+            mean = record["sum"] / record["count"] if record["count"] else 0.0
+            value, extra = f"{record['sum']:.3f}", f"{record['count']}/{mean:.3f}"
+        else:
+            value, extra = f"{record['value']:g}", "-"
+        rows.append([record["name"], labels or "-", record["type"], value, extra])
+    lines.extend(_align(rows))
+
+    lines.extend(["", "spans:"])
+    by_name: Dict[str, List] = {}
+    for span in telemetry.spans:
+        by_name.setdefault(span.name, []).append(span)
+    rows = [["name", "count", "errors", "mean_dur", "total_dur"]]
+    for name in sorted(by_name):
+        spans = by_name[name]
+        closed = [s for s in spans if not s.is_open]
+        errors = sum(1 for s in closed if s.status == ERROR)
+        total = sum(s.duration for s in closed)
+        mean = total / len(closed) if closed else 0.0
+        rows.append(
+            [name, str(len(spans)), str(errors), f"{mean:.3f}", f"{total:.3f}"]
+        )
+    lines.extend(_align(rows))
+    lines.append("")
+    lines.append(
+        f"traces: {len({s.trace_id for s in telemetry.spans})}   "
+        f"open spans: {len(telemetry.open_spans())}   "
+        f"dropped: {telemetry.spans_dropped}"
+    )
+    return "\n".join(lines)
+
+
+def _align(rows: List[List[str]]) -> List[str]:
+    if len(rows) == 1:
+        return ["  (none)"]
+    widths = [max(len(r[i]) for r in rows) for i in range(len(rows[0]))]
+    return [
+        "  " + "  ".join(cell.ljust(w) for cell, w in zip(row, widths)).rstrip()
+        for row in rows
+    ]
+
+
+def export_run(telemetry: Telemetry, out_dir: Union[str, Path]) -> Dict[str, Path]:
+    """Write all three artifacts plus the summary into ``out_dir``.
+
+    Returns ``{"metrics": ..., "spans": ..., "trace": ..., "summary": ...}``.
+    """
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    paths = {
+        "metrics": write_metrics_jsonl(telemetry, out / "metrics.jsonl"),
+        "spans": write_spans_jsonl(telemetry, out / "spans.jsonl"),
+        "trace": write_chrome_trace(telemetry, out / "trace.json"),
+    }
+    summary = summary_table(telemetry)
+    summary_path = out / "summary.txt"
+    summary_path.write_text(summary + "\n")
+    paths["summary"] = summary_path
+    return paths

@@ -1,0 +1,288 @@
+"""Metric instruments and the registry that owns them.
+
+Three instrument families, all stamped in *simulated* time:
+
+* :class:`Counter` — monotonically increasing totals (messages sent,
+  moves rejected, leases broken);
+* :class:`Gauge` — last-value instruments (queue depth, sim clock),
+  optionally retaining a ``(time, value)`` series for the Chrome-trace
+  counter tracks;
+* :class:`Histogram` — fixed-bucket distributions (invocation duration,
+  attachment-closure size).  Buckets are fixed at creation: merging
+  across runs and exporting stay trivial, and observation cost is one
+  linear scan over a small tuple.
+
+Instruments are keyed by ``(name, labels)`` where ``labels`` is a
+sorted tuple of ``(key, value)`` pairs — the Prometheus data model,
+without the server.  Hot paths fetch an instrument once and hold the
+reference; the registry returns the same object for the same key.
+
+The :class:`NullMetricsRegistry` mirrors the API at near-zero cost for
+the disabled-telemetry path (all instruments share one inert object).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+LabelKey = Tuple[Tuple[str, Any], ...]
+
+#: Default histogram bucket upper bounds, in simulated time units.
+#: Chosen to resolve both sub-latency values (Exp(1) messages) and
+#: multi-transfer migrations (M = 6 per object, serial rollbacks).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.1, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0,
+)
+
+
+def _label_key(labels: Dict[str, Any]) -> LabelKey:
+    return tuple(sorted(labels.items()))
+
+
+class Counter:
+    """Monotonically increasing total."""
+
+    __slots__ = ("name", "labels", "value", "updated_at", "_registry")
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: LabelKey, registry: "MetricsRegistry"):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+        self.updated_at = 0.0
+        self._registry = registry
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (default 1) to the total."""
+        if amount < 0:
+            raise ValueError(f"counter increment must be >= 0, got {amount}")
+        self.value += amount
+        self.updated_at = self._registry.clock()
+
+    def to_dict(self) -> dict:
+        """Serialize for the JSONL exporter."""
+        return {
+            "name": self.name,
+            "type": self.kind,
+            "labels": dict(self.labels),
+            "value": self.value,
+            "updated_at": self.updated_at,
+        }
+
+
+class Gauge:
+    """Last-value instrument, optionally retaining its sample series."""
+
+    __slots__ = ("name", "labels", "value", "updated_at", "series", "_registry")
+
+    kind = "gauge"
+
+    def __init__(
+        self,
+        name: str,
+        labels: LabelKey,
+        registry: "MetricsRegistry",
+        track_series: bool = False,
+    ):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+        self.updated_at = 0.0
+        #: ``(time, value)`` samples when series tracking is on, else None.
+        self.series: Optional[List[Tuple[float, float]]] = (
+            [] if track_series else None
+        )
+        self._registry = registry
+
+    def set(self, value: float) -> None:
+        """Record the current value (stamped with the sim clock)."""
+        self.value = value
+        self.updated_at = self._registry.clock()
+        if self.series is not None:
+            self.series.append((self.updated_at, value))
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Adjust the value up by ``amount`` (default 1)."""
+        self.set(self.value + amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Adjust the value down by ``amount`` (default 1)."""
+        self.set(self.value - amount)
+
+    def to_dict(self) -> dict:
+        """Serialize for the JSONL exporter."""
+        data = {
+            "name": self.name,
+            "type": self.kind,
+            "labels": dict(self.labels),
+            "value": self.value,
+            "updated_at": self.updated_at,
+        }
+        if self.series is not None:
+            data["samples"] = len(self.series)
+        return data
+
+
+class Histogram:
+    """Fixed-bucket distribution with sum/count for mean recovery."""
+
+    __slots__ = (
+        "name", "labels", "buckets", "counts", "sum", "count",
+        "updated_at", "_registry",
+    )
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        labels: LabelKey,
+        registry: "MetricsRegistry",
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+    ):
+        bounds = tuple(sorted(buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.name = name
+        self.labels = labels
+        self.buckets = bounds
+        #: One count per bound, plus the +inf overflow bucket at the end.
+        self.counts = [0] * (len(bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+        self.updated_at = 0.0
+        self._registry = registry
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[i] += 1
+                break
+        else:
+            self.counts[-1] += 1
+        self.sum += value
+        self.count += 1
+        self.updated_at = self._registry.clock()
+
+    @property
+    def mean(self) -> float:
+        """Mean of all observations (0 when empty)."""
+        return self.sum / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        """Serialize for the JSONL exporter."""
+        return {
+            "name": self.name,
+            "type": self.kind,
+            "labels": dict(self.labels),
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "sum": self.sum,
+            "count": self.count,
+            "updated_at": self.updated_at,
+        }
+
+
+class MetricsRegistry:
+    """Owns every instrument of one telemetry context.
+
+    ``clock`` is a zero-argument callable returning the current
+    *simulated* time; the telemetry facade binds it to ``env.now`` when
+    it attaches to a run.  Before binding, updates are stamped 0.0.
+    """
+
+    def __init__(self, clock=None):
+        self.clock = clock or (lambda: 0.0)
+        self._metrics: Dict[Tuple[str, LabelKey], Any] = {}
+
+    def _get(self, cls, name: str, labels: Dict[str, Any], **kwargs):
+        key = (name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = cls(name, key[1], self, **kwargs)
+            self._metrics[key] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as {metric.kind}, "
+                f"cannot re-register as {cls.kind}"
+            )
+        return metric
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        """The counter for ``(name, labels)``, created on first use."""
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, track_series: bool = False, **labels: Any) -> Gauge:
+        """The gauge for ``(name, labels)``, created on first use."""
+        gauge = self._get(Gauge, name, labels, track_series=track_series)
+        if track_series and gauge.series is None:
+            gauge.series = []
+        return gauge
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+        **labels: Any,
+    ) -> Histogram:
+        """The histogram for ``(name, labels)``, created on first use.
+
+        ``buckets`` only applies on first creation; later fetches reuse
+        the existing bounds.
+        """
+        return self._get(Histogram, name, labels, buckets=buckets)
+
+    def names(self) -> List[str]:
+        """Distinct metric names, sorted."""
+        return sorted({name for name, _ in self._metrics})
+
+    def snapshot(self) -> List[dict]:
+        """Every instrument serialized, in (name, labels) order."""
+        return [
+            self._metrics[key].to_dict() for key in sorted(self._metrics)
+        ]
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __iter__(self):
+        return iter(self._metrics.values())
+
+
+class _NullInstrument:
+    """Shared inert instrument: accepts every update, records nothing."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        return
+
+    def dec(self, amount: float = 1.0) -> None:
+        return
+
+    def set(self, value: float) -> None:
+        return
+
+    def observe(self, value: float) -> None:
+        return
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullMetricsRegistry(MetricsRegistry):
+    """Registry that discards everything (disabled-telemetry path)."""
+
+    def __init__(self):
+        super().__init__()
+
+    def counter(self, name: str, **labels: Any):  # noqa: D102
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str, track_series: bool = False, **labels: Any):  # noqa: D102
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str, buckets=DEFAULT_BUCKETS, **labels: Any):  # noqa: D102
+        return _NULL_INSTRUMENT

@@ -1,0 +1,101 @@
+"""Causal spans: timed, tagged tree nodes spanning nodes and services.
+
+A :class:`Span` is one timed operation.  Spans form trees via
+``parent_id`` within a trace (shared ``trace_id``): a ``move()`` request
+renders as
+
+.. code-block:: text
+
+    move (client node)
+    ├── move.request          message to the object's home
+    ├── place.locked          rejection by the place-policy, or
+    ├── closure               attachment-closure computation
+    └── migration
+        └── transfer          one per working-set member
+            └── rollback      only when the transfer aborted
+
+Ids are small deterministic integers drawn from per-telemetry counters
+— no randomness, so enabling spans never perturbs a seeded run.  The
+``node`` attribute maps to the Chrome-trace ``pid`` so Perfetto renders
+one lane per simulated node.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+#: Span status while running.
+OPEN = "open"
+#: Completed successfully.
+OK = "ok"
+#: Completed with an error (abort, timeout, exception).
+ERROR = "error"
+
+
+class Span:
+    """One timed operation within a trace."""
+
+    __slots__ = (
+        "trace_id", "span_id", "parent_id", "name", "node",
+        "start", "end", "status", "tags", "_prev",
+    )
+
+    def __init__(
+        self,
+        trace_id: int,
+        span_id: int,
+        parent_id: Optional[int],
+        name: str,
+        node: Optional[int],
+        start: float,
+        tags: Dict[str, Any],
+    ):
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        #: Simulated node the operation ran on (Chrome-trace pid);
+        #: ``None`` renders under the synthetic "system" process.
+        self.node = node
+        self.start = start
+        self.end: Optional[float] = None
+        self.status = OPEN
+        self.tags = tags
+        #: Span this one displaced as the context's current span;
+        #: restored when this span ends (telemetry-internal).
+        self._prev: Optional["Span"] = None
+
+    @property
+    def is_open(self) -> bool:
+        """True until the span is finished."""
+        return self.end is None
+
+    @property
+    def duration(self) -> float:
+        """Elapsed simulated time (0 while still open)."""
+        return (self.end - self.start) if self.end is not None else 0.0
+
+    def tag(self, **tags: Any) -> "Span":
+        """Attach (or overwrite) tags; returns self for chaining."""
+        self.tags.update(tags)
+        return self
+
+    def to_dict(self) -> dict:
+        """Serialize for the JSONL exporter."""
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "node": self.node,
+            "start": self.start,
+            "end": self.end,
+            "status": self.status,
+            "tags": dict(self.tags),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<Span {self.name} trace={self.trace_id} id={self.span_id} "
+            f"parent={self.parent_id} node={self.node} status={self.status}>"
+        )

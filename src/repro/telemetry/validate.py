@@ -1,0 +1,96 @@
+"""Chrome trace-event schema validation (CI smoke + tests).
+
+The exporter promises a document Perfetto will load; this module checks
+the contract without needing Perfetto: a ``traceEvents`` list whose
+events carry the right fields per phase.  Usable as a library
+(:func:`validate_chrome_trace`) or a CLI::
+
+    python -m repro.telemetry.validate out/trace.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import List, Union
+
+#: Event phases the exporter may emit.
+KNOWN_PHASES = {"X", "i", "C", "M"}
+
+
+def validate_chrome_trace(doc: dict) -> List[str]:
+    """Check a parsed trace document; returns a list of problems.
+
+    An empty list means the document satisfies the exporter's schema:
+    every event has ``name``/``ph``/``pid``/``ts``, durations are
+    non-negative, counters carry a numeric value, and at least one
+    ``process_name`` metadata event names a pid lane.
+    """
+    problems: List[str] = []
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["top-level 'traceEvents' missing or not a list"]
+    if not events:
+        problems.append("'traceEvents' is empty")
+    named_pids = False
+    for i, event in enumerate(events):
+        where = f"event[{i}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        ph = event.get("ph")
+        if ph not in KNOWN_PHASES:
+            problems.append(f"{where}: unknown phase {ph!r}")
+            continue
+        if not isinstance(event.get("name"), str) or not event["name"]:
+            problems.append(f"{where}: missing/empty 'name'")
+        if not isinstance(event.get("pid"), int):
+            problems.append(f"{where}: 'pid' must be an int")
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"{where}: 'ts' must be a number >= 0")
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: 'X' event needs 'dur' >= 0")
+        elif ph == "i":
+            if event.get("s") not in (None, "t", "p", "g"):
+                problems.append(f"{where}: instant scope {event.get('s')!r}")
+        elif ph == "C":
+            value = (event.get("args") or {}).get("value")
+            if not isinstance(value, (int, float)):
+                problems.append(f"{where}: counter needs numeric args.value")
+        elif ph == "M" and event["name"] == "process_name":
+            if (event.get("args") or {}).get("name"):
+                named_pids = True
+    if events and not named_pids:
+        problems.append("no 'process_name' metadata events (pid lanes unnamed)")
+    return problems
+
+
+def main(argv=None) -> int:
+    """CLI entry point: validate one trace file, exit 0/1."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if len(argv) != 1:
+        print("usage: python -m repro.telemetry.validate TRACE.json", file=sys.stderr)
+        return 2
+    path = Path(argv[0])
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        print(f"{path}: unreadable ({exc})", file=sys.stderr)
+        return 1
+    problems = validate_chrome_trace(doc)
+    if problems:
+        for problem in problems:
+            print(f"{path}: {problem}", file=sys.stderr)
+        return 1
+    events = doc["traceEvents"]
+    spans = sum(1 for e in events if e.get("ph") in ("X", "i"))
+    print(f"{path}: OK ({len(events)} events, {spans} span events)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

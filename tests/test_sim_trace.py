@@ -64,3 +64,103 @@ class TestNullTracer:
     def test_subscribe_rejected(self):
         with pytest.raises(RuntimeError):
             NULL_TRACER.subscribe(lambda r: None)
+
+
+class TestKindPatterns:
+    def test_exact_match_unchanged(self):
+        t = Tracer(kinds={"migration.start"})
+        t.emit(0, "migration.start")
+        t.emit(0, "migration.done")
+        assert [r.kind for r in t] == ["migration.start"]
+
+    def test_prefix_pattern(self):
+        t = Tracer(kinds={"migration.*"})
+        t.emit(0, "migration.start")
+        t.emit(0, "migration.abort")
+        t.emit(0, "move.rejected")
+        assert [r.kind for r in t] == ["migration.start", "migration.abort"]
+
+    def test_mixed_exact_and_prefix(self):
+        t = Tracer(kinds={"move.rejected", "migration.*"})
+        t.emit(0, "move.rejected")
+        t.emit(0, "move.granted")
+        t.emit(0, "migration.done")
+        assert [r.kind for r in t] == ["move.rejected", "migration.done"]
+
+    def test_star_matches_prefix_not_substring(self):
+        t = Tracer(kinds={"migration.*"})
+        t.emit(0, "pre.migration.start")
+        assert len(t) == 0
+
+    def test_filter_can_be_reassigned(self):
+        t = Tracer(kinds={"a"})
+        t.kinds = {"b.*"}
+        t.emit(0, "a")
+        t.emit(0, "b.c")
+        assert [r.kind for r in t] == ["b.c"]
+
+
+class TestClear:
+    def test_clear_drops_records_keeps_filter(self):
+        t = Tracer(kinds={"keep.*"})
+        t.emit(0, "keep.a")
+        t.clear()
+        assert len(t) == 0
+        t.emit(0, "keep.b")
+        t.emit(0, "drop")
+        assert [r.kind for r in t] == ["keep.b"]
+
+    def test_clear_keeps_listeners(self):
+        t = Tracer()
+        seen = []
+        t.subscribe(lambda r: seen.append(r.kind))
+        t.emit(0, "a")
+        t.clear()
+        t.emit(0, "b")
+        assert seen == ["a", "b"]
+
+
+class TestRingTracer:
+    def test_capacity_bounds_retention(self):
+        from repro.sim.trace import RingTracer
+
+        t = RingTracer(capacity=3)
+        for i in range(5):
+            t.emit(i, f"k{i}")
+        assert [r.kind for r in t] == ["k2", "k3", "k4"]
+
+    def test_recent_tail(self):
+        from repro.sim.trace import RingTracer
+
+        t = RingTracer(capacity=4)
+        for i in range(4):
+            t.emit(i, f"k{i}")
+        assert len(t.recent()) == 4
+        tail = t.recent(2)
+        assert len(tail) == 2
+        assert "k2" in tail[0] and "k3" in tail[1]
+
+    def test_recent_n_larger_than_retained(self):
+        from repro.sim.trace import RingTracer
+
+        t = RingTracer(capacity=8)
+        t.emit(0, "only")
+        assert len(t.recent(100)) == 1
+
+    def test_clear_and_reuse(self):
+        from repro.sim.trace import RingTracer
+
+        t = RingTracer(capacity=3)
+        t.emit(0, "a")
+        t.clear()
+        assert len(t) == 0
+        t.emit(1, "b")
+        assert [r.kind for r in t] == ["b"]
+
+    def test_prefix_filter_applies(self):
+        from repro.sim.trace import RingTracer
+
+        t = RingTracer(capacity=8, kinds={"migration.*"})
+        t.emit(0, "migration.start")
+        t.emit(0, "move.granted")
+        assert [r.kind for r in t] == ["migration.start"]

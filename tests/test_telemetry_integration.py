@@ -1,0 +1,258 @@
+"""Integration tests: telemetry wired through the runtime stack.
+
+Covers the PR's observability contract end to end — span context
+propagation across forwarding chains, migration abort/rollback spans
+closing with error status (never leaking open), place-policy rejection
+trees, and bit-identical results with telemetry disabled.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.availability.faulttolerance import (
+    FaultToleranceParameters,
+    FaultToleranceWorkload,
+)
+from repro.core.moveblock import MoveBlock
+from repro.core.policies.placement import TransientPlacement
+from repro.network.faults import LinkFaultModel
+from repro.network.latency import DeterministicLatency
+from repro.runtime.locator import ForwardingLocator
+from repro.runtime.system import DistributedSystem
+from repro.telemetry import ERROR, OK, Telemetry
+
+
+def make_system(telemetry, locator=None, fault_model=None, nodes=4):
+    system = DistributedSystem(
+        nodes=nodes,
+        seed=0,
+        migration_duration=6.0,
+        latency=DeterministicLatency(1.0),
+        fault_model=fault_model,
+        telemetry=telemetry,
+    )
+    if locator == "forwarding":
+        system.locator = ForwardingLocator(system.env, system.network)
+        system.invocations.locator = system.locator
+        system.migrations.locator = system.locator
+    return system
+
+
+def run_to_completion(system, *procs):
+    for proc in procs:
+        system.env.process(proc())
+    system.run()
+
+
+def by_id(telemetry):
+    return {s.span_id: s for s in telemetry.spans}
+
+
+class TestForwardingChainPropagation:
+    def test_locate_span_carries_hops_and_parent(self):
+        tel = Telemetry()
+        system = make_system(tel, locator="forwarding")
+        obj = system.create_server(node=2, name="s")
+
+        def stale_caller():
+            # Refresh caller 0's knowledge, then let the object move
+            # twice so the next call chases a 2-hop forwarding chain.
+            yield from system.invocations.invoke(0, obj)
+            for _ in range(2):
+                system.locator.note_migration(obj, 3)
+            yield from system.invocations.invoke(0, obj)
+
+        run_to_completion(system, stale_caller)
+
+        locates = tel.spans_named("locate")
+        assert len(locates) == 2
+        fresh, chased = locates
+        assert fresh.tags["hops"] == 0
+        assert chased.tags["hops"] == 2
+        assert chased.tags["dst"] == obj.node_id
+
+        # Each locate is a child of its invocation, same trace.
+        invocations = tel.spans_named("invocation")
+        assert len(invocations) == 2
+        for inv, loc in zip(invocations, locates):
+            assert loc.parent_id == inv.span_id
+            assert loc.trace_id == inv.trace_id
+
+        assert tel.open_spans() == []
+        assert all(s.status == OK for s in tel.spans)
+
+    def test_locate_hops_metric_free_lookup(self):
+        tel = Telemetry()
+        system = make_system(tel)  # immediate-update locator
+        obj = system.create_server(node=1, name="s")
+
+        def caller():
+            yield from system.invocations.invoke(0, obj)
+
+        run_to_completion(system, caller)
+        (locate,) = tel.spans_named("locate")
+        assert "hops" not in locate.tags  # only ForwardingLocator reports
+        assert locate.status == OK
+
+
+class TestMigrationRollbackSpans:
+    def test_lost_transfer_rolls_back_with_error_spans(self):
+        model = LinkFaultModel()
+        model.fail_link(0, 2)
+        tel = Telemetry()
+        system = make_system(tel, fault_model=model, nodes=3)
+        obj = system.create_server(node=0, name="s")
+
+        def mover():
+            yield from system.migrations.migrate([obj], 2)
+
+        run_to_completion(system, mover)
+
+        (mig,) = tel.spans_named("migration")
+        (transfer,) = tel.spans_named("transfer")
+        (rollback,) = tel.spans_named("rollback")
+
+        assert transfer.status == ERROR
+        assert transfer.parent_id == mig.span_id
+        assert rollback.parent_id == transfer.span_id
+        assert rollback.trace_id == mig.trace_id
+        assert mig.tags["aborted"] == 1
+        # Rollback covers the return trip: as long as the outbound leg.
+        assert rollback.duration == pytest.approx(6.0)
+
+        assert tel.open_spans() == []
+        aborted = tel.metrics.counter("migration.aborted", reason="transfer-lost")
+        assert aborted.value == 1
+
+    def test_fast_abort_closes_span_with_error(self):
+        tel = Telemetry()
+        system = make_system(tel, nodes=3)
+
+        class DeadNode2:
+            def is_down(self, node_id):
+                return node_id == 2
+
+        system.migrations.health = DeadNode2()
+        obj = system.create_server(node=0, name="s")
+
+        def mover():
+            yield from system.migrations.migrate([obj], 2)
+
+        run_to_completion(system, mover)
+
+        (transfer,) = tel.spans_named("transfer")
+        assert transfer.status == ERROR
+        assert transfer.duration == 0.0  # rejected before transit
+        assert tel.spans_named("rollback") == []
+        assert tel.open_spans() == []
+        assert tel.metrics.counter("migration.aborted", reason="node-down").value == 1
+
+    def test_successful_migration_spans_clean(self):
+        tel = Telemetry()
+        system = make_system(tel, nodes=2)
+        obj = system.create_server(node=0, name="s")
+
+        def mover():
+            yield from system.migrations.migrate([obj], 1)
+
+        run_to_completion(system, mover)
+        (transfer,) = tel.spans_named("transfer")
+        assert transfer.status == OK
+        assert transfer.duration == pytest.approx(6.0)
+        assert tel.metrics.counter("migration.moves").value == 1
+        assert tel.open_spans() == []
+
+
+class TestPlacePolicyRejectionTree:
+    def test_rejection_renders_as_cross_node_children(self):
+        tel = Telemetry()
+        system = make_system(tel)
+        policy = TransientPlacement(system)
+        server = system.create_server(node=2, name="s")
+
+        def winner():
+            yield from policy.move(MoveBlock(0, server))
+
+        run_to_completion(system, winner)
+
+        def loser():
+            yield from policy.move(MoveBlock(1, server))
+
+        run_to_completion(system, loser)
+
+        moves = tel.spans_named("move")
+        assert [m.tags["outcome"] for m in moves] == ["granted", "rejected"]
+        rejected_move = moves[1]
+
+        (locked,) = tel.spans_named("place.locked")
+        assert locked.trace_id == rejected_move.trace_id
+        spans = by_id(tel)
+        # locked hangs under the move root via the request span chain.
+        node = locked
+        while node.parent_id is not None:
+            node = spans[node.parent_id]
+        assert node is rejected_move
+        # The rejection is tagged at the object's node, the root at the
+        # requesting client's — a genuinely cross-node tree.
+        assert locked.node != rejected_move.node
+        assert locked.tags["holder"]
+
+        assert tel.metrics.counter("migration.rejections", policy="placement").value == 1
+        assert tel.metrics.counter("locks.conflicts").value == 1
+
+        closures = tel.spans_named("closure")
+        assert len(closures) == 1  # only the granted move computed one
+        assert tel.metrics.histogram("migration.closure_size").count == 1
+        assert tel.open_spans() == []
+
+
+class TestDisabledPathIdentity:
+    PARAMS = FaultToleranceParameters(
+        policy="placement",
+        loss=0.05,
+        mttf=120.0,
+        mttr=30.0,
+        sim_time=400.0,
+        seed=7,
+    )
+
+    def test_results_bit_identical_with_and_without_telemetry(self):
+        plain = FaultToleranceWorkload(self.PARAMS).run()
+        tel = Telemetry()
+        traced = FaultToleranceWorkload(self.PARAMS, telemetry=tel).run()
+        assert dataclasses.asdict(plain) == dataclasses.asdict(traced)
+        # And the instrumented run actually observed the system.
+        assert len(tel.spans) > 0
+        assert len(tel.metrics.names()) >= 10
+
+    def test_workload_spans_never_leak(self):
+        """Spans never leak open once their operations finish.
+
+        The horizon cuts operations mid-flight, so some spans stay
+        legitimately open — but only whole in-flight subtrees: a span
+        whose parent already closed would be a leak (the parent's
+        cleanup missed it).  And no span may linger open long before
+        the horizon: every operation in this stack completes within a
+        bounded window.
+        """
+        tel = Telemetry()
+        FaultToleranceWorkload(self.PARAMS, telemetry=tel).run()
+        spans = by_id(tel)
+        for span in tel.open_spans():
+            if span.parent_id is not None:
+                assert spans[span.parent_id].is_open, (
+                    f"{span.name} leaked open under a closed parent"
+                )
+        # Closed spans all carry a final status.
+        assert all(
+            s.status in (OK, ERROR) for s in tel.spans if not s.is_open
+        )
+
+    def test_sampler_populates_kernel_gauges(self):
+        tel = Telemetry()
+        FaultToleranceWorkload(self.PARAMS, telemetry=tel).run()
+        depth = tel.metrics.gauge("kernel.queue_depth")
+        assert depth.series
+        assert tel.metrics.gauge("kernel.events_scheduled").value > 0
+        assert tel.metrics.gauge("kernel.sim_time").value > 0

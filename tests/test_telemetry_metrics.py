@@ -1,0 +1,162 @@
+"""Unit tests for the metric instruments and registry."""
+
+import pytest
+
+from repro.telemetry.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        reg = MetricsRegistry()
+        c = reg.counter("calls")
+        assert c.value == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_negative_increment_rejected(self):
+        c = MetricsRegistry().counter("calls")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_stamped_with_registry_clock(self):
+        now = [0.0]
+        reg = MetricsRegistry(clock=lambda: now[0])
+        c = reg.counter("calls")
+        now[0] = 7.0
+        c.inc()
+        assert c.updated_at == 7.0
+
+    def test_to_dict(self):
+        reg = MetricsRegistry()
+        c = reg.counter("calls", scope="remote")
+        c.inc(2)
+        d = c.to_dict()
+        assert d["name"] == "calls"
+        assert d["type"] == "counter"
+        assert d["labels"] == {"scope": "remote"}
+        assert d["value"] == 2.0
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = MetricsRegistry().gauge("depth")
+        g.set(10)
+        g.inc(3)
+        g.dec()
+        assert g.value == 12
+
+    def test_series_tracking(self):
+        now = [0.0]
+        reg = MetricsRegistry(clock=lambda: now[0])
+        g = reg.gauge("depth", track_series=True)
+        g.set(1)
+        now[0] = 5.0
+        g.set(2)
+        assert g.series == [(0.0, 1), (5.0, 2)]
+
+    def test_series_off_by_default(self):
+        g = MetricsRegistry().gauge("depth")
+        g.set(1)
+        assert g.series is None
+
+    def test_refetch_can_enable_series(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("depth")
+        g2 = reg.gauge("depth", track_series=True)
+        assert g2 is g
+        assert g.series == []
+
+
+class TestHistogram:
+    def test_bucket_assignment(self):
+        h = MetricsRegistry().histogram("lat", buckets=(1.0, 2.0))
+        h.observe(0.5)
+        h.observe(1.5)
+        h.observe(99.0)
+        assert h.counts == [1, 1, 1]  # <=1, <=2, +inf overflow
+        assert h.count == 3
+        assert h.sum == pytest.approx(101.0)
+        assert h.mean == pytest.approx(101.0 / 3)
+
+    def test_bounds_sorted(self):
+        h = MetricsRegistry().histogram("lat", buckets=(4.0, 1.0, 2.0))
+        assert h.buckets == (1.0, 2.0, 4.0)
+
+    def test_empty_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("lat", buckets=())
+
+    def test_default_buckets(self):
+        h = MetricsRegistry().histogram("lat")
+        assert h.buckets == DEFAULT_BUCKETS
+        assert len(h.counts) == len(DEFAULT_BUCKETS) + 1
+
+
+class TestRegistry:
+    def test_same_key_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a", x=1) is reg.counter("a", x=1)
+
+    def test_label_order_irrelevant(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a", x=1, y=2) is reg.counter("a", y=2, x=1)
+
+    def test_different_labels_distinct(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a", x=1) is not reg.counter("a", x=2)
+        assert len(reg) == 2
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(TypeError):
+            reg.gauge("a")
+
+    def test_names_deduplicated_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("b", x=1)
+        reg.counter("b", x=2)
+        reg.counter("a")
+        assert reg.names() == ["a", "b"]
+
+    def test_snapshot_ordered_and_serializable(self):
+        import json
+
+        reg = MetricsRegistry()
+        reg.counter("b").inc()
+        reg.gauge("a").set(2)
+        reg.histogram("c", buckets=(1.0,)).observe(0.5)
+        snap = reg.snapshot()
+        assert [r["name"] for r in snap] == ["a", "b", "c"]
+        json.dumps(snap)  # must be JSON-clean
+
+    def test_iteration(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        reg.gauge("b")
+        kinds = {m.kind for m in reg}
+        assert kinds == {"counter", "gauge"}
+
+
+class TestNullRegistry:
+    def test_all_instruments_inert_and_shared(self):
+        reg = NullMetricsRegistry()
+        c = reg.counter("a")
+        g = reg.gauge("b", track_series=True)
+        h = reg.histogram("c")
+        assert c is g is h
+        c.inc()
+        g.set(5)
+        g.dec()
+        h.observe(1.0)
+        assert len(reg) == 0
+        assert reg.names() == []
+        assert reg.snapshot() == []

@@ -1,0 +1,203 @@
+"""Unit tests for span lifecycle and per-process context propagation."""
+
+import pytest
+
+from repro.sim.kernel import Environment
+from repro.telemetry import (
+    ERROR,
+    NULL_SPAN,
+    NULL_TELEMETRY,
+    OK,
+    OPEN,
+    NullTelemetry,
+    Telemetry,
+)
+
+
+class TestSpanLifecycle:
+    def test_start_end_basic(self):
+        tel = Telemetry()
+        span = tel.start_span("op", node=2, foo="bar")
+        assert span.is_open
+        assert span.status == OPEN
+        assert span.tags == {"foo": "bar"}
+        tel.end_span(span)
+        assert not span.is_open
+        assert span.status == OK
+
+    def test_root_spans_get_fresh_traces(self):
+        tel = Telemetry()
+        a = tel.end_span(tel.start_span("a"))
+        b = tel.end_span(tel.start_span("b"))
+        assert a.trace_id != b.trace_id
+        assert a.parent_id is None and b.parent_id is None
+
+    def test_nesting_inherits_trace(self):
+        tel = Telemetry()
+        parent = tel.start_span("parent")
+        child = tel.start_span("child")
+        assert child.trace_id == parent.trace_id
+        assert child.parent_id == parent.span_id
+        tel.end_span(child)
+        tel.end_span(parent)
+
+    def test_current_restored_after_end(self):
+        tel = Telemetry()
+        parent = tel.start_span("parent")
+        child = tel.start_span("child")
+        assert tel.current_span() is child
+        tel.end_span(child)
+        assert tel.current_span() is parent
+        tel.end_span(parent)
+        assert tel.current_span() is None
+
+    def test_explicit_parent_links_across_contexts(self):
+        tel = Telemetry()
+        parent = tel.start_span("migration")
+        # Simulate a freshly spawned process that received the parent
+        # explicitly (its own context has no current span).
+        tel._current.clear()
+        child = tel.start_span("transfer", parent=parent)
+        assert child.trace_id == parent.trace_id
+        assert child.parent_id == parent.span_id
+
+    def test_end_is_idempotent(self):
+        env = Environment()
+        tel = Telemetry()
+        tel.bind(env)
+        span = tel.start_span("op")
+        tel.end_span(span, status=ERROR)
+        first_end = span.end
+        tel.end_span(span)  # second end must not overwrite
+        assert span.status == ERROR
+        assert span.end == first_end
+
+    def test_sim_time_stamps(self):
+        env = Environment()
+        tel = Telemetry()
+        tel.bind(env)
+
+        def proc(env):
+            span = tel.start_span("op")
+            yield env.timeout(4.0)
+            tel.end_span(span)
+            return span
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value.start == 0.0
+        assert p.value.end == 4.0
+        assert p.value.duration == 4.0
+
+    def test_context_manager_tags_errors(self):
+        tel = Telemetry()
+        with pytest.raises(ValueError):
+            with tel.span("op") as span:
+                raise ValueError("boom")
+        assert span.status == ERROR
+        assert span.tags["error"] == "ValueError"
+        assert not span.is_open
+
+    def test_max_spans_drops_but_still_links(self):
+        tel = Telemetry(max_spans=1)
+        a = tel.start_span("kept")
+        b = tel.start_span("dropped")
+        assert len(tel.spans) == 1
+        assert tel.spans_dropped == 1
+        assert b.trace_id == a.trace_id  # context still propagates
+        tel.end_span(b)
+        tel.end_span(a)
+
+    def test_spans_named_and_open_spans(self):
+        tel = Telemetry()
+        a = tel.start_span("x")
+        tel.end_span(a)
+        b = tel.start_span("x")
+        assert tel.spans_named("x") == [a, b]
+        assert tel.open_spans() == [b]
+        tel.end_span(b)
+        assert tel.open_spans() == []
+
+
+class TestPerProcessContext:
+    def test_interleaved_processes_keep_separate_stacks(self):
+        """Two processes alternating between yields must not see each
+        other's current span."""
+        env = Environment()
+        tel = Telemetry()
+        tel.bind(env)
+        observed = {}
+
+        def worker(env, name, delay):
+            span = tel.start_span(name)
+            yield env.timeout(delay)
+            observed[name] = tel.current_span()
+            tel.end_span(span)
+
+        env.process(worker(env, "a", 1.0))
+        env.process(worker(env, "b", 1.0))
+        env.run()
+        assert observed["a"].name == "a"
+        assert observed["b"].name == "b"
+        # Separate roots -> separate traces.
+        spans = tel.spans
+        assert spans[0].trace_id != spans[1].trace_id
+
+
+class TestKernelSampler:
+    def test_sampler_records_series(self):
+        env = Environment()
+        tel = Telemetry()
+        tel.start_kernel_sampler(env, interval=10.0)
+
+        def busywork(env):
+            for _ in range(20):
+                yield env.timeout(5.0)
+
+        env.process(busywork(env))
+        env.run(until=100.0)
+        depth = tel.metrics.gauge("kernel.queue_depth")
+        assert depth.series  # sampled at least once
+        scheduled = tel.metrics.gauge("kernel.events_scheduled")
+        assert scheduled.value > 0
+        assert tel.metrics.gauge("kernel.sim_time").value >= 90.0
+
+    def test_sampler_idempotent(self):
+        env = Environment()
+        tel = Telemetry()
+        tel.start_kernel_sampler(env, interval=10.0)
+        tel.start_kernel_sampler(env, interval=10.0)
+        env.run(until=25.0)
+        # Exactly one sampler: one sample per interval tick.
+        samples = tel.metrics.gauge("kernel.queue_depth").series
+        assert len(samples) == 3  # t=0, 10, 20
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(ValueError):
+            Telemetry().start_kernel_sampler(Environment(), interval=0)
+
+
+class TestNullTelemetry:
+    def test_disabled(self):
+        assert not NULL_TELEMETRY.enabled
+        assert Telemetry().enabled
+
+    def test_records_nothing(self):
+        tel = NullTelemetry()
+        span = tel.start_span("op", node=1)
+        assert span is NULL_SPAN
+        tel.end_span(span)
+        with tel.span("other"):
+            pass
+        assert tel.spans == []
+        assert tel.current_span() is None
+        assert len(tel.metrics) == 0
+
+    def test_null_span_inert(self):
+        assert NULL_SPAN.tag(x=1) is NULL_SPAN
+        assert NULL_SPAN.tags == {}
+
+    def test_sampler_noop(self):
+        env = Environment()
+        NULL_TELEMETRY.start_kernel_sampler(env)
+        assert len(env) == 0  # no process scheduled
