@@ -2,8 +2,9 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-faults test-chaos test-telemetry bench \
-        bench-kernel bench-full figures figures-paper examples clean
+.PHONY: install test test-faults test-chaos test-telemetry \
+        test-versioning bench bench-kernel bench-full figures \
+        figures-paper examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -39,6 +40,16 @@ test-telemetry:
 	  tests/test_telemetry_metrics.py tests/test_telemetry_spans.py \
 	  tests/test_telemetry_export.py tests/test_telemetry_integration.py \
 	  tests/test_sim_trace.py
+
+# The versioned-migration subsystem: content hashing, the staged
+# planner, the deployer's checkpoint/rollback machinery, the three
+# deploy scenarios and the hypothesis restore properties (pinned seed).
+test-versioning:
+	$(PYTHON) -m pytest -q -p no:randomly \
+	  --hypothesis-seed=0 \
+	  tests/test_versioning_diff.py tests/test_versioning_planner.py \
+	  tests/test_versioning_deployer.py tests/test_versioning_study.py \
+	  tests/test_prop_versioning.py tests/test_errors_pickle.py
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

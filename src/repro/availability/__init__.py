@@ -14,6 +14,7 @@ from repro.availability.chaos import (
     ChaosCampaignResult,
     ChaosOrchestrator,
     ChaosScenario,
+    CrashDuringDeploy,
     CrashDuringMigration,
     CrashStorm,
     FlappingLink,
@@ -45,6 +46,7 @@ __all__ = [
     "ChaosCampaignResult",
     "ChaosOrchestrator",
     "ChaosScenario",
+    "CrashDuringDeploy",
     "CrashDuringMigration",
     "CrashStorm",
     "FT_DETECTION_MODES",

@@ -44,25 +44,34 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "which figure to regenerate (figN), one of the outlook "
             "studies (replication / fragmentation / availability / "
-            "faulttolerance / chaos), or 'telemetry' for one fully "
-            "instrumented run with exported traces"
+            "faulttolerance / chaos / deploy), or 'telemetry' for one "
+            "fully instrumented run with exported traces"
         ),
     )
     parser.add_argument(
         "--scenario",
         type=str,
         default=None,
-        help="chaos/telemetry only: run a single named scenario "
-        "(e.g. crash-storm, mayhem) instead of the full matrix",
+        help="chaos/deploy/telemetry only: run a single named scenario "
+        "(e.g. crash-storm, crash-coordinator) instead of the full "
+        "matrix",
     )
     parser.add_argument(
         "--telemetry",
         type=str,
         default=None,
         metavar="DIR",
-        help="faulttolerance/chaos only: run ONE instrumented seeded "
-        "cell (not the sweep) and export metrics.jsonl, spans.jsonl and "
-        "a Perfetto-loadable trace.json into DIR",
+        help="faulttolerance/chaos/deploy only: run ONE instrumented "
+        "seeded cell (not the sweep) and export metrics.jsonl, "
+        "spans.jsonl and a Perfetto-loadable trace.json into DIR",
+    )
+    parser.add_argument(
+        "--markdown",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="deploy only: also write the full plan/deploy report "
+        "(stage timelines, rollbacks, digests) as markdown to FILE",
     )
     parser.add_argument(
         "--seed", type=int, default=0, help="root random seed (default 0)"
@@ -130,16 +139,42 @@ def _run_telemetry(args) -> int:
     commands with ``--telemetry DIR`` run their single-cell equivalent:
     a sweep would pool many environments into one trace, so the
     instrumented path always runs exactly one seeded cell.
+    ``repro-experiment deploy --telemetry DIR`` exports the deploy
+    span tree (stages, per-object upgrades, rollbacks) the same way.
     """
     from repro.availability.chaos import SCENARIOS
     from repro.experiments.telemetry_run import (
         describe_run,
         run_instrumented_chaos,
+        run_instrumented_deploy,
         run_instrumented_faulttolerance,
     )
     from repro.telemetry.export import summary_table
 
     out_dir = args.telemetry or "telemetry-out"
+    if args.figure == "deploy":
+        from repro.versioning.study import DEPLOY_SCENARIOS
+
+        scenario = args.scenario or "crash-coordinator"
+        if scenario not in DEPLOY_SCENARIOS:
+            print(
+                f"unknown deploy scenario {scenario!r}; choose from "
+                f"{sorted(DEPLOY_SCENARIOS)}",
+                file=sys.stderr,
+            )
+            return 2
+        print(
+            f"instrumented deploy scenario {scenario!r} "
+            f"(seed {args.seed}) -> {out_dir}",
+            file=sys.stderr,
+        )
+        _, telemetry, paths = run_instrumented_deploy(
+            out_dir, scenario=scenario, seed=args.seed
+        )
+        print(summary_table(telemetry))
+        print()
+        print(describe_run(telemetry, paths))
+        return 0
     use_chaos = args.figure == "chaos" or args.scenario is not None
     if use_chaos:
         scenario = args.scenario or "crash-storm"
@@ -178,9 +213,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     stopping = _stopping(args)
 
-    if args.scenario is not None and args.figure not in ("chaos", "telemetry"):
+    if args.scenario is not None and args.figure not in (
+        "chaos",
+        "deploy",
+        "telemetry",
+    ):
         print(
-            "--scenario only applies to the chaos study and telemetry runs",
+            "--scenario only applies to the chaos and deploy studies "
+            "and telemetry runs",
             file=sys.stderr,
         )
         return 2
@@ -188,11 +228,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.telemetry is not None and args.figure not in (
         "faulttolerance",
         "chaos",
+        "deploy",
         "telemetry",
     ):
         print(
-            "--telemetry only applies to faulttolerance, chaos and "
-            "telemetry runs",
+            "--telemetry only applies to faulttolerance, chaos, deploy "
+            "and telemetry runs",
+            file=sys.stderr,
+        )
+        return 2
+
+    if args.markdown is not None and args.figure != "deploy":
+        print(
+            "--markdown only applies to the deploy study",
             file=sys.stderr,
         )
         return 2
@@ -218,6 +266,38 @@ def main(argv: Optional[List[str]] = None) -> int:
             seed=args.seed, scenarios=[args.scenario]
         )
         print(format_outlook_table("chaos", header, rows))
+        return 0
+
+    if args.figure == "deploy":
+        from repro.experiments.outlook import format_outlook_table
+        from repro.versioning.study import (
+            DEPLOY_SCENARIOS,
+            deploy_report_markdown,
+            deploy_rows,
+            run_deploy_matrix,
+        )
+
+        if args.scenario is not None and args.scenario not in DEPLOY_SCENARIOS:
+            print(
+                f"unknown deploy scenario {args.scenario!r}; choose from "
+                f"{sorted(DEPLOY_SCENARIOS)}",
+                file=sys.stderr,
+            )
+            return 2
+        scenarios = (
+            DEPLOY_SCENARIOS if args.scenario is None else (args.scenario,)
+        )
+        print(
+            f"running deploy scenarios: {', '.join(scenarios)}",
+            file=sys.stderr,
+        )
+        results = run_deploy_matrix(seed=args.seed, scenarios=scenarios)
+        header, rows = deploy_rows(results)
+        print(format_outlook_table("deploy", header, rows))
+        if args.markdown is not None:
+            with open(args.markdown, "w") as fh:
+                fh.write(deploy_report_markdown(results))
+            print(f"wrote {args.markdown}", file=sys.stderr)
         return 0
 
     if args.figure in OUTLOOK_STUDIES:

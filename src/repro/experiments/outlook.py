@@ -10,7 +10,11 @@ the three extension studies the same one-command treatment:
   no-migration vs conventional vs leased place-policy;
 * ``chaos`` — every built-in chaos scenario under heartbeat detection
   and invariant monitoring (availability metrics per scenario; a run
-  that reaches the table at all held every safety invariant).
+  that reaches the table at all held every safety invariant);
+* ``deploy`` — every versioned-migration deploy scenario of
+  :mod:`repro.versioning` (clean run, coordinator crash mid-stage,
+  induced invariant violation), one row per scenario with commit /
+  rollback counts and the digest check.
 
 Each function returns ``(header_row, data_rows)`` ready for
 :func:`format_outlook_table`, keeping these studies printable and
@@ -208,6 +212,26 @@ def chaos_sweep(
     return header, rows
 
 
+def deploy_sweep(
+    seed: int = 0,
+    stopping: Optional[StoppingConfig] = None,
+    scenarios: Optional[Sequence[str]] = None,
+) -> Rows:
+    """One row per versioned-migration deploy scenario.
+
+    Thin registry adapter over
+    :func:`repro.versioning.study.deploy_sweep`; ``stopping`` is
+    accepted for registry symmetry but unused (deploys run against a
+    fixed-horizon workload).
+    """
+    del stopping
+    from repro.versioning.study import DEPLOY_SCENARIOS
+    from repro.versioning.study import deploy_sweep as _sweep
+
+    names = tuple(scenarios) if scenarios is not None else DEPLOY_SCENARIOS
+    return _sweep(seed=seed, scenarios=names)
+
+
 #: Registry used by the CLI.
 OUTLOOK_STUDIES = {
     "replication": replication_sweep,
@@ -215,6 +239,7 @@ OUTLOOK_STUDIES = {
     "availability": availability_sweep,
     "faulttolerance": faulttolerance_sweep,
     "chaos": chaos_sweep,
+    "deploy": deploy_sweep,
 }
 
 
@@ -224,12 +249,20 @@ def format_outlook_table(
     """Aligned text table, matching the figure tables' style.
 
     The first column may be numeric (a swept parameter) or a string
-    (e.g. a chaos scenario name).
+    (e.g. a chaos scenario name); later columns render floats at
+    ``precision``, ints bare, and pass strings through (e.g. a deploy
+    status).
     """
+
+    def cell(v, first: bool) -> str:
+        if isinstance(v, str):
+            return v
+        if first or isinstance(v, int):
+            return f"{v:g}"
+        return f"{v:.{precision}f}"
+
     str_rows = [header] + [
-        [row[0] if isinstance(row[0], str) else f"{row[0]:g}"]
-        + [f"{v:.{precision}f}" for v in row[1:]]
-        for row in rows
+        [cell(v, i == 0) for i, v in enumerate(row)] for row in rows
     ]
     widths = [max(len(r[i]) for r in str_rows) for i in range(len(header))]
     lines = [

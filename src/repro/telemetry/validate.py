@@ -1,11 +1,20 @@
-"""Chrome trace-event schema validation (CI smoke + tests).
+"""Telemetry artifact schema validation (CI smoke + tests).
 
-The exporter promises a document Perfetto will load; this module checks
-the contract without needing Perfetto: a ``traceEvents`` list whose
-events carry the right fields per phase.  Usable as a library
-(:func:`validate_chrome_trace`) or a CLI::
+The exporter promises artifacts other tools will load; this module
+checks the contracts without needing those tools:
 
-    python -m repro.telemetry.validate out/trace.json
+* ``trace.json`` — a ``traceEvents`` list Perfetto accepts, every event
+  carrying the right fields per phase (:func:`validate_chrome_trace`);
+* ``spans.jsonl`` — one span document per line with the stable
+  :meth:`~repro.telemetry.spans.Span.to_dict` fields
+  (:func:`validate_span_doc`).
+
+Span families with a registered schema (currently the ``deploy.*``
+family of :mod:`repro.versioning`) are additionally checked for their
+required tags — in both artifacts, since the Chrome exporter folds tags
+into ``args``.  Usable as a library or a CLI::
+
+    python -m repro.telemetry.validate out/trace.json out/spans.jsonl
 """
 
 from __future__ import annotations
@@ -17,6 +26,87 @@ from typing import List, Union
 
 #: Event phases the exporter may emit.
 KNOWN_PHASES = {"X", "i", "C", "M"}
+
+#: Required tag keys per deploy-family span name.  The deployer always
+#: sets these; a deploy span without them would render a useless tree.
+DEPLOY_SPAN_SCHEMAS = {
+    "deploy": ("plan", "stages"),
+    "deploy.stage": ("stage", "objects"),
+    "deploy.upgrade": ("object", "to"),
+    "deploy.rollback": ("stage", "reason"),
+}
+
+#: Metric names the deploy emits (the catalog entry tests pin down).
+DEPLOY_METRICS = (
+    "deploy.stages",
+    "deploy.objects_upgraded",
+    "deploy.rollbacks",
+    "deploy.checkpoints",
+    "deploy.stage_time",
+)
+
+#: Fields every spans.jsonl document must carry.
+SPAN_DOC_FIELDS = (
+    "trace_id",
+    "span_id",
+    "parent_id",
+    "name",
+    "node",
+    "start",
+    "end",
+    "status",
+    "tags",
+)
+
+
+def _check_deploy_tags(name: str, tags: dict, where: str) -> List[str]:
+    """Missing required tags for a schema-registered span name."""
+    required = DEPLOY_SPAN_SCHEMAS.get(name, ())
+    return [
+        f"{where}: span {name!r} missing required tag {key!r}"
+        for key in required
+        if key not in tags
+    ]
+
+
+def validate_span_doc(doc: dict, where: str = "span") -> List[str]:
+    """Check one parsed ``spans.jsonl`` document; returns problems."""
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return [f"{where}: not an object"]
+    for field in SPAN_DOC_FIELDS:
+        if field not in doc:
+            problems.append(f"{where}: missing field {field!r}")
+    if problems:
+        return problems
+    if not isinstance(doc["name"], str) or not doc["name"]:
+        problems.append(f"{where}: 'name' must be a non-empty string")
+    for field in ("trace_id", "span_id"):
+        if not isinstance(doc[field], int):
+            problems.append(f"{where}: {field!r} must be an int")
+    if not isinstance(doc["tags"], dict):
+        problems.append(f"{where}: 'tags' must be an object")
+    else:
+        problems.extend(_check_deploy_tags(doc["name"], doc["tags"], where))
+    if doc["end"] is not None and doc["end"] < doc["start"]:
+        problems.append(f"{where}: span ends before it starts")
+    return problems
+
+
+def validate_spans_jsonl(text: str) -> List[str]:
+    """Validate a whole ``spans.jsonl`` payload; returns problems."""
+    problems: List[str] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        where = f"line {lineno}"
+        try:
+            doc = json.loads(line)
+        except ValueError as exc:
+            problems.append(f"{where}: invalid JSON ({exc})")
+            continue
+        problems.extend(validate_span_doc(doc, where))
+    return problems
 
 
 def validate_chrome_trace(doc: dict) -> List[str]:
@@ -64,32 +154,59 @@ def validate_chrome_trace(doc: dict) -> List[str]:
         elif ph == "M" and event["name"] == "process_name":
             if (event.get("args") or {}).get("name"):
                 named_pids = True
+        if ph in ("X", "i") and isinstance(event.get("name"), str):
+            # The Chrome exporter folds span tags into args; deploy
+            # spans must keep their schema through that mapping too.
+            problems.extend(
+                _check_deploy_tags(
+                    event["name"], event.get("args") or {}, where
+                )
+            )
     if events and not named_pids:
         problems.append("no 'process_name' metadata events (pid lanes unnamed)")
     return problems
 
 
-def main(argv=None) -> int:
-    """CLI entry point: validate one trace file, exit 0/1."""
-    argv = list(sys.argv[1:] if argv is None else argv)
-    if len(argv) != 1:
-        print("usage: python -m repro.telemetry.validate TRACE.json", file=sys.stderr)
-        return 2
-    path = Path(argv[0])
+def _validate_file(path: Path) -> List[str]:
+    """Dispatch one artifact by suffix; returns problems."""
     try:
-        doc = json.loads(path.read_text())
-    except (OSError, ValueError) as exc:
-        print(f"{path}: unreadable ({exc})", file=sys.stderr)
-        return 1
-    problems = validate_chrome_trace(doc)
-    if problems:
-        for problem in problems:
-            print(f"{path}: {problem}", file=sys.stderr)
-        return 1
-    events = doc["traceEvents"]
-    spans = sum(1 for e in events if e.get("ph") in ("X", "i"))
-    print(f"{path}: OK ({len(events)} events, {spans} span events)")
-    return 0
+        text = path.read_text()
+    except OSError as exc:
+        return [f"unreadable ({exc})"]
+    if path.suffix == ".jsonl":
+        return validate_spans_jsonl(text)
+    try:
+        doc = json.loads(text)
+    except ValueError as exc:
+        return [f"invalid JSON ({exc})"]
+    return validate_chrome_trace(doc)
+
+
+def main(argv=None) -> int:
+    """CLI entry point: validate trace/span artifacts, exit 0/1.
+
+    Accepts any mix of ``trace.json`` (Chrome trace) and
+    ``spans.jsonl`` files; the suffix picks the validator.
+    """
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv:
+        print(
+            "usage: python -m repro.telemetry.validate "
+            "TRACE.json [SPANS.jsonl ...]",
+            file=sys.stderr,
+        )
+        return 2
+    failed = False
+    for name in argv:
+        path = Path(name)
+        problems = _validate_file(path)
+        if problems:
+            failed = True
+            for problem in problems:
+                print(f"{path}: {problem}", file=sys.stderr)
+        else:
+            print(f"{path}: OK")
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

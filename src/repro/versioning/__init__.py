@@ -1,0 +1,83 @@
+"""Versioned object-graph migration: plan → diff → staged deploy → rollback.
+
+The paper migrates objects in *space*; this subpackage migrates them in
+*version* — changing the schema/policy configuration of a live object
+graph stage by stage, with a durable checkpoint after every stage and
+invariant-gated rollback on violation, crash or partition.
+
+Pipeline:
+
+* :mod:`repro.versioning.diff` — deterministic content hashes over each
+  node's resident object graph (object state, attachments, alliance
+  membership, policy config) plus Merkle-style graph digests;
+* :mod:`repro.versioning.planner` — diffs the current graph against a
+  target :class:`~repro.versioning.planner.VersionConfig` and emits a
+  staged, dependency-ordered :class:`~repro.versioning.planner.
+  MigrationPlan` (attachment/alliance groups never split across stages);
+* :mod:`repro.versioning.deployer` — executes the stages under
+  lease-based place-policy locks, checkpoints after each stage, gates
+  every stage on invariants and rolls back on failure — per-object
+  atomicity: every object ends at exactly its old or its new version
+  hash, never a hybrid;
+* :mod:`repro.versioning.study` — the ``repro-experiment deploy``
+  scenarios (clean / crash-during-deploy / induced violation) with
+  stage timelines, rollback counts and pre/post graph digests.
+"""
+
+from repro.versioning.diff import (
+    GraphSnapshot,
+    compute_graph_digest,
+    compute_node_content_hash,
+    compute_object_hash,
+    object_version_record,
+    snapshot_graph,
+)
+from repro.versioning.planner import (
+    MigrationPlan,
+    MigrationPlanner,
+    StagePlan,
+    VersionConfig,
+)
+from repro.versioning.deployer import (
+    Checkpoint,
+    DeploymentResult,
+    MigrationDeployer,
+    StageRecord,
+)
+from repro.versioning.study import (
+    DEPLOY_SCENARIOS,
+    DeployStudyParameters,
+    DeployStudyResult,
+    DeployStudy,
+    deploy_report_markdown,
+    deploy_rows,
+    deploy_sweep,
+    run_deploy_matrix,
+    run_deploy_study,
+)
+
+__all__ = [
+    "Checkpoint",
+    "DEPLOY_SCENARIOS",
+    "DeployStudy",
+    "DeployStudyParameters",
+    "DeployStudyResult",
+    "DeploymentResult",
+    "GraphSnapshot",
+    "MigrationDeployer",
+    "MigrationPlan",
+    "MigrationPlanner",
+    "StagePlan",
+    "StageRecord",
+    "VersionConfig",
+    "compute_graph_digest",
+    "compute_node_content_hash",
+    "compute_object_hash",
+    "object_version_record",
+    "deploy_report_markdown",
+    "deploy_rows",
+    "deploy_sweep",
+    "run_deploy_matrix",
+    "run_deploy_study",
+    "snapshot_graph",
+]

@@ -1,0 +1,679 @@
+"""Staged execution of a version-migration plan, with rollback.
+
+The deployer is a simulation process run by a *coordinator node*.  For
+each stage of the plan it
+
+1. opens a fresh :class:`~repro.core.moveblock.MoveBlock` and takes the
+   place-policy lock (§3.2) on every object of the stage — upgrading
+   objects are sedentary, exactly like objects inside a spatial
+   move-block;
+2. upgrades each object (the upgrade window scales with object size,
+   like the paper's M) and then flips its ``version`` tag — the flip is
+   the *only* mutation, and it is atomic per object: an object observed
+   at any instant hashes to exactly its old or its new content hash,
+   never a hybrid;
+3. verifies the stage's objects against the plan's predicted hashes
+   (:class:`~repro.errors.ChecksumMismatchError` on drift), then
+   evaluates the invariant gates;
+4. releases the locks and writes a durable checkpoint (JSON; round-
+   tripped even when no checkpoint directory is configured, so nothing
+   un-serializable can creep into it).
+
+Failure handling mirrors the abort-and-rollback rule of spatial
+migration (the move "simply never happened"):
+
+* coordinator crash mid-stage → the stage's flips are undone from the
+  last checkpoint, the deployer waits out the outage and retries the
+  stage under a fresh block (the old block's locks were reclaimed by
+  the :class:`~repro.core.locking.LeaseSweeper`, which also bars the
+  dead block from resurrecting them);
+* a partition that makes the failure detector *falsely* suspect the
+  coordinator breaks the block the same way — the deployer observes
+  :class:`~repro.errors.PolicyError` on its next lock touch, rolls the
+  stage back and retries;
+* an invariant-gate violation or checksum mismatch is not retried: the
+  whole deployment rolls back to the pre-deploy checkpoint, restoring
+  the source graph digest bit-identically.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.alliance import AllianceManager
+from repro.core.attachment import AttachmentManager
+from repro.core.locking import LockManager
+from repro.core.moveblock import MoveBlock
+from repro.errors import (
+    ChecksumMismatchError,
+    InvariantViolationError,
+    PolicyError,
+    StageAbortedError,
+)
+from repro.sim.trace import NULL_TRACER, Tracer
+from repro.telemetry.core import NULL_TELEMETRY, Telemetry
+from repro.telemetry.spans import ERROR, OK
+from repro.versioning.diff import (
+    compute_object_hash,
+    object_version_record,
+    snapshot_graph,
+)
+from repro.versioning.planner import MigrationPlan, StagePlan
+
+#: A stage gate: name plus an invariant-style callable (True/None pass;
+#: False or (False, detail) fail; AssertionError/InvariantViolationError
+#: also fail).
+Gate = Tuple[str, Callable[[], object]]
+
+
+class _StageFailure(Exception):
+    """Internal: a stage must be rolled back (maybe retried)."""
+
+    def __init__(self, reason: str, detail: str = "", retryable: bool = True):
+        super().__init__(reason)
+        self.reason = reason
+        self.detail = detail
+        self.retryable = retryable
+
+
+@dataclass
+class Checkpoint:
+    """Durable record of the graph's version state after a stage.
+
+    ``stage`` is the index of the last *committed* stage; -1 is the
+    pre-deploy checkpoint every full rollback restores.
+    """
+
+    stage: int
+    taken_at: float
+    #: object id -> version tag of every object the plan touches.
+    versions: Dict[int, str]
+    #: Placement-independent graph digest at checkpoint time.
+    digest: str
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (the durable checkpoint payload)."""
+        return {
+            "stage": self.stage,
+            "taken_at": self.taken_at,
+            "versions": {str(k): v for k, v in self.versions.items()},
+            "digest": self.digest,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Checkpoint":
+        return cls(
+            stage=int(data["stage"]),
+            taken_at=float(data["taken_at"]),
+            versions={int(k): v for k, v in data["versions"].items()},
+            digest=data["digest"],
+        )
+
+
+@dataclass
+class StageRecord:
+    """Timeline entry for one stage of the deployment."""
+
+    index: int
+    objects: int
+    started_at: float
+    ended_at: float = 0.0
+    attempts: int = 1
+    status: str = "pending"  # committed | rolled-back
+    reason: str = ""
+
+    @property
+    def elapsed(self) -> float:
+        """Wall (simulated) time this stage spent, retries included."""
+        return self.ended_at - self.started_at
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (reports embed this)."""
+        return {
+            "index": self.index,
+            "objects": self.objects,
+            "started_at": self.started_at,
+            "ended_at": self.ended_at,
+            "attempts": self.attempts,
+            "status": self.status,
+            "reason": self.reason,
+        }
+
+
+@dataclass
+class DeploymentResult:
+    """Outcome of one :meth:`MigrationDeployer.deploy` run."""
+
+    plan_id: str
+    #: committed | rolled-back | empty
+    status: str = "empty"
+    stages: List[StageRecord] = field(default_factory=list)
+    checkpoints: List[Checkpoint] = field(default_factory=list)
+    #: Objects whose version flip committed (net of rollbacks).
+    upgraded: int = 0
+    #: Stage-level rollbacks (crash/partition retries included).
+    stage_rollbacks: int = 0
+    #: Whole-deployment rollbacks (0 or 1).
+    full_rollbacks: int = 0
+    #: Why the deployment rolled back, if it did.
+    rollback_reason: str = ""
+    pre_digest: str = ""
+    post_digest: str = ""
+    target_digest: str = ""
+    elapsed: float = 0.0
+
+    @property
+    def rollbacks(self) -> int:
+        """Total rollback events (stage retries + full)."""
+        return self.stage_rollbacks + self.full_rollbacks
+
+    @property
+    def committed_stages(self) -> int:
+        """Stages whose flips stuck (net of any later full rollback)."""
+        return sum(1 for s in self.stages if s.status == "committed")
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form of the whole deployment outcome."""
+        return {
+            "plan_id": self.plan_id,
+            "status": self.status,
+            "stages": [s.to_dict() for s in self.stages],
+            "checkpoints": [c.to_dict() for c in self.checkpoints],
+            "upgraded": self.upgraded,
+            "stage_rollbacks": self.stage_rollbacks,
+            "full_rollbacks": self.full_rollbacks,
+            "rollback_reason": self.rollback_reason,
+            "pre_digest": self.pre_digest,
+            "post_digest": self.post_digest,
+            "target_digest": self.target_digest,
+            "elapsed": self.elapsed,
+        }
+
+
+class MigrationDeployer:
+    """Executes a :class:`~repro.versioning.planner.MigrationPlan`.
+
+    Parameters
+    ----------
+    system:
+        The live :class:`~repro.runtime.system.DistributedSystem`.
+    plan:
+        The staged plan to execute.
+    locks:
+        The (usually lease-enabled) place-policy lock manager shared
+        with the workload — deploy locks contend with mover locks on
+        equal terms.
+    coordinator_node:
+        Node the deploy runs from; its crash aborts the active stage.
+    health:
+        Optional node-health provider (``is_down``/``wait_until_up``),
+        usually the :class:`~repro.availability.faults.FaultInjector`.
+    monitor:
+        Optional always-on :class:`~repro.sim.monitor.InvariantMonitor`
+        evaluated as a gate after every stage.
+    gates:
+        Extra ``(name, callable)`` invariant gates (same convention as
+        monitor invariants).
+    attachments, alliances:
+        Relationship managers for content hashing — pass the same ones
+        the plan was computed with, or every verify will mismatch.
+    upgrade_duration:
+        Upgrade window per size-1 object (the version-space M).
+    lock_poll, lock_wait:
+        Poll interval and total budget for waiting on a contended lock.
+    max_stage_retries:
+        Crash/partition retries per stage before giving up and rolling
+        back the whole deployment.
+    checkpoint_dir:
+        Optional directory; when set every checkpoint is also written
+        to ``checkpoint-<stage>.json`` there.
+    strict:
+        Raise :class:`~repro.errors.StageAbortedError` after a full
+        rollback instead of returning a rolled-back result.
+    """
+
+    def __init__(
+        self,
+        system,
+        plan: MigrationPlan,
+        locks: LockManager,
+        coordinator_node: int = 0,
+        health=None,
+        monitor=None,
+        gates: Sequence[Gate] = (),
+        attachments: Optional[AttachmentManager] = None,
+        alliances: Optional[AllianceManager] = None,
+        upgrade_duration: float = 2.0,
+        lock_poll: float = 1.0,
+        lock_wait: float = 120.0,
+        max_stage_retries: int = 3,
+        checkpoint_dir: Optional[str] = None,
+        strict: bool = False,
+        tracer: Tracer = NULL_TRACER,
+        telemetry: Telemetry = NULL_TELEMETRY,
+    ):
+        if upgrade_duration < 0:
+            raise ValueError(
+                f"upgrade_duration must be >= 0, got {upgrade_duration}"
+            )
+        if lock_poll <= 0:
+            raise ValueError(f"lock_poll must be positive, got {lock_poll}")
+        self.system = system
+        self.env = system.env
+        self.plan = plan
+        self.locks = locks
+        self.coordinator_node = coordinator_node
+        self.health = health
+        self.monitor = monitor
+        self.gates = tuple(gates)
+        self.attachments = attachments
+        self.alliances = alliances
+        self.policy = dict(plan.policy)
+        self.upgrade_duration = upgrade_duration
+        self.lock_poll = lock_poll
+        self.lock_wait = lock_wait
+        self.max_stage_retries = max_stage_retries
+        self.checkpoint_dir = checkpoint_dir
+        self.strict = strict
+        self.tracer = tracer
+        self.telemetry = telemetry
+        self._telemetry_on = telemetry.enabled
+        #: (stage index, object ids) while a stage is executing — chaos
+        #: campaigns poll this to crash a participant mid-stage.
+        self.active_stage: Optional[Tuple[int, Tuple[int, ...]]] = None
+        self.result = DeploymentResult(plan_id=plan.plan_id)
+        if self._telemetry_on:
+            metrics = telemetry.metrics
+            self._m_stages = metrics.counter("deploy.stages")
+            self._m_upgraded = metrics.counter("deploy.objects_upgraded")
+            self._m_checkpoints = metrics.counter("deploy.checkpoints")
+            self._m_stage_time = metrics.histogram("deploy.stage_time")
+
+    # -- hashing helpers ---------------------------------------------------------
+
+    def _object_hash(self, obj) -> str:
+        return compute_object_hash(
+            object_version_record(
+                obj, self.attachments, self.alliances, self.policy
+            )
+        )
+
+    def _snapshot(self):
+        return snapshot_graph(
+            self.system, self.attachments, self.alliances, self.policy
+        )
+
+    def check_version_atomicity(self):
+        """Invariant: every planned object is at its old or new hash.
+
+        Register this on the always-on monitor for the duration of a
+        deploy — it holds at *every* instant, including mid-stage and
+        mid-rollback, because the version flip is atomic per object.
+        """
+        plan = self.plan
+        for oid in plan.changed_ids:
+            obj = self.system.registry.get(oid)
+            actual = self._object_hash(obj)
+            if actual not in (plan.old_hashes[oid], plan.new_hashes[oid]):
+                return (
+                    False,
+                    f"object {oid} at hybrid hash {actual[:12]}… "
+                    f"(version={obj.version!r})",
+                )
+        return True
+
+    # -- checkpointing ------------------------------------------------------------
+
+    def _checkpoint(self, stage_index: int) -> Checkpoint:
+        snap = self._snapshot()
+        cp = Checkpoint(
+            stage=stage_index,
+            taken_at=self.env.now,
+            versions={
+                oid: self.system.registry.get(oid).version
+                for oid in self.plan.changed_ids
+            },
+            digest=snap.root_digest,
+        )
+        # Durability: the checkpoint must survive a coordinator restart,
+        # so it always goes through its serialized form — anything that
+        # cannot round-trip JSON fails here, not during recovery.
+        payload = json.dumps(cp.to_dict(), sort_keys=True)
+        cp = Checkpoint.from_dict(json.loads(payload))
+        if self.checkpoint_dir is not None:
+            os.makedirs(self.checkpoint_dir, exist_ok=True)
+            path = os.path.join(
+                self.checkpoint_dir, f"checkpoint-{stage_index}.json"
+            )
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write(payload)
+        self.result.checkpoints.append(cp)
+        if self._telemetry_on:
+            self._m_checkpoints.inc()
+        if self.tracer.enabled:
+            self.tracer.emit(
+                self.env.now,
+                "deploy.checkpoint",
+                stage=stage_index,
+                digest=cp.digest[:12],
+            )
+        return cp
+
+    # -- rollback ------------------------------------------------------------------
+
+    def _restore(self, object_ids, checkpoint: Checkpoint) -> int:
+        """Flip ``object_ids`` back to their checkpointed versions."""
+        restored = 0
+        for oid in object_ids:
+            obj = self.system.registry.get(oid)
+            want = checkpoint.versions[oid]
+            if obj.version != want:
+                obj.version = want
+                restored += 1
+        return restored
+
+    def _rollback(
+        self, object_ids, checkpoint: Checkpoint, reason: str, stage: int,
+        parent=None, full: bool = False,
+    ) -> int:
+        restored = self._restore(object_ids, checkpoint)
+        if full:
+            self.result.full_rollbacks += 1
+            self.result.rollback_reason = reason
+        else:
+            self.result.stage_rollbacks += 1
+        if self._telemetry_on:
+            span = self.telemetry.start_span(
+                "deploy.rollback",
+                node=self.coordinator_node,
+                parent=parent,
+                stage=stage,
+                reason=reason,
+                restored=restored,
+            )
+            self.telemetry.metrics.counter(
+                "deploy.rollbacks", reason=reason
+            ).inc()
+            self.telemetry.end_span(span)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                self.env.now,
+                "deploy.rollback",
+                stage=stage,
+                reason=reason,
+                restored=restored,
+                full=full,
+            )
+        return restored
+
+    # -- gates ---------------------------------------------------------------------
+
+    def _evaluate_gates(self) -> Optional[Tuple[str, str]]:
+        """Run every gate; returns ``(name, detail)`` of the first
+        failure or None."""
+        gates: List[Gate] = list(self.gates)
+        if self.monitor is not None:
+            gates.append(("invariant-monitor", self.monitor.check_now))
+        for name, fn in gates:
+            detail = ""
+            try:
+                verdict = fn()
+            except (AssertionError, InvariantViolationError) as exc:
+                verdict, detail = False, str(exc)
+            if isinstance(verdict, tuple):
+                verdict, detail = verdict[0], str(verdict[1])
+            if verdict is False:
+                return name, detail
+        return None
+
+    # -- the deploy process ---------------------------------------------------------
+
+    def deploy(self) -> Generator:
+        """Process fragment executing the whole plan.
+
+        Returns the :class:`DeploymentResult` (also kept at
+        :attr:`result` so crashed/interrupted runs stay inspectable).
+        """
+        result = self.result
+        plan = self.plan
+        started = self.env.now
+        pre = self._snapshot()
+        result.pre_digest = pre.root_digest
+        result.target_digest = plan.target_digest
+
+        # A stale plan must not deploy: every object it claims to change
+        # has to hash exactly as the plan predicted.
+        for oid in plan.changed_ids:
+            actual = pre.object_hashes.get(oid, "")
+            if actual != plan.old_hashes[oid]:
+                raise ChecksumMismatchError(
+                    f"plan {plan.plan_id} is stale for object {oid}",
+                    object_id=oid,
+                    expected=plan.old_hashes[oid],
+                    actual=actual,
+                )
+
+        if plan.is_empty:
+            result.status = "empty"
+            result.post_digest = pre.root_digest
+            return result
+
+        root_span = None
+        if self._telemetry_on:
+            root_span = self.telemetry.start_span(
+                "deploy",
+                node=self.coordinator_node,
+                plan=plan.plan_id,
+                stages=len(plan.stages),
+            )
+
+        base = self._checkpoint(-1)
+        failed: Optional[Tuple[str, str]] = None  # (reason, detail)
+        for stage in plan.stages:
+            record = StageRecord(
+                index=stage.index,
+                objects=len(stage),
+                started_at=self.env.now,
+            )
+            result.stages.append(record)
+            last_cp = result.checkpoints[-1]
+            while True:
+                stage_span = None
+                if self._telemetry_on:
+                    stage_span = self.telemetry.start_span(
+                        "deploy.stage",
+                        node=self.coordinator_node,
+                        parent=root_span,
+                        stage=stage.index,
+                        objects=len(stage),
+                    )
+                self.active_stage = (stage.index, stage.object_ids)
+                try:
+                    flipped = yield from self._run_stage(stage, stage_span)
+                except _StageFailure as fail:
+                    self.active_stage = None
+                    self._rollback(
+                        stage.object_ids,
+                        last_cp,
+                        fail.reason,
+                        stage.index,
+                        parent=stage_span,
+                    )
+                    if self._telemetry_on:
+                        self.telemetry.end_span(
+                            stage_span, status=ERROR, reason=fail.reason
+                        )
+                    retryable = (
+                        fail.retryable
+                        and record.attempts <= self.max_stage_retries
+                    )
+                    if not retryable:
+                        record.ended_at = self.env.now
+                        record.status = "rolled-back"
+                        record.reason = fail.reason
+                        failed = (fail.reason, fail.detail)
+                        break
+                    record.attempts += 1
+                    # A coordinator crash is waited out before retrying;
+                    # contention/partition retries go again immediately
+                    # (the poll budget already paced them).
+                    if (
+                        fail.reason == "coordinator-crash"
+                        and self.health is not None
+                    ):
+                        yield from self.health.wait_until_up(
+                            self.coordinator_node
+                        )
+                    continue
+                self.active_stage = None
+                record.ended_at = self.env.now
+                record.status = "committed"
+                result.upgraded += flipped
+                if self._telemetry_on:
+                    self.telemetry.end_span(stage_span, upgraded=flipped)
+                    self._m_stages.inc()
+                    self._m_stage_time.observe(record.elapsed)
+                self._checkpoint(stage.index)
+                break
+            if failed is not None:
+                break
+
+        if failed is not None:
+            reason, detail = failed
+            self._rollback(
+                plan.changed_ids, base, reason, -1, parent=root_span,
+                full=True,
+            )
+            result.status = "rolled-back"
+        else:
+            result.status = "committed"
+        result.post_digest = self._snapshot().root_digest
+        result.elapsed = self.env.now - started
+        if self._telemetry_on:
+            self.telemetry.end_span(
+                root_span,
+                status=ERROR if failed else OK,
+                outcome=result.status,
+                upgraded=result.upgraded,
+                rollbacks=result.rollbacks,
+            )
+        if failed is not None and self.strict:
+            raise StageAbortedError(
+                f"deployment {plan.plan_id} rolled back: {failed[1] or failed[0]}",
+                stage=next(
+                    (s.index for s in result.stages if s.status == "rolled-back"),
+                    -1,
+                ),
+                reason=failed[0],
+            )
+        return result
+
+    def _run_stage(self, stage: StagePlan, span) -> Generator:
+        """Execute one stage attempt; returns the number of flips.
+
+        Raises :class:`_StageFailure` when the attempt must be undone.
+        """
+        env = self.env
+        registry = self.system.registry
+        objects = [registry.get(oid) for oid in stage.object_ids]
+        block = MoveBlock(self.coordinator_node, objects[0])
+        try:
+            # Phase 1: take the place-policy lock on the whole stage.
+            for obj in objects:
+                waited = 0.0
+                while self.locks.is_locked(obj):
+                    if waited >= self.lock_wait:
+                        raise _StageFailure(
+                            "lock-timeout",
+                            f"{obj.name} held past the {self.lock_wait} budget",
+                        )
+                    yield env.timeout(self.lock_poll)
+                    waited += self.lock_poll
+                    self._check_coordinator()
+                self._check_coordinator()
+                try:
+                    self.locks.lock(obj, block)
+                except PolicyError as exc:
+                    reason = (
+                        "lease-broken"
+                        if self.locks.was_broken(block)
+                        else "lock-contention"
+                    )
+                    raise _StageFailure(reason, str(exc))
+
+            # Phase 2: upgrade + atomic flip, object by object.
+            flipped = 0
+            for obj in objects:
+                new_version = self.plan.new_versions[obj.object_id]
+                uspan = None
+                if self._telemetry_on:
+                    uspan = self.telemetry.start_span(
+                        "deploy.upgrade",
+                        node=obj.node_id,
+                        parent=span,
+                        object=obj.name,
+                        to=new_version,
+                    )
+                duration = self.upgrade_duration * obj.size
+                if duration > 0:
+                    yield env.sleep(duration)
+                try:
+                    self._check_coordinator()
+                    if self.locks.was_broken(block):
+                        # A partition (or real crash) made the sweeper
+                        # reclaim our locks mid-upgrade; the flip must
+                        # not land without exclusivity.
+                        raise _StageFailure(
+                            "lease-broken",
+                            f"block #{block.block_id} broken mid-upgrade",
+                        )
+                except _StageFailure:
+                    if self._telemetry_on:
+                        self.telemetry.end_span(
+                            uspan, status=ERROR, reason="aborted"
+                        )
+                    raise
+                # The atomic flip: before this line the object hashes to
+                # its old content hash, after it to the new one.
+                obj.version = new_version
+                flipped += 1
+                if self._telemetry_on:
+                    self.telemetry.end_span(uspan)
+                    self._m_upgraded.inc()
+
+            # Phase 3: verify the flips landed exactly as planned.
+            for obj in objects:
+                actual = self._object_hash(obj)
+                expected = self.plan.new_hashes[obj.object_id]
+                if actual != expected:
+                    raise _StageFailure(
+                        "checksum-mismatch",
+                        f"object {obj.object_id} hashed {actual[:12]}…, "
+                        f"plan predicted {expected[:12]}…",
+                        retryable=False,
+                    )
+
+            # Phase 4: invariant gates.
+            failure = self._evaluate_gates()
+            if failure is not None:
+                raise _StageFailure(
+                    "invariant-violation",
+                    f"gate {failure[0]!r}: {failure[1]}",
+                    retryable=False,
+                )
+            return flipped
+        finally:
+            # Idempotent: a broken block's locks were already reclaimed.
+            self.locks.release_block(block)
+
+    def _check_coordinator(self) -> None:
+        if self.health is not None and self.health.is_down(
+            self.coordinator_node
+        ):
+            raise _StageFailure(
+                "coordinator-crash",
+                f"coordinator node {self.coordinator_node} crashed mid-stage",
+            )

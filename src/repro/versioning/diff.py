@@ -1,0 +1,218 @@
+"""Deterministic content hashing of the distributed object graph.
+
+Every object's *versioned content* — identity, kind, size, version tag,
+attachment edges, alliance memberships and the policy configuration it
+runs under — is serialized into a canonical record and hashed with
+SHA-256.  Node hashes and the graph digest are Merkle-style: a node's
+content hash covers the object hashes of its residents, and the graph
+digest covers all object (or node) hashes, so any single version flip
+changes exactly one leaf and every digest above it.
+
+Two graph-level digests exist because two different questions are asked:
+
+* :func:`compute_graph_digest` (over *object* hashes) is
+  placement-independent — objects keep migrating in space while a
+  deploy runs, and a rollback must restore this digest bit-identically
+  even though nothing ever moves back;
+* the per-node hashes of :func:`snapshot_graph` (and their combined
+  ``placement_digest``) additionally pin *where* everything lives —
+  the property suite uses them on quiescent graphs where bit-identical
+  means "nothing changed at all".
+
+Mutable runtime bookkeeping (migration counts, transit state, lock
+holders) is deliberately excluded: those change with traffic, not with
+version, and hashing them would make "the deploy rolled back cleanly"
+unobservable on a live system.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.core.alliance import AllianceManager
+from repro.core.attachment import AttachmentManager
+from repro.runtime.objects import DistributedObject
+
+#: Bump when the record layout changes: old hashes must not collide
+#: with new ones across code versions.
+HASH_SCHEMA = 1
+
+
+def _canonical(payload: Any) -> bytes:
+    """Canonical JSON bytes: sorted keys, no whitespace drift."""
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), default=str
+    ).encode("utf-8")
+
+
+def _sha256(payload: Any) -> str:
+    return hashlib.sha256(_canonical(payload)).hexdigest()
+
+
+def object_version_record(
+    obj: DistributedObject,
+    attachments: Optional[AttachmentManager] = None,
+    alliances: Optional[AllianceManager] = None,
+    policy_config: Optional[Mapping[str, Any]] = None,
+    version: Optional[str] = None,
+) -> Dict[str, Any]:
+    """The canonical versioned-content record of one object.
+
+    ``version`` overrides the object's current tag — the planner uses
+    this to compute *target* hashes without touching the live object.
+    Attachment edges are recorded undirected and sorted; alliance
+    membership as sorted alliance ids; ``policy_config`` verbatim
+    (canonicalized at hash time).
+    """
+    edges: List[Tuple[int, Any]] = []
+    if attachments is not None:
+        for neighbor, context in attachments.edges_of(obj):
+            edges.append((neighbor, context if context is not None else -1))
+    memberships: List[int] = []
+    if alliances is not None:
+        memberships = [
+            a.alliance_id for a in alliances.alliances if obj in a
+        ]
+    return {
+        "schema": HASH_SCHEMA,
+        "object_id": obj.object_id,
+        "name": obj.name,
+        "kind": obj.kind.value,
+        "fixed": obj.fixed,
+        "size": obj.size,
+        "version": version if version is not None else obj.version,
+        "attachments": sorted(edges),
+        "alliances": sorted(memberships),
+        "policy": dict(policy_config) if policy_config else {},
+    }
+
+
+def compute_object_hash(record: Mapping[str, Any]) -> str:
+    """SHA-256 over the canonical JSON form of one object record."""
+    return _sha256(record)
+
+
+def _combine(parts: List[Tuple[Any, str]]) -> str:
+    """Merkle combine: hash the sorted (key, leaf-hash) pairs."""
+    return _sha256(sorted(parts))
+
+
+def compute_node_content_hash(
+    system,
+    node_id: int,
+    attachments: Optional[AttachmentManager] = None,
+    alliances: Optional[AllianceManager] = None,
+    policy_config: Optional[Mapping[str, Any]] = None,
+) -> str:
+    """Content hash of one node: the object hashes of its residents.
+
+    Objects in transit belong to no node's hash (mirroring the
+    registry's residency invariant); an empty node hashes to the
+    digest of an empty list, which is still schema-stamped.
+    """
+    parts = [
+        (obj.object_id, compute_object_hash(
+            object_version_record(obj, attachments, alliances, policy_config)
+        ))
+        for obj in system.registry.objects_at(node_id)
+    ]
+    return _combine(parts)
+
+
+def compute_graph_digest(object_hashes: Mapping[int, str]) -> str:
+    """Placement-independent graph digest over per-object hashes."""
+    return _combine(list(object_hashes.items()))
+
+
+@dataclass
+class GraphSnapshot:
+    """One consistent hash view of the whole object graph."""
+
+    #: Simulated time the snapshot was taken.
+    taken_at: float
+    #: object id -> content hash.
+    object_hashes: Dict[int, str] = field(default_factory=dict)
+    #: object id -> version tag at snapshot time.
+    object_versions: Dict[int, str] = field(default_factory=dict)
+    #: node id -> node content hash (over resident objects).
+    node_hashes: Dict[int, str] = field(default_factory=dict)
+    #: Placement-independent digest over all object hashes.
+    root_digest: str = ""
+    #: Placement-pinning digest over all node hashes.
+    placement_digest: str = ""
+
+    def diff(self, other: "GraphSnapshot") -> List[int]:
+        """Object ids whose hash differs between the two snapshots.
+
+        Objects present in only one snapshot count as changed.
+        """
+        changed = []
+        for oid in sorted(set(self.object_hashes) | set(other.object_hashes)):
+            if self.object_hashes.get(oid) != other.object_hashes.get(oid):
+                changed.append(oid)
+        return changed
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (checkpoints embed this)."""
+        return {
+            "taken_at": self.taken_at,
+            "object_hashes": {str(k): v for k, v in self.object_hashes.items()},
+            "object_versions": {
+                str(k): v for k, v in self.object_versions.items()
+            },
+            "node_hashes": {str(k): v for k, v in self.node_hashes.items()},
+            "root_digest": self.root_digest,
+            "placement_digest": self.placement_digest,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "GraphSnapshot":
+        """Rebuild a snapshot from :meth:`to_dict` output."""
+        return cls(
+            taken_at=float(data["taken_at"]),
+            object_hashes={
+                int(k): v for k, v in data["object_hashes"].items()
+            },
+            object_versions={
+                int(k): v for k, v in data["object_versions"].items()
+            },
+            node_hashes={int(k): v for k, v in data["node_hashes"].items()},
+            root_digest=data["root_digest"],
+            placement_digest=data["placement_digest"],
+        )
+
+
+def snapshot_graph(
+    system,
+    attachments: Optional[AttachmentManager] = None,
+    alliances: Optional[AllianceManager] = None,
+    policy_config: Optional[Mapping[str, Any]] = None,
+) -> GraphSnapshot:
+    """Hash every object and node of ``system`` into one snapshot."""
+    object_hashes: Dict[int, str] = {}
+    object_versions: Dict[int, str] = {}
+    for obj in system.registry.objects:
+        object_hashes[obj.object_id] = compute_object_hash(
+            object_version_record(obj, attachments, alliances, policy_config)
+        )
+        object_versions[obj.object_id] = obj.version
+    node_hashes = {
+        node.node_id: _combine(
+            [
+                (oid, object_hashes[oid])
+                for oid in sorted(node.resident_ids)
+            ]
+        )
+        for node in system.registry.nodes
+    }
+    return GraphSnapshot(
+        taken_at=system.env.now,
+        object_hashes=object_hashes,
+        object_versions=object_versions,
+        node_hashes=node_hashes,
+        root_digest=compute_graph_digest(object_hashes),
+        placement_digest=_combine(list(node_hashes.items())),
+    )

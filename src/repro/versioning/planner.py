@@ -1,0 +1,335 @@
+"""Planning a staged version migration: diff current vs. target config.
+
+The planner is pure — it runs no simulation time and mutates nothing.
+It snapshots the live graph, computes which objects the target
+:class:`VersionConfig` would change, groups changed objects that must
+flip together (attachment closure plus alliance co-membership — the
+same "working set" logic that governs spatial migration in §3.4), and
+packs the groups into dependency-ordered stages.  A group is never
+split across stages: attached or allied objects either all run the old
+version or all run the new one between stages, so the invariant gates
+evaluated at stage boundaries see only coherent working sets.
+
+Everything is deterministic: groups order by their smallest object id,
+stages pack greedily in that order, and the plan id is a content hash
+of the plan itself — two planners fed the same graph and target emit
+bit-identical plans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.alliance import AllianceManager
+from repro.core.attachment import AttachmentManager
+from repro.errors import ConfigurationError
+from repro.runtime.objects import DistributedObject
+from repro.versioning.diff import (
+    GraphSnapshot,
+    _sha256,
+    compute_graph_digest,
+    compute_object_hash,
+    object_version_record,
+    snapshot_graph,
+)
+
+
+@dataclass(frozen=True)
+class VersionConfig:
+    """A target assignment of version tags to the object population.
+
+    Resolution order for :meth:`version_of`: an explicit per-object
+    entry wins over a per-kind entry, which wins over the default.
+    Stored as sorted tuples (not dicts) so configs are hashable and
+    comparable — a config is itself a value.
+    """
+
+    name: str
+    default: str = "v0"
+    #: Sorted ((kind value, version), ...) overrides.
+    kind_versions: Tuple[Tuple[str, str], ...] = ()
+    #: Sorted ((object id, version), ...) overrides.
+    object_versions: Tuple[Tuple[int, str], ...] = ()
+    #: Sorted ((key, value), ...) policy configuration knobs.
+    policy: Tuple[Tuple[str, str], ...] = ()
+
+    @classmethod
+    def make(
+        cls,
+        name: str,
+        default: str = "v0",
+        kinds: Optional[Mapping[str, str]] = None,
+        objects: Optional[Mapping[int, str]] = None,
+        policy: Optional[Mapping[str, Any]] = None,
+    ) -> "VersionConfig":
+        """Build a config from plain mappings (sorted for determinism)."""
+        return cls(
+            name=name,
+            default=default,
+            kind_versions=tuple(sorted((kinds or {}).items())),
+            object_versions=tuple(sorted((objects or {}).items())),
+            policy=tuple(
+                sorted((k, str(v)) for k, v in (policy or {}).items())
+            ),
+        )
+
+    def version_of(self, obj: DistributedObject) -> str:
+        """Target version tag for one object under this config."""
+        for oid, version in self.object_versions:
+            if oid == obj.object_id:
+                return version
+        for kind, version in self.kind_versions:
+            if kind == obj.kind.value:
+                return version
+        return self.default
+
+    def policy_config(self) -> Dict[str, str]:
+        """The policy knobs as a mapping (for hashing)."""
+        return dict(self.policy)
+
+
+@dataclass(frozen=True)
+class StagePlan:
+    """One stage: the object ids that flip together, and their groups."""
+
+    index: int
+    #: All object ids in this stage, sorted.
+    object_ids: Tuple[int, ...]
+    #: The constituent must-move-together groups (each sorted).
+    groups: Tuple[Tuple[int, ...], ...]
+
+    def __len__(self) -> int:
+        return len(self.object_ids)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (plans embed this)."""
+        return {
+            "index": self.index,
+            "object_ids": list(self.object_ids),
+            "groups": [list(g) for g in self.groups],
+        }
+
+
+@dataclass
+class MigrationPlan:
+    """A staged, hash-annotated version-migration plan."""
+
+    plan_id: str
+    target_config: str
+    stages: List[StagePlan]
+    #: object id -> current version tag.
+    old_versions: Dict[int, str]
+    #: object id -> target version tag (changed objects only).
+    new_versions: Dict[int, str]
+    #: object id -> content hash before the flip (changed objects only).
+    old_hashes: Dict[int, str]
+    #: object id -> content hash after the flip (changed objects only).
+    new_hashes: Dict[int, str]
+    #: Placement-independent digest of the whole graph before deploy.
+    source_digest: str
+    #: Predicted digest of the whole graph after a complete deploy.
+    target_digest: str
+    #: Policy knobs of the target config — the deployer must hash with
+    #: exactly these, or every verify would mismatch.
+    policy: Dict[str, str] = field(default_factory=dict)
+    #: Snapshot the plan was computed against.
+    baseline: GraphSnapshot = field(repr=False, default=None)  # type: ignore[assignment]
+
+    @property
+    def changed_ids(self) -> List[int]:
+        """All object ids the plan touches, sorted."""
+        return sorted(self.new_versions)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the graph already matches the target config."""
+        return not self.stages
+
+    def stage_of(self, object_id: int) -> int:
+        """Stage index an object flips in (-1 if untouched)."""
+        for stage in self.stages:
+            if object_id in stage.object_ids:
+                return stage.index
+        return -1
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (reports and checkpoints embed this)."""
+        return {
+            "plan_id": self.plan_id,
+            "target_config": self.target_config,
+            "stages": [s.to_dict() for s in self.stages],
+            "old_versions": {str(k): v for k, v in self.old_versions.items()},
+            "new_versions": {str(k): v for k, v in self.new_versions.items()},
+            "old_hashes": {str(k): v for k, v in self.old_hashes.items()},
+            "new_hashes": {str(k): v for k, v in self.new_hashes.items()},
+            "source_digest": self.source_digest,
+            "target_digest": self.target_digest,
+            "policy": dict(sorted(self.policy.items())),
+        }
+
+
+class _UnionFind:
+    """Deterministic union-find over object ids."""
+
+    def __init__(self, ids: Sequence[int]):
+        self._parent = {i: i for i in ids}
+
+    def find(self, i: int) -> int:
+        root = i
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[i] != root:
+            self._parent[i], i = root, self._parent[i]
+        return root
+
+    def union(self, a: int, b: int) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            # Smaller root wins: component ids are stable and minimal.
+            if ra < rb:
+                self._parent[rb] = ra
+            else:
+                self._parent[ra] = rb
+
+    def components(self) -> List[List[int]]:
+        comps: Dict[int, List[int]] = {}
+        for i in sorted(self._parent):
+            comps.setdefault(self.find(i), []).append(i)
+        return [comps[r] for r in sorted(comps)]
+
+
+class MigrationPlanner:
+    """Diffs the live graph against a target config and emits a plan.
+
+    Parameters
+    ----------
+    system:
+        The :class:`~repro.runtime.system.DistributedSystem` to plan
+        over.
+    attachments, alliances:
+        The relationship managers whose edges define both the content
+        hashes and the must-flip-together grouping.  Optional — without
+        them every changed object is its own group.
+    """
+
+    def __init__(
+        self,
+        system,
+        attachments: Optional[AttachmentManager] = None,
+        alliances: Optional[AllianceManager] = None,
+    ):
+        self.system = system
+        self.attachments = attachments
+        self.alliances = alliances
+
+    def plan(
+        self, target: VersionConfig, batch_size: int = 4
+    ) -> MigrationPlan:
+        """Compute the staged plan that takes the graph to ``target``.
+
+        ``batch_size`` bounds how many *objects* a stage aims to carry;
+        a single group larger than the batch still occupies one stage
+        whole (groups are atomic), it just overflows the target.
+        """
+        if batch_size < 1:
+            raise ConfigurationError(
+                f"batch_size must be >= 1, got {batch_size}"
+            )
+        policy = target.policy_config()
+        baseline = snapshot_graph(
+            self.system, self.attachments, self.alliances, policy
+        )
+        objects = {o.object_id: o for o in self.system.registry.objects}
+
+        old_versions = {oid: obj.version for oid, obj in objects.items()}
+        new_versions: Dict[int, str] = {}
+        old_hashes: Dict[int, str] = {}
+        new_hashes: Dict[int, str] = {}
+        for oid, obj in objects.items():
+            want = target.version_of(obj)
+            if want != obj.version:
+                new_versions[oid] = want
+                old_hashes[oid] = baseline.object_hashes[oid]
+                new_hashes[oid] = compute_object_hash(
+                    object_version_record(
+                        obj,
+                        self.attachments,
+                        self.alliances,
+                        policy,
+                        version=want,
+                    )
+                )
+
+        stages = self._build_stages(objects, sorted(new_versions), batch_size)
+
+        # Predicted post-deploy digest: baseline hashes with the changed
+        # leaves swapped for their target hashes.
+        predicted = dict(baseline.object_hashes)
+        predicted.update(new_hashes)
+        plan = MigrationPlan(
+            plan_id="",
+            target_config=target.name,
+            stages=stages,
+            old_versions=old_versions,
+            new_versions=new_versions,
+            old_hashes=old_hashes,
+            new_hashes=new_hashes,
+            source_digest=baseline.root_digest,
+            target_digest=compute_graph_digest(predicted),
+            policy=policy,
+            baseline=baseline,
+        )
+        plan.plan_id = _sha256(plan.to_dict())[:16]
+        return plan
+
+    # -- grouping ----------------------------------------------------------------
+
+    def _build_stages(
+        self,
+        objects: Mapping[int, DistributedObject],
+        changed: List[int],
+        batch_size: int,
+    ) -> List[StagePlan]:
+        if not changed:
+            return []
+        uf = _UnionFind(changed)
+        changed_set = set(changed)
+        if self.attachments is not None:
+            for oid in changed:
+                for nbr, _ctx in self.attachments.edges_of(objects[oid]):
+                    if nbr in changed_set:
+                        uf.union(oid, nbr)
+        if self.alliances is not None:
+            for alliance in self.alliances.alliances:
+                members = [
+                    m.object_id
+                    for m in alliance.members
+                    if m.object_id in changed_set
+                ]
+                for a, b in zip(members, members[1:]):
+                    uf.union(a, b)
+
+        stages: List[StagePlan] = []
+        pending_ids: List[int] = []
+        pending_groups: List[Tuple[int, ...]] = []
+
+        def flush() -> None:
+            if pending_ids:
+                stages.append(
+                    StagePlan(
+                        index=len(stages),
+                        object_ids=tuple(sorted(pending_ids)),
+                        groups=tuple(pending_groups),
+                    )
+                )
+                pending_ids.clear()
+                pending_groups.clear()
+
+        for group in uf.components():
+            if pending_ids and len(pending_ids) + len(group) > batch_size:
+                flush()
+            pending_ids.extend(group)
+            pending_groups.append(tuple(group))
+        flush()
+        return stages

@@ -1,0 +1,437 @@
+"""The ``repro-experiment deploy`` study: versioned migration end to end.
+
+Three scenarios, each running a staged version deploy *against a live
+workload* — clients keep issuing move-blocks and invocations while the
+deployer upgrades the server population:
+
+``clean``
+    No faults.  The deploy must commit every stage and land the graph
+    on the plan's predicted target digest, bit-identically.
+``crash-coordinator``
+    A :class:`~repro.availability.chaos.CrashDuringDeploy` action
+    crashes the coordinating node mid-stage.  The stage rolls back to
+    its checkpoint, the deployer waits out the outage and retries; the
+    deploy still commits, and the always-on version-atomicity invariant
+    verifies that no object was ever observable at a hybrid hash.
+``invariant-violation``
+    An induced gate failure at a chosen stage.  The whole deployment
+    rolls back to the pre-deploy checkpoint; the post-run graph digest
+    must equal the pre-deploy digest bit-identically.
+
+The underlying cell is the fault-tolerance workload in its most
+defended configuration (place-policy + leases + heartbeat detection,
+``mttf = 0`` so every fault is scripted and the run replays from the
+seed), with an alliance and attachment structure over the servers so
+the planner has real must-flip-together groups to respect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional, Tuple
+
+from repro.availability.chaos import ChaosOrchestrator, ChaosScenario, CrashDuringDeploy
+from repro.availability.faulttolerance import (
+    FaultToleranceParameters,
+    FaultToleranceWorkload,
+)
+from repro.core.alliance import AllianceManager
+from repro.errors import ConfigurationError, InvariantViolationError, ProcessError
+from repro.sim.monitor import InvariantMonitor
+from repro.sim.trace import RingTracer
+from repro.telemetry.core import NULL_TELEMETRY, Telemetry
+from repro.versioning.deployer import DeploymentResult, MigrationDeployer
+from repro.versioning.planner import MigrationPlan, MigrationPlanner, VersionConfig
+
+#: Scenario names, in CLI/report order.
+DEPLOY_SCENARIOS: Tuple[str, ...] = (
+    "clean",
+    "crash-coordinator",
+    "invariant-violation",
+)
+
+
+@dataclass(frozen=True)
+class DeployStudyParameters:
+    """Configuration of one deploy-study run."""
+
+    scenario: str = "clean"
+    nodes: int = 8
+    clients: int = 4
+    #: Servers are the upgrade population (clients stay at their
+    #: version — they are fixed in space *and* in version here).
+    servers: int = 6
+    #: Version tag the servers are upgraded to.
+    target_version: str = "v1"
+    #: Objects per stage the planner aims for (groups never split).
+    batch_size: int = 3
+    #: Upgrade window per size-1 object (the version-space M).
+    upgrade_duration: float = 2.0
+    lease_duration: float = 30.0
+    sweep_interval: float = 5.0
+    heartbeat_interval: float = 1.0
+    heartbeat_timeout: float = 8.0
+    #: Simulated time the deploy starts (the workload warms up first).
+    deploy_at: float = 50.0
+    #: Crash length of the crash-coordinator scenario.
+    crash_down_for: float = 40.0
+    #: Stage index at which the induced gate violation fires.
+    violate_stage: int = 1
+    #: Crash/partition retries per stage before full rollback.
+    max_stage_retries: int = 4
+    #: Period of the always-on invariant monitor.
+    check_interval: float = 5.0
+    lock_wait: float = 200.0
+    sim_time: float = 1_000.0
+    seed: int = 0
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigurationError` on inconsistent settings."""
+        if self.scenario not in DEPLOY_SCENARIOS:
+            raise ConfigurationError(
+                f"unknown deploy scenario {self.scenario!r}; "
+                f"choose one of {list(DEPLOY_SCENARIOS)}"
+            )
+        if self.servers < 2:
+            raise ConfigurationError(
+                "the deploy study needs at least two servers"
+            )
+        if self.batch_size < 1:
+            raise ConfigurationError("batch_size must be >= 1")
+        if self.deploy_at < 0:
+            raise ConfigurationError("deploy_at must be >= 0")
+        if self.deploy_at >= self.sim_time:
+            raise ConfigurationError("deploy_at must fall inside sim_time")
+        if self.violate_stage < 0:
+            raise ConfigurationError("violate_stage must be >= 0")
+        self.to_ft().validate()
+
+    def to_ft(self) -> FaultToleranceParameters:
+        """The underlying fault-tolerance cell the deploy runs against.
+
+        Always the place-policy with leases and heartbeat detection —
+        the deploy contends for the same locks the movers use — with
+        ``mttf = 0``: every crash is scripted, so runs replay per seed.
+        """
+        return FaultToleranceParameters(
+            nodes=self.nodes,
+            clients=self.clients,
+            servers=self.servers,
+            policy="placement",
+            lease_duration=self.lease_duration,
+            sweep_interval=self.sweep_interval,
+            mttf=0.0,
+            scripted_faults=True,
+            detection="heartbeat",
+            heartbeat_interval=self.heartbeat_interval,
+            heartbeat_timeout=self.heartbeat_timeout,
+            sim_time=self.sim_time,
+            seed=self.seed,
+        )
+
+
+@dataclass
+class DeployStudyResult:
+    """Outcome of one deploy-study run."""
+
+    params: DeployStudyParameters
+    deployment: DeploymentResult
+    #: Stages the plan called for / objects it changed.
+    plan_stages: int
+    changed_objects: int
+    #: Scenario-specific success: committed deploys must land on the
+    #: target digest, rolled-back ones back on the pre-deploy digest —
+    #: bit-identically either way.
+    digest_ok: bool
+    #: Rounds of the always-on invariant monitor (includes the
+    #: version-atomicity invariant for the whole deploy window).
+    invariant_checks: int
+    #: Chaos injection counters (crash scenario only).
+    injections: Dict[str, int] = field(default_factory=dict)
+    #: Invariant violations recorded (empty on a surviving run).
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def survived(self) -> bool:
+        """True when every always-on invariant held for the whole run."""
+        return not self.violations
+
+
+class DeployStudy:
+    """Builds and runs one deploy scenario end to end."""
+
+    def __init__(
+        self,
+        params: DeployStudyParameters,
+        telemetry: Telemetry = NULL_TELEMETRY,
+    ):
+        params.validate()
+        self.params = params
+        self.telemetry = telemetry
+        self.tracer = RingTracer(capacity=256)
+        self.workload = FaultToleranceWorkload(
+            params.to_ft(), tracer=self.tracer, telemetry=telemetry
+        )
+        self.system = self.workload.system
+
+        # Relationship structure over the servers so the planner has
+        # real groups: servers 0 and 1 cooperate in an alliance, 2 and 3
+        # are plainly attached, the rest are singletons.
+        servers = self.workload.servers
+        self.alliances = AllianceManager()
+        self.attachments = self.alliances.attachments
+        ring = self.alliances.create("deploy-ring")
+        ring.admit(servers[0])
+        ring.admit(servers[1])
+        ring.attach(servers[0], servers[1])
+        if len(servers) >= 4:
+            self.attachments.attach(servers[2], servers[3])
+
+        target = VersionConfig.make(
+            f"servers-{params.target_version}",
+            default="v0",
+            kinds={"server": params.target_version},
+            policy={"lease_duration": params.lease_duration},
+        )
+        self.planner = MigrationPlanner(
+            self.system, self.attachments, self.alliances
+        )
+        self.plan: MigrationPlan = self.planner.plan(
+            target, batch_size=params.batch_size
+        )
+
+        # The coordinator runs from the far end of the node range: node
+        # 0 is the heartbeat monitor, and crashing the observer is a
+        # different experiment.
+        coordinator = params.nodes - 1
+        gates = []
+        if params.scenario == "invariant-violation":
+            gates.append(("induced-violation", self._induced_violation))
+        self.monitor = InvariantMonitor(
+            self.system.env,
+            interval=params.check_interval,
+            tracer=self.tracer,
+            trace_limit=50,
+        )
+        self.deployer = MigrationDeployer(
+            self.system,
+            self.plan,
+            self.workload.locks,
+            coordinator_node=coordinator,
+            health=self.workload.faults,
+            monitor=self.monitor,
+            gates=gates,
+            attachments=self.attachments,
+            alliances=self.alliances,
+            upgrade_duration=params.upgrade_duration,
+            lock_wait=params.lock_wait,
+            max_stage_retries=params.max_stage_retries,
+            tracer=self.tracer,
+            telemetry=telemetry,
+        )
+        self._register_invariants()
+
+        self.orchestrator: Optional[ChaosOrchestrator] = None
+        if params.scenario == "crash-coordinator":
+            scenario = ChaosScenario(
+                "crash-during-deploy",
+                (
+                    CrashDuringDeploy(
+                        arm_at=params.deploy_at,
+                        down_for=params.crash_down_for,
+                        times=1,
+                        victim="coordinator",
+                    ),
+                ),
+            )
+            self.orchestrator = ChaosOrchestrator(
+                self.workload, scenario, deployer=self.deployer
+            )
+        self.deploy_result: Optional[DeploymentResult] = None
+
+    # -- invariants and gates ----------------------------------------------------
+
+    def _register_invariants(self) -> None:
+        # The core safety net of the chaos campaigns...
+        self.monitor.invariant(
+            "unique-home", self.system.registry.check_consistency
+        )
+        self.monitor.invariant(
+            "locks-consistent", self.workload.locks.check_invariant
+        )
+        # ...plus the deploy-specific one: at *every* instant, every
+        # planned object hashes to exactly its old or new content hash.
+        self.monitor.invariant(
+            "version-atomicity", self.deployer.check_version_atomicity
+        )
+
+    def _induced_violation(self):
+        """Gate that fails exactly at the configured stage.
+
+        Deliberately a deployer *gate* and not a monitor invariant: the
+        violation must abort the deploy (full rollback), not kill the
+        whole simulation from the periodic checker process.
+        """
+        active = self.deployer.active_stage
+        if active is not None and active[0] == self.params.violate_stage:
+            return (
+                False,
+                f"induced violation at stage {self.params.violate_stage}",
+            )
+        return True
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def _deploy_process(self) -> Generator:
+        yield self.system.env.timeout(self.params.deploy_at)
+        self.deploy_result = yield from self.deployer.deploy()
+
+    def run(self) -> DeployStudyResult:
+        """Run the scenario; raises on an always-on invariant violation."""
+        self.workload.start()
+        if self.orchestrator is not None:
+            self.orchestrator.start()
+        self.monitor.start()
+        self.system.env.process(self._deploy_process(), name="deploy")
+        try:
+            self.system.run(until=self.params.sim_time)
+        except ProcessError as exc:
+            cause = exc.__cause__
+            if isinstance(cause, InvariantViolationError):
+                raise cause from None
+            raise
+        self.monitor.check_now()
+        return self.collect_result()
+
+    def collect_result(self) -> DeployStudyResult:
+        """Assemble the result record from the current state."""
+        deployment = self.deploy_result or self.deployer.result
+        if deployment.status == "committed":
+            digest_ok = deployment.post_digest == deployment.target_digest
+        elif deployment.status == "rolled-back":
+            digest_ok = deployment.post_digest == deployment.pre_digest
+        else:
+            digest_ok = False
+        return DeployStudyResult(
+            params=self.params,
+            deployment=deployment,
+            plan_stages=len(self.plan.stages),
+            changed_objects=len(self.plan.changed_ids),
+            digest_ok=digest_ok,
+            invariant_checks=self.monitor.checks,
+            injections=(
+                self.orchestrator.stats() if self.orchestrator else {}
+            ),
+            violations=list(self.monitor.violations),
+        )
+
+
+def run_deploy_study(params: DeployStudyParameters) -> DeployStudyResult:
+    """Convenience one-shot wrapper."""
+    return DeployStudy(params).run()
+
+
+# ---------------------------------------------------------------------------
+# Sweep + report (the `repro-experiment deploy` surface)
+# ---------------------------------------------------------------------------
+
+
+def run_deploy_matrix(
+    seed: int = 0, scenarios: Tuple[str, ...] = DEPLOY_SCENARIOS
+) -> List[DeployStudyResult]:
+    """Run one deploy study per scenario at a shared seed."""
+    return [
+        run_deploy_study(DeployStudyParameters(scenario=scenario, seed=seed))
+        for scenario in scenarios
+    ]
+
+
+def deploy_rows(
+    results: List[DeployStudyResult],
+) -> Tuple[List[str], List[List]]:
+    """Summarise study results as ``(header, rows)`` for the CLI table."""
+    header = [
+        "scenario",
+        "status",
+        "stages",
+        "upgraded",
+        "stage-rollbacks",
+        "full-rollbacks",
+        "digest-ok",
+        "invariant-checks",
+    ]
+    rows: List[List] = []
+    for result in results:
+        d = result.deployment
+        rows.append(
+            [
+                result.params.scenario,
+                d.status,
+                d.committed_stages,
+                d.upgraded,
+                d.stage_rollbacks,
+                d.full_rollbacks,
+                "yes" if result.digest_ok else "NO",
+                result.invariant_checks,
+            ]
+        )
+    return header, rows
+
+
+def deploy_sweep(
+    seed: int = 0, scenarios: Tuple[str, ...] = DEPLOY_SCENARIOS
+) -> Tuple[List[str], List[List]]:
+    """Run every scenario; returns ``(header, rows)`` for the CLI table."""
+    return deploy_rows(run_deploy_matrix(seed=seed, scenarios=scenarios))
+
+
+def deploy_report_markdown(
+    results: List[DeployStudyResult],
+) -> str:
+    """Render a plan/deploy report (the CI artifact) as markdown."""
+    lines = [
+        "# Versioned object-graph migration report",
+        "",
+        "Staged version deploys against a live place-policy workload: "
+        "plan → diff → staged deploy → invariant-gated rollback.",
+        "",
+    ]
+    for result in results:
+        d = result.deployment
+        p = result.params
+        lines += [
+            f"## Scenario `{p.scenario}` (seed {p.seed})",
+            "",
+            f"- plan `{d.plan_id}`: {result.plan_stages} stage(s), "
+            f"{result.changed_objects} object(s) → `{p.target_version}`",
+            f"- outcome: **{d.status}** — {d.upgraded} upgraded, "
+            f"{d.stage_rollbacks} stage rollback(s), "
+            f"{d.full_rollbacks} full rollback(s)"
+            + (f" ({d.rollback_reason})" if d.rollback_reason else ""),
+            f"- digests: pre `{d.pre_digest[:16]}…` → "
+            f"post `{d.post_digest[:16]}…` "
+            f"(target `{d.target_digest[:16]}…`) — "
+            + ("bit-identical ✓" if result.digest_ok else "MISMATCH ✗"),
+            f"- invariants: {result.invariant_checks} monitor rounds, "
+            + (
+                "no violations"
+                if result.survived
+                else f"{len(result.violations)} violation(s)"
+            ),
+        ]
+        if result.injections:
+            lines.append(
+                f"- chaos: {result.injections.get('deploy_crashes', 0)} "
+                f"deploy crash(es), "
+                f"{result.injections.get('crashes_injected', 0)} total"
+            )
+        lines.append("")
+        lines.append("| stage | objects | attempts | status | reason | elapsed |")
+        lines.append("|---|---|---|---|---|---|")
+        for s in d.stages:
+            lines.append(
+                f"| {s.index} | {s.objects} | {s.attempts} "
+                f"| {s.status} | {s.reason or '—'} | {s.elapsed:.1f} |"
+            )
+        lines.append("")
+    return "\n".join(lines)

@@ -70,6 +70,7 @@ class TestSweeps:
             "availability",
             "faulttolerance",
             "chaos",
+            "deploy",
         }
 
     def test_run_outlook_unknown(self):

@@ -1,0 +1,188 @@
+"""Property tests for versioned-migration safety on quiescent graphs.
+
+Random graph shapes (placement, attachments, alliances) and random
+target version assignments must preserve the protocol's two hash
+promises, using the placement-pinning *per-node* content hashes (on a
+quiescent graph, bit-identical node hashes mean nothing changed at
+all):
+
+* *rollback restores* — plan → apply (every stage flips) → full
+  rollback leaves every node content hash bit-identical to before;
+* *commit lands* — plan → apply → plan the inverse → apply also
+  restores every node content hash: the hashes are a function of graph
+  state alone, not of deployment history.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.alliance import AllianceManager
+from repro.core.locking import LockManager
+from repro.runtime.system import DistributedSystem
+from repro.versioning.deployer import MigrationDeployer
+from repro.versioning.diff import snapshot_graph
+from repro.versioning.planner import MigrationPlanner, VersionConfig
+
+VERSIONS = ("v1", "v2", "v3")
+
+
+@st.composite
+def graph_case(draw):
+    n_nodes = draw(st.integers(min_value=1, max_value=4))
+    n_objects = draw(st.integers(min_value=0, max_value=8))
+    placement = [
+        draw(st.integers(min_value=0, max_value=n_nodes - 1))
+        for _ in range(n_objects)
+    ]
+    if n_objects >= 2:
+        pairs = st.tuples(
+            st.integers(min_value=0, max_value=n_objects - 1),
+            st.integers(min_value=0, max_value=n_objects - 1),
+        )
+        edges = draw(st.lists(pairs, max_size=6))
+        allied = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=n_objects - 1),
+                unique=True,
+                max_size=4,
+            )
+        )
+    else:
+        edges, allied = [], []
+    targets = (
+        draw(
+            st.dictionaries(
+                st.integers(min_value=0, max_value=n_objects - 1),
+                st.sampled_from(VERSIONS),
+                max_size=n_objects,
+            )
+        )
+        if n_objects
+        else {}
+    )
+    batch_size = draw(st.integers(min_value=1, max_value=4))
+    return n_nodes, placement, edges, allied, targets, batch_size
+
+
+def build(case):
+    n_nodes, placement, edges, allied, targets, batch_size = case
+    system = DistributedSystem(nodes=n_nodes, seed=0)
+    objs = [
+        system.create_server(node, name=f"s{i}")
+        for i, node in enumerate(placement)
+    ]
+    alliances = AllianceManager()
+    attachments = alliances.attachments
+    for a, b in edges:
+        if a != b:
+            attachments.attach(objs[a], objs[b])
+    ring = alliances.create("prop-ring")
+    for i in allied:
+        ring.admit(objs[i])
+    target = VersionConfig.make(
+        "prop-target",
+        objects={objs[i].object_id: v for i, v in targets.items()},
+    )
+    locks = LockManager(env=system.env)
+    return system, attachments, alliances, target, locks, batch_size
+
+
+def run_to_completion(gen):
+    """Drive a deploy generator on a quiescent graph.
+
+    With ``upgrade_duration=0`` and uncontended locks the generator
+    never needs simulated time; stepping it to ``StopIteration`` yields
+    the :class:`DeploymentResult`.
+    """
+    try:
+        while True:
+            next(gen)
+    except StopIteration as stop:
+        return stop.value
+
+
+def make_deployer(system, plan, locks, attachments, alliances, gates=()):
+    return MigrationDeployer(
+        system,
+        plan,
+        locks,
+        gates=gates,
+        attachments=attachments,
+        alliances=alliances,
+        upgrade_duration=0.0,
+        max_stage_retries=0,
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(graph_case())
+def test_apply_then_rollback_restores_node_hashes(case):
+    system, attachments, alliances, target, locks, batch_size = build(case)
+    before = snapshot_graph(system, attachments, alliances)
+
+    planner = MigrationPlanner(system, attachments, alliances)
+    plan = planner.plan(target, batch_size=batch_size)
+    last = plan.stages[-1].index if plan.stages else -1
+
+    # Gate that passes until the last stage has flipped, then fails:
+    # every stage applies, then the whole deployment rolls back.
+    deployer = make_deployer(
+        system, plan, locks, attachments, alliances,
+        gates=(
+            (
+                "fail-at-end",
+                lambda: (
+                    deployer.active_stage is None
+                    or deployer.active_stage[0] != last
+                ),
+            ),
+        ),
+    )
+    result = run_to_completion(deployer.deploy())
+
+    assert result.status in ("rolled-back", "empty")
+    if result.status == "rolled-back":
+        assert result.full_rollbacks == 1
+        # Every stage before the last committed (the last stage's flips
+        # landed too, but its gate failure kept it out of `upgraded`),
+        # so real state really was applied before being undone.
+        assert result.upgraded == len(plan.changed_ids) - len(
+            plan.stages[-1].object_ids
+        )
+
+    after = snapshot_graph(system, attachments, alliances)
+    assert after.node_hashes == before.node_hashes
+    assert after.placement_digest == before.placement_digest
+    assert after.root_digest == before.root_digest
+    assert before.diff(after) == []
+    assert locks.locked_objects() == []
+
+
+@settings(max_examples=60, deadline=None)
+@given(graph_case())
+def test_inverse_deploy_restores_node_hashes(case):
+    system, attachments, alliances, target, locks, batch_size = build(case)
+    before = snapshot_graph(system, attachments, alliances)
+    planner = MigrationPlanner(system, attachments, alliances)
+
+    plan = planner.plan(target, batch_size=batch_size)
+    forward = run_to_completion(
+        make_deployer(system, plan, locks, attachments, alliances).deploy()
+    )
+    assert forward.status in ("committed", "empty")
+    assert forward.post_digest == plan.target_digest
+    # Mid-state sanity: the graph matches the target config now.
+    for oid in plan.changed_ids:
+        assert system.registry.get(oid).version == plan.new_versions[oid]
+
+    back = planner.plan(
+        VersionConfig.make("prop-restore"), batch_size=batch_size
+    )
+    backward = run_to_completion(
+        make_deployer(system, back, locks, attachments, alliances).deploy()
+    )
+    assert backward.status in ("committed", "empty")
+
+    after = snapshot_graph(system, attachments, alliances)
+    assert after.node_hashes == before.node_hashes
+    assert after.root_digest == before.root_digest

@@ -1,0 +1,214 @@
+"""Deployer tests: staged execution, checkpoints, retries, rollback.
+
+Each test drives a :class:`MigrationDeployer` as a real simulation
+process against a small system, then asserts on the
+:class:`DeploymentResult` timeline and the graph digests.
+"""
+
+import json
+
+import pytest
+
+from repro.core.locking import LockManager
+from repro.core.moveblock import MoveBlock
+from repro.errors import (
+    ChecksumMismatchError,
+    ProcessError,
+    StageAbortedError,
+)
+from repro.runtime.system import DistributedSystem
+from repro.versioning.deployer import Checkpoint, MigrationDeployer
+from repro.versioning.diff import snapshot_graph
+from repro.versioning.planner import MigrationPlanner, VersionConfig
+
+TARGET = VersionConfig.make("up", kinds={"server": "v1"})
+
+
+class Health:
+    """Scripted node-health stub (FaultInjector's deploy-facing API)."""
+
+    def __init__(self, env):
+        self.env = env
+        self.down = set()
+
+    def is_down(self, node_id):
+        return node_id in self.down
+
+    def wait_until_up(self, node_id):
+        while self.is_down(node_id):
+            yield self.env.timeout(1.0)
+
+
+def build(servers=5, **deployer_kw):
+    system = DistributedSystem(nodes=3, seed=0)
+    for i in range(servers):
+        system.create_server(i % 3, name=f"s{i}")
+    locks = LockManager(env=system.env, lease_duration=50.0)
+    plan = MigrationPlanner(system).plan(TARGET, batch_size=2)
+    deployer = MigrationDeployer(system, plan, locks, **deployer_kw)
+    return system, locks, plan, deployer
+
+
+def drive(system, deployer, until=10_000.0):
+    box = {}
+
+    def _run():
+        box["result"] = yield from deployer.deploy()
+
+    system.env.process(_run(), name="deploy-driver")
+    system.run(until=until)
+    return box["result"]
+
+
+class TestCleanDeploy:
+    def test_all_stages_commit(self):
+        system, _, plan, deployer = build()
+        result = drive(system, deployer)
+        assert result.status == "committed"
+        assert result.upgraded == len(plan.changed_ids)
+        assert result.rollbacks == 0
+        assert result.post_digest == plan.target_digest
+        assert all(s.status == "committed" for s in result.stages)
+        assert all(s.attempts == 1 for s in result.stages)
+        for obj in system.registry.objects:
+            assert obj.version == "v1"
+
+    def test_checkpoints_cover_every_stage(self):
+        system, _, plan, deployer = build()
+        result = drive(system, deployer)
+        # Pre-deploy checkpoint plus one per committed stage.
+        assert [c.stage for c in result.checkpoints] == [-1] + [
+            s.index for s in plan.stages
+        ]
+        assert result.checkpoints[0].digest == plan.source_digest
+        assert result.checkpoints[-1].digest == plan.target_digest
+
+    def test_durable_checkpoint_files(self, tmp_path):
+        system, _, plan, deployer = build(checkpoint_dir=str(tmp_path))
+        result = drive(system, deployer)
+        for cp in result.checkpoints:
+            path = tmp_path / f"checkpoint-{cp.stage}.json"
+            assert path.exists()
+            clone = Checkpoint.from_dict(json.loads(path.read_text()))
+            assert clone == cp
+
+    def test_locks_are_released_afterwards(self):
+        system, locks, _, deployer = build()
+        drive(system, deployer)
+        assert locks.locked_objects() == []
+
+    def test_empty_plan_is_a_noop(self):
+        system = DistributedSystem(nodes=2, seed=0)
+        system.create_server(0, name="s0")
+        locks = LockManager(env=system.env)
+        plan = MigrationPlanner(system).plan(VersionConfig.make("same"))
+        deployer = MigrationDeployer(system, plan, locks)
+        gen = deployer.deploy()
+        with pytest.raises(StopIteration) as stop:
+            next(gen)
+        result = stop.value.value
+        assert result.status == "empty"
+        assert result.post_digest == result.pre_digest
+
+    def test_stale_plan_refused(self):
+        system, _, plan, deployer = build()
+        # The graph drifted between planning and deploying.
+        system.registry.get(plan.changed_ids[0]).version = "v7"
+        gen = deployer.deploy()
+        with pytest.raises(ChecksumMismatchError, match="stale"):
+            next(gen)
+
+
+class TestAtomicityInvariant:
+    def test_holds_on_untouched_and_deployed_graphs(self):
+        system, _, _, deployer = build()
+        assert deployer.check_version_atomicity() is True
+        drive(system, deployer)
+        assert deployer.check_version_atomicity() is True
+
+    def test_detects_a_hybrid_version(self):
+        system, _, plan, deployer = build()
+        system.registry.get(plan.changed_ids[0]).version = "v9"
+        verdict = deployer.check_version_atomicity()
+        assert verdict[0] is False
+        assert "hybrid" in verdict[1]
+
+
+class TestCoordinatorCrash:
+    def crash_window(self, system, health, at, until):
+        def _crash():
+            yield system.env.timeout(at)
+            health.down.add(0)
+            yield system.env.timeout(until - at)
+            health.down.discard(0)
+
+        system.env.process(_crash(), name="crash-script")
+
+    def test_stage_retries_after_crash(self):
+        system, _, plan, deployer = build(max_stage_retries=3)
+        health = Health(system.env)
+        deployer.health = health
+        # Down inside stage 0's upgrade window, back up later.
+        self.crash_window(system, health, at=1.0, until=10.0)
+        result = drive(system, deployer)
+        assert result.status == "committed"
+        assert result.stage_rollbacks == 1
+        assert result.stages[0].attempts == 2
+        assert result.post_digest == plan.target_digest
+
+    def test_exhausted_retries_roll_back_everything(self):
+        system, _, plan, deployer = build(max_stage_retries=0)
+        health = Health(system.env)
+        deployer.health = health
+        self.crash_window(system, health, at=1.0, until=10.0)
+        result = drive(system, deployer)
+        assert result.status == "rolled-back"
+        assert result.rollback_reason == "coordinator-crash"
+        assert result.full_rollbacks == 1
+        assert result.post_digest == plan.source_digest
+        for obj in system.registry.objects:
+            assert obj.version == "v0"
+
+
+class TestGatesAndRollback:
+    def test_gate_failure_rolls_back_bit_identically(self):
+        system, _, _, _ = build()
+        pre = snapshot_graph(system)
+        system2, _, plan, deployer = build(
+            gates=(("bad", lambda: (False, "induced")),)
+        )
+        result = drive(system2, deployer)
+        assert result.status == "rolled-back"
+        assert result.rollback_reason == "invariant-violation"
+        assert result.stages[0].reason == "invariant-violation"
+        assert result.stages[0].attempts == 1  # not retryable
+        assert result.post_digest == plan.source_digest
+        # Same seed, same build: the restored graph matches the twin
+        # system that never deployed at all.
+        assert snapshot_graph(system2).root_digest == pre.root_digest
+
+    def test_lock_timeout_gives_up_cleanly(self):
+        system, locks, plan, deployer = build(
+            lock_wait=5.0, max_stage_retries=0
+        )
+        # A foreign block camps on a stage-0 object and never lets go.
+        victim = system.registry.get(plan.stages[0].object_ids[0])
+        locks.lock(victim, MoveBlock(2, victim))
+        result = drive(system, deployer)
+        assert result.status == "rolled-back"
+        assert result.rollback_reason == "lock-timeout"
+        assert result.post_digest == plan.source_digest
+
+    def test_strict_mode_raises(self):
+        system, _, _, deployer = build(
+            gates=(("bad", lambda: False),), strict=True
+        )
+        with pytest.raises(ProcessError) as excinfo:
+            drive(system, deployer)
+        cause = excinfo.value
+        while cause.__cause__ is not None:
+            cause = cause.__cause__
+        assert isinstance(cause, StageAbortedError)
+        assert cause.reason == "invariant-violation"
+        # The result object stays inspectable after the raise.
+        assert deployer.result.status == "rolled-back"

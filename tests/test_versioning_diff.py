@@ -1,0 +1,154 @@
+"""Content hashing: determinism, sensitivity, and the two digests.
+
+The deploy protocol's safety story rests on the hash layer: a version
+flip must change exactly one leaf, a rollback must restore the root
+digest bit-identically, and nothing that changes with *traffic* (as
+opposed to *version*) may leak into a hash.
+"""
+
+from repro.core.alliance import AllianceManager
+from repro.core.attachment import AttachmentManager
+from repro.runtime.system import DistributedSystem
+from repro.versioning.diff import (
+    GraphSnapshot,
+    compute_graph_digest,
+    compute_node_content_hash,
+    compute_object_hash,
+    object_version_record,
+    snapshot_graph,
+)
+
+
+def small_system(nodes=3, servers=4):
+    system = DistributedSystem(nodes=nodes, seed=0)
+    objs = [
+        system.create_server(i % nodes, name=f"s{i}") for i in range(servers)
+    ]
+    return system, objs
+
+
+class TestObjectRecords:
+    def test_record_is_deterministic(self):
+        _, objs = small_system()
+        a = object_version_record(objs[0])
+        b = object_version_record(objs[0])
+        assert a == b
+        assert compute_object_hash(a) == compute_object_hash(b)
+
+    def test_version_override_changes_hash_only_via_version(self):
+        _, objs = small_system()
+        base = object_version_record(objs[0])
+        overridden = object_version_record(objs[0], version="v1")
+        assert base["version"] == "v0"
+        assert overridden["version"] == "v1"
+        assert {k: v for k, v in base.items() if k != "version"} == {
+            k: v for k, v in overridden.items() if k != "version"
+        }
+        assert compute_object_hash(base) != compute_object_hash(overridden)
+
+    def test_attachments_and_alliances_enter_the_hash(self):
+        _, objs = small_system()
+        attachments = AttachmentManager()
+        bare = compute_object_hash(object_version_record(objs[0], attachments))
+        attachments.attach(objs[0], objs[1])
+        attached = compute_object_hash(
+            object_version_record(objs[0], attachments)
+        )
+        assert bare != attached
+
+        alliances = AllianceManager()
+        ring = alliances.create("ring")
+        solo = compute_object_hash(
+            object_version_record(objs[2], alliances=alliances)
+        )
+        ring.admit(objs[2])
+        allied = compute_object_hash(
+            object_version_record(objs[2], alliances=alliances)
+        )
+        assert solo != allied
+
+    def test_policy_config_enters_the_hash(self):
+        _, objs = small_system()
+        a = compute_object_hash(
+            object_version_record(objs[0], policy_config={"lease": "30"})
+        )
+        b = compute_object_hash(
+            object_version_record(objs[0], policy_config={"lease": "60"})
+        )
+        assert a != b
+
+    def test_runtime_bookkeeping_is_excluded(self):
+        # Migration counters change with traffic, not with version.
+        _, objs = small_system()
+        before = compute_object_hash(object_version_record(objs[0]))
+        objs[0].migration_count += 1
+        objs[0].invocation_count += 3
+        after = compute_object_hash(object_version_record(objs[0]))
+        assert before == after
+
+
+class TestDigests:
+    def test_single_flip_changes_exactly_one_leaf(self):
+        system, objs = small_system()
+        before = snapshot_graph(system)
+        objs[1].version = "v1"
+        after = snapshot_graph(system)
+        assert before.diff(after) == [objs[1].object_id]
+        assert before.root_digest != after.root_digest
+
+    def test_flip_and_restore_is_bit_identical(self):
+        system, objs = small_system()
+        before = snapshot_graph(system)
+        objs[1].version = "v1"
+        objs[1].version = "v0"
+        after = snapshot_graph(system)
+        assert before.diff(after) == []
+        assert before.root_digest == after.root_digest
+        assert before.placement_digest == after.placement_digest
+
+    def test_root_digest_is_placement_independent(self):
+        system, objs = small_system()
+        before = snapshot_graph(system)
+        # Relocate an object without touching any version tag.
+        system.registry.depart(objs[0])
+        system.registry.arrive(objs[0], (objs[0].node_id + 1) % 3)
+        after = snapshot_graph(system)
+        assert before.root_digest == after.root_digest
+        assert before.placement_digest != after.placement_digest
+
+    def test_node_hash_covers_exactly_the_residents(self):
+        system, objs = small_system(nodes=3, servers=4)
+        h0 = compute_node_content_hash(system, 0)
+        assert h0 == compute_node_content_hash(system, 0)
+        # Node 1 hosts different residents, so it hashes differently.
+        assert h0 != compute_node_content_hash(system, 1)
+        # A version flip on a node-0 resident changes only node 0.
+        h1 = compute_node_content_hash(system, 1)
+        objs[0].version = "v9"
+        assert compute_node_content_hash(system, 0) != h0
+        assert compute_node_content_hash(system, 1) == h1
+
+    def test_graph_digest_key_order_is_irrelevant(self):
+        hashes = {1: "aa", 2: "bb", 3: "cc"}
+        shuffled = {3: "cc", 1: "aa", 2: "bb"}
+        assert compute_graph_digest(hashes) == compute_graph_digest(shuffled)
+
+
+class TestSnapshotSerialization:
+    def test_snapshot_round_trips_to_dict(self):
+        system, _ = small_system()
+        snap = snapshot_graph(system)
+        clone = GraphSnapshot.from_dict(snap.to_dict())
+        assert clone.object_hashes == snap.object_hashes
+        assert clone.object_versions == snap.object_versions
+        assert clone.node_hashes == snap.node_hashes
+        assert clone.root_digest == snap.root_digest
+        assert clone.placement_digest == snap.placement_digest
+        assert clone.diff(snap) == []
+
+    def test_diff_counts_missing_objects_as_changed(self):
+        system, objs = small_system()
+        snap = snapshot_graph(system)
+        extra = system.create_server(0, name="late")
+        later = snapshot_graph(system)
+        assert snap.diff(later) == [extra.object_id]

@@ -1,0 +1,152 @@
+"""Planner tests: diffing, grouping, staging, determinism.
+
+The planner must be pure (no simulation time, no mutation), must never
+split an attachment/alliance group across stages, and must emit
+bit-identical plans for identical inputs.
+"""
+
+import pytest
+
+from repro.core.alliance import AllianceManager
+from repro.errors import ConfigurationError
+from repro.runtime.system import DistributedSystem
+from repro.versioning.planner import MigrationPlanner, VersionConfig
+
+
+def build(nodes=4, servers=8):
+    system = DistributedSystem(nodes=nodes, seed=0)
+    objs = [
+        system.create_server(i % nodes, name=f"s{i}") for i in range(servers)
+    ]
+    return system, objs
+
+
+class TestVersionConfig:
+    def test_resolution_order(self):
+        system, objs = build(servers=2)
+        client = system.create_client(0, name="c")
+        config = VersionConfig.make(
+            "t",
+            default="v1",
+            kinds={"server": "v2"},
+            objects={objs[1].object_id: "v3"},
+        )
+        assert config.version_of(client) == "v1"
+        assert config.version_of(objs[0]) == "v2"
+        assert config.version_of(objs[1]) == "v3"
+
+    def test_configs_are_values(self):
+        a = VersionConfig.make("t", kinds={"server": "v1"}, policy={"k": 1})
+        b = VersionConfig.make("t", kinds={"server": "v1"}, policy={"k": 1})
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a.policy_config() == {"k": "1"}
+
+
+class TestPlanning:
+    def test_noop_plan_is_empty(self):
+        system, _ = build()
+        plan = MigrationPlanner(system).plan(VersionConfig.make("same"))
+        assert plan.is_empty
+        assert plan.changed_ids == []
+        assert plan.source_digest == plan.target_digest
+
+    def test_plan_covers_every_changed_object_once(self):
+        system, objs = build()
+        plan = MigrationPlanner(system).plan(
+            VersionConfig.make("up", kinds={"server": "v1"}), batch_size=3
+        )
+        staged = [oid for s in plan.stages for oid in s.object_ids]
+        assert sorted(staged) == plan.changed_ids
+        assert len(staged) == len(set(staged)) == len(objs)
+        for oid in plan.changed_ids:
+            assert plan.new_versions[oid] == "v1"
+            assert plan.old_versions[oid] == "v0"
+            assert plan.old_hashes[oid] != plan.new_hashes[oid]
+            assert plan.stage_of(oid) >= 0
+        assert plan.stage_of(10_000) == -1
+
+    def test_planner_is_pure(self):
+        system, objs = build()
+        before = [(o.version, o.node_id) for o in objs]
+        MigrationPlanner(system).plan(
+            VersionConfig.make("up", kinds={"server": "v1"})
+        )
+        assert [(o.version, o.node_id) for o in objs] == before
+        assert system.env.now == 0.0
+
+    def test_plans_are_deterministic(self):
+        target = VersionConfig.make("up", kinds={"server": "v1"})
+        plans = []
+        for _ in range(2):
+            system, _ = build()
+            plans.append(MigrationPlanner(system).plan(target))
+        assert plans[0].plan_id == plans[1].plan_id
+        assert plans[0].to_dict() == plans[1].to_dict()
+
+    def test_bad_batch_size_rejected(self):
+        system, _ = build()
+        with pytest.raises(ConfigurationError, match="batch_size"):
+            MigrationPlanner(system).plan(
+                VersionConfig.make("up", kinds={"server": "v1"}),
+                batch_size=0,
+            )
+
+
+class TestGrouping:
+    def test_attached_objects_stay_in_one_stage(self):
+        system, objs = build(servers=6)
+        alliances = AllianceManager()
+        attachments = alliances.attachments
+        attachments.attach(objs[0], objs[3])
+        attachments.attach(objs[3], objs[5])
+        planner = MigrationPlanner(system, attachments, alliances)
+        plan = planner.plan(
+            VersionConfig.make("up", kinds={"server": "v1"}), batch_size=2
+        )
+        chain = {objs[0].object_id, objs[3].object_id, objs[5].object_id}
+        stages = {plan.stage_of(oid) for oid in chain}
+        assert len(stages) == 1
+        # The chain overflows batch_size=2 but is never split.
+        stage = plan.stages[stages.pop()]
+        assert chain <= set(stage.object_ids)
+        assert any(chain == set(g) for g in stage.groups)
+
+    def test_alliance_members_stay_in_one_stage(self):
+        system, objs = build(servers=6)
+        alliances = AllianceManager()
+        ring = alliances.create("ring")
+        for obj in (objs[1], objs[2], objs[4]):
+            ring.admit(obj)
+        planner = MigrationPlanner(
+            system, alliances.attachments, alliances
+        )
+        plan = planner.plan(
+            VersionConfig.make("up", kinds={"server": "v1"}), batch_size=2
+        )
+        stages = {
+            plan.stage_of(o.object_id) for o in (objs[1], objs[2], objs[4])
+        }
+        assert len(stages) == 1
+
+    def test_unchanged_neighbors_do_not_join_the_group(self):
+        # An attachment to an object the target does not change must not
+        # drag that object into the plan.
+        system, objs = build(servers=4)
+        alliances = AllianceManager()
+        attachments = alliances.attachments
+        attachments.attach(objs[0], objs[1])
+        target = VersionConfig.make(
+            "partial", objects={objs[0].object_id: "v1"}
+        )
+        plan = MigrationPlanner(system, attachments, alliances).plan(target)
+        assert plan.changed_ids == [objs[0].object_id]
+
+    def test_stage_packing_respects_batch_size(self):
+        system, _ = build(servers=9)
+        plan = MigrationPlanner(system).plan(
+            VersionConfig.make("up", kinds={"server": "v1"}), batch_size=4
+        )
+        # Singleton groups pack greedily: 4 + 4 + 1.
+        assert [len(s) for s in plan.stages] == [4, 4, 1]
+        assert [s.index for s in plan.stages] == [0, 1, 2]

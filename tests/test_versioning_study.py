@@ -1,0 +1,181 @@
+"""Deploy-study tests: the three scenarios, end to end.
+
+These are the acceptance tests of the versioned-migration protocol:
+
+* ``clean`` — every stage commits and the graph lands bit-identically
+  on the plan's predicted target digest;
+* ``crash-coordinator`` — a chaos crash mid-stage forces a checkpoint
+  rollback and retry, the deploy still commits, and the always-on
+  version-atomicity invariant verified (every monitor round) that no
+  object was ever at a hybrid hash;
+* ``invariant-violation`` — an induced gate failure rolls the whole
+  deployment back and restores the pre-deploy digest bit-identically.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.telemetry.core import Telemetry
+from repro.telemetry.validate import (
+    DEPLOY_METRICS,
+    DEPLOY_SPAN_SCHEMAS,
+    validate_span_doc,
+)
+from repro.versioning.study import (
+    DEPLOY_SCENARIOS,
+    DeployStudy,
+    DeployStudyParameters,
+    deploy_report_markdown,
+    deploy_rows,
+    run_deploy_study,
+)
+
+#: Shorter horizon than the CLI default; still covers every scenario's
+#: full deploy (the deploy starts at t=50 and finishes well before).
+SIM_TIME = 400.0
+
+
+def params(scenario, **kw):
+    kw.setdefault("sim_time", SIM_TIME)
+    return DeployStudyParameters(scenario=scenario, **kw)
+
+
+class TestValidation:
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown deploy"):
+            DeployStudyParameters(scenario="yolo").validate()
+
+    def test_deploy_must_fall_inside_horizon(self):
+        with pytest.raises(ConfigurationError, match="deploy_at"):
+            DeployStudyParameters(deploy_at=500.0, sim_time=400.0).validate()
+
+    def test_scenario_registry_is_closed(self):
+        assert DEPLOY_SCENARIOS == (
+            "clean",
+            "crash-coordinator",
+            "invariant-violation",
+        )
+
+
+class TestCleanScenario:
+    def test_commits_on_target_digest(self):
+        result = run_deploy_study(params("clean"))
+        d = result.deployment
+        assert d.status == "committed"
+        assert result.digest_ok
+        assert result.survived
+        assert d.upgraded == result.changed_objects
+        assert d.rollbacks == 0
+        assert d.committed_stages == result.plan_stages >= 2
+        assert result.invariant_checks > 0
+
+    def test_groups_never_split(self):
+        study = DeployStudy(params("clean"))
+        servers = study.workload.servers
+        # Allied servers 0/1 and attached servers 2/3 share a stage.
+        assert study.plan.stage_of(servers[0].object_id) == study.plan.stage_of(
+            servers[1].object_id
+        )
+        assert study.plan.stage_of(servers[2].object_id) == study.plan.stage_of(
+            servers[3].object_id
+        )
+
+    def test_deterministic_replay(self):
+        a = run_deploy_study(params("clean"))
+        b = run_deploy_study(params("clean"))
+        assert a.deployment.plan_id == b.deployment.plan_id
+        assert a.deployment.post_digest == b.deployment.post_digest
+        assert a.deployment.to_dict() == b.deployment.to_dict()
+
+
+class TestCrashScenario:
+    def test_crash_mid_stage_retries_and_commits(self):
+        result = run_deploy_study(params("crash-coordinator"))
+        d = result.deployment
+        # The chaos action really fired, mid-stage.
+        assert result.injections["deploy_crashes"] == 1
+        assert result.injections["crashes_injected"] >= 1
+        # The hit stage rolled back to its checkpoint and was retried.
+        assert d.stage_rollbacks >= 1
+        assert any(s.attempts > 1 for s in d.stages)
+        # ...and the deploy still landed on the target, bit-identically.
+        assert d.status == "committed"
+        assert result.digest_ok
+        # The version-atomicity invariant ran all along and never saw a
+        # hybrid object — crash, rollback and retry included.
+        assert result.survived
+        assert result.invariant_checks > 0
+
+
+class TestViolationScenario:
+    def test_full_rollback_restores_pre_digest(self):
+        result = run_deploy_study(params("invariant-violation"))
+        d = result.deployment
+        assert d.status == "rolled-back"
+        assert d.rollback_reason == "invariant-violation"
+        assert d.full_rollbacks == 1
+        # Bit-identical restore of the pre-deploy graph digest.
+        assert d.post_digest == d.pre_digest
+        assert result.digest_ok
+        # The induced gate is a deploy gate, not a monitor invariant:
+        # the simulation itself survived.
+        assert result.survived
+        # The violating stage is on record; every earlier stage
+        # committed before the gate fired.
+        bad = [s for s in d.stages if s.status == "rolled-back"]
+        assert len(bad) == 1
+        assert bad[0].index == params("invariant-violation").violate_stage
+
+    def test_every_object_back_on_the_old_version(self):
+        study = DeployStudy(params("invariant-violation"))
+        study.run()
+        for oid in study.plan.changed_ids:
+            assert study.system.registry.get(oid).version == "v0"
+
+
+class TestTelemetry:
+    def test_deploy_spans_and_metrics_are_cataloged(self):
+        telemetry = Telemetry()
+        study = DeployStudy(params("crash-coordinator"), telemetry=telemetry)
+        study.run()
+        by_name = {}
+        for span in telemetry.spans:
+            by_name.setdefault(span.name, []).append(span)
+        # Every schema-registered deploy span kind appears (the crash
+        # scenario exercises rollback too) and carries its tags.
+        for name in DEPLOY_SPAN_SCHEMAS:
+            assert by_name.get(name), f"no {name!r} spans"
+            for span in by_name[name]:
+                assert validate_span_doc(span.to_dict()) == []
+        # The upgrade spans land on the lanes of the nodes hosting the
+        # objects — a cross-node tree, not a coordinator monologue.
+        coordinator = study.deployer.coordinator_node
+        nodes = {s.node for s in by_name["deploy.upgrade"]}
+        assert nodes - {coordinator}
+        # All stage/upgrade spans chain up to the single deploy root.
+        root = by_name["deploy"][0]
+        assert all(
+            s.parent_id == root.span_id for s in by_name["deploy.stage"]
+        )
+        # Every cataloged deploy metric was actually emitted.
+        names = set(telemetry.metrics.names())
+        for metric in DEPLOY_METRICS:
+            assert metric in names
+
+
+class TestReporting:
+    def test_rows_and_markdown(self):
+        results = [
+            run_deploy_study(params("clean")),
+            run_deploy_study(params("invariant-violation")),
+        ]
+        header, rows = deploy_rows(results)
+        assert rows[0][0] == "clean"
+        assert rows[0][1] == "committed"
+        assert rows[1][1] == "rolled-back"
+        assert len(header) == len(rows[0]) == len(rows[1])
+        report = deploy_report_markdown(results)
+        assert "## Scenario `clean`" in report
+        assert "bit-identical ✓" in report
+        assert "| stage | objects |" in report
+        assert results[0].deployment.plan_id in report
