@@ -3,8 +3,8 @@
 PYTHON ?= python
 
 .PHONY: install test test-faults test-chaos test-telemetry \
-        test-versioning bench bench-kernel bench-full figures \
-        figures-paper examples clean
+        test-versioning test-shard bench bench-kernel bench-shard \
+        bench-full figures figures-paper examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -51,6 +51,13 @@ test-versioning:
 	  tests/test_versioning_deployer.py tests/test_versioning_study.py \
 	  tests/test_prop_versioning.py tests/test_errors_pickle.py
 
+# The sharded kernel: partition plans, window messages, the router,
+# both execution backends, and the determinism/statistics contract
+# (shards=1 bit-identity, inline == process, closed-form round trip).
+test-shard:
+	$(PYTHON) -m pytest -q -p no:randomly \
+	  tests/test_shard.py tests/test_shard_determinism.py
+
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
@@ -64,6 +71,15 @@ bench-kernel:
 	$(PYTHON) -m pytest benchmarks/bench_kernel.py --benchmark-only \
 	  --benchmark-json=BENCH_kernel.json
 	cp BENCH_kernel.json benchmarks/results/BENCH_kernel.json
+
+# Sharded-kernel scaling, speedup and hot-spot capacity, with
+# machine-readable results at the repo root (BENCH_shard.json) and a
+# copy under benchmarks/results/.
+bench-shard:
+	mkdir -p benchmarks/results
+	$(PYTHON) -m pytest benchmarks/bench_shard.py --benchmark-only \
+	  -p no:randomly --benchmark-json=BENCH_shard.json
+	cp BENCH_shard.json benchmarks/results/BENCH_shard.json
 
 # Full paper sweeps under the default stopping rule.
 bench-full:

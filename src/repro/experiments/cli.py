@@ -94,6 +94,15 @@ def build_parser() -> argparse.ArgumentParser:
         "(= CPU count)",
     )
     parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help="figures only: partition every cell across N kernel "
+        "instances under conservative time-window synchronization "
+        "(1 = the unsharded kernel, bit-identical results)",
+    )
+    parser.add_argument(
         "--cache",
         action=argparse.BooleanOptionalAction,
         default=False,
@@ -245,6 +254,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         return 2
 
+    if args.shards != 1 and args.figure not in FIGURES and args.figure != "all":
+        print(
+            "--shards only applies to figure runs (figN or 'all')",
+            file=sys.stderr,
+        )
+        return 2
+
     if args.figure == "telemetry" or args.telemetry is not None:
         return _run_telemetry(args)
 
@@ -309,6 +325,19 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     names = sorted(FIGURES) if args.figure == "all" else [args.figure]
 
+    if args.shards < 1:
+        print(f"--shards must be >= 1, got {args.shards}", file=sys.stderr)
+        return 2
+    sharded = args.shards > 1
+    if sharded and args.cache:
+        print(
+            "--cache keys on parameters alone; sharded results are not "
+            "interchangeable with unsharded ones, so --cache cannot be "
+            "combined with --shards > 1",
+            file=sys.stderr,
+        )
+        return 2
+
     cache = None
     if args.cache:
         from repro.experiments.cache import CellCache
@@ -317,15 +346,26 @@ def main(argv: Optional[List[str]] = None) -> int:
     # One executor for the whole invocation: the process pool (and the
     # cache-hit counters) are shared across every figure.
     executor = ParallelExecutor(workers=args.workers, cache=cache)
+    sharded_runner = None
+    if sharded:
+        from repro.experiments.runner import ShardedRunner
+
+        sharded_runner = ShardedRunner(
+            args.shards, stopping=stopping, workers=args.workers
+        )
 
     for name in names:
         definition = make_figure(name, seed=args.seed, fast=args.fast)
         print(
             f"running {definition.exp_id}: {definition.cell_count()} cells "
-            f"({len(definition.series)} series x {len(definition.x_values)} points)",
+            f"({len(definition.series)} series x {len(definition.x_values)} points)"
+            + (f" across {args.shards} shards" if sharded else ""),
             file=sys.stderr,
         )
-        result = run_figure(definition, stopping=stopping, executor=executor)
+        if sharded:
+            result = sharded_runner.run(definition)
+        else:
+            result = run_figure(definition, stopping=stopping, executor=executor)
         print(format_table(result))
         print()
         if args.plot:

@@ -42,22 +42,55 @@ CellJob = Tuple[SimulationParameters, Optional[StoppingConfig]]
 Workers = Union[int, str]
 
 
+def max_workers_cap() -> Optional[int]:
+    """The ``REPRO_MAX_WORKERS`` ceiling, or ``None`` when unset.
+
+    Invalid or non-positive values raise :class:`ValueError` rather
+    than being silently ignored — a typo'd cap should not oversubscribe
+    a shared box.
+    """
+    raw = os.environ.get("REPRO_MAX_WORKERS")
+    if raw is None or raw.strip() == "":
+        return None
+    try:
+        cap = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_MAX_WORKERS must be a positive integer, got {raw!r}"
+        ) from None
+    if cap < 1:
+        raise ValueError(
+            f"REPRO_MAX_WORKERS must be >= 1, got {cap}"
+        )
+    return cap
+
+
 def resolve_workers(workers: Workers) -> int:
     """Normalize a worker-count spelling to a positive integer.
 
-    ``"auto"`` resolves to :func:`os.cpu_count`.  Anything that is not
-    ``"auto"`` or an integer >= 1 raises :class:`ValueError` — the same
-    rejection everywhere (CLI, runner, replications, grid).
+    ``"auto"`` resolves to :func:`os.cpu_count`, clamped to at least 1
+    (containers may report 0/None cores).  The ``REPRO_MAX_WORKERS``
+    environment variable caps the result — both the ``"auto"``
+    resolution and explicit requests — so sharded and pooled runs
+    degrade gracefully on small machines instead of oversubscribing.
+    Anything that is not ``"auto"`` or an integer >= 1 raises
+    :class:`ValueError` — the same rejection everywhere (CLI, runner,
+    replications, grid, sharded runner).
     """
+    cap = max_workers_cap()
     if workers == "auto":
-        return os.cpu_count() or 1
-    if isinstance(workers, bool) or not isinstance(workers, int):
-        raise ValueError(
-            f"workers must be an int >= 1 or 'auto', got {workers!r}"
-        )
-    if workers < 1:
-        raise ValueError(f"workers must be >= 1, got {workers}")
-    return workers
+        resolved = max(1, os.cpu_count() or 1)
+    else:
+        if isinstance(workers, bool) or not isinstance(workers, int):
+            raise ValueError(
+                f"workers must be an int >= 1 or 'auto', got {workers!r}"
+            )
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        resolved = workers
+    if cap is not None:
+        resolved = min(resolved, cap)
+    return resolved
 
 
 # -- shared pools -----------------------------------------------------------

@@ -111,3 +111,61 @@ def run_figure(
     return ExperimentRunner(
         stopping=stopping, workers=workers, cache=cache, executor=executor
     ).run(definition)
+
+
+class ShardedRunner:
+    """Figure runner executing every cell through the sharded kernel.
+
+    The parallelism axis moves *inside* each cell: instead of fanning
+    whole cells across a process pool, each cell's node graph is
+    partitioned into ``shards`` kernel instances advancing under
+    conservative time-window synchronization (see
+    :mod:`repro.sim.shard`).  Cells therefore run sequentially here —
+    the worker processes are busy hosting shards.
+
+    Results are :class:`~repro.sim.shard.runner.ShardedResult` objects,
+    attribute-compatible with ``WorkloadResult``, so the returned
+    :class:`ExperimentResult` plots/reports identically.  With
+    ``shards == 1`` every cell runs on the unsharded kernel and the
+    figures are bit-identical to :class:`ExperimentRunner`'s.
+    """
+
+    def __init__(
+        self,
+        shards: int,
+        stopping: Optional[StoppingConfig] = None,
+        workers: Workers = "auto",
+        remote_fraction: float = 0.05,
+        base_latency: float = 2.0,
+        backend: str = "auto",
+    ):
+        from repro.sim.shard.partition import effective_shards
+        from repro.sim.shard.runner import run_sharded_cell
+
+        self._run_cell = run_sharded_cell
+        self._effective_shards = effective_shards
+        self.shards = shards
+        self.stopping = stopping
+        self.workers = workers
+        self.remote_fraction = remote_fraction
+        self.base_latency = base_latency
+        self.backend = backend
+
+    def run(self, definition: ExperimentDef) -> ExperimentResult:
+        """Execute every cell of the definition, sharded."""
+        result = ExperimentResult(definition=definition)
+        for label, _x, params in definition.cells():
+            # Cells too small (or of a shape the sharded kernel does
+            # not cover) degrade to fewer shards instead of failing
+            # the sweep — a 1-client Fig 12 cell runs unsharded.
+            outcome = self._run_cell(
+                params,
+                self._effective_shards(params, self.shards),
+                self.stopping,
+                remote_fraction=self.remote_fraction,
+                base_latency=self.base_latency,
+                backend=self.backend,
+                workers=self.workers,
+            )
+            result.results.setdefault(label, []).append(outcome)
+        return result

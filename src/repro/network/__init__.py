@@ -7,6 +7,7 @@ from repro.network.latency import (
     LatencyModel,
     NormalizedExponentialLatency,
     PerHopExponentialLatency,
+    ShiftedExponentialLatency,
 )
 from repro.network.network import Network
 from repro.network.topology import (
@@ -20,6 +21,17 @@ from repro.network.topology import (
     make_topology,
 )
 
+def __getattr__(name):
+    # ShardRouter sits atop the sharded-kernel package, which imports
+    # most of the runtime (and, transitively, this package); loading it
+    # lazily keeps ``import repro.network`` cycle-free.
+    if name == "ShardRouter":
+        from repro.network.shardrouter import ShardRouter
+
+        return ShardRouter
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "DeterministicLatency",
     "FullyConnected",
@@ -31,6 +43,8 @@ __all__ = [
     "NormalizedExponentialLatency",
     "PerHopExponentialLatency",
     "Ring",
+    "ShardRouter",
+    "ShiftedExponentialLatency",
     "Star",
     "TOPOLOGIES",
     "Topology",

@@ -31,6 +31,18 @@ class LatencyModel(ABC):
         """Expected latency between the pair (for analytic checks)."""
         raise NotImplementedError
 
+    def min_delay(self, src: int, dst: int) -> float:
+        """Hard lower bound on any latency draw between the pair.
+
+        This is the conservative-synchronization lookahead: a sharded
+        run may advance each shard ``min_delay`` time units past the
+        last barrier before a message sent by another shard could
+        possibly arrive.  Purely exponential models return 0.0 — such
+        links provide no lookahead and cannot carry cross-shard
+        traffic.
+        """
+        return 0.0
+
 
 class NormalizedExponentialLatency(LatencyModel):
     """The paper's model: Exp(mean) for remote messages, 0 locally.
@@ -81,6 +93,37 @@ class PerHopExponentialLatency(LatencyModel):
         return self.topology.hops(src, dst) * self.mean_per_hop
 
 
+class ShiftedExponentialLatency(LatencyModel):
+    """``base + Exp(mean)`` for remote messages, 0 locally.
+
+    The shift models propagation delay under the paper's otherwise
+    memoryless queueing latency.  Its purpose here is structural: the
+    deterministic ``base`` is a guaranteed minimum per-link delay, which
+    is exactly the lookahead a conservatively synchronized sharded
+    simulation needs (:meth:`min_delay`).  With ``base = 0`` the model
+    degenerates to :class:`NormalizedExponentialLatency`.
+    """
+
+    def __init__(self, base: float = 1.0, mean: float = 1.0):
+        if base < 0:
+            raise ValueError(f"base latency must be >= 0, got {base}")
+        if mean < 0:
+            raise ValueError(f"mean latency must be >= 0, got {mean}")
+        self.base = base
+        self.mean_latency = mean
+
+    def sample(self, src: int, dst: int, stream: Stream) -> float:
+        if src == dst:
+            return 0.0
+        return self.base + stream.exponential(self.mean_latency)
+
+    def mean(self, src: int, dst: int) -> float:
+        return 0.0 if src == dst else self.base + self.mean_latency
+
+    def min_delay(self, src: int, dst: int) -> float:
+        return 0.0 if src == dst else self.base
+
+
 class DeterministicLatency(LatencyModel):
     """Constant latency for remote messages; for closed-form test cases."""
 
@@ -93,4 +136,7 @@ class DeterministicLatency(LatencyModel):
         return 0.0 if src == dst else self.latency
 
     def mean(self, src: int, dst: int) -> float:
+        return 0.0 if src == dst else self.latency
+
+    def min_delay(self, src: int, dst: int) -> float:
         return 0.0 if src == dst else self.latency

@@ -1,0 +1,252 @@
+"""Cross-shard message routing for the sharded simulation kernel.
+
+A :class:`ShardRouter` is the seam between one shard's kernel and the
+rest of a sharded run.  Transmits classify into two lanes:
+
+* **local** — both endpoints live in this shard.  The router is not on
+  this path at all: intra-shard traffic keeps using
+  :meth:`repro.network.network.Network.transmit` unchanged, so the
+  single-kernel hot path is untouched.
+* **remote** — the destination is owned by another shard.  The message
+  is serialized into the current window's outbound batch with a
+  pre-sampled arrival time ``deliver_at = now + base + Exp(mean)``;
+  the coordinator exchanges batches at the next barrier and the owning
+  shard schedules delivery.  Because ``base`` equals the window length
+  (the lookahead), ``deliver_at`` always lands at or beyond the next
+  barrier — conservative synchronization never delivers into simulated
+  history, and :meth:`deliver` enforces that invariant.
+
+The router also owns the request/reply correlation table: a client
+waiting on a remote call parks on a pending :class:`Event` which fires
+with the measured round-trip time when the reply is delivered in a
+later window.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.sim.events import Event, Timeout
+from repro.sim.kernel import Environment
+from repro.sim.rng import Stream
+from repro.sim.shard.messages import RemoteCall, RemoteReply
+from repro.telemetry.core import NULL_TELEMETRY, Telemetry
+
+
+class ShardRouter:
+    """One shard's gateway onto the cross-shard message fabric.
+
+    Parameters
+    ----------
+    env:
+        The shard's simulation environment.
+    shard_id / shards:
+        This shard's id and the total shard count.
+    base_latency / mean_latency:
+        Cross-shard link model ``base + Exp(mean)``; ``base`` must be
+        positive — it is the lookahead the whole synchronization scheme
+        rests on.
+    stream:
+        Private latency stream of this shard's cross-shard links.
+    on_call:
+        Callback invoked (at delivery time) for each inbound
+        :class:`RemoteCall`; the shard kernel installs its server-side
+        handler here.
+    telemetry:
+        Metrics sink; batch sizes and remote counters when enabled.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        shard_id: int,
+        shards: int,
+        base_latency: float,
+        mean_latency: float,
+        stream: Stream,
+        on_call: Optional[Callable[[RemoteCall], None]] = None,
+        telemetry: Telemetry = NULL_TELEMETRY,
+    ):
+        if base_latency <= 0:
+            raise ConfigurationError(
+                f"cross-shard base latency must be positive, got "
+                f"{base_latency} (no lookahead, no conservative sync)"
+            )
+        if not 0 <= shard_id < shards:
+            raise ConfigurationError(
+                f"shard_id {shard_id} out of range [0, {shards})"
+            )
+        self.env = env
+        self.shard_id = shard_id
+        self.shards = shards
+        self.base_latency = base_latency
+        self.mean_latency = mean_latency
+        self._stream = stream
+        self.on_call = on_call
+        self._seq = 0
+        self._outbox: List = []
+        #: call_id -> (waiting event, send_time).
+        self._pending: Dict[Tuple[int, int], Tuple[Event, float]] = {}
+        # Accounting.
+        self.calls_sent = 0
+        self.calls_served = 0
+        self.replies_sent = 0
+        self.messages_delivered = 0
+        self.batches_out = 0
+        self.max_batch = 0
+        self.telemetry = telemetry
+        self._telemetry_on = telemetry.enabled
+        if self._telemetry_on:
+            metrics = telemetry.metrics
+            self._m_batch = metrics.histogram(
+                "shard.remote.batch_size",
+                buckets=(0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024),
+                shard=shard_id,
+            )
+            self._m_sent = metrics.counter("shard.remote.sent", shard=shard_id)
+            self._m_recv = metrics.counter(
+                "shard.remote.delivered", shard=shard_id
+            )
+
+    # -- classification -----------------------------------------------------
+
+    def owner_of(self, shard: int) -> int:
+        """Identity helper kept for symmetry with richer partitions."""
+        return shard
+
+    def is_local(self, shard: int) -> bool:
+        """Whether a destination shard is this shard (fast lane)."""
+        return shard == self.shard_id
+
+    # -- sending ------------------------------------------------------------
+
+    def _sample_delay(self) -> float:
+        return self.base_latency + self._stream.exponential(self.mean_latency)
+
+    def send_call(self, dst_shard: int, target: int = 0) -> Event:
+        """Serialize one remote request into the window batch.
+
+        Returns the pending event the caller should ``yield``; it fires
+        with the measured round-trip duration once the reply arrives.
+        """
+        if dst_shard == self.shard_id:
+            raise ConfigurationError(
+                "send_call is the remote lane; local invocations go "
+                "through the shard's own Network"
+            )
+        if not 0 <= dst_shard < self.shards:
+            raise ConfigurationError(
+                f"destination shard {dst_shard} out of range "
+                f"[0, {self.shards})"
+            )
+        now = self.env.now
+        self._seq += 1
+        call = RemoteCall(
+            src_shard=self.shard_id,
+            dst_shard=dst_shard,
+            seq=self._seq,
+            send_time=now,
+            deliver_at=now + self._sample_delay(),
+            target=target,
+        )
+        self._outbox.append(call)
+        self.calls_sent += 1
+        if self._telemetry_on:
+            self._m_sent.inc()
+        reply_event = Event(self.env)
+        self._pending[call.call_id] = (reply_event, now)
+        return reply_event
+
+    def send_reply(self, call: RemoteCall, service_time: float) -> None:
+        """Serialize the response to a served call into the batch."""
+        now = self.env.now
+        self._seq += 1
+        self._outbox.append(
+            RemoteReply(
+                src_shard=self.shard_id,
+                dst_shard=call.src_shard,
+                seq=self._seq,
+                call_shard=call.src_shard,
+                call_seq=call.seq,
+                send_time=now,
+                deliver_at=now + self._sample_delay(),
+                service_time=service_time,
+            )
+        )
+        self.replies_sent += 1
+
+    def drain(self) -> List:
+        """Hand the current window's outbound messages to the barrier."""
+        out, self._outbox = self._outbox, []
+        self.batches_out += 1
+        if len(out) > self.max_batch:
+            self.max_batch = len(out)
+        if self._telemetry_on:
+            self._m_batch.observe(float(len(out)))
+        return out
+
+    # -- receiving ----------------------------------------------------------
+
+    def deliver(self, messages: List) -> None:
+        """Schedule one window's inbound messages into the kernel.
+
+        ``messages`` must already be in merge order (the coordinator
+        sorts by ``(deliver_at, src_shard, seq)``); scheduling in that
+        order makes same-timestamp processing deterministic.
+        """
+        env = self.env
+        now = env.now
+        for message in messages:
+            if message.deliver_at < now:
+                raise RuntimeError(
+                    f"conservative sync violated: message due at "
+                    f"{message.deliver_at} arrived at shard "
+                    f"{self.shard_id} after t={now}"
+                )
+            event = Timeout(env, message.deliver_at - now, message)
+            event.callbacks.append(self._on_delivery)
+            self.messages_delivered += 1
+        if self._telemetry_on and messages:
+            self._m_recv.inc(len(messages))
+
+    def _on_delivery(self, event: Event) -> None:
+        message = event.value
+        if type(message) is RemoteReply:
+            waiter, send_time = self._pending.pop(message.call_id)
+            waiter.succeed(self.env.now - send_time)
+        else:
+            self.calls_served += 1
+            handler = self.on_call
+            if handler is None:
+                raise RuntimeError(
+                    f"shard {self.shard_id} received a RemoteCall but "
+                    "has no on_call handler installed"
+                )
+            handler(message)
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def pending_calls(self) -> int:
+        """Calls awaiting a reply (in flight across the fabric)."""
+        return len(self._pending)
+
+    def stats(self) -> dict:
+        """Machine-readable routing counters."""
+        return {
+            "calls_sent": self.calls_sent,
+            "calls_served": self.calls_served,
+            "replies_sent": self.replies_sent,
+            "messages_delivered": self.messages_delivered,
+            "batches_out": self.batches_out,
+            "max_batch": self.max_batch,
+            "pending_calls": self.pending_calls,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<ShardRouter shard={self.shard_id}/{self.shards} "
+            f"sent={self.calls_sent} served={self.calls_served} "
+            f"pending={self.pending_calls}>"
+        )

@@ -52,8 +52,8 @@ from repro.sim.process import Process
 
 Infinity = float("inf")
 
-#: Upper bound on retained recycled sleep events (bounds memory when a
-#: burst of concurrent sleepers drains all at once).
+#: Default upper bound on retained recycled sleep events (bounds memory
+#: when a burst of concurrent sleepers drains all at once).
 _SLEEP_POOL_MAX = 256
 
 
@@ -64,6 +64,11 @@ class Environment:
     ----------
     initial_time:
         Starting value of the simulation clock (default ``0.0``).
+    sleep_pool_cap:
+        Upper bound on retained recycled :meth:`sleep` events (default
+        256).  Sharded runs hold one kernel — and therefore one pool —
+        per shard, so they pass a smaller cap to keep N pools from
+        multiplying the retained memory.  ``0`` disables recycling.
     """
 
     __slots__ = (
@@ -73,9 +78,16 @@ class Environment:
         "_eid",
         "_active_process",
         "_sleep_pool",
+        "_sleep_pool_cap",
     )
 
-    def __init__(self, initial_time: float = 0.0):
+    def __init__(
+        self, initial_time: float = 0.0, sleep_pool_cap: int = _SLEEP_POOL_MAX
+    ):
+        if sleep_pool_cap < 0:
+            raise ValueError(
+                f"sleep_pool_cap must be >= 0, got {sleep_pool_cap}"
+            )
         self._now = float(initial_time)
         self._queue: List[Tuple[float, int, int, Event]] = []
         #: Zero-delay URGENT fast lane: ``(sequence, event)`` in FIFO
@@ -84,6 +96,7 @@ class Environment:
         self._eid = count()
         self._active_process: Optional[Process] = None
         self._sleep_pool: List[Sleep] = []
+        self._sleep_pool_cap = sleep_pool_cap
 
     # -- clock & introspection ----------------------------------------------
 
@@ -233,7 +246,7 @@ class Environment:
 
         if type(event) is Sleep:
             pool = self._sleep_pool
-            if len(pool) < _SLEEP_POOL_MAX:
+            if len(pool) < self._sleep_pool_cap:
                 pool.append(event)
 
     def run(self, until: Any = None) -> Any:
@@ -275,6 +288,7 @@ class Environment:
         queue = self._queue
         urgent = self._urgent
         pool = self._sleep_pool
+        pool_cap = self._sleep_pool_cap
         pop = heappop
         now = self._now
         try:
@@ -308,7 +322,7 @@ class Environment:
                 if not event._ok and not event._defused:
                     raise event._value
 
-                if type(event) is Sleep and len(pool) < _SLEEP_POOL_MAX:
+                if type(event) is Sleep and len(pool) < pool_cap:
                     pool.append(event)
         except StopSimulation as stop:
             return stop.value

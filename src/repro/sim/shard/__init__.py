@@ -1,0 +1,70 @@
+"""Sharded parallel simulation kernel.
+
+Partitions one parameter cell's node graph across several kernel
+instances ("shards") and runs them under conservative time-window
+synchronization: every cross-shard link has a deterministic minimum
+delay (the lookahead), so each shard can safely simulate one window of
+that length past the last barrier before any message from another shard
+could possibly arrive.  Cross-shard traffic is batched per window and
+exchanged at the barriers.
+
+Layout
+------
+:mod:`~repro.sim.shard.partition`
+    :class:`ShardPlan` — how nodes/clients/servers split into shards,
+    the lookahead/window derivation and per-shard seeds.
+:mod:`~repro.sim.shard.messages`
+    Picklable cross-shard message records and their merge ordering.
+:mod:`~repro.sim.shard.kernel`
+    :class:`ShardKernel` — one shard's services bundle (environment,
+    RNG streams, tracer, system, workload slice, remote-call handlers).
+:mod:`~repro.sim.shard.sync`
+    The conservative window-barrier coordinator and the in-process
+    backend.
+:mod:`~repro.sim.shard.mp`
+    The multiprocess backend (worker processes hosting shard groups).
+:mod:`~repro.sim.shard.runner`
+    :func:`run_sharded_cell` / :class:`ShardedResult` — the public
+    entry point and the merged result.
+"""
+
+from repro.sim.shard.messages import RemoteCall, RemoteReply, WindowBatch
+from repro.sim.shard.partition import ShardPlan
+
+#: Lazily imported names -> defining submodule.  The heavier modules
+#: (kernel, sync, runner) pull in most of the runtime — and the
+#: :class:`~repro.network.shardrouter.ShardRouter` imports *this*
+#: package for the message records, so eager imports here would cycle.
+_LAZY = {
+    "ConservativeWindowSync": "repro.sim.shard.sync",
+    "LocalShardHost": "repro.sim.shard.sync",
+    "ProcessShardHost": "repro.sim.shard.mp",
+    "ShardKernel": "repro.sim.shard.kernel",
+    "ShardedResult": "repro.sim.shard.runner",
+    "merge_traces": "repro.sim.shard.runner",
+    "run_sharded_cell": "repro.sim.shard.runner",
+}
+
+
+def __getattr__(name):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+__all__ = [
+    "ConservativeWindowSync",
+    "LocalShardHost",
+    "ProcessShardHost",
+    "RemoteCall",
+    "RemoteReply",
+    "ShardKernel",
+    "ShardPlan",
+    "ShardedResult",
+    "WindowBatch",
+    "merge_traces",
+    "run_sharded_cell",
+]

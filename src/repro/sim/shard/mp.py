@@ -1,0 +1,185 @@
+"""Multiprocess backend: shard groups hosted in worker processes.
+
+A :class:`ProcessShardHost` owns one worker process that builds its
+shard kernels locally (from the picklable
+:class:`~repro.sim.shard.partition.ShardPlan`) and then executes the
+same per-window protocol as the inline host, driven by small command
+tuples over a :func:`multiprocessing.Pipe`:
+
+``("window", index, t_next, inbound, poll)``
+    deliver/advance/drain every hosted shard, reply with
+    ``("ok", batches, stop_flags_or_None)``;
+``("finalize",)``
+    reply with ``("outcomes", [ShardOutcome, ...])``;
+``("exit",)``
+    leave the command loop and let the process end.
+
+Determinism does not depend on the transport: each shard's kernel is a
+pure function of ``(plan, shard_id, stopping)`` plus the inbound
+message sequence, and inbound batches are sorted into merge order by
+the coordinator before they are shipped.  The two backends therefore
+produce bit-identical merged results, which the golden tests assert.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import traceback
+from typing import List, Optional, Sequence
+
+from repro.sim.shard.kernel import ShardKernel, ShardOutcome
+from repro.sim.shard.messages import WindowBatch
+from repro.sim.shard.partition import ShardPlan
+from repro.sim.stopping import StoppingConfig
+
+
+class ShardWorkerError(RuntimeError):
+    """A shard worker process failed; carries the remote traceback."""
+
+
+def _worker_main(
+    conn,
+    plan: ShardPlan,
+    shard_ids: List[int],
+    stopping: Optional[StoppingConfig],
+    trace: bool,
+) -> None:
+    """Command loop of one worker process (runs in the child)."""
+    try:
+        kernels = [
+            ShardKernel(plan, sid, stopping=stopping, trace=trace)
+            for sid in shard_ids
+        ]
+        for kernel in kernels:
+            kernel.start()
+        conn.send(("ready", shard_ids))
+    except BaseException:
+        conn.send(("error", traceback.format_exc()))
+        conn.close()
+        return
+    try:
+        while True:
+            command = conn.recv()
+            kind = command[0]
+            if kind == "window":
+                _, window, t_next, inbound, poll = command
+                batches = []
+                for kernel, messages in zip(kernels, inbound):
+                    kernel.deliver(messages)
+                    kernel.advance(t_next)
+                    batches.append(
+                        WindowBatch(
+                            window=window,
+                            src_shard=kernel.shard_id,
+                            messages=tuple(kernel.drain()),
+                        )
+                    )
+                stops = (
+                    [k.should_stop() for k in kernels] if poll else None
+                )
+                conn.send(("ok", batches, stops))
+            elif kind == "finalize":
+                conn.send(("outcomes", [k.outcome() for k in kernels]))
+            elif kind == "exit":
+                break
+            else:  # pragma: no cover - protocol bug guard
+                conn.send(("error", f"unknown command {kind!r}"))
+                break
+    except EOFError:  # pragma: no cover - coordinator died
+        pass
+    except BaseException:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except (BrokenPipeError, OSError):  # pragma: no cover
+            pass
+    finally:
+        conn.close()
+
+
+class ProcessShardHost:
+    """Hosts a group of shards in one dedicated worker process.
+
+    Same ``dispatch``/``collect``/``finalize``/``close`` surface as
+    :class:`~repro.sim.shard.sync.LocalShardHost`; the coordinator
+    drives both interchangeably.  ``dispatch`` only writes the command
+    into the pipe, so N hosts' windows genuinely overlap and the
+    barrier wait is the slowest worker's window time.
+    """
+
+    def __init__(
+        self,
+        plan: ShardPlan,
+        shard_ids: Sequence[int],
+        stopping: Optional[StoppingConfig] = None,
+        trace: bool = False,
+        context: Optional[str] = None,
+    ):
+        self.shard_ids = list(shard_ids)
+        ctx = multiprocessing.get_context(context)
+        self._conn, child = ctx.Pipe()
+        self._process = ctx.Process(
+            target=_worker_main,
+            args=(child, plan, self.shard_ids, stopping, trace),
+            name=f"shard-host-{'-'.join(map(str, self.shard_ids))}",
+            daemon=True,
+        )
+        self._process.start()
+        child.close()
+        ready = self._recv()
+        if ready[0] != "ready":  # pragma: no cover - protocol bug guard
+            raise ShardWorkerError(f"unexpected boot reply {ready[0]!r}")
+
+    def _recv(self):
+        try:
+            reply = self._conn.recv()
+        except EOFError:
+            raise ShardWorkerError(
+                f"shard worker {self._process.name} died "
+                f"(exitcode={self._process.exitcode})"
+            ) from None
+        if reply[0] == "error":
+            raise ShardWorkerError(
+                f"shard worker {self._process.name} failed:\n{reply[1]}"
+            )
+        return reply
+
+    def start(self) -> None:
+        """Kernels start at worker boot; nothing left to do."""
+
+    def dispatch(
+        self, window: int, t_next: float, inbound: List[list], poll: bool
+    ) -> None:
+        """Ship one window command to the worker (non-blocking)."""
+        self._conn.send(("window", window, t_next, inbound, poll))
+
+    def collect(self):
+        """Block for the worker's ``(batches, stop_flags)`` reply."""
+        _, batches, stops = self._recv()
+        return batches, stops
+
+    def finalize(self) -> List[ShardOutcome]:
+        """Fetch every hosted shard's outcome from the worker."""
+        self._conn.send(("finalize",))
+        _, outcomes = self._recv()
+        return outcomes
+
+    def close(self) -> None:
+        """Shut the worker down (idempotent, tolerant of dead workers)."""
+        process = self._process
+        try:
+            if process.is_alive():
+                self._conn.send(("exit",))
+        except (BrokenPipeError, OSError):
+            pass
+        self._conn.close()
+        process.join(timeout=5.0)
+        if process.is_alive():  # pragma: no cover - stuck worker
+            process.terminate()
+            process.join(timeout=5.0)
+
+    def __repr__(self) -> str:
+        alive = self._process.is_alive()
+        return (
+            f"<ProcessShardHost shards={self.shard_ids} "
+            f"pid={self._process.pid} alive={alive}>"
+        )
