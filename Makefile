@@ -3,8 +3,8 @@
 PYTHON ?= python
 
 .PHONY: install test test-faults test-chaos test-telemetry \
-        test-versioning test-shard bench bench-kernel bench-shard \
-        bench-full figures figures-paper examples clean
+        test-versioning test-shard test-live bench bench-kernel \
+        bench-shard bench-full figures figures-paper examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -57,6 +57,22 @@ test-versioning:
 test-shard:
 	$(PYTHON) -m pytest -q -p no:randomly \
 	  tests/test_shard.py tests/test_shard_determinism.py
+
+# The live runtime backend: Clock/Transport seam contracts, framing
+# and dedup, the asyncio transport over real sockets (fault injection
+# included), graceful degradation under delay spikes/crashes, and the
+# bounded multi-process smoke (3 OS processes, 1 crash + 1 partition,
+# hard wall-clock watchdog).  Writes the sim-vs-measured report to
+# live_report.json (the CI artifact).
+test-live:
+	$(PYTHON) -m pytest -q -p no:randomly \
+	  --hypothesis-seed=0 \
+	  tests/test_runtime_clock.py tests/test_live_framing.py \
+	  tests/test_live_transport.py tests/test_live_degradation.py \
+	  tests/test_live_supervisor.py tests/test_prop_retry.py \
+	  tests/test_errors_pickle.py
+	PYTHONPATH=src $(PYTHON) -m repro.experiments.cli live --fast \
+	  --json live_report.json
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -22,6 +22,13 @@ from repro.availability.chaos import (
     run_chaos_campaign,
 )
 from repro.availability.faults import FaultInjector
+from repro.availability.livechaos import (
+    LiveChaosSchedule,
+    LiveCrash,
+    LiveFaultWindow,
+    LivePartition,
+    demo_schedule,
+)
 from repro.availability.faulttolerance import (
     FT_DETECTION_MODES,
     FT_POLICIES,
@@ -56,8 +63,13 @@ __all__ = [
     "FaultToleranceResult",
     "FaultToleranceWorkload",
     "FlappingLink",
+    "LiveChaosSchedule",
+    "LiveCrash",
+    "LiveFaultWindow",
+    "LivePartition",
     "RollingPartition",
     "SCENARIOS",
+    "demo_schedule",
     "run_availability_cell",
     "run_chaos_campaign",
     "run_faulttolerance_cell",

@@ -1,0 +1,135 @@
+"""Chaos actions over the live transport: the PR 4 vocabulary, wall-clock.
+
+The sim's :mod:`repro.availability.chaos` drives crash storms, rolling
+partitions, and flapping links against the virtual network.  This
+module expresses the same scenario vocabulary as a *wall-clock
+schedule* the live :class:`~repro.runtime.live.supervisor.
+NodeSupervisor` executes against real worker processes:
+
+* :class:`LiveCrash` — SIGKILL one worker mid-run; the supervisor's
+  heartbeat detector notices, breaks the dead mover's leases
+  (``break_crashed``), and restarts the node re-seeded from the
+  placement map.
+* :class:`LivePartition` — split the *data plane* into groups for a
+  window; object transfers and remote invocations across the cut time
+  out and abort, while the supervisor control plane stays reachable
+  (chaos breaks the system under test, never the harness).
+* :class:`LiveFaultWindow` — a window of probabilistic drops, delays,
+  and duplicates on every worker's outbound data-plane edge, applied
+  by broadcasting :class:`~repro.runtime.live.transport.
+  FaultyTransport` snapshots.
+
+Actions carry ``at`` offsets in seconds from workload start; the
+schedule validates, sorts, and hands the supervisor one action at a
+time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class LiveCrash:
+    """Kill one worker process at ``at`` seconds into the run."""
+
+    at: float
+    #: Worker to kill; ``None`` lets the supervisor pick one that is up.
+    node: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class LivePartition:
+    """Partition the data plane into ``groups`` for ``duration`` s."""
+
+    at: float
+    duration: float
+    groups: Tuple[Tuple[int, ...], ...]
+
+    def __post_init__(self):
+        object.__setattr__(
+            self,
+            "groups",
+            tuple(tuple(sorted(set(g))) for g in self.groups),
+        )
+
+
+@dataclass(frozen=True)
+class LiveFaultWindow:
+    """Probabilistic link faults on every worker for ``duration`` s."""
+
+    at: float
+    duration: float
+    drop_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    delay_range: Tuple[float, float] = (0.0, 0.0)
+
+
+@dataclass
+class LiveChaosSchedule:
+    """Ordered chaos actions for one live run."""
+
+    actions: List = field(default_factory=list)
+
+    def validate(self) -> None:
+        """Reject schedules with negative times or degenerate actions."""
+        for action in self.actions:
+            if action.at < 0:
+                raise ValueError(f"action offset must be >= 0: {action}")
+            duration = getattr(action, "duration", None)
+            if duration is not None and duration <= 0:
+                raise ValueError(f"action duration must be > 0: {action}")
+            if isinstance(action, LiveFaultWindow):
+                for rate in (action.drop_rate, action.duplicate_rate):
+                    if not 0.0 <= rate < 1.0:
+                        raise ValueError(f"rate out of [0,1): {action}")
+
+    def ordered(self) -> List:
+        """Validate and return the actions sorted by trigger time."""
+        self.validate()
+        return sorted(self.actions, key=lambda a: a.at)
+
+    @property
+    def crashes(self) -> int:
+        """Number of :class:`LiveCrash` actions in the schedule."""
+        return sum(1 for a in self.actions if isinstance(a, LiveCrash))
+
+    @property
+    def partitions(self) -> int:
+        """Number of :class:`LivePartition` actions in the schedule."""
+        return sum(1 for a in self.actions if isinstance(a, LivePartition))
+
+    def __repr__(self) -> str:
+        return (
+            f"<LiveChaosSchedule actions={len(self.actions)} "
+            f"crashes={self.crashes} partitions={self.partitions}>"
+        )
+
+
+def demo_schedule(num_nodes: int) -> LiveChaosSchedule:
+    """The acceptance scenario: one partition window, one node crash.
+
+    The partition isolates worker 1 from the rest of the data plane
+    early in the run; after it heals, a different worker is killed so
+    crash recovery and partition recovery are exercised independently.
+    """
+    if num_nodes < 2:
+        raise ValueError(f"demo chaos needs >= 2 nodes, got {num_nodes}")
+    others = tuple(range(2, num_nodes + 1))
+    victim = 2 if num_nodes >= 2 else 1
+    return LiveChaosSchedule(
+        actions=[
+            LivePartition(at=0.5, duration=0.8, groups=((1,), others)),
+            LiveCrash(at=1.8, node=victim),
+        ]
+    )
+
+
+__all__ = [
+    "LiveChaosSchedule",
+    "LiveCrash",
+    "LiveFaultWindow",
+    "LivePartition",
+    "demo_schedule",
+]

@@ -35,6 +35,7 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.core.moveblock import MoveBlock
 from repro.errors import PolicyError
+from repro.runtime.clock import Clock, SimClock
 from repro.runtime.objects import DistributedObject
 from repro.sim.kernel import Environment
 from repro.telemetry.core import NULL_TELEMETRY, Telemetry
@@ -46,11 +47,18 @@ class LockManager:
     Parameters
     ----------
     env:
-        Simulation environment; required when leases are enabled.
+        Simulation environment; leases require *some* time authority —
+        either this or ``clock``.
     lease_duration:
         Lease length granted to each block (refreshed whenever the
         block takes another lock).  ``None`` (default) disables leases
         entirely — locks are held until ``end``, exactly §3.2.
+    clock:
+        Alternative time authority (:class:`~repro.runtime.clock.
+        Clock`).  The live backend passes a ``WallClock`` here so the
+        *same* lease arithmetic runs over wall-clock time in a real OS
+        process; under simulation the manager derives a ``SimClock``
+        from ``env`` and behaves exactly as before the seam existed.
     telemetry:
         Metrics sink; grant/reclaim counters when enabled.
     """
@@ -60,15 +68,22 @@ class LockManager:
         env: Optional[Environment] = None,
         lease_duration: Optional[float] = None,
         telemetry: Telemetry = NULL_TELEMETRY,
+        clock: Optional[Clock] = None,
     ):
+        if clock is None and env is not None:
+            clock = SimClock(env)
         if lease_duration is not None:
-            if env is None:
-                raise ValueError("leases require an environment (env=...)")
+            if clock is None:
+                raise ValueError(
+                    "leases require a time authority: a simulation "
+                    "environment (env=...) or a seam clock (clock=...)"
+                )
             if lease_duration <= 0:
                 raise ValueError(
                     f"lease_duration must be positive, got {lease_duration}"
                 )
         self.env = env
+        self.clock = clock
         self.lease_duration = lease_duration
         #: block id -> objects it holds.
         self._held: Dict[int, List[DistributedObject]] = {}
@@ -106,7 +121,7 @@ class LockManager:
     def _lease_expired(self, block_id: int) -> bool:
         if not self.leases_enabled or block_id not in self._expiry:
             return False
-        return self.env.now >= self._expiry[block_id]
+        return self.clock.now() >= self._expiry[block_id]
 
     def _reap_if_expired(self, obj: DistributedObject) -> None:
         """Lazily release the holder's locks if its lease ran out."""
@@ -203,7 +218,9 @@ class LockManager:
             self._m_granted.inc()
         if self.leases_enabled:
             # Each grant refreshes the block's lease.
-            self._expiry[block.block_id] = self.env.now + self.lease_duration
+            self._expiry[block.block_id] = (
+                self.clock.now() + self.lease_duration
+            )
 
     def lock_all(self, objects: Iterable[DistributedObject], block: MoveBlock) -> None:
         """Lock several objects for the same block."""

@@ -264,6 +264,159 @@ class ChecksumMismatchError(DeploymentError):
 
 
 # ---------------------------------------------------------------------------
+# Live transport & supervision errors (repro.runtime.live)
+# ---------------------------------------------------------------------------
+
+
+class TransportError(FaultError):
+    """Base class for live-transport failures (real sockets, real OS).
+
+    The sim backend models loss as :class:`MessageLostError` *after*
+    the latency elapsed; the live backend additionally fails in ways a
+    simulated wire cannot — a peer's connection dies mid-frame, the
+    transport is already shut down, a frame exceeds the protocol
+    limit.  All of them derive from :class:`FaultError` so existing
+    graceful-degradation handlers (retry, abort-and-rollback) treat
+    live failures exactly like simulated ones.
+    """
+
+
+class TransportClosedError(TransportError):
+    """A send/request was issued on a transport that already shut down."""
+
+
+class ConnectionLostError(TransportError):
+    """The connection to a peer died and reconnect attempts ran out.
+
+    Carries the peer node id in ``args`` so the exception round-trips
+    through :mod:`pickle` across process boundaries unchanged.
+    """
+
+    def __init__(self, message: str = "", peer: int = -1):
+        super().__init__(message, int(peer))
+
+    @property
+    def message(self) -> str:
+        """Human-readable description of the loss."""
+        return self.args[0] if self.args else ""
+
+    @property
+    def peer(self) -> int:
+        """Node id of the unreachable peer (-1 when unknown)."""
+        return self.args[1] if len(self.args) > 1 else -1
+
+    def __str__(self) -> str:
+        if self.peer < 0:
+            return self.message
+        return f"{self.message} [peer={self.peer}]"
+
+
+class FrameTooLargeError(TransportError):
+    """An encoded frame exceeded the transport's size limit.
+
+    Raised on both sides of the wire: the sender refuses to emit the
+    frame, the receiver refuses to buffer one whose length prefix is
+    oversized (a corrupt or hostile peer must not make us allocate
+    unbounded memory).  Size and limit live in ``args`` for pickle.
+    """
+
+    def __init__(self, message: str = "", size: int = -1, limit: int = -1):
+        super().__init__(message, int(size), int(limit))
+
+    @property
+    def message(self) -> str:
+        """Human-readable description."""
+        return self.args[0] if self.args else ""
+
+    @property
+    def size(self) -> int:
+        """The offending frame's payload size in bytes."""
+        return self.args[1] if len(self.args) > 1 else -1
+
+    @property
+    def limit(self) -> int:
+        """The transport's configured maximum payload size."""
+        return self.args[2] if len(self.args) > 2 else -1
+
+    def __str__(self) -> str:
+        if self.size < 0:
+            return self.message
+        return f"{self.message} ({self.size} > limit {self.limit} bytes)"
+
+
+class SupervisionError(FaultError):
+    """Base class for node-supervision failures (process lifecycle)."""
+
+
+class WorkerCrashedError(SupervisionError):
+    """A supervised worker process died (crash or kill).
+
+    Carries node id and exit code in ``args`` for pickle-safe
+    propagation out of the supervisor.
+    """
+
+    def __init__(self, message: str = "", node: int = -1, exitcode=None):
+        super().__init__(message, int(node), exitcode)
+
+    @property
+    def message(self) -> str:
+        """Human-readable description of the crash."""
+        return self.args[0] if self.args else ""
+
+    @property
+    def node(self) -> int:
+        """Node id of the dead worker (-1 when unknown)."""
+        return self.args[1] if len(self.args) > 1 else -1
+
+    @property
+    def exitcode(self):
+        """OS exit code (negative = killed by that signal number)."""
+        return self.args[2] if len(self.args) > 2 else None
+
+    def __str__(self) -> str:
+        parts = []
+        if self.node >= 0:
+            parts.append(f"node={self.node}")
+        if self.exitcode is not None:
+            parts.append(f"exitcode={self.exitcode}")
+        return self.message + (f" [{', '.join(parts)}]" if parts else "")
+
+
+class DrainTimeoutError(SupervisionError):
+    """Graceful drain did not finish within its deadline.
+
+    A drain asks every worker to stop accepting work and to finish
+    in-flight invocations; workers that cannot comply in time are
+    force-killed and reported through this error, which carries the
+    timeout and the ids of the stragglers in ``args``.
+    """
+
+    def __init__(self, message: str = "", timeout: float = -1.0, pending=()):
+        super().__init__(message, float(timeout), tuple(pending))
+
+    @property
+    def message(self) -> str:
+        """Human-readable description."""
+        return self.args[0] if self.args else ""
+
+    @property
+    def timeout(self) -> float:
+        """The drain deadline that was exceeded, in seconds."""
+        return self.args[1] if len(self.args) > 1 else -1.0
+
+    @property
+    def pending(self) -> tuple:
+        """Node ids that had not finished draining at the deadline."""
+        return self.args[2] if len(self.args) > 2 else ()
+
+    def __str__(self) -> str:
+        if not self.pending:
+            return self.message
+        nodes = ", ".join(str(n) for n in self.pending)
+        return f"{self.message} [timeout={self.timeout}s, pending: {nodes}]"
+
+
+# ---------------------------------------------------------------------------
 # Runtime invariant monitoring
 # ---------------------------------------------------------------------------
 

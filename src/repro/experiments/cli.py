@@ -40,13 +40,40 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "figure",
-        choices=sorted(FIGURES) + sorted(OUTLOOK_STUDIES) + ["all", "telemetry"],
+        choices=sorted(FIGURES)
+        + sorted(OUTLOOK_STUDIES)
+        + ["all", "telemetry", "live"],
         help=(
             "which figure to regenerate (figN), one of the outlook "
             "studies (replication / fragmentation / availability / "
-            "faulttolerance / chaos / deploy), or 'telemetry' for one "
-            "fully instrumented run with exported traces"
+            "faulttolerance / chaos / deploy), 'telemetry' for one "
+            "fully instrumented run with exported traces, or 'live' "
+            "for the multi-process runtime demo (sim-predicted vs. "
+            "measured conflict/abort rates)"
         ),
+    )
+    parser.add_argument(
+        "--nodes",
+        type=int,
+        default=3,
+        help="live only: worker OS processes to spawn (default 3)",
+    )
+    parser.add_argument(
+        "--objects",
+        type=int,
+        default=120,
+        help="live only: mobile objects to migrate (default 120)",
+    )
+    parser.add_argument(
+        "--duration",
+        type=float,
+        default=20.0,
+        help="live only: hard wall-clock budget in seconds (default 20)",
+    )
+    parser.add_argument(
+        "--no-chaos",
+        action="store_true",
+        help="live only: skip the injected crash and partition",
     )
     parser.add_argument(
         "--scenario",
@@ -217,10 +244,76 @@ def _run_telemetry(args) -> int:
     return 0
 
 
+def _run_live(args) -> int:
+    """The multi-process live demo: sim-predicted vs. measured rates.
+
+    Spawns ``--nodes`` worker OS processes under the supervisor,
+    injects the demo chaos schedule (one partition + one crash) unless
+    ``--no-chaos``, and prints the side-by-side report.  ``--json``
+    persists the full report (the CI artifact).  Exit code 1 means the
+    run finished but violated a lock/placement invariant.
+    """
+    from repro.availability.livechaos import LiveChaosSchedule, demo_schedule
+    from repro.runtime.live.demo import format_report, run_live_demo
+    from repro.runtime.live.supervisor import SupervisorConfig
+
+    config = SupervisorConfig(
+        num_nodes=args.nodes,
+        num_objects=args.objects,
+        max_duration=args.duration,
+        target_migrations=60 if args.fast else 250,
+        rng_seed=args.seed,
+    )
+    try:
+        config.validate()
+    except ValueError as exc:
+        print(f"invalid live config: {exc}", file=sys.stderr)
+        return 2
+    chaos = (
+        LiveChaosSchedule()
+        if args.no_chaos
+        else demo_schedule(config.num_nodes)
+    )
+    print(
+        f"live demo: {config.num_nodes} worker processes, "
+        f"{config.num_objects} objects, "
+        f"{chaos.crashes} crash(es) + {chaos.partitions} partition(s), "
+        f"budget {config.max_duration:.0f}s (seed {args.seed})",
+        file=sys.stderr,
+    )
+    report = run_live_demo(config, chaos=chaos)
+    print(format_report(report))
+    if args.json:
+        import json
+
+        with open(args.json, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+        print(f"wrote {args.json}", file=sys.stderr)
+    if report["measured"]["invariant_violations"]:
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
     stopping = _stopping(args)
+
+    if args.figure != "live" and (
+        args.nodes != 3
+        or args.objects != 120
+        or args.duration != 20.0
+        or args.no_chaos
+    ):
+        print(
+            "--nodes/--objects/--duration/--no-chaos only apply to the "
+            "live demo",
+            file=sys.stderr,
+        )
+        return 2
+
+    if args.figure == "live":
+        return _run_live(args)
 
     if args.scenario is not None and args.figure not in (
         "chaos",

@@ -24,11 +24,17 @@ from repro.network.topology import (
 def __getattr__(name):
     # ShardRouter sits atop the sharded-kernel package, which imports
     # most of the runtime (and, transitively, this package); loading it
-    # lazily keeps ``import repro.network`` cycle-free.
+    # lazily keeps ``import repro.network`` cycle-free.  SimTransport
+    # pulls in the runtime's Transport ABC and is deferred for the same
+    # reason.
     if name == "ShardRouter":
         from repro.network.shardrouter import ShardRouter
 
         return ShardRouter
+    if name == "SimTransport":
+        from repro.network.simbackend import SimTransport
+
+        return SimTransport
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
@@ -44,6 +50,7 @@ __all__ = [
     "PerHopExponentialLatency",
     "Ring",
     "ShardRouter",
+    "SimTransport",
     "ShiftedExponentialLatency",
     "Star",
     "TOPOLOGIES",

@@ -1,0 +1,89 @@
+"""Sim backend of the :class:`~repro.runtime.transport.Transport` seam.
+
+:class:`~repro.network.network.Network` *is* the simulation transport —
+it predates the seam and every golden trace was recorded against it, so
+the adapter here adds nothing: :class:`SimTransport` presents an
+existing network through the seam's contract by pure delegation.  Every
+call, every counter and every random draw goes to the wrapped network
+object itself, which is what makes the "bit-identical through the
+seam" guarantee trivial rather than merely tested: there is no second
+code path to diverge.
+
+Importing this module also registers :class:`Network` as a virtual
+subclass of the :class:`~repro.runtime.transport.Transport` ABC, so
+``isinstance(network, Transport)`` holds for seam-generic code without
+giving :mod:`repro.network.network` an import-time dependency on the
+runtime package (which imports this one — the same cycle the lazy
+``ShardRouter`` hook dodges).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.network.network import Network
+from repro.runtime.transport import Transport
+
+Transport.register(Network)
+
+
+class SimTransport(Transport):
+    """Seam adapter over a :class:`Network` (pure delegation).
+
+    The adapter shares the network's accounting state rather than
+    copying it: reads go through properties, so code that mixes direct
+    ``network`` access with seam access sees one consistent ledger.
+    """
+
+    __slots__ = ("network",)
+
+    def __init__(self, network: Network):
+        self.network = network
+
+    # -- the seam contract ----------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        return self.network.size
+
+    def transmit(
+        self, src: int, dst: int, stream=None, **kwargs
+    ) -> Generator:
+        """Delegate to :meth:`Network.transmit` (generator, sim time)."""
+        return self.network.transmit(src, dst, stream=stream)
+
+    def round_trip(self, src: int, dst: int) -> Generator:
+        """Delegate a request/reply round trip to the wrapped network."""
+        return self.network.round_trip(src, dst)
+
+    def sample_latency(self, src: int, dst: int, stream=None) -> float:
+        """Draw one link latency from the wrapped network's model."""
+        return self.network.sample_latency(src, dst, stream=stream)
+
+    # -- shared accounting (live views, not copies) ---------------------------
+
+    @property
+    def remote_messages(self) -> int:
+        """Cross-node messages delivered so far."""
+        return self.network.remote_messages
+
+    @property
+    def local_messages(self) -> int:
+        """Same-node (zero-latency) messages delivered so far."""
+        return self.network.local_messages
+
+    @property
+    def total_latency(self) -> float:
+        """Sum of simulated latency over all remote messages."""
+        return self.network.total_latency
+
+    @property
+    def dropped_messages(self) -> int:
+        """Messages lost to injected link faults so far."""
+        return self.network.dropped_messages
+
+    def __repr__(self) -> str:
+        return f"<SimTransport over {self.network!r}>"
+
+
+__all__ = ["SimTransport"]

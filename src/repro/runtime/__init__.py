@@ -4,7 +4,8 @@ Nodes, mobile objects, proxy-style invocation forwarding, and the
 linearize–transfer–reinstall migration mechanism (§3.1's system model).
 """
 
-from repro.runtime.failure import FailureDetector
+from repro.runtime.clock import Clock, SimClock, WallClock
+from repro.runtime.failure import FailureDetector, HeartbeatHistory
 from repro.runtime.invocation import InvocationResult, InvocationService
 from repro.runtime.locator import (
     LOCATORS,
@@ -20,15 +21,18 @@ from repro.runtime.migration import MigrationOutcome, MigrationService
 from repro.runtime.node import Node
 from repro.runtime.objects import DistributedObject, MobilityState, ObjectKind
 from repro.runtime.registry import ObjectRegistry
-from repro.runtime.retry import RetryPolicy
+from repro.runtime.retry import RandomJitter, RetryPolicy
 from repro.runtime.system import DistributedSystem
+from repro.runtime.transport import Transport
 
 __all__ = [
     "BroadcastLocator",
+    "Clock",
     "DistributedObject",
     "DistributedSystem",
     "FailureDetector",
     "ForwardingLocator",
+    "HeartbeatHistory",
     "ImmediateUpdateLocator",
     "InvocationResult",
     "InvocationService",
@@ -42,6 +46,10 @@ __all__ = [
     "Node",
     "ObjectKind",
     "ObjectRegistry",
+    "RandomJitter",
     "RetryPolicy",
+    "SimClock",
+    "Transport",
+    "WallClock",
     "make_locator",
 ]

@@ -1,0 +1,117 @@
+"""The :class:`Clock` seam: one time authority per backend.
+
+The migration protocol (place-policy locks and leases, retry backoff,
+heartbeat suspicion) is pure logic over *timestamps* — it never cares
+whether time advances because a discrete-event kernel popped the next
+event or because the operating system's clock ticked.  This module
+makes that seam explicit:
+
+* :class:`SimClock` wraps a simulation
+  :class:`~repro.sim.kernel.Environment`; ``now()`` is simulated time
+  and ``sleep()`` hands out the kernel's pooled timeout event (to be
+  ``yield``-ed inside a simulation process).  It adds nothing on top of
+  the environment, so running the sim backend "through the seam" is
+  bit-identical to touching the environment directly.
+* :class:`WallClock` reads the operating system's monotonic clock;
+  ``sleep()`` returns an ``asyncio`` coroutine.  This is the live
+  backend's time authority (:mod:`repro.runtime.live`).
+
+Protocol code written against the seam only ever calls ``now()`` /
+``deadline()`` — the backend-native *waiting* primitive returned by
+``sleep()`` is consumed by the backend's own driver (a simulation
+process or an asyncio task), never by shared code.  That keeps the
+generator/coroutine divide out of the protocol logic entirely: the same
+:class:`~repro.core.locking.LockManager` lease arithmetic runs under
+either clock unchanged.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Environment
+
+
+class Clock(ABC):
+    """Minimal time authority the shared protocol code depends on."""
+
+    @abstractmethod
+    def now(self) -> float:
+        """Current time in this backend's unit (seconds or sim units)."""
+
+    @abstractmethod
+    def sleep(self, duration: float):
+        """Backend-native waiting primitive for ``duration``.
+
+        Sim backend: an :class:`~repro.sim.events.Event` to ``yield``
+        inside a simulation process.  Live backend: an awaitable.
+        Shared protocol code never consumes the result — only the
+        backend's driver does.
+        """
+
+    def deadline(self, timeout: float) -> float:
+        """Absolute expiry time for a relative ``timeout`` from now."""
+        return self.now() + timeout
+
+    def expired(self, deadline: float) -> bool:
+        """Whether the absolute ``deadline`` has passed."""
+        return self.now() >= deadline
+
+
+class SimClock(Clock):
+    """Simulated time: a thin view over an :class:`Environment`.
+
+    ``sleep`` delegates to the kernel's pooled :meth:`Environment.sleep`
+    fast path, so protocol code driven through a ``SimClock`` schedules
+    exactly the events it scheduled before the seam existed — the
+    golden determinism tests hold bit-identically.
+    """
+
+    __slots__ = ("env",)
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+
+    def now(self) -> float:
+        return self.env.now
+
+    def sleep(self, duration: float):
+        return self.env.sleep(duration)
+
+    def __repr__(self) -> str:
+        return f"<SimClock t={self.env.now:.3f}>"
+
+
+class WallClock(Clock):
+    """Wall-clock time for the live backend.
+
+    Reads ``time.monotonic()`` so suspicion timeouts and lease expiry
+    are immune to system-time jumps, and rebases to 0 at construction
+    so live timestamps read like simulation timestamps (small floats
+    from run start).  ``sleep`` returns an ``asyncio.sleep`` coroutine.
+    """
+
+    __slots__ = ("_origin",)
+
+    def __init__(self):
+        import time
+
+        self._origin = time.monotonic()
+
+    def now(self) -> float:
+        import time
+
+        return time.monotonic() - self._origin
+
+    def sleep(self, duration: float):
+        import asyncio
+
+        return asyncio.sleep(max(0.0, duration))
+
+    def __repr__(self) -> str:
+        return f"<WallClock t={self.now():.3f}>"
+
+
+__all__ = ["Clock", "SimClock", "WallClock"]

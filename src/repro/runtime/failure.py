@@ -47,6 +47,121 @@ from repro.errors import MessageLostError
 _LN10 = math.log(10.0)
 
 
+class HeartbeatHistory:
+    """Pure heartbeat bookkeeping + suspicion math, clock-agnostic.
+
+    This is the part of the failure detector that is *protocol*, not
+    simulation: record arrival timestamps, estimate the inter-arrival
+    mean, and answer "how suspicious is this much silence?" — either in
+    fixed-timeout mode or as the phi-accrual level.  Every query takes
+    ``now`` explicitly, so the same instance serves the simulated
+    detector (``now = env.now``) and the live
+    :class:`~repro.runtime.live.supervisor.NodeSupervisor`
+    (``now = WallClock().now()``) unchanged.
+
+    Parameters mirror :class:`FailureDetector`; see there.
+    """
+
+    __slots__ = ("interval", "timeout", "phi_threshold", "window",
+                 "_last", "_intervals")
+
+    def __init__(
+        self,
+        interval: float = 1.0,
+        timeout: float = 15.0,
+        phi_threshold: Optional[float] = None,
+        window: int = 32,
+    ):
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        if timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {timeout}")
+        if phi_threshold is not None and phi_threshold <= 0:
+            raise ValueError(
+                f"phi_threshold must be positive, got {phi_threshold}"
+            )
+        if window < 2:
+            raise ValueError(f"window must be >= 2, got {window}")
+        self.interval = interval
+        self.timeout = timeout
+        self.phi_threshold = phi_threshold
+        self.window = window
+        #: node id -> arrival time of its most recent heartbeat.
+        self._last: Dict[int, float] = {}
+        #: node id -> recent heartbeat inter-arrival samples.
+        self._intervals: Dict[int, Deque[float]] = {}
+
+    def ensure(self, node_id: int, now: float) -> None:
+        """Bootstrap: consider the node heard-from at ``now``.
+
+        Suspicion then needs a full timeout of *real* silence; without
+        this a freshly watched node would be instantly suspect.
+        """
+        self._last.setdefault(node_id, now)
+        self._intervals.setdefault(node_id, deque(maxlen=self.window))
+
+    def record(self, node_id: int, now: float) -> None:
+        """One heartbeat from ``node_id`` arrived at ``now``."""
+        prev = self._last.get(node_id)
+        if prev is None:
+            self._intervals.setdefault(node_id, deque(maxlen=self.window))
+        else:
+            self._intervals[node_id].append(now - prev)
+        self._last[node_id] = now
+
+    def forget(self, node_id: int) -> None:
+        """Drop a node's history (e.g. after a supervised restart)."""
+        self._last.pop(node_id, None)
+        self._intervals.pop(node_id, None)
+
+    def last(self, node_id: int) -> Optional[float]:
+        """Arrival time of the node's latest heartbeat, if any."""
+        return self._last.get(node_id)
+
+    def known(self) -> Set[int]:
+        """Every node id with at least a bootstrap entry."""
+        return set(self._last)
+
+    def phi(self, node_id: int, now: float) -> float:
+        """Phi-accrual suspicion level of one node at time ``now``.
+
+        Models heartbeat inter-arrivals as exponential with the
+        observed mean ``m``; the probability that a healthy node stays
+        silent for ``t`` is ``exp(-t/m)``, so
+        ``phi = t / (m * ln 10)``.  A ``phi`` of 1 means a 10% chance
+        the silence is ordinary, 2 means 1%, and so on.
+        """
+        last = self._last.get(node_id)
+        if last is None:
+            return 0.0
+        elapsed = now - last
+        samples = self._intervals.get(node_id)
+        if samples:
+            mean = sum(samples) / len(samples)
+        else:
+            mean = self.interval
+        if mean <= 0:
+            mean = self.interval
+        return elapsed / (mean * _LN10)
+
+    def is_down(self, node_id: int, now: float) -> bool:
+        """Whether the silence observed by ``now`` crosses the threshold."""
+        last = self._last.get(node_id)
+        if last is None:
+            return False  # never monitored: assume up (no evidence)
+        if self.phi_threshold is not None:
+            return self.phi(node_id, now) >= self.phi_threshold
+        return (now - last) > self.timeout
+
+    def __repr__(self) -> str:
+        mode = (
+            f"phi>={self.phi_threshold}"
+            if self.phi_threshold is not None
+            else f"timeout={self.timeout}"
+        )
+        return f"<HeartbeatHistory nodes={len(self._last)} {mode}>"
+
+
 class FailureDetector:
     """Per-node heartbeat processes plus a suspicion evaluator.
 
@@ -93,16 +208,15 @@ class FailureDetector:
         window: int = 32,
         monitor_node: int = 0,
     ):
-        if interval <= 0:
-            raise ValueError(f"interval must be positive, got {interval}")
-        if timeout <= 0:
-            raise ValueError(f"timeout must be positive, got {timeout}")
-        if phi_threshold is not None and phi_threshold <= 0:
-            raise ValueError(
-                f"phi_threshold must be positive, got {phi_threshold}"
-            )
-        if window < 2:
-            raise ValueError(f"window must be >= 2, got {window}")
+        #: Clock-agnostic arrival bookkeeping + suspicion math, shared
+        #: verbatim with the live supervisor (parameter validation
+        #: happens in there).
+        self.history = HeartbeatHistory(
+            interval=interval,
+            timeout=timeout,
+            phi_threshold=phi_threshold,
+            window=window,
+        )
         self.system = system
         self.faults = faults
         self.interval = interval
@@ -110,10 +224,6 @@ class FailureDetector:
         self.phi_threshold = phi_threshold
         self.window = window
         self.monitor_node = monitor_node
-        #: node id -> arrival time of its most recent heartbeat.
-        self._last: Dict[int, float] = {}
-        #: node id -> recent heartbeat inter-arrival samples.
-        self._intervals: Dict[int, Deque[float]] = {}
         #: Nodes currently suspected (transition bookkeeping only; the
         #: authoritative answer is computed lazily by :meth:`is_down`).
         self._suspected: Set[int] = set()
@@ -137,38 +247,16 @@ class FailureDetector:
         (its last heartbeat is still recent), and a live node behind a
         lossy link may be falsely suspected.
         """
-        last = self._last.get(node_id)
-        if last is None:
-            return False  # never monitored: assume up (no evidence)
-        if self.phi_threshold is not None:
-            return self.phi(node_id) >= self.phi_threshold
-        return (self.system.env.now - last) > self.timeout
+        return self.history.is_down(node_id, self.system.env.now)
 
     def phi(self, node_id: int) -> float:
-        """Phi-accrual suspicion level of one node.
-
-        Models heartbeat inter-arrivals as exponential with the
-        observed mean ``m``; the probability that a healthy node stays
-        silent for ``t`` is ``exp(-t/m)``, so
-        ``phi = t / (m * ln 10)``.  A ``phi`` of 1 means a 10% chance
-        the silence is ordinary, 2 means 1%, and so on.
-        """
-        last = self._last.get(node_id)
-        if last is None:
-            return 0.0
-        elapsed = self.system.env.now - last
-        samples = self._intervals.get(node_id)
-        if samples:
-            mean = sum(samples) / len(samples)
-        else:
-            mean = self.interval
-        if mean <= 0:
-            mean = self.interval
-        return elapsed / (mean * _LN10)
+        """Phi-accrual suspicion level of one node (see
+        :meth:`HeartbeatHistory.phi`)."""
+        return self.history.phi(node_id, self.system.env.now)
 
     def suspected_nodes(self) -> Set[int]:
         """Snapshot of every node the detector currently suspects."""
-        return {n for n in self._last if self.is_down(n)}
+        return {n for n in self.history.known() if self.is_down(n)}
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -189,8 +277,7 @@ class FailureDetector:
             self._watched.add(node_id)
             # Bootstrap: a node is considered heard-from at start time,
             # so suspicion needs a full timeout of real silence.
-            self._last.setdefault(node_id, env.now)
-            self._intervals.setdefault(node_id, deque(maxlen=self.window))
+            self.history.ensure(node_id, env.now)
             env.process(
                 self._heartbeat(node_id), name=f"heartbeat-{node_id}"
             )
@@ -220,11 +307,7 @@ class FailureDetector:
             self._record(node_id)
 
     def _record(self, node_id: int) -> None:
-        now = self.system.env.now
-        prev = self._last.get(node_id)
-        if prev is not None:
-            self._intervals[node_id].append(now - prev)
-        self._last[node_id] = now
+        self.history.record(node_id, self.system.env.now)
         self.heartbeats_received += 1
         if node_id in self._suspected:
             # Fresh evidence of life clears the suspicion — this is

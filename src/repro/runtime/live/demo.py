@@ -1,0 +1,190 @@
+"""The ``repro-experiment live`` demo: sim-predicted vs. measured.
+
+Runs the same concurrent-movers workload twice:
+
+1. :func:`simulate_analog` — a discrete-event model of the deployment
+   on the sim kernel: N mover processes contending for M objects under
+   the same :class:`~repro.core.locking.LockManager`, with per-block
+   hold times and think times matching the live configuration, and
+   a transfer-loss probability matching the injected fault windows.
+   Deterministic (seeded streams), instant, no sockets.
+2. :class:`~repro.runtime.live.supervisor.NodeSupervisor` — the real
+   thing: N OS processes, real sockets, one injected crash, one
+   injected partition.
+
+The report places the sim's predicted conflict/abort rates next to the
+measured ones.  They will not match to the digit — the sim does not
+model GIL scheduling or socket latency jitter — but they must land in
+the same regime: that is the paper's claim that the simulated
+place-policy contention predicts deployed behaviour.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, Optional
+
+from repro.availability.livechaos import LiveChaosSchedule, demo_schedule
+from repro.core.locking import LockManager
+from repro.runtime.live.node import LiveObject
+from repro.runtime.live.supervisor import NodeSupervisor, SupervisorConfig
+from repro.sim.kernel import Environment
+from repro.sim.rng import RandomStreams
+
+
+def simulate_analog(
+    config: SupervisorConfig,
+    transfer_loss: float = 0.0,
+    sim_rounds: int = 2000,
+) -> Dict[str, float]:
+    """Predict conflict/abort rates for ``config`` on the sim kernel.
+
+    ``transfer_loss`` is the probability a granted move's transfer
+    phase fails (the live analog: a frame lost to drops or a partition
+    window), aborting the block.  Rates are per move attempt, the same
+    denominators the live report uses.
+    """
+    env = Environment()
+    streams = RandomStreams(config.rng_seed)
+    locks = LockManager(env=env, lease_duration=config.lease_duration)
+    records = [LiveObject(oid) for oid in range(config.num_objects)]
+    # One block's critical section ~ invocations + transfer round trips.
+    hold_time = config.think_time * (1 + config.invocations_per_block)
+    counters = {"attempts": 0, "denied": 0, "aborted": 0, "migrations": 0}
+    rounds_per_node = max(1, sim_rounds // config.num_nodes)
+
+    def mover(node_id: int):
+        stream = streams.stream(f"live.mover.{node_id}")
+        from repro.core.moveblock import MoveBlock
+
+        for _ in range(rounds_per_node):
+            record = records[int(stream.uniform() * config.num_objects)]
+            counters["attempts"] += 1
+            if locks.is_locked(record):
+                counters["denied"] += 1
+            else:
+                block = MoveBlock(client_node=node_id, target=record)
+                locks.lock(record, block)
+                if transfer_loss > 0 and stream.uniform() < transfer_loss:
+                    counters["aborted"] += 1
+                else:
+                    counters["migrations"] += 1
+                yield env.sleep(hold_time)
+                locks.release_block(block)
+            yield env.sleep(stream.uniform() * 2 * config.think_time)
+
+    for node in range(1, config.num_nodes + 1):
+        env.process(mover(node), name=f"mover-{node}")
+    env.run()
+    attempts = max(1, counters["attempts"])
+    return {
+        "attempts": counters["attempts"],
+        "migrations": counters["migrations"],
+        "conflict_rate": counters["denied"] / attempts,
+        "abort_rate": counters["aborted"] / attempts,
+    }
+
+
+def estimate_transfer_loss(
+    config: SupervisorConfig, chaos: LiveChaosSchedule
+) -> float:
+    """Fraction of the run a granted transfer is expected to fail.
+
+    Partitions cut roughly the cross-group share of transfers for
+    their window; fault windows lose a transfer with their drop rate
+    (a transfer needs its request *and* reply to survive).  Scaled by
+    each window's share of the expected run duration.
+    """
+    horizon = max(config.max_duration, 1e-9)
+    loss = 0.0
+    for action in chaos.actions:
+        duration = getattr(action, "duration", None)
+        if duration is None:
+            continue
+        window_share = min(duration, horizon) / horizon
+        if hasattr(action, "groups"):
+            groups = action.groups
+            total = sum(len(g) for g in groups) or 1
+            cross = 1.0 - sum((len(g) / total) ** 2 for g in groups)
+            loss += window_share * cross
+        elif getattr(action, "drop_rate", 0.0) > 0:
+            survive = (1.0 - action.drop_rate) ** 2
+            loss += window_share * (1.0 - survive)
+    return min(loss, 0.95)
+
+
+def run_live_demo(
+    config: Optional[SupervisorConfig] = None,
+    chaos: Optional[LiveChaosSchedule] = None,
+) -> Dict[str, Any]:
+    """Run sim prediction + live deployment; return the joint report."""
+    config = config or SupervisorConfig()
+    if chaos is None:
+        chaos = demo_schedule(config.num_nodes)
+    predicted = simulate_analog(
+        config, transfer_loss=estimate_transfer_loss(config, chaos)
+    )
+    supervisor = NodeSupervisor(config, chaos)
+    measured = asyncio.run(supervisor.run())
+    return {
+        "config": {
+            "num_nodes": config.num_nodes,
+            "num_objects": config.num_objects,
+            "target_migrations": config.target_migrations,
+            "max_duration": config.max_duration,
+            "lease_duration": config.lease_duration,
+            "rng_seed": config.rng_seed,
+        },
+        "predicted": predicted,
+        "measured": measured,
+        "comparison": {
+            "conflict_rate_predicted": predicted["conflict_rate"],
+            "conflict_rate_measured": measured["conflict_rate"],
+            "abort_rate_predicted": predicted["abort_rate"],
+            "abort_rate_measured": measured["abort_rate"],
+        },
+    }
+
+
+def format_report(report: Dict[str, Any]) -> str:
+    """Human-readable sim-vs-measured table."""
+    measured = report["measured"]
+    comparison = report["comparison"]
+    lines = [
+        "live demo: sim-predicted vs. measured",
+        "=" * 53,
+        f"{'metric':<28}{'predicted':>12}{'measured':>12}",
+        "-" * 53,
+        (
+            f"{'conflict rate':<28}"
+            f"{comparison['conflict_rate_predicted']:>12.4f}"
+            f"{comparison['conflict_rate_measured']:>12.4f}"
+        ),
+        (
+            f"{'abort rate':<28}"
+            f"{comparison['abort_rate_predicted']:>12.4f}"
+            f"{comparison['abort_rate_measured']:>12.4f}"
+        ),
+        "-" * 53,
+        f"workers (OS processes)      {measured['workers']:>12}",
+        f"objects                     {measured['objects']:>12}",
+        f"migrations                  {measured['migrations']:>12}",
+        f"distinct objects moved      {measured['distinct_objects_moved']:>12}",
+        f"crashes injected            {measured['crashes_injected']:>12}",
+        f"partitions injected         {measured['partitions_injected']:>12}",
+        f"restarts                    {measured['restarts']:>12}",
+        f"leases broken               {measured['leases_broken']:>12}",
+        f"invariant violations        "
+        f"{len(measured['invariant_violations']):>12}",
+    ]
+    for violation in measured["invariant_violations"]:
+        lines.append(f"  !! {violation}")
+    return "\n".join(lines)
+
+
+__all__ = [
+    "estimate_transfer_loss",
+    "format_report",
+    "run_live_demo",
+    "simulate_analog",
+]

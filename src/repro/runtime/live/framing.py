@@ -1,0 +1,128 @@
+"""Length-prefixed message framing for the live transport.
+
+A frame is ``4-byte big-endian payload length || payload``.  TCP and
+Unix stream sockets are byte streams with no message boundaries, so the
+receiver needs the length up front to know where one pickled envelope
+ends and the next begins.  The prefix is bounded by
+``max_payload`` on *both* sides: the sender refuses to emit an
+oversized frame, and the receiver refuses to buffer one whose prefix
+claims more than the limit — a corrupt length (or a hostile peer)
+must never make us allocate unbounded memory.
+
+:class:`FrameDecoder` is a pure incremental parser: feed it arbitrary
+byte chunks as they arrive from the socket, take complete payloads out.
+No I/O, no asyncio — unit-testable byte-for-byte, and reused verbatim
+by any future transport (the framing is the protocol, the socket is a
+detail).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List
+
+from repro.errors import FrameTooLargeError
+
+#: Length-prefix format: unsigned 32-bit big-endian.
+_PREFIX = struct.Struct(">I")
+
+#: Size of the length prefix in bytes.
+PREFIX_SIZE = _PREFIX.size
+
+#: Default payload bound: 64 MiB — far above any pickled object the
+#: demo ships, far below anything that could hurt a host.
+DEFAULT_MAX_PAYLOAD = 64 * 1024 * 1024
+
+
+def encode_frame(payload: bytes, max_payload: int = DEFAULT_MAX_PAYLOAD) -> bytes:
+    """Wrap ``payload`` in a length-prefixed frame.
+
+    Raises
+    ------
+    FrameTooLargeError
+        When the payload exceeds ``max_payload`` — checked at the
+        sender so the oversized frame never reaches the wire.
+    """
+    size = len(payload)
+    if size > max_payload:
+        raise FrameTooLargeError(
+            "refusing to send oversized frame", size=size, limit=max_payload
+        )
+    return _PREFIX.pack(size) + payload
+
+
+class FrameDecoder:
+    """Incremental frame parser over an unbounded byte stream.
+
+    Usage::
+
+        decoder = FrameDecoder()
+        for payload in decoder.feed(chunk):   # chunk: any byte slice
+            handle(payload)
+
+    The decoder keeps at most one partial frame of internal buffer;
+    complete payloads are surfaced in arrival order.
+    """
+
+    __slots__ = ("max_payload", "_buffer", "frames_decoded", "bytes_fed")
+
+    def __init__(self, max_payload: int = DEFAULT_MAX_PAYLOAD):
+        if max_payload <= 0:
+            raise ValueError(
+                f"max_payload must be positive, got {max_payload}"
+            )
+        self.max_payload = max_payload
+        self._buffer = bytearray()
+        self.frames_decoded = 0
+        self.bytes_fed = 0
+
+    def feed(self, chunk: bytes) -> List[bytes]:
+        """Absorb ``chunk``; return every payload completed by it.
+
+        Raises
+        ------
+        FrameTooLargeError
+            The moment a length prefix claims more than
+            ``max_payload`` — before any of that payload is buffered.
+            The connection is unrecoverable after this (the stream
+            position is inside a frame we refuse to read); callers
+            drop it.
+        """
+        self.bytes_fed += len(chunk)
+        self._buffer.extend(chunk)
+        frames: List[bytes] = []
+        while True:
+            if len(self._buffer) < PREFIX_SIZE:
+                break
+            (size,) = _PREFIX.unpack_from(self._buffer)
+            if size > self.max_payload:
+                raise FrameTooLargeError(
+                    "peer announced oversized frame",
+                    size=size,
+                    limit=self.max_payload,
+                )
+            if len(self._buffer) < PREFIX_SIZE + size:
+                break
+            frames.append(bytes(self._buffer[PREFIX_SIZE:PREFIX_SIZE + size]))
+            del self._buffer[:PREFIX_SIZE + size]
+            self.frames_decoded += 1
+        return frames
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered towards an incomplete frame."""
+        return len(self._buffer)
+
+    def __repr__(self) -> str:
+        return (
+            f"<FrameDecoder decoded={self.frames_decoded} "
+            f"pending={self.pending_bytes}B>"
+        )
+
+
+__all__ = [
+    "DEFAULT_MAX_PAYLOAD",
+    "PREFIX_SIZE",
+    "FrameDecoder",
+    "encode_frame",
+]

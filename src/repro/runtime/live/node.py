@@ -1,0 +1,424 @@
+"""Live node worker: one OS process speaking the migration protocol.
+
+A worker hosts a shard of mobile objects and runs the paper's
+move-block loop against the supervisor arbiter:
+
+1. ``MOVE_REQUEST`` to the supervisor — the place-policy decision
+   (grant or "locked", §3.2) happens there, against the *real*
+   :class:`~repro.core.locking.LockManager` running on a wall clock.
+2. Granted: ``OBJECT_TRANSFER`` to the source worker over the data
+   plane (the faultable path), carrying pickled object state back.
+3. ``PLACE`` to the supervisor — the linearization point.  The
+   supervisor fences by transfer id: exactly one of {placed at the
+   destination, rolled back at the source} wins, so an ack lost to a
+   partition can never duplicate an object.
+4. Local invocations inside the block, then ``END_REQUEST`` releases
+   the place-policy lock.
+
+Denied movers degrade to remote ``INVOKE`` at the object's current
+location — §3.2's graceful degradation, now across real processes.
+A transfer that times out (dropped frames, partition) aborts with
+``ROLLBACK``: the source keeps its copy, the destination installs
+nothing, the lock is released.  Crash-killed workers are restarted by
+the supervisor and re-seeded; their in-flight blocks are reclaimed via
+``break_crashed``.
+
+The module-level :func:`worker_main` is the ``multiprocessing`` spawn
+target — everything it needs arrives as picklable arguments.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ConnectionLostError, TimeoutError, TransportClosedError
+from repro.runtime.live.transport import AsyncioTransport, FaultyTransport
+from repro.runtime.live.wire import (
+    DRAIN,
+    END_REQUEST,
+    EVICT,
+    HEARTBEAT,
+    INVENTORY,
+    INVOKE,
+    MOVE_REQUEST,
+    OBJECT_TRANSFER,
+    PLACE,
+    ROLLBACK,
+    SEED,
+    SET_FAULTS,
+    SHUTDOWN,
+    START,
+    STATS,
+    SUPERVISOR,
+    Envelope,
+)
+
+
+class LiveObject:
+    """A mobile object as a live worker hosts it.
+
+    Duck-types the slots of
+    :class:`~repro.runtime.objects.DistributedObject` that the lock
+    manager and move-block machinery touch (``object_id``, ``name``,
+    ``lock_holder``) and adds the transferable state: an opaque payload
+    plus a version counter bumped by every invocation — the invariant
+    checker uses versions to prove no invocation was applied to a
+    stale duplicate.
+    """
+
+    __slots__ = ("object_id", "name", "payload", "version", "lock_holder")
+
+    def __init__(self, object_id: int, payload: Any = None, version: int = 0):
+        self.object_id = object_id
+        self.name = f"obj-{object_id}"
+        self.payload = payload
+        self.version = version
+        self.lock_holder = None
+
+    def state(self) -> Dict[str, Any]:
+        """Picklable transfer form."""
+        return {
+            "object_id": self.object_id,
+            "payload": self.payload,
+            "version": self.version,
+        }
+
+    @staticmethod
+    def from_state(state: Dict[str, Any]) -> "LiveObject":
+        return LiveObject(
+            state["object_id"], state["payload"], state["version"]
+        )
+
+    def __repr__(self) -> str:
+        return f"<LiveObject {self.name} v{self.version}>"
+
+
+@dataclass
+class WorkerStats:
+    """Per-worker workload counters, shipped home at drain."""
+
+    attempts: int = 0
+    granted: int = 0
+    migrations: int = 0
+    denied: int = 0
+    aborted: int = 0
+    invocations: int = 0
+    remote_invocations: int = 0
+    moved_object_ids: List[int] = field(default_factory=list)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Picklable counter snapshot for the supervisor's report."""
+        return {
+            "attempts": self.attempts,
+            "granted": self.granted,
+            "migrations": self.migrations,
+            "denied": self.denied,
+            "aborted": self.aborted,
+            "invocations": self.invocations,
+            "remote_invocations": self.remote_invocations,
+            "moved_object_ids": list(self.moved_object_ids),
+        }
+
+
+class LiveNodeWorker:
+    """The asyncio application running inside one worker process."""
+
+    def __init__(
+        self,
+        node_id: int,
+        listen,
+        peers: Dict[int, Tuple],
+        seed_objects: List[Dict[str, Any]],
+        heartbeat_interval: float = 0.1,
+        request_timeout: float = 3.0,
+        rng_seed: int = 0,
+        incarnation: int = 0,
+    ):
+        self.node_id = node_id
+        self.transport = AsyncioTransport(
+            node_id,
+            listen,
+            peers,
+            jitter_seed=rng_seed,
+            incarnation=incarnation,
+        )
+        self.faults = FaultyTransport(self.transport, seed=rng_seed)
+        self.objects: Dict[int, LiveObject] = {}
+        for state in seed_objects:
+            obj = LiveObject.from_state(state)
+            self.objects[obj.object_id] = obj
+        #: transfer_id -> object held back pending PLACE/ROLLBACK.
+        self.in_transit: Dict[int, LiveObject] = {}
+        self.heartbeat_interval = heartbeat_interval
+        self.request_timeout = request_timeout
+        self.rng = random.Random(rng_seed)
+        self.stats = WorkerStats()
+        self._stopping = asyncio.Event()
+        self._draining = asyncio.Event()
+        self._workload_done = asyncio.Event()
+        self._workload_done.set()  # no workload until START arrives
+        self._workload_params: Dict[str, Any] = {}
+
+    # -- lifecycle ------------------------------------------------------------
+
+    async def run(self) -> None:
+        """Serve the node until SHUTDOWN: transport, heartbeats, blocks."""
+        self.transport.handler = self.handle
+        await self.transport.start()
+        heartbeats = asyncio.ensure_future(self._heartbeat_loop())
+        await self._stopping.wait()
+        heartbeats.cancel()
+        await self.transport.close()
+
+    async def _heartbeat_loop(self) -> None:
+        while not self._stopping.is_set():
+            try:
+                await self.transport.send(
+                    SUPERVISOR, HEARTBEAT, {"node": self.node_id}
+                )
+            except (ConnectionLostError, TransportClosedError):
+                pass  # supervisor briefly away; keep beating
+            await asyncio.sleep(self.heartbeat_interval)
+
+    # -- inbound protocol -----------------------------------------------------
+
+    async def handle(self, envelope: Envelope) -> None:
+        """Dispatch one inbound message to its protocol serve."""
+        kind = envelope.kind
+        if kind == OBJECT_TRANSFER:
+            await self._serve_transfer(envelope)
+        elif kind == INVOKE:
+            await self._serve_invoke(envelope)
+        elif kind == EVICT:
+            self.in_transit.pop(envelope.payload["transfer_id"], None)
+            await self.transport.reply(envelope, {"ok": True})
+        elif kind == ROLLBACK:
+            obj = self.in_transit.pop(envelope.payload["transfer_id"], None)
+            if obj is not None:
+                self.objects[obj.object_id] = obj
+            await self.transport.reply(envelope, {"ok": True})
+        elif kind == SEED:
+            for state in envelope.payload["objects"]:
+                obj = LiveObject.from_state(state)
+                self.objects[obj.object_id] = obj
+            await self.transport.reply(
+                envelope, {"ok": True, "count": len(self.objects)}
+            )
+        elif kind == SET_FAULTS:
+            self.faults.apply_snapshot(envelope.payload["config"])
+            await self.transport.reply(envelope, {"ok": True})
+        elif kind == START:
+            self._workload_params = dict(envelope.payload)
+            self._workload_done.clear()
+            asyncio.ensure_future(self._workload())
+            await self.transport.reply(envelope, {"ok": True})
+        elif kind == STATS:
+            await self.transport.reply(envelope, self.stats.as_dict())
+        elif kind == DRAIN:
+            await self._serve_drain(envelope)
+        elif kind == INVENTORY:
+            await self.transport.reply(
+                envelope,
+                {
+                    "inventory": {
+                        oid: obj.version
+                        for oid, obj in sorted(self.objects.items())
+                    },
+                    "in_transit": sorted(self.in_transit),
+                },
+            )
+        elif kind == SHUTDOWN:
+            await self.transport.reply(envelope, {"ok": True})
+            self._stopping.set()
+
+    async def _serve_transfer(self, envelope: Envelope) -> None:
+        """Source side of a migration: hand the state out, hold a copy.
+
+        The copy stays in ``in_transit`` until the supervisor settles
+        the transfer (EVICT on success, ROLLBACK on abort) — losing the
+        reply on the way back must not lose the object.
+        """
+        object_id = envelope.payload["object_id"]
+        transfer_id = envelope.payload["transfer_id"]
+        obj = self.objects.pop(object_id, None)
+        if obj is None:
+            await self.transport.reply(envelope, {"state": None})
+            return
+        self.in_transit[transfer_id] = obj
+        await self.transport.reply(envelope, {"state": obj.state()})
+
+    async def _serve_invoke(self, envelope: Envelope) -> None:
+        """Remote invocation: §3.2's degraded mode for denied movers."""
+        obj = self.objects.get(envelope.payload["object_id"])
+        if obj is None:
+            await self.transport.reply(envelope, {"ok": False})
+            return
+        obj.version += 1
+        await self.transport.reply(
+            envelope, {"ok": True, "version": obj.version}
+        )
+
+    async def _serve_drain(self, envelope: Envelope) -> None:
+        """Quiesce: finish the in-flight block, then report stats.
+
+        The inventory snapshot is a separate INVENTORY request the
+        supervisor issues only after *every* worker is quiesced and
+        every transfer settled — snapshotting here would race the
+        still-running movers on other nodes.
+        """
+        self._draining.set()
+        await self._workload_done.wait()
+        await self.transport.reply(
+            envelope, {"stats": self.stats.as_dict()}
+        )
+
+    # -- the workload: concurrent movers --------------------------------------
+
+    async def _workload(self) -> None:
+        params = self._workload_params
+        num_objects = params["num_objects"]
+        think = params.get("think_time", 0.002)
+        invokes = params.get("invocations_per_block", 3)
+        try:
+            while not self._draining.is_set() and not self._stopping.is_set():
+                await self._move_block(
+                    self.rng.randrange(num_objects), invokes
+                )
+                await asyncio.sleep(self.rng.uniform(0, 2 * think))
+        finally:
+            self._workload_done.set()
+
+    async def _move_block(self, object_id: int, invokes: int) -> None:
+        """One move-block: request, transfer, place, invoke, end."""
+        self.stats.attempts += 1
+        try:
+            grant = await self.transport.request(
+                SUPERVISOR,
+                MOVE_REQUEST,
+                {"object_id": object_id},
+                timeout=self.request_timeout,
+            )
+        except TimeoutError:
+            self.stats.aborted += 1
+            return
+        if not grant.payload["granted"]:
+            # Locked by a concurrent mover: degrade to remote invocation.
+            self.stats.denied += 1
+            await self._invoke_remotely(object_id, grant.payload["location"])
+            return
+        self.stats.granted += 1
+        block_id = grant.payload["block_id"]
+        source = grant.payload["source"]
+        transfer_id = grant.payload["transfer_id"]
+        resident = source == self.node_id
+        if not resident:
+            resident = await self._pull(object_id, source, transfer_id)
+        if resident:
+            obj = self.objects.get(object_id)
+            if obj is not None:
+                for _ in range(invokes):
+                    obj.version += 1
+                    self.stats.invocations += 1
+        try:
+            await self.transport.request(
+                SUPERVISOR,
+                END_REQUEST,
+                {"block_id": block_id},
+                timeout=self.request_timeout,
+            )
+        except TimeoutError:
+            pass  # lease expiry / break_crashed reclaims the lock
+
+    async def _pull(
+        self, object_id: int, source: int, transfer_id: int
+    ) -> bool:
+        """Transfer + place; aborts (with rollback) on any timeout."""
+        try:
+            transfer = await self.transport.request(
+                source,
+                OBJECT_TRANSFER,
+                {"object_id": object_id, "transfer_id": transfer_id},
+                timeout=self.request_timeout,
+            )
+            state = transfer.payload["state"]
+            if state is None:
+                raise TimeoutError("source no longer holds the object")
+            place = await self.transport.request(
+                SUPERVISOR,
+                PLACE,
+                {"transfer_id": transfer_id},
+                timeout=self.request_timeout,
+            )
+        except (TimeoutError, ConnectionLostError):
+            self.stats.aborted += 1
+            await self._rollback(transfer_id)
+            return False
+        if not place.payload["ok"]:
+            # Fenced out (supervisor saw us crash-suspected, or the
+            # transfer was already rolled back): drop the state.
+            self.stats.aborted += 1
+            return False
+        self.objects[object_id] = LiveObject.from_state(state)
+        self.stats.migrations += 1
+        self.stats.moved_object_ids.append(object_id)
+        return True
+
+    async def _rollback(self, transfer_id: int) -> None:
+        try:
+            await self.transport.request(
+                SUPERVISOR,
+                ROLLBACK,
+                {"transfer_id": transfer_id},
+                timeout=self.request_timeout,
+            )
+        except (TimeoutError, ConnectionLostError):
+            pass  # supervisor settles the transfer when it breaks us
+
+    async def _invoke_remotely(self, object_id: int, location: int) -> None:
+        if location == self.node_id:
+            obj = self.objects.get(object_id)
+            if obj is not None:
+                obj.version += 1
+                self.stats.remote_invocations += 1
+            return
+        try:
+            reply = await self.transport.request(
+                location,
+                INVOKE,
+                {"object_id": object_id},
+                timeout=self.request_timeout,
+            )
+            if reply.payload["ok"]:
+                self.stats.remote_invocations += 1
+        except (TimeoutError, ConnectionLostError):
+            pass  # degraded call lost to chaos: acceptable, not fatal
+
+
+def worker_main(
+    node_id: int,
+    listen,
+    peers: Dict[int, Tuple],
+    seed_objects: List[Dict[str, Any]],
+    heartbeat_interval: float,
+    request_timeout: float,
+    rng_seed: int,
+    incarnation: int = 0,
+) -> None:
+    """``multiprocessing`` spawn target: run one worker to completion."""
+    worker = LiveNodeWorker(
+        node_id,
+        listen,
+        peers,
+        seed_objects,
+        heartbeat_interval=heartbeat_interval,
+        request_timeout=request_timeout,
+        rng_seed=rng_seed,
+        incarnation=incarnation,
+    )
+    asyncio.run(worker.run())
+
+
+__all__ = ["LiveNodeWorker", "LiveObject", "WorkerStats", "worker_main"]

@@ -1,0 +1,737 @@
+"""NodeSupervisor: spawn, arbitrate, detect, restart, drain.
+
+The supervisor is the live deployment's control plane, running in the
+parent OS process under node id
+:data:`~repro.runtime.live.wire.SUPERVISOR`.  It plays four roles:
+
+**Arbiter.**  The paper's place-policy decision (§3.2) runs here
+against the *real* :class:`~repro.core.locking.LockManager` on a
+:class:`~repro.runtime.clock.WallClock` — the same lock/lease/break
+code the sim exercises, now over wall time.  Every move-block is a
+real :class:`~repro.core.moveblock.MoveBlock`.  The supervisor is also
+the placement linearization point: a migration commits only when the
+destination's ``PLACE`` passes the transfer fence, so a lost ack or a
+partition can delay a migration but never duplicate an object.
+
+**Failure detector.**  Workers heartbeat over the control plane; the
+supervisor feeds :class:`~repro.runtime.failure.HeartbeatHistory`
+(phi-accrual or fixed-timeout — PR 4's math, wall-clock intervals) and
+cross-checks OS-level process liveness.
+
+**Restart with lease recovery.**  A dead worker's in-flight blocks are
+reclaimed via ``LockManager.break_crashed`` — broken blocks are barred
+forever, so a zombie's late ``PLACE`` or lease renewal cannot
+resurrect exclusivity.  The node is respawned and re-seeded with the
+objects the placement map assigns it.
+
+**Drain.**  Graceful shutdown asks each worker to finish its in-flight
+block and report stats + inventory under a hard deadline
+(:class:`~repro.errors.DrainTimeoutError` otherwise); the inventories
+are then audited against the placement map — every object exactly
+once, exactly where the map says.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import multiprocessing
+import os
+import tempfile
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.availability.livechaos import (
+    LiveChaosSchedule,
+    LiveCrash,
+    LiveFaultWindow,
+    LivePartition,
+)
+from repro.core.locking import LockManager
+from repro.core.moveblock import MoveBlock
+from repro.errors import DrainTimeoutError, TimeoutError
+from repro.runtime.clock import WallClock
+from repro.runtime.failure import HeartbeatHistory
+from repro.runtime.live.node import LiveObject, worker_main
+from repro.runtime.live.transport import AsyncioTransport, unix_supported
+from repro.runtime.live.wire import (
+    DRAIN,
+    END_REQUEST,
+    EVICT,
+    HEARTBEAT,
+    INVENTORY,
+    LOCATE,
+    MOVE_REQUEST,
+    PLACE,
+    ROLLBACK,
+    SEED,
+    SET_FAULTS,
+    SHUTDOWN,
+    START,
+    STATS,
+    SUPERVISOR,
+    Envelope,
+)
+
+
+@dataclass
+class SupervisorConfig:
+    """Everything one live run needs, picklable and explicit."""
+
+    num_nodes: int = 3
+    num_objects: int = 120
+    heartbeat_interval: float = 0.1
+    #: Fixed-timeout fallback when ``phi_threshold`` is None.
+    heartbeat_timeout: float = 1.0
+    phi_threshold: Optional[float] = 8.0
+    lease_duration: float = 5.0
+    request_timeout: float = 3.0
+    drain_timeout: float = 10.0
+    #: Workload knobs forwarded to the workers' START message.
+    think_time: float = 0.002
+    invocations_per_block: int = 3
+    #: Stop once this many migrations were measured (or at deadline).
+    target_migrations: int = 250
+    max_duration: float = 20.0
+    rng_seed: int = 0
+    socket_dir: Optional[str] = None
+
+    def validate(self) -> None:
+        """Reject non-positive sizes, intervals and budgets."""
+        if self.num_nodes < 1:
+            raise ValueError(f"num_nodes must be >= 1, got {self.num_nodes}")
+        if self.num_objects < 1:
+            raise ValueError(
+                f"num_objects must be >= 1, got {self.num_objects}"
+            )
+        if self.heartbeat_interval <= 0:
+            raise ValueError("heartbeat_interval must be positive")
+        if self.max_duration <= 0:
+            raise ValueError("max_duration must be positive")
+
+
+@dataclass
+class Transfer:
+    """One in-flight object transfer, fenced by id."""
+
+    transfer_id: int
+    object_id: int
+    src: int
+    dst: int
+    block_id: int
+    state: str = "pending"  # pending | placed | rolled_back | failed
+
+
+class _CrashedSet:
+    """``health`` adapter for ``LockManager.break_crashed``."""
+
+    def __init__(self):
+        self.down: Set[int] = set()
+
+    def is_down(self, node_id: int) -> bool:
+        return node_id in self.down
+
+
+class NodeSupervisor:
+    """Control plane for one live multi-process deployment."""
+
+    def __init__(
+        self,
+        config: SupervisorConfig,
+        chaos: Optional[LiveChaosSchedule] = None,
+    ):
+        config.validate()
+        if chaos is not None:
+            chaos.validate()
+        self.config = config
+        self.chaos = chaos or LiveChaosSchedule()
+        self.clock = WallClock()
+        self.socket_dir = config.socket_dir or tempfile.mkdtemp(
+            prefix="repro-live-"
+        )
+        self.worker_ids = list(range(1, config.num_nodes + 1))
+        self.peers = self._address_map()
+        self.transport = AsyncioTransport(
+            SUPERVISOR,
+            self.peers[SUPERVISOR],
+            self.peers,
+            clock=self.clock,
+            jitter_seed=config.rng_seed,
+        )
+        # The paper's lock machinery, verbatim, on wall time.
+        self.locks = LockManager(
+            clock=self.clock, lease_duration=config.lease_duration
+        )
+        self.records: Dict[int, LiveObject] = {
+            oid: LiveObject(oid) for oid in range(config.num_objects)
+        }
+        #: object id -> node currently hosting it (the authority).
+        self.placement: Dict[int, int] = {
+            oid: self.worker_ids[oid % len(self.worker_ids)]
+            for oid in range(config.num_objects)
+        }
+        self.blocks: Dict[int, MoveBlock] = {}
+        self.transfers: Dict[int, Transfer] = {}
+        self._transfer_ids = itertools.count(1)
+        self.history = HeartbeatHistory(
+            interval=config.heartbeat_interval,
+            timeout=config.heartbeat_timeout,
+            phi_threshold=config.phi_threshold,
+        )
+        self.health = _CrashedSet()
+        self.processes: Dict[int, multiprocessing.process.BaseProcess] = {}
+        self._mp = multiprocessing.get_context("spawn")
+        self._restarting: Set[int] = set()
+        #: node id -> how many times it has been (re)spawned.
+        self.incarnations: Dict[int, int] = {w: 0 for w in self.worker_ids}
+        # Run ledger.
+        self.restarts = 0
+        self.crashes_seen = 0
+        self.leases_broken_total = 0
+        self.conflicts = 0
+        self.grants = 0
+        self.faults_active: Dict[str, Any] = {}
+        self._settlements: Set = set()
+        self._stopping = False
+
+    # -- wiring ---------------------------------------------------------------
+
+    def _address_map(self) -> Dict[int, Tuple]:
+        if unix_supported():
+            return {
+                node: ("unix", os.path.join(self.socket_dir, f"n{node}.sock"))
+                for node in [SUPERVISOR] + self.worker_ids
+            }
+        base = 43500 + (os.getpid() % 1000)
+        return {
+            node: ("tcp", "127.0.0.1", base + node + 1)
+            for node in [SUPERVISOR] + self.worker_ids
+        }
+
+    def _seed_states(self, node_id: int) -> List[Dict[str, Any]]:
+        return [
+            LiveObject(oid).state()
+            for oid, where in sorted(self.placement.items())
+            if where == node_id
+        ]
+
+    def _spawn(self, node_id: int) -> None:
+        address = self.peers[node_id]
+        if address[0] == "unix" and os.path.exists(address[1]):
+            os.unlink(address[1])  # stale socket from a crashed worker
+        process = self._mp.Process(
+            target=worker_main,
+            args=(
+                node_id,
+                address,
+                self.peers,
+                self._seed_states(node_id),
+                self.config.heartbeat_interval,
+                self.config.request_timeout,
+                self.config.rng_seed * 1000 + node_id,
+                self.incarnations[node_id],
+            ),
+            daemon=True,
+        )
+        process.start()
+        self.processes[node_id] = process
+        self.history.ensure(node_id, self.clock.now())
+
+    # -- inbound control plane ------------------------------------------------
+
+    async def handle(self, envelope: Envelope) -> None:
+        """Dispatch one inbound worker message to its protocol serve."""
+        kind = envelope.kind
+        if kind == HEARTBEAT:
+            self.history.record(envelope.src, self.clock.now())
+        elif kind == MOVE_REQUEST:
+            await self._serve_move_request(envelope)
+        elif kind == PLACE:
+            await self._serve_place(envelope)
+        elif kind == ROLLBACK:
+            await self._serve_rollback(envelope)
+        elif kind == END_REQUEST:
+            block = self.blocks.pop(envelope.payload["block_id"], None)
+            released = self.locks.release_block(block) if block else 0
+            await self.transport.reply(envelope, {"released": released})
+        elif kind == LOCATE:
+            oid = envelope.payload["object_id"]
+            await self.transport.reply(
+                envelope, {"location": self.placement.get(oid)}
+            )
+
+    async def _serve_move_request(self, envelope: Envelope) -> None:
+        """§3.2 at the arbiter: grant the lock or answer "locked"."""
+        mover = envelope.src
+        object_id = envelope.payload["object_id"]
+        record = self.records[object_id]
+        if self.locks.is_locked(record):
+            self.conflicts += 1
+            await self.transport.reply(
+                envelope,
+                {"granted": False, "location": self.placement[object_id]},
+            )
+            return
+        block = MoveBlock(client_node=mover, target=record)
+        try:
+            self.locks.lock(record, block)
+        except Exception:
+            # e.g. a broken (crash-suspected) mover retrying: deny.
+            self.conflicts += 1
+            await self.transport.reply(
+                envelope,
+                {"granted": False, "location": self.placement[object_id]},
+            )
+            return
+        self.grants += 1
+        self.blocks[block.block_id] = block
+        source = self.placement[object_id]
+        transfer_id = None
+        if source != mover:
+            transfer_id = next(self._transfer_ids)
+            self.transfers[transfer_id] = Transfer(
+                transfer_id, object_id, source, mover, block.block_id
+            )
+        await self.transport.reply(
+            envelope,
+            {
+                "granted": True,
+                "source": source,
+                "block_id": block.block_id,
+                "transfer_id": transfer_id,
+            },
+        )
+
+    async def _serve_place(self, envelope: Envelope) -> None:
+        """The linearization point: commit or fence out a transfer."""
+        transfer = self.transfers.get(envelope.payload["transfer_id"])
+        ok = (
+            transfer is not None
+            and transfer.state == "pending"
+            and transfer.dst == envelope.src
+            and transfer.block_id in self.blocks
+            and not self.locks.was_broken(self.blocks[transfer.block_id])
+        )
+        if ok:
+            transfer.state = "placed"
+            self.placement[transfer.object_id] = transfer.dst
+            self._notify(transfer.src, EVICT, transfer)
+        await self.transport.reply(envelope, {"ok": ok})
+
+    async def _serve_rollback(self, envelope: Envelope) -> None:
+        """Abort a transfer: the source's held-back copy is restored."""
+        transfer = self.transfers.get(envelope.payload["transfer_id"])
+        ok = transfer is not None and transfer.state == "pending"
+        if ok:
+            transfer.state = "rolled_back"
+            self._notify(transfer.src, ROLLBACK, transfer)
+        await self.transport.reply(envelope, {"ok": ok})
+
+    def _notify(self, node: int, kind: str, transfer: Transfer) -> None:
+        """Fire-and-forget settlement notice to a transfer's source."""
+
+        async def deliver():
+            try:
+                await self.transport.request(
+                    node,
+                    kind,
+                    {
+                        "transfer_id": transfer.transfer_id,
+                        "object_id": transfer.object_id,
+                    },
+                    timeout=self.config.request_timeout,
+                )
+            except Exception:
+                pass  # crashed source: its state is re-seeded anyway
+
+        task = asyncio.ensure_future(deliver())
+        self._settlements.add(task)
+        task.add_done_callback(self._settlements.discard)
+
+    # -- failure detection & restart ------------------------------------------
+
+    async def _monitor_loop(self) -> None:
+        tick = self.config.heartbeat_interval / 2
+        while not self._stopping:
+            now = self.clock.now()
+            for node_id in self.worker_ids:
+                if node_id in self._restarting:
+                    continue
+                process = self.processes.get(node_id)
+                dead_process = process is not None and not process.is_alive()
+                suspected = self.history.is_down(node_id, now)
+                if dead_process or suspected:
+                    self._restarting.add(node_id)
+                    asyncio.ensure_future(self._restart(node_id))
+            await asyncio.sleep(tick)
+
+    async def _restart(self, node_id: int) -> None:
+        """Crash recovery: break leases, settle transfers, respawn.
+
+        Never leaves the node stuck in the restarting set: if the
+        respawn itself fails (no heartbeat in time), the monitor sees
+        the dead process and tries again.
+        """
+        try:
+            await self._restart_inner(node_id)
+        except TimeoutError:
+            pass
+        finally:
+            self._restarting.discard(node_id)
+
+    async def _restart_inner(self, node_id: int) -> None:
+        self.crashes_seen += 1
+        self.health.down.add(node_id)
+        # PR 4 -> PR 2 seam: reclaim every lock the dead mover held.
+        # Its blocks are barred forever; a zombie's late PLACE is
+        # rejected by the fence in _serve_place.
+        self.leases_broken_total += self.locks.break_crashed(self.health)
+        for transfer in self.transfers.values():
+            if transfer.state != "pending":
+                continue
+            if transfer.dst == node_id:
+                # Destination died mid-pull: restore the source's copy.
+                transfer.state = "rolled_back"
+                self._notify(transfer.src, ROLLBACK, transfer)
+            elif transfer.src == node_id:
+                # Source died holding the held-back copy: the state is
+                # lost; fence the destination out and re-seed on
+                # restart.  Placement never moved, so no duplicate.
+                transfer.state = "failed"
+        stale = self.transport._writers.pop(node_id, None)
+        if stale is not None:
+            stale.close()
+        process = self.processes.get(node_id)
+        if process is not None:
+            process.kill()
+            await asyncio.get_running_loop().run_in_executor(
+                None, process.join, 5.0
+            )
+        self.history.forget(node_id)
+        self.health.down.discard(node_id)
+        self.incarnations[node_id] += 1
+        self._spawn(node_id)
+        await self._wait_for_heartbeat(node_id)
+        if self.faults_active:
+            await self._send_faults(node_id, self.faults_active)
+        await self._start_workload(node_id)
+        self.restarts += 1
+
+    async def _wait_for_heartbeat(
+        self, node_id: int, timeout: float = 10.0
+    ) -> None:
+        # ensure() at spawn stamps the node with the spawn time; only a
+        # heartbeat actually received moves ``last`` past that baseline.
+        baseline = self.history.last(node_id)
+        deadline = self.clock.deadline(timeout)
+        while not self.clock.expired(deadline):
+            last = self.history.last(node_id)
+            if last is not None and (baseline is None or last > baseline):
+                return
+            await asyncio.sleep(self.config.heartbeat_interval / 2)
+        raise TimeoutError(
+            f"worker {node_id} sent no heartbeat within {timeout}s of spawn"
+        )
+
+    # -- chaos ----------------------------------------------------------------
+
+    async def _chaos_loop(self, started_at: float) -> None:
+        for action in self.chaos.ordered():
+            delay = (started_at + action.at) - self.clock.now()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            if self._stopping:
+                return
+            if isinstance(action, LiveCrash):
+                victim = action.node
+                if victim is None or victim in self._restarting:
+                    up = [
+                        w
+                        for w in self.worker_ids
+                        if w not in self._restarting
+                    ]
+                    victim = up[0] if up else None
+                if victim is not None:
+                    self.processes[victim].kill()
+            elif isinstance(action, LivePartition):
+                await self._broadcast_faults(
+                    {"partitions": [list(g) for g in action.groups]}
+                )
+                await asyncio.sleep(action.duration)
+                await self._broadcast_faults({"partitions": []})
+            elif isinstance(action, LiveFaultWindow):
+                await self._broadcast_faults(
+                    {
+                        "drop_rate": action.drop_rate,
+                        "duplicate_rate": action.duplicate_rate,
+                        "delay_range": action.delay_range,
+                    }
+                )
+                await asyncio.sleep(action.duration)
+                await self._broadcast_faults(
+                    {
+                        "drop_rate": 0.0,
+                        "duplicate_rate": 0.0,
+                        "delay_range": (0.0, 0.0),
+                    }
+                )
+
+    async def _send_faults(self, node_id: int, config: Dict) -> None:
+        try:
+            await self.transport.request(
+                node_id,
+                SET_FAULTS,
+                {"config": config},
+                timeout=self.config.request_timeout,
+            )
+        except TimeoutError:
+            pass  # a worker mid-crash misses the memo; restart re-sends
+
+    async def _broadcast_faults(self, config: Dict) -> None:
+        self.faults_active = {**self.faults_active, **config}
+        await asyncio.gather(
+            *(self._send_faults(w, config) for w in self.worker_ids)
+        )
+
+    # -- run ------------------------------------------------------------------
+
+    async def _start_workload(self, node_id: int) -> None:
+        try:
+            await self.transport.request(
+                node_id,
+                START,
+                {
+                    "num_objects": self.config.num_objects,
+                    "think_time": self.config.think_time,
+                    "invocations_per_block": self.config.invocations_per_block,
+                },
+                timeout=self.config.request_timeout,
+            )
+        except TimeoutError:
+            pass  # monitor will flag the silent worker
+
+    async def _poll_migrations(self) -> int:
+        total = 0
+        for node_id in self.worker_ids:
+            if node_id in self._restarting:
+                continue
+            try:
+                reply = await self.transport.request(
+                    node_id, STATS, timeout=self.config.request_timeout
+                )
+                total += reply.payload["migrations"]
+            except TimeoutError:
+                pass
+        return total
+
+    async def _settle_transfers(self) -> None:
+        """Resolve every transfer so no held-back copy survives drain.
+
+        Called only after all workloads are quiesced: rolls back every
+        still-pending transfer, then waits for the outstanding
+        settlement notices (the transport's spawned deliver tasks) to
+        land before the inventory snapshot.
+        """
+        for transfer in self.transfers.values():
+            if transfer.state == "pending":
+                transfer.state = "rolled_back"
+                self._notify(transfer.src, ROLLBACK, transfer)
+        deadline = self.clock.deadline(self.config.drain_timeout)
+        while self._settlements and not self.clock.expired(deadline):
+            await asyncio.sleep(0.05)
+
+    async def _drain(self) -> Dict[int, Dict[str, Any]]:
+        """Phase 1 of shutdown: quiesce every workload *concurrently*.
+
+        Draining sequentially would snapshot one node while the others
+        keep pulling objects out of it; quiesce-all-first is what makes
+        the later inventory audit race-free.
+        """
+
+        async def quiesce(node_id: int):
+            reply = await self.transport.request(
+                node_id, DRAIN, timeout=self.config.drain_timeout
+            )
+            return node_id, reply.payload
+
+        results = await asyncio.gather(
+            *(quiesce(w) for w in self.worker_ids), return_exceptions=True
+        )
+        drained: Dict[int, Dict[str, Any]] = {}
+        stuck: List[int] = []
+        for node_id, outcome in zip(self.worker_ids, results):
+            if isinstance(outcome, BaseException):
+                stuck.append(node_id)
+            else:
+                drained[outcome[0]] = outcome[1]
+        if stuck:
+            raise DrainTimeoutError(
+                "workers failed to drain",
+                timeout=self.config.drain_timeout,
+                pending=tuple(stuck),
+            )
+        return drained
+
+    async def _inventories(self) -> Dict[int, Dict[str, Any]]:
+        """Phase 3: race-free inventory snapshot of the quiesced fleet."""
+
+        async def snapshot(node_id: int):
+            reply = await self.transport.request(
+                node_id, INVENTORY, timeout=self.config.drain_timeout
+            )
+            return node_id, reply.payload
+
+        results = await asyncio.gather(
+            *(snapshot(w) for w in self.worker_ids)
+        )
+        return dict(results)
+
+    def _audit(self, inventories: Dict[int, Dict[str, Any]]) -> List[str]:
+        """Placement + lock invariants; returns violation descriptions."""
+        violations: List[str] = []
+        seen: Dict[int, int] = {}
+        for node_id, payload in inventories.items():
+            for oid_key in payload["inventory"]:
+                oid = int(oid_key)
+                if oid in seen:
+                    violations.append(
+                        f"obj {oid} duplicated at nodes "
+                        f"{seen[oid]} and {node_id}"
+                    )
+                seen[oid] = node_id
+                if self.placement.get(oid) != node_id:
+                    violations.append(
+                        f"obj {oid} at node {node_id} but placement map "
+                        f"says {self.placement.get(oid)}"
+                    )
+            if payload["in_transit"]:
+                violations.append(
+                    f"node {node_id} still holds in-transit copies "
+                    f"{payload['in_transit']} after settlement"
+                )
+        missing = set(range(self.config.num_objects)) - set(seen)
+        for oid in sorted(missing):
+            violations.append(
+                f"obj {oid} hosted nowhere (placement map says "
+                f"{self.placement.get(oid)})"
+            )
+        try:
+            self.locks.check_invariant()
+        except AssertionError as exc:
+            violations.append(f"lock invariant: {exc}")
+        return violations
+
+    async def run(self) -> Dict[str, Any]:
+        """Drive one full supervised run; returns the measured report."""
+        self.transport.handler = self.handle
+        await self.transport.start()
+        for node_id in self.worker_ids:
+            self._spawn(node_id)
+        await asyncio.gather(
+            *(self._wait_for_heartbeat(w) for w in self.worker_ids)
+        )
+        monitor = asyncio.ensure_future(self._monitor_loop())
+        started_at = self.clock.now()
+        await asyncio.gather(
+            *(self._start_workload(w) for w in self.worker_ids)
+        )
+        chaos = asyncio.ensure_future(self._chaos_loop(started_at))
+        deadline = started_at + self.config.max_duration
+        try:
+            while self.clock.now() < deadline:
+                await asyncio.sleep(0.25)
+                if (
+                    chaos.done()
+                    and not self._restarting
+                    and await self._poll_migrations()
+                    >= self.config.target_migrations
+                ):
+                    break
+            try:
+                await asyncio.wait_for(
+                    chaos, max(0.1, deadline - self.clock.now())
+                )
+            except asyncio.TimeoutError:
+                pass  # overrunning chaos is cut off; faults heal below
+        finally:
+            chaos.cancel()
+        # Quiesce: stop chaos, heal the data plane, settle, drain.
+        await self._broadcast_faults(
+            {
+                "drop_rate": 0.0,
+                "duplicate_rate": 0.0,
+                "delay_range": (0.0, 0.0),
+                "partitions": [],
+            }
+        )
+        drained = await self._drain()
+        self._stopping = True
+        monitor.cancel()
+        await self._settle_transfers()
+        # Workload is parked: release whatever blocks never saw END
+        # (their END_REQUEST was lost to chaos) and audit.
+        leaked_blocks = 0
+        for block in list(self.blocks.values()):
+            leaked_blocks += 1 if self.locks.release_block(block) else 0
+        self.blocks.clear()
+        violations = self._audit(await self._inventories())
+        report = self._report(drained, violations, leaked_blocks)
+        await self._shutdown_workers()
+        await self.transport.close()
+        return report
+
+    async def _shutdown_workers(self) -> None:
+        for node_id in self.worker_ids:
+            try:
+                await self.transport.request(
+                    node_id, SHUTDOWN, timeout=self.config.request_timeout
+                )
+            except Exception:
+                pass
+        for process in self.processes.values():
+            await asyncio.get_running_loop().run_in_executor(
+                None, process.join, 5.0
+            )
+            if process.is_alive():
+                process.kill()
+
+    def _report(
+        self,
+        drained: Dict[int, Dict[str, Any]],
+        violations: List[str],
+        leaked_blocks: int,
+    ) -> Dict[str, Any]:
+        totals = {
+            "attempts": 0,
+            "granted": 0,
+            "migrations": 0,
+            "denied": 0,
+            "aborted": 0,
+            "invocations": 0,
+            "remote_invocations": 0,
+        }
+        moved: Set[int] = set()
+        for payload in drained.values():
+            stats = payload["stats"]
+            for key in totals:
+                totals[key] += stats[key]
+            moved.update(stats["moved_object_ids"])
+        attempts = max(1, totals["attempts"])
+        return {
+            "workers": len(self.worker_ids),
+            "objects": self.config.num_objects,
+            **totals,
+            "distinct_objects_moved": len(moved),
+            "conflict_rate": totals["denied"] / attempts,
+            "abort_rate": totals["aborted"] / attempts,
+            "crashes_injected": self.chaos.crashes,
+            "partitions_injected": self.chaos.partitions,
+            "restarts": self.restarts,
+            "leases_broken": self.leases_broken_total,
+            "leaked_blocks_released": leaked_blocks,
+            "invariant_violations": violations,
+            "transport": self.transport.stats(),
+        }
+
+
+__all__ = ["NodeSupervisor", "SupervisorConfig", "Transfer"]

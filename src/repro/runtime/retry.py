@@ -24,9 +24,32 @@ exactly the real-world ambiguity retries must tolerate.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
+from typing import Iterator, List, Tuple
 
+from repro.runtime.clock import Clock
 from repro.sim.rng import Stream
+
+
+class RandomJitter:
+    """Jitter source for live (non-simulated) retries.
+
+    :meth:`RetryPolicy.backoff` draws jitter via ``stream.uniform()``
+    with no arguments — the contract of the simulation's
+    :class:`~repro.sim.rng.Stream`.  The stdlib's ``random.Random``
+    needs two arguments, so the live backend wraps one in this
+    adapter; seeded, it is just as reproducible.
+    """
+
+    __slots__ = ("_rng",)
+
+    def __init__(self, seed=None):
+        self._rng = random.Random(seed)
+
+    def uniform(self, low: float = 0.0, high: float = 1.0) -> float:
+        """Draw from ``[low, high)`` with the seeded generator."""
+        return self._rng.uniform(low, high)
 
 
 @dataclass(frozen=True)
@@ -78,20 +101,64 @@ class RetryPolicy:
         if not 0.0 <= self.jitter <= 1.0:
             raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
 
-    def backoff(self, retry_index: int, stream: Stream) -> float:
-        """Delay before retry number ``retry_index`` (0-based).
+    def envelope(self, retry_index: int) -> float:
+        """Un-jittered upper bound on the ``retry_index``-th backoff.
 
-        Only draws from ``stream`` when jitter is enabled, so a
-        jitter-free policy is fully deterministic.
+        ``min(cap, base * multiplier**k)`` — non-decreasing in ``k``
+        (``multiplier >= 1``) and never above ``cap``; jitter only ever
+        shrinks a delay below this envelope.
         """
         if retry_index < 0:
             raise ValueError(
                 f"retry_index must be >= 0, got {retry_index}"
             )
-        delay = min(self.cap, self.base * self.multiplier**retry_index)
+        return min(self.cap, self.base * self.multiplier**retry_index)
+
+    def backoff(self, retry_index: int, stream: Stream) -> float:
+        """Delay before retry number ``retry_index`` (0-based).
+
+        Only draws from ``stream`` when jitter is enabled, so a
+        jitter-free policy is fully deterministic.  ``stream`` is any
+        object with a no-argument ``uniform()`` returning [0, 1) — a
+        simulation :class:`~repro.sim.rng.Stream` or a live
+        :class:`RandomJitter`; the policy itself is backend-blind.
+        """
+        delay = self.envelope(retry_index)
         if self.jitter > 0 and delay > 0:
             delay *= 1.0 - self.jitter * stream.uniform()
         return delay
+
+    def delays(self, stream: Stream) -> Iterator[float]:
+        """The full backoff schedule: one delay per retry, in order.
+
+        Yields ``max_attempts - 1`` delays (the first attempt has no
+        backoff before it).  Pure computation over the injected
+        ``stream`` — no clock, no sleeping.
+        """
+        for k in range(self.max_attempts - 1):
+            yield self.backoff(k, stream)
+
+    def schedule(
+        self, clock: Clock, stream: Stream
+    ) -> List[Tuple[float, float]]:
+        """Absolute ``(start, deadline)`` of every attempt, from ``clock``.
+
+        Timestamps come from the *injected* :class:`~repro.runtime.
+        clock.Clock` — simulated time under a ``SimClock``, wall-clock
+        seconds under a ``WallClock`` — never from any ambient time
+        source; that is what makes the same policy drive both
+        backends.  Attempt ``i`` starts when the previous attempt's
+        timeout plus the i-1-th backoff has elapsed and times out
+        ``timeout`` later.  Start times are monotonic non-decreasing by
+        construction (delays are never negative).
+        """
+        schedule: List[Tuple[float, float]] = []
+        start = clock.now()
+        for attempt in range(self.max_attempts):
+            schedule.append((start, start + self.timeout))
+            if attempt < self.max_attempts - 1:
+                start += self.timeout + self.backoff(attempt, stream)
+        return schedule
 
     @property
     def worst_case_duration(self) -> float:

@@ -21,6 +21,7 @@ from repro.network.faults import LinkFaultModel
 from repro.network.latency import LatencyModel, NormalizedExponentialLatency
 from repro.network.network import Network
 from repro.network.topology import FullyConnected, Topology
+from repro.runtime.clock import SimClock
 from repro.runtime.invocation import InvocationService
 from repro.runtime.locator import ImmediateUpdateLocator, Locator
 from repro.runtime.migration import MigrationService
@@ -83,6 +84,9 @@ class DistributedSystem:
         telemetry: Telemetry = NULL_TELEMETRY,
     ):
         self.env = env or Environment()
+        #: Seam view of simulated time (see :mod:`repro.runtime.clock`);
+        #: the live backend builds the same stack around a WallClock.
+        self.clock = SimClock(self.env)
         self.streams = RandomStreams(seed)
         self.tracer = tracer
         self.telemetry = telemetry
@@ -98,6 +102,11 @@ class DistributedSystem:
             fault_model=fault_model,
             telemetry=telemetry,
         )
+        # Seam view of the network (pure delegation — shares counters
+        # and draws with ``self.network``, see repro.network.simbackend).
+        from repro.network.simbackend import SimTransport
+
+        self.transport = SimTransport(self.network)
         self.registry = ObjectRegistry()
         self.locator = locator or ImmediateUpdateLocator(self.env, self.network)
         self.invocations = InvocationService(

@@ -1,0 +1,91 @@
+"""The :class:`Transport` seam: one message-passing authority per backend.
+
+Companion of :mod:`repro.runtime.clock`.  Everything the migration
+protocol does remotely — move requests, object transfers, heartbeats,
+location lookups — funnels through a transport, and the protocol logic
+only depends on this minimal contract:
+
+* messages are addressed by integer node id (``src``/``dst``),
+* sending costs time and *may fail* — lost on the wire
+  (:class:`~repro.errors.MessageLostError`), or, on the live backend,
+  the connection itself may die
+  (:class:`~repro.errors.ConnectionLostError`),
+* the transport keeps the aggregate accounting the analysis layer
+  reads (remote/local message counts, time on the wire, drops).
+
+Backends
+--------
+:class:`~repro.network.network.Network` is the simulation backend: its
+``transmit`` is a generator that spends sampled latency in simulated
+time (``yield from network.transmit(a, b)``).  The
+:class:`~repro.network.simbackend.SimTransport` adapter presents it
+through this seam.  :class:`~repro.runtime.live.transport.
+AsyncioTransport` is the live backend: its ``send``/``request`` are
+coroutines moving pickled frames over real TCP/Unix sockets between OS
+processes, with :class:`~repro.runtime.live.transport.FaultyTransport`
+injecting the same fault vocabulary (drops, delays, duplicates,
+partitions) at the live layer.
+
+The *waiting* primitive is deliberately backend-native — a generator
+under the kernel, a coroutine under asyncio — exactly like
+:meth:`Clock.sleep <repro.runtime.clock.Clock.sleep>`.  Shared protocol
+code never drives a transmission itself; it hands the transport to the
+backend's driver and consumes the outcome (delivered, lost, timed out)
+through the shared fault taxonomy of :mod:`repro.errors`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict
+
+
+class Transport(ABC):
+    """Minimal message-passing contract shared by every backend.
+
+    Concrete transports must expose four counters with these exact
+    names (the analysis and telemetry layers read them):
+
+    ``remote_messages``
+        Messages between distinct nodes.
+    ``local_messages``
+        Messages a node sent to itself (free on the live backend,
+        zero-latency-sampled on the sim backend).
+    ``total_latency``
+        Accumulated time messages spent on the wire.
+    ``dropped_messages``
+        Messages lost to injected faults.
+    """
+
+    remote_messages: int
+    local_messages: int
+    total_latency: float
+    dropped_messages: int
+
+    @property
+    @abstractmethod
+    def size(self) -> int:
+        """Number of nodes this transport connects."""
+
+    @abstractmethod
+    def transmit(self, src: int, dst: int, **kwargs):
+        """Backend-native transmission of one message ``src`` → ``dst``.
+
+        Sim backend: a generator to ``yield from`` inside a simulation
+        process, returning the sampled latency or raising
+        :class:`~repro.errors.MessageLostError`.  Live backend: a
+        coroutine performing real socket I/O, raising
+        :class:`~repro.errors.TransportError` subclasses on failure.
+        """
+
+    def stats(self) -> Dict[str, float]:
+        """The shared accounting snapshot every backend provides."""
+        return {
+            "remote_messages": self.remote_messages,
+            "local_messages": self.local_messages,
+            "total_latency": self.total_latency,
+            "dropped_messages": self.dropped_messages,
+        }
+
+
+__all__ = ["Transport"]

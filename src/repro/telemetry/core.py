@@ -49,6 +49,7 @@ class Telemetry:
         #: Spans created beyond ``max_spans`` (dropped from retention).
         self.spans_dropped = 0
         self._env = None
+        self._clock = None
         self._span_ids = count(1)
         self._trace_ids = count(1)
         #: Context key (process) -> innermost open span.
@@ -66,8 +67,23 @@ class Telemetry:
         """Attach to a simulation environment (clock + span context)."""
         self._env = env
 
+    def bind_clock(self, clock) -> None:
+        """Stamp spans/metrics from a seam :class:`~repro.runtime.clock.
+        Clock` instead of a simulation environment.
+
+        The live backend binds a ``WallClock`` here, so the exact same
+        span/metric machinery produces wall-clock-stamped traces from
+        real OS processes.  Span context falls back to a single global
+        slot (there is no ``active_process`` off the kernel); asyncio
+        callers that need per-task context pass explicit ``parent``
+        spans, which the exporters already support.
+        """
+        self._clock = clock
+
     def now(self) -> float:
-        """Current simulated time (0.0 before :meth:`bind`)."""
+        """Current time: bound clock, else simulated time, else 0.0."""
+        if self._clock is not None:
+            return self._clock.now()
         env = self._env
         return env.now if env is not None else 0.0
 

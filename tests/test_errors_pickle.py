@@ -10,16 +10,23 @@ classes are covered the day they are added.
 
 import inspect
 import pickle
+import subprocess
+import sys
 
 import pytest
 
 import repro.errors as errors_module
 from repro.errors import (
     ChecksumMismatchError,
+    ConnectionLostError,
     DeploymentError,
+    DrainTimeoutError,
+    FrameTooLargeError,
     InvariantViolationError,
     ReproError,
     StageAbortedError,
+    TransportError,
+    WorkerCrashedError,
 )
 
 
@@ -50,6 +57,14 @@ def sample_instance(cls):
         return cls(
             "hash drift", object_id=7, expected="a" * 64, actual="b" * 64
         )
+    if cls is ConnectionLostError:
+        return cls("peer vanished mid-frame", peer=3)
+    if cls is FrameTooLargeError:
+        return cls("oversized frame", size=1 << 30, limit=1 << 26)
+    if cls is WorkerCrashedError:
+        return cls("worker died", node=2, exitcode=-9)
+    if cls is DrainTimeoutError:
+        return cls("drain overran", timeout=5.0, pending=(1, 4))
     return cls(f"sample {cls.__name__} message")
 
 
@@ -106,6 +121,83 @@ class TestInvariantViolationPayload:
 
     def test_is_a_repro_error(self):
         assert issubclass(InvariantViolationError, ReproError)
+
+
+class TestCrossProcessRoundTrip:
+    """The whole taxonomy survives a *real* process boundary.
+
+    The live supervisor ships exceptions between OS processes the same
+    way the parallel executor does between pool workers: pickle on one
+    side, unpickle on the other.  One subprocess re-pickles the entire
+    taxonomy so the boundary is exercised for every class at once.
+    """
+
+    _ECHO = (
+        "import pickle, sys\n"
+        "blob = sys.stdin.buffer.read()\n"
+        "instances = pickle.loads(blob)\n"
+        "sys.stdout.buffer.write(pickle.dumps(instances))\n"
+    )
+
+    def test_taxonomy_round_trips_through_a_subprocess(self):
+        originals = [sample_instance(cls) for cls in exception_classes()]
+        proc = subprocess.run(
+            [sys.executable, "-c", self._ECHO],
+            input=pickle.dumps(originals),
+            capture_output=True,
+            timeout=60,
+        )
+        assert proc.returncode == 0, proc.stderr.decode()
+        clones = pickle.loads(proc.stdout)
+        assert len(clones) == len(originals)
+        for original, clone in zip(originals, clones):
+            assert type(clone) is type(original)
+            assert clone.args == original.args
+            assert str(clone) == str(original)
+
+
+class TestLiveErrorPayloads:
+    def test_connection_lost_payload_survives(self):
+        exc = ConnectionLostError("send failed after 4 attempts", peer=7)
+        clone = pickle.loads(pickle.dumps(exc))
+        assert clone.peer == 7
+        assert "peer=7" in str(clone)
+
+    def test_frame_too_large_payload_survives(self):
+        exc = FrameTooLargeError("refusing frame", size=100, limit=64)
+        clone = pickle.loads(pickle.dumps(exc))
+        assert clone.size == 100
+        assert clone.limit == 64
+        assert "100" in str(clone) and "64" in str(clone)
+
+    def test_worker_crashed_payload_survives(self):
+        exc = WorkerCrashedError("sigkilled", node=1, exitcode=-9)
+        clone = pickle.loads(pickle.dumps(exc))
+        assert clone.node == 1
+        assert clone.exitcode == -9
+        assert "exitcode=-9" in str(clone)
+
+    def test_drain_timeout_payload_survives(self):
+        exc = DrainTimeoutError("stragglers", timeout=2.5, pending=[3, 5])
+        clone = pickle.loads(pickle.dumps(exc))
+        assert clone.timeout == 2.5
+        assert clone.pending == (3, 5)
+        assert "pending: 3, 5" in str(clone)
+
+    def test_live_errors_are_fault_errors(self):
+        for cls in (
+            TransportError,
+            ConnectionLostError,
+            FrameTooLargeError,
+            errors_module.TransportClosedError,
+            errors_module.SupervisionError,
+            WorkerCrashedError,
+            DrainTimeoutError,
+        ):
+            assert issubclass(cls, errors_module.FaultError)
+        assert issubclass(ConnectionLostError, TransportError)
+        assert issubclass(WorkerCrashedError, errors_module.SupervisionError)
+        assert issubclass(DrainTimeoutError, errors_module.SupervisionError)
 
 
 class TestDeploymentErrorPayloads:

@@ -65,6 +65,31 @@ class TestFlags:
         assert out1 != out2
 
 
+class TestLiveFlags:
+    """Parsing and guard paths for the live demo (the demo itself runs
+    in test_live_supervisor.py)."""
+
+    def test_live_choice_and_options_accepted(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["live", "--nodes", "4", "--objects", "60", "--duration", "10"]
+        )
+        assert args.figure == "live"
+        assert args.nodes == 4
+        assert args.objects == 60
+        assert args.duration == 10.0
+
+    def test_live_options_rejected_for_figures(self, capsys):
+        rc = main(["fig8", "--nodes", "4"])
+        assert rc == 2
+        assert "only apply to the live demo" in capsys.readouterr().err
+
+    def test_live_rejects_invalid_config(self, capsys):
+        rc = main(["live", "--nodes", "0"])
+        assert rc == 2
+        assert "invalid live config" in capsys.readouterr().err
+
+
 class TestCheckFlag:
     def test_check_reports_verdicts(self, capsys):
         """The flag prints one verdict per claim and sets the exit code.

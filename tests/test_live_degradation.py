@@ -1,0 +1,240 @@
+"""Graceful degradation under live-transport conditions (satellite 3).
+
+Two families of guarantees:
+
+1. **False suspicion must be harmless.**  A phi-accrual detector fed
+   wall-clock heartbeat intervals with delay spikes (GC pauses, loaded
+   event loops) must not declare a live node down — and therefore the
+   supervisor must not break a healthy in-flight migration's leases.
+2. **True crash recovery must hold the lock invariants** from
+   ``tests/test_core_lock_races.py``, now on a wall clock: after
+   ``break_crashed`` the dead mover's block is barred forever, its
+   late ``PLACE`` is fenced out, and fresh movers proceed.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.core.locking import LockManager
+from repro.core.moveblock import MoveBlock
+from repro.errors import PolicyError
+from repro.runtime.clock import WallClock
+from repro.runtime.failure import HeartbeatHistory
+from repro.runtime.live.node import LiveObject
+from repro.runtime.live.supervisor import (
+    NodeSupervisor,
+    SupervisorConfig,
+    Transfer,
+)
+from repro.runtime.live.wire import Envelope
+
+
+class TestPhiUnderDelaySpikes:
+    """The detector's verdict on realistic wall-clock interval traces."""
+
+    def feed(self, history, intervals, start=0.0):
+        now = start
+        history.ensure(1, now)
+        for gap in intervals:
+            now += gap
+            history.record(1, now)
+        return now
+
+    def test_steady_heartbeats_keep_phi_low(self):
+        history = HeartbeatHistory(interval=0.1, phi_threshold=8.0)
+        now = self.feed(history, [0.1] * 50)
+        assert history.phi(1, now + 0.1) < 8.0
+        assert not history.is_down(1, now + 0.1)
+
+    def test_delay_spike_does_not_trigger_false_suspicion(self):
+        """A 3x delay spike (loaded loop, GC pause) stays below phi=8.
+
+        This is the property that keeps the supervisor from aborting a
+        healthy in-flight migration: the mover is slow, not dead.
+        """
+        history = HeartbeatHistory(interval=0.1, phi_threshold=8.0)
+        now = self.feed(history, [0.1] * 30)
+        # The spike: next heartbeat takes 0.3s instead of 0.1s.
+        assert not history.is_down(1, now + 0.3)
+        assert history.phi(1, now + 0.3) < 8.0
+        # After the spike lands, confidence recovers immediately.
+        history.record(1, now + 0.3)
+        assert not history.is_down(1, now + 0.4)
+
+    def test_true_silence_is_eventually_suspected(self):
+        history = HeartbeatHistory(interval=0.1, phi_threshold=8.0)
+        now = self.feed(history, [0.1] * 30)
+        assert history.is_down(1, now + 5.0), "real death must be detected"
+
+    def test_jittery_trace_with_spikes_never_crosses_threshold(self):
+        history = HeartbeatHistory(interval=0.1, phi_threshold=8.0)
+        trace = ([0.08, 0.12, 0.1, 0.11, 0.09] * 6) + [0.25, 0.1, 0.3, 0.1]
+        now = self.feed(history, trace)
+        for probe in (0.05, 0.15, 0.25):
+            assert not history.is_down(1, now + probe), (
+                f"false suspicion at +{probe}s over a jittery live trace"
+            )
+
+
+class TestFalseSuspicionSparesHealthyMigration:
+    """break_crashed with a healthy verdict must not touch live blocks."""
+
+    class Health:
+        def __init__(self, down=()):
+            self.down = set(down)
+
+        def is_down(self, node_id):
+            return node_id in self.down
+
+    def test_no_suspicion_no_breakage(self):
+        locks = LockManager(clock=WallClock(), lease_duration=60.0)
+        obj = LiveObject(7)
+        block = MoveBlock(client_node=1, target=obj)
+        locks.lock(obj, block)
+        assert locks.break_crashed(self.Health(down=())) == 0
+        assert locks.is_locked(obj), "healthy mover keeps its lock"
+        assert not locks.was_broken(block)
+        locks.check_invariant()
+
+    def test_suspicion_of_another_node_spares_the_mover(self):
+        locks = LockManager(clock=WallClock(), lease_duration=60.0)
+        obj = LiveObject(7)
+        block = MoveBlock(client_node=1, target=obj)
+        locks.lock(obj, block)
+        assert locks.break_crashed(self.Health(down={3})) == 0
+        assert locks.is_locked(obj)
+        locks.check_invariant()
+
+
+class RecordingTransport:
+    """Stub transport capturing replies/notices; no sockets involved."""
+
+    def __init__(self):
+        self.replies = []
+        self.requests = []
+
+    async def reply(self, envelope, payload=None):
+        self.replies.append((envelope, payload))
+
+    async def request(self, dst, kind, payload=None, timeout=None):
+        self.requests.append((dst, kind, payload))
+        return Envelope("reply", dst, -1, (dst, 1), {"ok": True})
+
+
+class TestRestartLeaseRecovery:
+    """Supervisor crash recovery against the real LockManager."""
+
+    def make_supervisor(self):
+        config = SupervisorConfig(num_nodes=3, num_objects=8)
+        supervisor = NodeSupervisor(config)
+        supervisor.transport = RecordingTransport()
+        return supervisor
+
+    def grant(self, supervisor, mover, object_id):
+        """Drive _serve_move_request and return the granted payload."""
+        envelope = Envelope(
+            "move.request", mover, -1, (mover, 1), {"object_id": object_id}
+        )
+        asyncio.run(supervisor._serve_move_request(envelope))
+        _, payload = supervisor.transport.replies[-1]
+        return payload
+
+    def test_break_crashed_recovers_lease_and_bars_block(self):
+        supervisor = self.make_supervisor()
+        grant = self.grant(supervisor, mover=2, object_id=0)
+        assert grant["granted"]
+        block = supervisor.blocks[grant["block_id"]]
+        record = supervisor.records[0]
+        assert supervisor.locks.is_locked(record)
+
+        # Node 2 crashes: the monitor's recovery path, minus sockets.
+        supervisor.health.down.add(2)
+        broken = supervisor.locks.break_crashed(supervisor.health)
+        assert broken == 1
+        assert not supervisor.locks.is_locked(record)
+        assert supervisor.locks.was_broken(block)
+        supervisor.locks.check_invariant()
+
+        # The same-tick renewal race from test_core_lock_races: the
+        # dead mover's block can never re-acquire.
+        with pytest.raises(PolicyError):
+            supervisor.locks.lock(record, block)
+
+        # A fresh mover proceeds immediately — degradation, not outage.
+        fresh = self.grant(supervisor, mover=3, object_id=0)
+        assert fresh["granted"]
+
+    def test_zombie_place_is_fenced_after_break(self):
+        """A crash-suspected mover's late PLACE must not commit."""
+        supervisor = self.make_supervisor()
+        grant = self.grant(supervisor, mover=2, object_id=0)
+        transfer_id = grant["transfer_id"]
+        assert transfer_id is not None
+        source = grant["source"]
+
+        supervisor.health.down.add(2)
+        supervisor.locks.break_crashed(supervisor.health)
+
+        # The zombie's PLACE arrives after the break.
+        envelope = Envelope(
+            "place", 2, -1, (2, 99), {"transfer_id": transfer_id}
+        )
+        asyncio.run(supervisor._serve_place(envelope))
+        _, payload = supervisor.transport.replies[-1]
+        assert payload == {"ok": False}, "fence must reject the zombie"
+        assert supervisor.placement[0] == source, "placement unmoved"
+
+    def test_crashed_destination_rolls_back_pending_transfer(self):
+        supervisor = self.make_supervisor()
+        grant = self.grant(supervisor, mover=2, object_id=0)
+        transfer = supervisor.transfers[grant["transfer_id"]]
+        assert transfer.state == "pending"
+
+        # Mirror _restart_inner's transfer settlement for a dead dst.
+        supervisor.health.down.add(2)
+        supervisor.locks.break_crashed(supervisor.health)
+        for t in supervisor.transfers.values():
+            if t.state == "pending" and t.dst == 2:
+                t.state = "rolled_back"
+
+        assert transfer.state == "rolled_back"
+        assert supervisor.placement[0] == transfer.src
+        supervisor.locks.check_invariant()
+
+
+class TestTransferFence:
+    def test_place_requires_pending_state_and_matching_dst(self):
+        supervisor = TestRestartLeaseRecovery().make_supervisor()
+        # Object 2 is seeded at node 3 (round-robin), so mover 2's
+        # grant creates a real transfer.
+        grant = TestRestartLeaseRecovery().grant(
+            supervisor, mover=2, object_id=2
+        )
+        transfer_id = grant["transfer_id"]
+        assert transfer_id is not None
+
+        # Wrong claimant: node 3 cannot commit node 2's transfer.
+        envelope = Envelope(
+            "place", 3, -1, (3, 1), {"transfer_id": transfer_id}
+        )
+        asyncio.run(supervisor._serve_place(envelope))
+        _, payload = supervisor.transport.replies[-1]
+        assert payload == {"ok": False}
+
+        # Rightful claimant commits exactly once.
+        envelope = Envelope(
+            "place", 2, -1, (2, 2), {"transfer_id": transfer_id}
+        )
+        asyncio.run(supervisor._serve_place(envelope))
+        _, payload = supervisor.transport.replies[-1]
+        assert payload == {"ok": True}
+        assert supervisor.placement[2] == 2
+
+        # Replayed commit after a rollback attempt: both fenced.
+        envelope = Envelope(
+            "rollback", 2, -1, (2, 3), {"transfer_id": transfer_id}
+        )
+        asyncio.run(supervisor._serve_rollback(envelope))
+        _, payload = supervisor.transport.replies[-1]
+        assert payload == {"ok": False}, "rollback after commit is void"

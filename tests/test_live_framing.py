@@ -1,0 +1,149 @@
+"""Unit tests: length-prefixed framing, envelopes, and dedup.
+
+All pure — no sockets, no asyncio.  The framing layer is the part of
+the live wire protocol that must be byte-exact, so it gets byte-exact
+tests.
+"""
+
+import pickle
+import struct
+
+import pytest
+
+from repro.errors import FrameTooLargeError
+from repro.runtime.live.framing import (
+    DEFAULT_MAX_PAYLOAD,
+    PREFIX_SIZE,
+    FrameDecoder,
+    encode_frame,
+)
+from repro.runtime.live.wire import (
+    DedupIndex,
+    Envelope,
+    EnvelopeFactory,
+    HEARTBEAT,
+    OBJECT_TRANSFER,
+)
+
+
+class TestEncodeFrame:
+    def test_prefix_is_big_endian_length(self):
+        frame = encode_frame(b"hello")
+        assert frame[:PREFIX_SIZE] == struct.pack(">I", 5)
+        assert frame[PREFIX_SIZE:] == b"hello"
+
+    def test_empty_payload_is_legal(self):
+        assert encode_frame(b"") == struct.pack(">I", 0)
+
+    def test_oversized_payload_refused_at_sender(self):
+        with pytest.raises(FrameTooLargeError) as excinfo:
+            encode_frame(b"x" * 11, max_payload=10)
+        assert excinfo.value.size == 11
+        assert excinfo.value.limit == 10
+
+
+class TestFrameDecoder:
+    def test_roundtrip_single_frame(self):
+        decoder = FrameDecoder()
+        assert decoder.feed(encode_frame(b"payload")) == [b"payload"]
+        assert decoder.pending_bytes == 0
+
+    def test_byte_at_a_time_reassembly(self):
+        decoder = FrameDecoder()
+        frame = encode_frame(b"slow drip")
+        collected = []
+        for i in range(len(frame)):
+            collected.extend(decoder.feed(frame[i:i + 1]))
+        assert collected == [b"slow drip"]
+
+    def test_multiple_frames_in_one_chunk(self):
+        decoder = FrameDecoder()
+        chunk = encode_frame(b"one") + encode_frame(b"two") + encode_frame(b"")
+        assert decoder.feed(chunk) == [b"one", b"two", b""]
+        assert decoder.frames_decoded == 3
+
+    def test_partial_frame_straddles_chunks(self):
+        decoder = FrameDecoder()
+        frame = encode_frame(b"abcdef")
+        assert decoder.feed(frame[:PREFIX_SIZE + 2]) == []
+        assert decoder.pending_bytes == PREFIX_SIZE + 2
+        assert decoder.feed(frame[PREFIX_SIZE + 2:]) == [b"abcdef"]
+
+    def test_oversized_prefix_rejected_before_buffering(self):
+        decoder = FrameDecoder(max_payload=16)
+        evil = struct.pack(">I", 2**31)  # prefix only, no payload yet
+        with pytest.raises(FrameTooLargeError) as excinfo:
+            decoder.feed(evil)
+        assert excinfo.value.size == 2**31
+        assert excinfo.value.limit == 16
+
+    def test_invalid_max_payload(self):
+        with pytest.raises(ValueError):
+            FrameDecoder(max_payload=0)
+
+
+class TestEnvelope:
+    def test_pickle_roundtrip_through_frame(self):
+        factory = EnvelopeFactory(3)
+        sent = factory.make(
+            OBJECT_TRANSFER, 7, {"object_id": 42, "state": b"\x00\xff"}
+        )
+        decoder = FrameDecoder()
+        (blob,) = decoder.feed(encode_frame(sent.encode()))
+        received = Envelope.decode(blob)
+        assert received == sent
+        assert received.msg_id == (3, 1)
+
+    def test_decode_rejects_non_envelope(self):
+        with pytest.raises(TypeError):
+            Envelope.decode(pickle.dumps({"not": "an envelope"}))
+
+    def test_factory_sequences_are_per_node_monotonic(self):
+        factory = EnvelopeFactory(5)
+        ids = [factory.make(HEARTBEAT, 0).msg_id for _ in range(4)]
+        assert ids == [(5, 1), (5, 2), (5, 3), (5, 4)]
+
+    def test_reply_to_carries_request_id(self):
+        factory = EnvelopeFactory(1)
+        request = factory.make(HEARTBEAT, 2)
+        reply = factory.make("reply", 2, reply_to=request.msg_id)
+        assert reply.reply_to == (1, 1)
+
+
+class TestDedupIndex:
+    def test_fresh_ids_pass_duplicates_blocked(self):
+        index = DedupIndex()
+        assert index.seen((1, 1)) is False
+        assert index.seen((1, 2)) is False
+        assert index.seen((1, 1)) is True
+        assert index.seen((1, 2)) is True
+        assert index.duplicates == 2
+
+    def test_peers_are_independent(self):
+        index = DedupIndex()
+        assert index.seen((1, 1)) is False
+        assert index.seen((2, 1)) is False  # same seq, different peer
+
+    def test_out_of_order_then_contiguous_floor_advance(self):
+        index = DedupIndex()
+        assert index.seen((1, 3)) is False
+        assert index.seen((1, 1)) is False
+        assert index.seen((1, 2)) is False
+        # Floor is now 3; all three replays are duplicates.
+        assert index.seen((1, 1)) is True
+        assert index.seen((1, 2)) is True
+        assert index.seen((1, 3)) is True
+
+    def test_window_overflow_collapses_safely(self):
+        index = DedupIndex(window=4)
+        # Feed widely-spaced ids so the floor cannot advance.
+        for seq in (10, 20, 30, 40, 50, 60):
+            assert index.seen((1, seq)) is False
+        # Overflow collapsed the oldest ids into the floor: replaying
+        # them is still (conservatively) a duplicate.
+        assert index.seen((1, 10)) is True
+        assert index.seen((1, 20)) is True
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            DedupIndex(window=0)

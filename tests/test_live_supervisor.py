@@ -1,0 +1,175 @@
+"""Bounded multi-process smoke: the acceptance scenario under pytest.
+
+Spawns a real supervisor + 3 worker OS processes over Unix sockets,
+injects one data-plane partition and one node crash, and asserts the
+acceptance criteria: >= 100 migrations, crash survived (restart with
+lease recovery), partition survived, zero lock/placement invariant
+violations.  The whole scenario runs under a hard wall-clock timeout
+so CI cannot hang on a wedged worker.
+
+Pure-logic pieces (config/schedule validation, the sim analog, the
+loss estimator) are tested alongside without any processes.
+"""
+
+import multiprocessing
+import os
+import signal
+
+import pytest
+
+from repro.availability.livechaos import (
+    LiveChaosSchedule,
+    LiveCrash,
+    LiveFaultWindow,
+    LivePartition,
+    demo_schedule,
+)
+from repro.runtime.live.demo import (
+    estimate_transfer_loss,
+    format_report,
+    run_live_demo,
+    simulate_analog,
+)
+from repro.runtime.live.supervisor import SupervisorConfig
+
+#: Hard ceiling for the full multi-process scenario.
+SMOKE_TIMEOUT = 120
+
+
+def _run_demo_in_child(queue):
+    config = SupervisorConfig(
+        num_nodes=3,
+        num_objects=120,
+        target_migrations=150,
+        max_duration=20.0,
+    )
+    queue.put(run_live_demo(config))
+
+
+class TestLiveSmoke:
+    def test_demo_survives_crash_and_partition(self):
+        """The ISSUE acceptance scenario, wall-clock bounded.
+
+        The demo runs in a child process so a wedged event loop is
+        killed by the watchdog join instead of hanging pytest.
+        """
+        ctx = multiprocessing.get_context("spawn")
+        queue = ctx.Queue()
+        runner = ctx.Process(target=_run_demo_in_child, args=(queue,))
+        runner.start()
+        try:
+            report = queue.get(timeout=SMOKE_TIMEOUT)
+        except Exception:
+            runner.terminate()
+            pytest.fail(
+                f"live demo did not finish within {SMOKE_TIMEOUT}s"
+            )
+        finally:
+            runner.join(10)
+            if runner.is_alive():
+                os.kill(runner.pid, signal.SIGKILL)
+
+        measured = report["measured"]
+        assert measured["workers"] == 3
+        assert measured["objects"] == 120
+        assert measured["migrations"] >= 100, (
+            f"only {measured['migrations']} migrations"
+        )
+        assert measured["crashes_injected"] >= 1
+        assert measured["partitions_injected"] >= 1
+        assert measured["restarts"] >= 1, "crash recovery never ran"
+        assert measured["invariant_violations"] == [], (
+            measured["invariant_violations"]
+        )
+        # The report carries both sides of the comparison.
+        assert 0.0 <= report["comparison"]["conflict_rate_predicted"] < 1.0
+        assert 0.0 <= report["comparison"]["conflict_rate_measured"] < 1.0
+        # And it renders.
+        text = format_report(report)
+        assert "invariant violations" in text
+        assert "predicted" in text
+
+
+class TestSimAnalog:
+    def test_deterministic_under_fixed_seed(self):
+        config = SupervisorConfig(num_nodes=3, num_objects=60, rng_seed=7)
+        one = simulate_analog(config, transfer_loss=0.1)
+        two = simulate_analog(config, transfer_loss=0.1)
+        assert one == two
+
+    def test_contention_rises_with_fewer_objects(self):
+        crowded = simulate_analog(
+            SupervisorConfig(num_nodes=4, num_objects=5)
+        )
+        sparse = simulate_analog(
+            SupervisorConfig(num_nodes=4, num_objects=500)
+        )
+        assert crowded["conflict_rate"] > sparse["conflict_rate"]
+
+    def test_transfer_loss_produces_aborts(self):
+        config = SupervisorConfig(num_nodes=3, num_objects=100)
+        clean = simulate_analog(config, transfer_loss=0.0)
+        lossy = simulate_analog(config, transfer_loss=0.3)
+        assert clean["abort_rate"] == 0.0
+        assert lossy["abort_rate"] > 0.1
+
+
+class TestLossEstimator:
+    def test_no_chaos_no_loss(self):
+        config = SupervisorConfig()
+        assert estimate_transfer_loss(config, LiveChaosSchedule()) == 0.0
+
+    def test_partition_contributes_cross_group_share(self):
+        config = SupervisorConfig(max_duration=10.0)
+        schedule = LiveChaosSchedule(
+            actions=[LivePartition(at=0.0, duration=5.0, groups=((1,), (2,)))]
+        )
+        loss = estimate_transfer_loss(config, schedule)
+        assert loss == pytest.approx(0.5 * 0.5)  # half the run, half cross
+
+    def test_drop_window_needs_request_and_reply(self):
+        config = SupervisorConfig(max_duration=10.0)
+        schedule = LiveChaosSchedule(
+            actions=[
+                LiveFaultWindow(at=0.0, duration=10.0, drop_rate=0.5)
+            ]
+        )
+        loss = estimate_transfer_loss(config, schedule)
+        assert loss == pytest.approx(1.0 - 0.25)
+
+    def test_crashes_do_not_count_as_loss_windows(self):
+        config = SupervisorConfig()
+        schedule = LiveChaosSchedule(actions=[LiveCrash(at=1.0)])
+        assert estimate_transfer_loss(config, schedule) == 0.0
+
+
+class TestValidation:
+    def test_config_rejects_nonsense(self):
+        with pytest.raises(ValueError):
+            SupervisorConfig(num_nodes=0).validate()
+        with pytest.raises(ValueError):
+            SupervisorConfig(num_objects=0).validate()
+        with pytest.raises(ValueError):
+            SupervisorConfig(heartbeat_interval=0).validate()
+
+    def test_schedule_rejects_bad_actions(self):
+        with pytest.raises(ValueError):
+            LiveChaosSchedule(actions=[LiveCrash(at=-1.0)]).validate()
+        with pytest.raises(ValueError):
+            LiveChaosSchedule(
+                actions=[LivePartition(at=0, duration=0, groups=((1,),))]
+            ).validate()
+        with pytest.raises(ValueError):
+            LiveChaosSchedule(
+                actions=[LiveFaultWindow(at=0, duration=1, drop_rate=1.5)]
+            ).validate()
+
+    def test_demo_schedule_has_crash_and_partition(self):
+        schedule = demo_schedule(3)
+        assert schedule.crashes >= 1
+        assert schedule.partitions >= 1
+        schedule.validate()
+
+    def test_demo_schedule_needs_two_nodes(self):
+        with pytest.raises(ValueError):
+            demo_schedule(1)

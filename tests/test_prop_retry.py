@@ -1,0 +1,123 @@
+"""Property tests: the retry backoff schedule is clock-agnostic & sane.
+
+The live backend reuses :class:`~repro.runtime.retry.RetryPolicy`
+verbatim over wall-clock time, so the schedule's safety properties must
+hold for *any* jitter seed and under *either* jitter source (the
+simulation's numpy stream or the live ``RandomJitter``):
+
+* the un-jittered envelope is monotonic non-decreasing and capped;
+* every jittered delay stays inside ``[(1-jitter)·envelope, envelope]``
+  — in particular it respects the configured cap;
+* the absolute attempt schedule drawn from an injected clock is
+  monotonic non-decreasing and bounded by ``worst_case_duration``.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.clock import SimClock, WallClock
+from repro.runtime.retry import RandomJitter, RetryPolicy
+from repro.sim.kernel import Environment
+from repro.sim.rng import RandomStreams
+
+POLICIES = st.builds(
+    RetryPolicy,
+    max_attempts=st.integers(min_value=1, max_value=8),
+    timeout=st.floats(min_value=0.01, max_value=60.0),
+    base=st.floats(min_value=0.0, max_value=8.0),
+    cap=st.floats(min_value=8.0, max_value=120.0),
+    multiplier=st.floats(min_value=1.0, max_value=4.0),
+    jitter=st.floats(min_value=0.0, max_value=1.0),
+)
+
+
+def jitter_sources(seed):
+    """Both backends' jitter sources, same interface."""
+    return [
+        RandomStreams(seed).stream("invocation.retry"),
+        RandomJitter(seed),
+    ]
+
+
+@given(policy=POLICIES)
+@settings(max_examples=200, deadline=None)
+def test_envelope_monotonic_and_capped(policy):
+    previous = 0.0
+    for k in range(16):
+        env_k = policy.envelope(k)
+        assert env_k >= previous, "envelope must be non-decreasing"
+        assert env_k <= policy.cap + 1e-12, "envelope must respect the cap"
+        previous = env_k
+
+
+@given(policy=POLICIES, seed=st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=200, deadline=None)
+def test_jittered_delays_respect_cap_under_any_seed(policy, seed):
+    for stream in jitter_sources(seed):
+        delays = list(policy.delays(stream))
+        assert len(delays) == policy.max_attempts - 1
+        for k, delay in enumerate(delays):
+            envelope = policy.envelope(k)
+            assert delay <= envelope + 1e-9, "jitter may only shrink"
+            assert delay <= policy.cap + 1e-9, "cap holds under any seed"
+            floor = envelope * (1.0 - policy.jitter)
+            assert delay >= floor - 1e-9, "jitter is bounded below"
+            assert delay >= 0.0
+
+
+@given(
+    policy=POLICIES,
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    start=st.floats(min_value=0.0, max_value=1e6),
+)
+@settings(max_examples=200, deadline=None)
+def test_schedule_is_monotonic_from_an_injected_sim_clock(
+    policy, seed, start
+):
+    clock = SimClock(Environment(initial_time=start))
+    stream = RandomStreams(seed).stream("invocation.retry")
+    schedule = policy.schedule(clock, stream)
+    assert len(schedule) == policy.max_attempts
+    assert schedule[0][0] == pytest.approx(start)
+    previous_start = -math.inf
+    for attempt_start, deadline in schedule:
+        assert attempt_start >= previous_start, "starts are ordered"
+        assert deadline == pytest.approx(attempt_start + policy.timeout)
+        previous_start = attempt_start
+    last_deadline = schedule[-1][1]
+    worst = start + policy.worst_case_duration
+    assert last_deadline <= worst + 1e-6, (
+        "the schedule never outlives the documented worst case"
+    )
+
+
+@given(policy=POLICIES, seed=st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=50, deadline=None)
+def test_schedule_under_a_wall_clock_is_monotonic(policy, seed):
+    # The same policy against real time: the live backend's case.
+    clock = WallClock()
+    schedule = policy.schedule(clock, RandomJitter(seed))
+    starts = [s for s, _ in schedule]
+    assert starts == sorted(starts)
+    assert all(d - s == pytest.approx(policy.timeout) for s, d in schedule)
+
+
+def test_zero_jitter_schedule_is_deterministic():
+    policy = RetryPolicy(max_attempts=4, jitter=0.0)
+    env = Environment()
+    one = policy.schedule(SimClock(env), RandomJitter(1))
+    two = policy.schedule(SimClock(env), RandomJitter(2))
+    assert one == two, "jitter-free schedules never consult the stream"
+
+
+def test_delays_match_backoff_calls():
+    policy = RetryPolicy(max_attempts=5, jitter=0.5)
+    a = list(policy.delays(RandomJitter(7)))
+    b = [policy.backoff(k, RandomJitter(7)) for k in range(4)]
+    # Same seed but fresh stream per call in b: only the first draw
+    # aligns; the schedule's contract is positional, not distributional.
+    assert a[0] == b[0]
+    assert len(a) == len(b)

@@ -1,0 +1,87 @@
+"""The Clock/Transport seam itself: both backends honour one contract."""
+
+import asyncio
+import time
+
+import pytest
+
+from repro.network import Network, SimTransport
+from repro.runtime.clock import Clock, SimClock, WallClock
+from repro.runtime.transport import Transport
+from repro.sim.kernel import Environment
+
+
+class TestSimClock:
+    def test_now_tracks_environment(self):
+        env = Environment(initial_time=5.0)
+        clock = SimClock(env)
+        assert clock.now() == 5.0
+
+    def test_deadline_and_expiry(self):
+        env = Environment(initial_time=10.0)
+        clock = SimClock(env)
+        deadline = clock.deadline(2.5)
+        assert deadline == 12.5
+        assert not clock.expired(deadline)
+
+    def test_sleep_is_the_kernels_sleep(self):
+        env = Environment()
+        clock = SimClock(env)
+        log = []
+
+        def proc():
+            yield clock.sleep(3.0)
+            log.append(env.now)
+
+        env.process(proc())
+        env.run()
+        assert log == [3.0]
+
+
+class TestWallClock:
+    def test_starts_near_zero_and_advances(self):
+        clock = WallClock()
+        first = clock.now()
+        assert first < 1.0
+        time.sleep(0.01)
+        assert clock.now() > first
+
+    def test_deadline_arithmetic(self):
+        clock = WallClock()
+        deadline = clock.deadline(30.0)
+        assert not clock.expired(deadline)
+        assert clock.expired(clock.now() - 0.001)
+
+    def test_sleep_is_awaitable(self):
+        clock = WallClock()
+
+        async def nap():
+            before = clock.now()
+            await clock.sleep(0.02)
+            return clock.now() - before
+
+        elapsed = asyncio.run(nap())
+        assert elapsed >= 0.015
+
+
+class TestSeamContracts:
+    def test_both_clocks_are_clocks(self):
+        assert isinstance(SimClock(Environment()), Clock)
+        assert isinstance(WallClock(), Clock)
+
+    def test_sim_network_is_a_transport(self):
+        # Virtual subclassing via the simbackend adapter registration.
+        network = Network(Environment())
+        assert isinstance(network, Transport)
+
+    def test_sim_transport_adapter_delegates_counters(self):
+        network = Network(Environment())
+        adapter = SimTransport(network)
+        assert adapter.size == network.size
+        assert adapter.remote_messages == network.remote_messages
+        stats = adapter.stats()
+        assert set(stats) >= {
+            "remote_messages",
+            "local_messages",
+            "dropped_messages",
+        }
