@@ -3,7 +3,7 @@
 PYTHON ?= python
 
 .PHONY: install test test-faults test-chaos test-telemetry \
-        test-versioning test-shard test-live bench bench-kernel \
+        test-versioning test-shard test-live test-wal bench bench-kernel \
         bench-shard bench-full figures figures-paper examples clean
 
 install:
@@ -73,6 +73,17 @@ test-live:
 	  tests/test_errors_pickle.py
 	PYTHONPATH=src $(PYTHON) -m repro.experiments.cli live --fast \
 	  --json live_report.json
+
+# The crash-tolerant control plane: WAL format/replay unit tests, the
+# hypothesis property suite (prefix-replay idempotence, single-host
+# invariant, torn-tail tolerance — pinned seed), and the recovery
+# suite, which SIGKILLs a real arbiter mid-migration under both
+# arbitration modes and checks the in-doubt settlement verdicts.
+test-wal:
+	$(PYTHON) -m pytest -q -p no:randomly \
+	  --hypothesis-seed=0 \
+	  tests/test_live_wal.py tests/test_prop_wal.py \
+	  tests/test_live_recovery.py
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -26,7 +26,7 @@ time.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import List, Optional, Sequence, Tuple
 
 
@@ -66,6 +66,22 @@ class LiveFaultWindow:
     delay_range: Tuple[float, float] = (0.0, 0.0)
 
 
+@dataclass(frozen=True)
+class KillSupervisor:
+    """SIGKILL the *arbiter itself* at ``at`` seconds into the run.
+
+    The harshest action in the vocabulary: the supervisor process dies
+    mid-migration with no chance to flush anything beyond what the
+    arbitration WAL already holds.  The demo runner notices the child
+    vanished, respawns it in recovery mode (WAL replay + in-doubt
+    settlement against worker inventories) and the run continues —
+    workers are non-daemon orphans that keep heartbeating into the
+    void until the new incarnation binds the control socket.
+    """
+
+    at: float
+
+
 @dataclass
 class LiveChaosSchedule:
     """Ordered chaos actions for one live run."""
@@ -100,10 +116,39 @@ class LiveChaosSchedule:
         """Number of :class:`LivePartition` actions in the schedule."""
         return sum(1 for a in self.actions if isinstance(a, LivePartition))
 
+    @property
+    def supervisor_kills(self) -> int:
+        """Number of :class:`KillSupervisor` actions in the schedule."""
+        return sum(
+            1 for a in self.actions if isinstance(a, KillSupervisor)
+        )
+
+    def without_supervisor_kills(self) -> "LiveChaosSchedule":
+        """The schedule a *recovered* supervisor should resume with.
+
+        A SIGKILL already consumed every action at or before its
+        trigger time (the chaos loop is sequential), and re-running
+        the kill would loop the run forever — the recovery child gets
+        only the strictly-later, non-kill remainder, re-anchored so
+        offsets keep their spacing relative to the kill.
+        """
+        kills = [a.at for a in self.actions if isinstance(a, KillSupervisor)]
+        if not kills:
+            return LiveChaosSchedule(actions=list(self.actions))
+        cut = min(kills)
+        return LiveChaosSchedule(
+            actions=[
+                replace(a, at=max(0.0, a.at - cut))
+                for a in self.actions
+                if not isinstance(a, KillSupervisor) and a.at > cut
+            ]
+        )
+
     def __repr__(self) -> str:
         return (
             f"<LiveChaosSchedule actions={len(self.actions)} "
-            f"crashes={self.crashes} partitions={self.partitions}>"
+            f"crashes={self.crashes} partitions={self.partitions} "
+            f"supervisor_kills={self.supervisor_kills}>"
         )
 
 
@@ -126,10 +171,36 @@ def demo_schedule(num_nodes: int) -> LiveChaosSchedule:
     )
 
 
+def kill_supervisor_schedule(
+    num_nodes: int, base: Optional[LiveChaosSchedule] = None, at: float = 1.2
+) -> LiveChaosSchedule:
+    """``base`` (default :func:`demo_schedule`) plus an arbiter SIGKILL.
+
+    ``at`` defaults to the middle of the demo's partition-then-crash
+    sequence so the kill lands while migrations (and usually an
+    in-doubt transfer) are in flight — the scenario the WAL exists
+    for.
+    """
+    schedule = (
+        base
+        if base is not None
+        else (
+            demo_schedule(num_nodes)
+            if num_nodes >= 2
+            else LiveChaosSchedule()
+        )
+    )
+    return LiveChaosSchedule(
+        actions=list(schedule.actions) + [KillSupervisor(at=at)]
+    )
+
+
 __all__ = [
+    "KillSupervisor",
     "LiveChaosSchedule",
     "LiveCrash",
     "LiveFaultWindow",
     "LivePartition",
     "demo_schedule",
+    "kill_supervisor_schedule",
 ]

@@ -268,6 +268,72 @@ class LockManager:
             out.extend(objs)
         return sorted(out, key=lambda o: o.object_id)
 
+    # -- crash-recovery handoff -------------------------------------------------
+
+    def export_lease_state(self) -> Dict:
+        """Picklable snapshot of every open block and the broken set.
+
+        The live supervisor journals grants into its arbitration WAL;
+        this export is the equivalent hand-carried form (tests and
+        tooling diff the two).  Lease *expiries* are deliberately not
+        exported: a recovered manager re-grants fresh leases, because
+        wall-clock deadlines from a dead process mean nothing to its
+        successor.
+        """
+        return {
+            "blocks": [
+                {
+                    "block_id": block.block_id,
+                    "client_node": block.client_node,
+                    "object_ids": [
+                        obj.object_id
+                        for obj in self._held.get(block.block_id, [])
+                    ],
+                }
+                for block in self._blocks.values()
+            ],
+            "broken": sorted(self._broken),
+        }
+
+    def import_lease_state(self, state: Dict, objects: Dict) -> int:
+        """Rebuild blocks and locks from an exported snapshot.
+
+        ``objects`` maps object id -> the lockable record in *this*
+        process.  Each descriptor is revived as a fresh
+        :class:`MoveBlock` carrying its **recorded** block id — the
+        fence in the live protocol is the id, so recovery must not
+        re-number — and the module-wide id counter is advanced past
+        everything imported so new blocks can never collide with a
+        revived one.  Returns the number of locks re-taken; broken
+        block ids stay barred forever.
+        """
+        from itertools import count as _count
+
+        from repro.core import moveblock as _moveblock
+
+        imported = 0
+        max_id = 0
+        broken = set(state.get("broken", ()))
+        for block_id in broken:
+            self._broken.add(block_id)
+            max_id = max(max_id, block_id)
+        for desc in state.get("blocks", ()):
+            block_id = desc["block_id"]
+            max_id = max(max_id, block_id)
+            if block_id in broken or not desc["object_ids"]:
+                continue
+            block = MoveBlock(
+                client_node=desc["client_node"],
+                target=objects[desc["object_ids"][0]],
+            )
+            block.block_id = block_id
+            for oid in desc["object_ids"]:
+                self.lock(objects[oid], block)
+                imported += 1
+        probe = next(_moveblock._block_ids)
+        _moveblock._block_ids = _count(max(probe, max_id) + 1)
+        return imported
+
     def check_invariant(self) -> None:
         """Assert every lock is held by exactly one block's ledger."""
         seen: Set[int] = set()

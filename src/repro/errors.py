@@ -416,6 +416,41 @@ class DrainTimeoutError(SupervisionError):
         return f"{self.message} [timeout={self.timeout}s, pending: {nodes}]"
 
 
+class WalCorruptionError(SupervisionError):
+    """The arbitration write-ahead log cannot be trusted.
+
+    Raised on mid-log damage (bad JSON, checksum mismatch,
+    non-monotonic sequence) — anything *other* than a torn final
+    append, which replay silently discards.  Carries the log path and
+    the 1-based offending line in ``args`` for pickle-safe propagation
+    out of the supervisor child process.
+    """
+
+    def __init__(self, message: str = "", path: str = "", line: int = -1):
+        super().__init__(message, str(path), int(line))
+
+    @property
+    def message(self) -> str:
+        """Human-readable description of the corruption."""
+        return self.args[0] if self.args else ""
+
+    @property
+    def path(self) -> str:
+        """Path of the damaged log file ('' when unknown)."""
+        return self.args[1] if len(self.args) > 1 else ""
+
+    @property
+    def line(self) -> int:
+        """1-based line number of the bad record (-1 when unknown)."""
+        return self.args[2] if len(self.args) > 2 else -1
+
+    def __str__(self) -> str:
+        if not self.path:
+            return self.message
+        where = f"{self.path}:{self.line}" if self.line > 0 else self.path
+        return f"{self.message} [{where}]"
+
+
 # ---------------------------------------------------------------------------
 # Runtime invariant monitoring
 # ---------------------------------------------------------------------------

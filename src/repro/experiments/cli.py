@@ -76,6 +76,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="live only: skip the injected crash and partition",
     )
     parser.add_argument(
+        "--arbitration",
+        choices=["central", "home"],
+        default="central",
+        help="live only: who grants move-block leases — the supervisor "
+        "('central') or per-slice home nodes, peer-to-peer ('home')",
+    )
+    parser.add_argument(
+        "--kill-supervisor",
+        action="store_true",
+        help="live only: SIGKILL the arbiter itself mid-run and recover "
+        "it from the arbitration WAL (implies the demo chaos schedule)",
+    )
+    parser.add_argument(
         "--scenario",
         type=str,
         default=None,
@@ -249,11 +262,20 @@ def _run_live(args) -> int:
 
     Spawns ``--nodes`` worker OS processes under the supervisor,
     injects the demo chaos schedule (one partition + one crash) unless
-    ``--no-chaos``, and prints the side-by-side report.  ``--json``
-    persists the full report (the CI artifact).  Exit code 1 means the
-    run finished but violated a lock/placement invariant.
+    ``--no-chaos``, and prints the side-by-side report.
+    ``--kill-supervisor`` adds an arbiter SIGKILL to the schedule; the
+    run must then recover from the arbitration WAL.  ``--json``
+    persists the full report (the CI artifact) with a top-level
+    ``violations`` list.  Exit code 1 means the run finished but
+    violated a lock/placement invariant, or the supervisor could not
+    be recovered.
     """
-    from repro.availability.livechaos import LiveChaosSchedule, demo_schedule
+    from repro.availability.livechaos import (
+        LiveChaosSchedule,
+        demo_schedule,
+        kill_supervisor_schedule,
+    )
+    from repro.errors import SupervisionError
     from repro.runtime.live.demo import format_report, run_live_demo
     from repro.runtime.live.supervisor import SupervisorConfig
 
@@ -263,6 +285,7 @@ def _run_live(args) -> int:
         max_duration=args.duration,
         target_migrations=60 if args.fast else 250,
         rng_seed=args.seed,
+        arbitration=args.arbitration,
     )
     try:
         config.validate()
@@ -274,14 +297,21 @@ def _run_live(args) -> int:
         if args.no_chaos
         else demo_schedule(config.num_nodes)
     )
+    if args.kill_supervisor:
+        chaos = kill_supervisor_schedule(config.num_nodes, base=chaos)
     print(
         f"live demo: {config.num_nodes} worker processes, "
-        f"{config.num_objects} objects, "
-        f"{chaos.crashes} crash(es) + {chaos.partitions} partition(s), "
+        f"{config.num_objects} objects, {args.arbitration} arbitration, "
+        f"{chaos.crashes} crash(es) + {chaos.partitions} partition(s) + "
+        f"{chaos.supervisor_kills} supervisor kill(s), "
         f"budget {config.max_duration:.0f}s (seed {args.seed})",
         file=sys.stderr,
     )
-    report = run_live_demo(config, chaos=chaos)
+    try:
+        report = run_live_demo(config, chaos=chaos)
+    except SupervisionError as exc:
+        print(f"live demo failed: {exc}", file=sys.stderr)
+        return 1
     print(format_report(report))
     if args.json:
         import json
@@ -289,7 +319,7 @@ def _run_live(args) -> int:
         with open(args.json, "w") as fh:
             json.dump(report, fh, indent=2, sort_keys=True)
         print(f"wrote {args.json}", file=sys.stderr)
-    if report["measured"]["invariant_violations"]:
+    if report["violations"]:
         return 1
     return 0
 
@@ -304,10 +334,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         or args.objects != 120
         or args.duration != 20.0
         or args.no_chaos
+        or args.arbitration != "central"
+        or args.kill_supervisor
     ):
         print(
-            "--nodes/--objects/--duration/--no-chaos only apply to the "
-            "live demo",
+            "--nodes/--objects/--duration/--no-chaos/--arbitration/"
+            "--kill-supervisor only apply to the live demo",
             file=sys.stderr,
         )
         return 2

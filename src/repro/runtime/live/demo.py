@@ -12,6 +12,14 @@ Runs the same concurrent-movers workload twice:
    thing: N OS processes, real sockets, one injected crash, one
    injected partition.
 
+The supervisor itself runs as a *child process* of this runner
+(:func:`run_supervised`), which is what makes
+:class:`~repro.availability.livechaos.KillSupervisor` survivable: when
+the chaos schedule SIGKILLs the arbiter, the runner notices the child
+died without reporting, respawns it in recovery mode (WAL replay +
+in-doubt settlement against the orphaned workers' inventories) with
+the already-consumed chaos prefix stripped, and the run continues.
+
 The report places the sim's predicted conflict/abort rates next to the
 measured ones.  They will not match to the digit — the sim does not
 model GIL scheduling or socket latency jitter — but they must land in
@@ -22,14 +30,20 @@ place-policy contention predicts deployed behaviour.
 from __future__ import annotations
 
 import asyncio
+import multiprocessing
+import queue as queue_module
+import shutil
+import tempfile
 from typing import Any, Dict, Optional
 
 from repro.availability.livechaos import LiveChaosSchedule, demo_schedule
 from repro.core.locking import LockManager
+from repro.errors import SupervisionError
 from repro.runtime.live.node import LiveObject
 from repro.runtime.live.supervisor import NodeSupervisor, SupervisorConfig
 from repro.sim.kernel import Environment
 from repro.sim.rng import RandomStreams
+from repro.telemetry.core import Telemetry
 
 
 def simulate_analog(
@@ -113,20 +127,135 @@ def estimate_transfer_loss(
     return min(loss, 0.95)
 
 
+def _supervisor_child(
+    config: SupervisorConfig,
+    chaos: LiveChaosSchedule,
+    recover: bool,
+    out: multiprocessing.queues.Queue,
+) -> None:
+    """``multiprocessing`` spawn target: one supervisor incarnation.
+
+    Reports ``("ok", report)`` or ``("error", repr)`` on the queue;
+    reporting *nothing* is the KillSupervisor signature the runner
+    keys recovery on.  A crashing incarnation SIGKILLs its fleet so a
+    failed run never leaks workers.
+    """
+    try:
+        supervisor = NodeSupervisor(
+            config, chaos, recover=recover, telemetry=Telemetry()
+        )
+        try:
+            report = asyncio.run(supervisor.run())
+        except BaseException:
+            supervisor.kill_workers()
+            raise
+        out.put(("ok", report))
+    except BaseException as exc:  # noqa: BLE001 - relayed to the runner
+        try:
+            out.put(("error", repr(exc)))
+        except Exception:
+            pass
+
+
+def run_supervised(
+    config: SupervisorConfig,
+    chaos: Optional[LiveChaosSchedule] = None,
+    max_recoveries: int = 2,
+) -> Dict[str, Any]:
+    """Run the supervisor as a child, recovering it if chaos kills it.
+
+    The runner loop: spawn a supervisor child; if it exits *without*
+    posting a report (SIGKILLed by :class:`~repro.availability.
+    livechaos.KillSupervisor`, or by anything else), respawn it with
+    ``recover=True`` — same socket dir, same WAL — and the chaos
+    schedule's already-consumed prefix stripped.  Gives up after
+    ``max_recoveries`` silent deaths.
+
+    The final report is patched with the *original* schedule's
+    injection counts (the recovered incarnation only saw the suffix)
+    plus ``supervisor_recoveries``.
+    """
+    config.validate()
+    chaos = chaos if chaos is not None else LiveChaosSchedule()
+    owns_dir = config.socket_dir is None
+    if owns_dir:
+        # Pin the dir on the config: every incarnation must compute the
+        # same socket addresses and find the same WAL.
+        config.socket_dir = tempfile.mkdtemp(prefix="repro-live-")
+    context = multiprocessing.get_context("spawn")
+    schedule = chaos
+    recover = False
+    recoveries = 0
+    try:
+        while True:
+            out = context.Queue()
+            child = context.Process(
+                target=_supervisor_child,
+                args=(config, schedule, recover, out),
+                daemon=False,
+            )
+            child.start()
+            result = None
+            while True:
+                try:
+                    result = out.get(timeout=0.25)
+                    break
+                except queue_module.Empty:
+                    if not child.is_alive():
+                        try:  # the report may have raced the exit
+                            result = out.get(timeout=1.0)
+                        except queue_module.Empty:
+                            result = None
+                        break
+            child.join(5.0)
+            if child.is_alive():
+                child.kill()
+            if result is not None:
+                status, payload = result
+                if status == "error":
+                    raise SupervisionError(
+                        f"supervisor incarnation failed: {payload}"
+                    )
+                report = payload
+                report["supervisor_recoveries"] = recoveries
+                report["crashes_injected"] = chaos.crashes
+                report["partitions_injected"] = chaos.partitions
+                report["supervisor_kills_injected"] = chaos.supervisor_kills
+                return report
+            # Child died with no goodbye: the KillSupervisor signature.
+            recoveries += 1
+            if recoveries > max_recoveries:
+                raise SupervisionError(
+                    f"supervisor died {recoveries} times without "
+                    f"reporting; giving up"
+                )
+            recover = True
+            schedule = schedule.without_supervisor_kills()
+    finally:
+        if owns_dir:
+            shutil.rmtree(config.socket_dir, ignore_errors=True)
+            config.socket_dir = None
+
+
 def run_live_demo(
     config: Optional[SupervisorConfig] = None,
     chaos: Optional[LiveChaosSchedule] = None,
 ) -> Dict[str, Any]:
-    """Run sim prediction + live deployment; return the joint report."""
+    """Run sim prediction + live deployment; return the joint report.
+
+    The top-level ``violations`` key mirrors the measured run's
+    ``invariant_violations`` so callers (the CLI, CI gates) can check
+    one stable place without digging through the nesting.
+    """
     config = config or SupervisorConfig()
     if chaos is None:
         chaos = demo_schedule(config.num_nodes)
     predicted = simulate_analog(
         config, transfer_loss=estimate_transfer_loss(config, chaos)
     )
-    supervisor = NodeSupervisor(config, chaos)
-    measured = asyncio.run(supervisor.run())
+    measured = run_supervised(config, chaos)
     return {
+        "violations": list(measured["invariant_violations"]),
         "config": {
             "num_nodes": config.num_nodes,
             "num_objects": config.num_objects,
@@ -134,6 +263,7 @@ def run_live_demo(
             "max_duration": config.max_duration,
             "lease_duration": config.lease_duration,
             "rng_seed": config.rng_seed,
+            "arbitration": config.arbitration,
         },
         "predicted": predicted,
         "measured": measured,
@@ -168,15 +298,32 @@ def format_report(report: Dict[str, Any]) -> str:
         "-" * 53,
         f"workers (OS processes)      {measured['workers']:>12}",
         f"objects                     {measured['objects']:>12}",
+        f"arbitration                 {measured.get('arbitration', '?'):>12}",
         f"migrations                  {measured['migrations']:>12}",
         f"distinct objects moved      {measured['distinct_objects_moved']:>12}",
         f"crashes injected            {measured['crashes_injected']:>12}",
         f"partitions injected         {measured['partitions_injected']:>12}",
+        f"supervisor kills injected   "
+        f"{measured.get('supervisor_kills_injected', 0):>12}",
+        f"supervisor recoveries       "
+        f"{measured.get('supervisor_recoveries', 0):>12}",
         f"restarts                    {measured['restarts']:>12}",
         f"leases broken               {measured['leases_broken']:>12}",
+        f"home reassignments          "
+        f"{measured.get('home_reassignments', 0):>12}",
+        f"wal records appended        "
+        f"{measured.get('wal', {}).get('records_appended', 0):>12}",
         f"invariant violations        "
         f"{len(measured['invariant_violations']):>12}",
     ]
+    in_doubt = measured.get("in_doubt", {})
+    if any(in_doubt.values()):
+        lines.append(
+            "in-doubt settled            "
+            f"{in_doubt.get('committed', 0)} committed / "
+            f"{in_doubt.get('rolled_back', 0)} rolled back / "
+            f"{in_doubt.get('reverted', 0)} reverted"
+        )
     for violation in measured["invariant_violations"]:
         lines.append(f"  !! {violation}")
     return "\n".join(lines)
@@ -186,5 +333,6 @@ __all__ = [
     "estimate_transfer_loss",
     "format_report",
     "run_live_demo",
+    "run_supervised",
     "simulate_analog",
 ]

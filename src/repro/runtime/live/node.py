@@ -1,19 +1,35 @@
 """Live node worker: one OS process speaking the migration protocol.
 
 A worker hosts a shard of mobile objects and runs the paper's
-move-block loop against the supervisor arbiter:
+move-block loop against an *arbiter*:
 
-1. ``MOVE_REQUEST`` to the supervisor — the place-policy decision
-   (grant or "locked", §3.2) happens there, against the *real*
+1. ``MOVE_REQUEST`` to the arbiter — the place-policy decision (grant
+   or "locked", §3.2) happens there, against the *real*
    :class:`~repro.core.locking.LockManager` running on a wall clock.
 2. Granted: ``OBJECT_TRANSFER`` to the source worker over the data
    plane (the faultable path), carrying pickled object state back.
-3. ``PLACE`` to the supervisor — the linearization point.  The
-   supervisor fences by transfer id: exactly one of {placed at the
-   destination, rolled back at the source} wins, so an ack lost to a
-   partition can never duplicate an object.
+3. ``PLACE`` to the arbiter — the linearization point.  The arbiter
+   fences by transfer id: exactly one of {placed at the destination,
+   rolled back at the source} wins, so an ack lost to a partition can
+   never duplicate an object.
 4. Local invocations inside the block, then ``END_REQUEST`` releases
    the place-policy lock.
+
+Who the arbiter *is* depends on the deployment's arbitration mode:
+
+``central``
+    The supervisor process grants every lock (PR 8's design, now
+    journaled to the arbitration WAL so the arbiter itself may crash).
+
+``home``
+    The object space is partitioned into slices (``object_id %
+    num_slices``) and each worker is *home node* for its slices,
+    granting move-block leases for its own objects peer-to-peer — the
+    supervisor is demoted to spawner / failure detector /
+    home-reassigner.  A home node runs the same ``LockManager`` +
+    transfer-fence machinery the supervisor runs centrally; commits
+    are mirrored to the supervisor (``PLACE_NOTICE``) so the WAL keeps
+    an ownership record to reassign slices from when a home dies.
 
 Denied movers degrade to remote ``INVOKE`` at the object's current
 location — §3.2's graceful degradation, now across real processes.
@@ -21,7 +37,10 @@ A transfer that times out (dropped frames, partition) aborts with
 ``ROLLBACK``: the source keeps its copy, the destination installs
 nothing, the lock is released.  Crash-killed workers are restarted by
 the supervisor and re-seeded; their in-flight blocks are reclaimed via
-``break_crashed``.
+``break_crashed``.  Workers are spawned *non-daemon* so they survive a
+supervisor SIGKILL; the heartbeat loop doubles as an orphan detector —
+a worker whose heartbeats go unanswered for ``orphan_grace`` seconds
+concludes the control plane is gone for good and exits.
 
 The module-level :func:`worker_main` is the ``multiprocessing`` spawn
 target — everything it needs arrives as picklable arguments.
@@ -30,31 +49,48 @@ target — everything it needs arrives as picklable arguments.
 from __future__ import annotations
 
 import asyncio
+import os
 import random
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from itertools import count
+from typing import Any, Dict, List, Optional, Set, Tuple
 
+from repro.core.locking import LockManager
+from repro.core.moveblock import MoveBlock
 from repro.errors import ConnectionLostError, TimeoutError, TransportClosedError
 from repro.runtime.live.transport import AsyncioTransport, FaultyTransport
+from repro.runtime.live.wal import TRANSFER_BAND, TransferLogEntry
 from repro.runtime.live.wire import (
+    BREAK_HOMED,
     DRAIN,
     END_REQUEST,
     EVICT,
     HEARTBEAT,
+    HOME_ASSIGN,
+    HOME_MAP,
+    HOME_STATE,
     INVENTORY,
     INVOKE,
     MOVE_REQUEST,
     OBJECT_TRANSFER,
     PLACE,
+    PLACE_NOTICE,
+    RESTORE,
     ROLLBACK,
     SEED,
     SET_FAULTS,
+    SETTLE,
+    SETTLE_HOMED,
     SHUTDOWN,
     START,
     STATS,
     SUPERVISOR,
     Envelope,
 )
+
+#: Bound on the per-worker migration-latency sample list shipped at
+#: drain (a frame, not a stream — the histogram lives supervisor-side).
+MAX_LATENCY_SAMPLES = 2000
 
 
 class LiveObject:
@@ -108,6 +144,11 @@ class WorkerStats:
     invocations: int = 0
     remote_invocations: int = 0
     moved_object_ids: List[int] = field(default_factory=list)
+    #: Wall-clock seconds per completed migration (bounded sample).
+    transfer_latencies: List[float] = field(default_factory=list)
+    #: Grants/denials served while acting as a home node.
+    home_grants: int = 0
+    home_denials: int = 0
 
     def as_dict(self) -> Dict[str, Any]:
         """Picklable counter snapshot for the supervisor's report."""
@@ -120,7 +161,20 @@ class WorkerStats:
             "invocations": self.invocations,
             "remote_invocations": self.remote_invocations,
             "moved_object_ids": list(self.moved_object_ids),
+            "transfer_latencies": list(self.transfer_latencies),
+            "home_grants": self.home_grants,
+            "home_denials": self.home_denials,
         }
+
+
+class _PeerDown:
+    """``health`` adapter naming one dead peer for ``break_crashed``."""
+
+    def __init__(self, node_id: int):
+        self.node_id = node_id
+
+    def is_down(self, node_id: int) -> bool:
+        return node_id == self.node_id
 
 
 class LiveNodeWorker:
@@ -136,6 +190,10 @@ class LiveNodeWorker:
         request_timeout: float = 3.0,
         rng_seed: int = 0,
         incarnation: int = 0,
+        arbitration: str = "central",
+        num_slices: int = 0,
+        lease_duration: float = 5.0,
+        orphan_grace: float = 0.0,
     ):
         self.node_id = node_id
         self.transport = AsyncioTransport(
@@ -154,6 +212,7 @@ class LiveNodeWorker:
         self.in_transit: Dict[int, LiveObject] = {}
         self.heartbeat_interval = heartbeat_interval
         self.request_timeout = request_timeout
+        self.orphan_grace = orphan_grace
         self.rng = random.Random(rng_seed)
         self.stats = WorkerStats()
         self._stopping = asyncio.Event()
@@ -161,6 +220,25 @@ class LiveNodeWorker:
         self._workload_done = asyncio.Event()
         self._workload_done.set()  # no workload until START arrives
         self._workload_params: Dict[str, Any] = {}
+        # -- home-node arbitration state (inert under central mode) --
+        self.arbitration = arbitration
+        self.num_slices = num_slices
+        #: slice -> home node, as last broadcast by the supervisor.
+        self.home_map: Dict[int, int] = {}
+        #: Slices this worker is home for.
+        self.home_slices: Set[int] = set()
+        #: Authoritative placement for objects in our slices.
+        self.home_placement: Dict[int, int] = {}
+        #: Lockable stand-ins for our slice's objects (lock state only —
+        #: the *hosted* object may live on any worker).
+        self.home_records: Dict[int, LiveObject] = {}
+        self.home_locks = LockManager(
+            clock=self.transport.clock, lease_duration=lease_duration
+        )
+        self.home_blocks: Dict[int, MoveBlock] = {}
+        self.home_transfers: Dict[int, TransferLogEntry] = {}
+        self._home_seq = count(1)
+        self._notices: Set = set()
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -174,13 +252,30 @@ class LiveNodeWorker:
         await self.transport.close()
 
     async def _heartbeat_loop(self) -> None:
+        last_ok = self.transport.clock.now()
         while not self._stopping.is_set():
             try:
                 await self.transport.send(
-                    SUPERVISOR, HEARTBEAT, {"node": self.node_id}
+                    SUPERVISOR,
+                    HEARTBEAT,
+                    {
+                        "node": self.node_id,
+                        "pid": os.getpid(),
+                        "incarnation": self.transport.incarnation,
+                    },
                 )
+                last_ok = self.transport.clock.now()
             except (ConnectionLostError, TransportClosedError):
-                pass  # supervisor briefly away; keep beating
+                # Supervisor briefly away (crashed and recovering):
+                # keep beating — unless it has been gone so long we
+                # must assume this process is orphaned for good.
+                if (
+                    self.orphan_grace > 0
+                    and self.transport.clock.now() - last_ok
+                    > self.orphan_grace
+                ):
+                    self._stopping.set()
+                    return
             await asyncio.sleep(self.heartbeat_interval)
 
     # -- inbound protocol -----------------------------------------------------
@@ -195,11 +290,56 @@ class LiveNodeWorker:
         elif kind == EVICT:
             self.in_transit.pop(envelope.payload["transfer_id"], None)
             await self.transport.reply(envelope, {"ok": True})
-        elif kind == ROLLBACK:
+        elif kind == RESTORE:
             obj = self.in_transit.pop(envelope.payload["transfer_id"], None)
             if obj is not None:
                 self.objects[obj.object_id] = obj
             await self.transport.reply(envelope, {"ok": True})
+        elif kind == MOVE_REQUEST:
+            await self._serve_home_move(envelope)
+        elif kind == PLACE:
+            await self._serve_home_place(envelope)
+        elif kind == ROLLBACK:
+            await self._serve_home_rollback(envelope)
+        elif kind == END_REQUEST:
+            block = self.home_blocks.pop(envelope.payload["block_id"], None)
+            released = (
+                self.home_locks.release_block(block) if block else 0
+            )
+            await self.transport.reply(envelope, {"released": released})
+        elif kind == HOME_ASSIGN:
+            await self._serve_home_assign(envelope)
+        elif kind == HOME_MAP:
+            self.home_map = dict(envelope.payload["map"])
+            self.num_slices = envelope.payload.get(
+                "num_slices", self.num_slices
+            )
+            await self.transport.reply(envelope, {"ok": True})
+        elif kind == HOME_STATE:
+            await self.transport.reply(
+                envelope,
+                {
+                    "slices": sorted(self.home_slices),
+                    "placement": dict(self.home_placement),
+                    "pending": [
+                        t.transfer_id
+                        for t in self.home_transfers.values()
+                        if t.state == "pending"
+                    ],
+                },
+            )
+        elif kind == BREAK_HOMED:
+            await self._serve_break_homed(envelope)
+        elif kind == SETTLE_HOMED:
+            for tid in envelope.payload.get("evict", ()):
+                self.in_transit.pop(tid, None)
+            for tid in envelope.payload.get("restore", ()):
+                obj = self.in_transit.pop(tid, None)
+                if obj is not None:
+                    self.objects[obj.object_id] = obj
+            await self.transport.reply(envelope, {"ok": True})
+        elif kind == SETTLE:
+            await self._serve_settle(envelope)
         elif kind == SEED:
             for state in envelope.payload["objects"]:
                 obj = LiveObject.from_state(state)
@@ -228,6 +368,10 @@ class LiveNodeWorker:
                         for oid, obj in sorted(self.objects.items())
                     },
                     "in_transit": sorted(self.in_transit),
+                    "in_transit_objects": {
+                        tid: obj.object_id
+                        for tid, obj in sorted(self.in_transit.items())
+                    },
                 },
             )
         elif kind == SHUTDOWN:
@@ -237,8 +381,8 @@ class LiveNodeWorker:
     async def _serve_transfer(self, envelope: Envelope) -> None:
         """Source side of a migration: hand the state out, hold a copy.
 
-        The copy stays in ``in_transit`` until the supervisor settles
-        the transfer (EVICT on success, ROLLBACK on abort) — losing the
+        The copy stays in ``in_transit`` until the arbiter settles the
+        transfer (EVICT on success, RESTORE on abort) — losing the
         reply on the way back must not lose the object.
         """
         object_id = envelope.payload["object_id"]
@@ -272,10 +416,226 @@ class LiveNodeWorker:
         self._draining.set()
         await self._workload_done.wait()
         await self.transport.reply(
-            envelope, {"stats": self.stats.as_dict()}
+            envelope,
+            {
+                "stats": self.stats.as_dict(),
+                "transport": self.transport.stats(),
+            },
         )
 
+    # -- home-node arbitration: this worker as the §3.2 arbiter ---------------
+
+    async def _serve_home_assign(self, envelope: Envelope) -> None:
+        """Become home for the given slices with their placements."""
+        for slice_id in envelope.payload["slices"]:
+            self.home_slices.add(slice_id)
+            self.home_map[slice_id] = self.node_id
+        for oid, where in envelope.payload["placement"].items():
+            self.home_placement[oid] = where
+            if oid not in self.home_records:
+                self.home_records[oid] = LiveObject(oid)
+        await self.transport.reply(
+            envelope, {"ok": True, "slices": sorted(self.home_slices)}
+        )
+
+    async def _serve_home_move(self, envelope: Envelope) -> None:
+        """§3.2 at a peer home node: grant the lock or answer "locked"."""
+        object_id = envelope.payload["object_id"]
+        mover = envelope.src
+        in_slice = (
+            self.num_slices > 0
+            and object_id % self.num_slices in self.home_slices
+        )
+        if not in_slice or object_id not in self.home_placement:
+            # Stale map at the mover (slice reassigned): not ours.
+            await self.transport.reply(
+                envelope,
+                {
+                    "granted": False,
+                    "location": self.home_placement.get(object_id),
+                    "not_home": True,
+                },
+            )
+            return
+        record = self.home_records[object_id]
+        if self.home_locks.is_locked(record):
+            self.stats.home_denials += 1
+            await self.transport.reply(
+                envelope,
+                {
+                    "granted": False,
+                    "location": self.home_placement[object_id],
+                },
+            )
+            return
+        block = MoveBlock(client_node=mover, target=record)
+        try:
+            self.home_locks.lock(record, block)
+        except Exception:
+            self.stats.home_denials += 1
+            await self.transport.reply(
+                envelope,
+                {
+                    "granted": False,
+                    "location": self.home_placement[object_id],
+                },
+            )
+            return
+        self.stats.home_grants += 1
+        self.home_blocks[block.block_id] = block
+        source = self.home_placement[object_id]
+        transfer_id = None
+        if source != mover:
+            # Band the id by home node: two homes can never mint the
+            # same transfer id, and recovery can attribute any id to
+            # the home that granted it.
+            transfer_id = self.node_id * TRANSFER_BAND + next(self._home_seq)
+            self.home_transfers[transfer_id] = TransferLogEntry(
+                transfer_id=transfer_id,
+                object_id=object_id,
+                src=source,
+                dst=mover,
+                block_id=block.block_id,
+            )
+        await self.transport.reply(
+            envelope,
+            {
+                "granted": True,
+                "source": source,
+                "block_id": block.block_id,
+                "transfer_id": transfer_id,
+            },
+        )
+
+    async def _serve_home_place(self, envelope: Envelope) -> None:
+        """The linearization point, at the home: commit or fence out."""
+        transfer = self.home_transfers.get(envelope.payload["transfer_id"])
+        ok = (
+            transfer is not None
+            and transfer.state == "pending"
+            and transfer.dst == envelope.src
+            and transfer.block_id in self.home_blocks
+            and not self.home_locks.was_broken(
+                self.home_blocks[transfer.block_id]
+            )
+        )
+        if ok:
+            transfer.state = "placed"
+            self.home_placement[transfer.object_id] = transfer.dst
+            self._notify(
+                transfer.src, EVICT, {"transfer_id": transfer.transfer_id}
+            )
+            # Mirror the commit to the supervisor's WAL so a dead
+            # home's slice can be reassigned from durable ownership
+            # records.  Fire-and-forget: the supervisor may itself be
+            # mid-recovery; a lost notice only widens the inventory
+            # reconciliation it must do anyway.
+            self._notify(
+                SUPERVISOR,
+                PLACE_NOTICE,
+                {
+                    "transfer_id": transfer.transfer_id,
+                    "object_id": transfer.object_id,
+                    "node": transfer.dst,
+                },
+            )
+        await self.transport.reply(envelope, {"ok": ok})
+
+    async def _serve_home_rollback(self, envelope: Envelope) -> None:
+        """Abort a home-granted transfer; restore the source's copy."""
+        transfer = self.home_transfers.get(envelope.payload["transfer_id"])
+        ok = transfer is not None and transfer.state == "pending"
+        if ok:
+            transfer.state = "rolled_back"
+            self._notify(
+                transfer.src, RESTORE, {"transfer_id": transfer.transfer_id}
+            )
+        await self.transport.reply(envelope, {"ok": ok})
+
+    async def _serve_break_homed(self, envelope: Envelope) -> None:
+        """A peer died: break its leases, settle its transfers locally.
+
+        Mirrors the central supervisor's ``_restart_inner`` lock
+        recovery, but only for the state *this* home arbitrates.
+        """
+        dead = envelope.payload["node"]
+        before = set(self.home_locks._broken)
+        broken = self.home_locks.break_crashed(_PeerDown(dead))
+        for block_id in self.home_locks._broken - before:
+            self.home_blocks.pop(block_id, None)
+        for transfer in self.home_transfers.values():
+            if transfer.state != "pending":
+                continue
+            if transfer.dst == dead:
+                transfer.state = "rolled_back"
+                if transfer.src != dead:
+                    self._notify(
+                        transfer.src,
+                        RESTORE,
+                        {"transfer_id": transfer.transfer_id},
+                    )
+            elif transfer.src == dead:
+                # Source died holding the held-back copy: state lost,
+                # placement never moved — the supervisor re-seeds it.
+                transfer.state = "failed"
+        await self.transport.reply(envelope, {"broken": broken})
+
+    async def _serve_settle(self, envelope: Envelope) -> None:
+        """Drain-time settlement of everything this home arbitrates."""
+        leaked = 0
+        for transfer in self.home_transfers.values():
+            if transfer.state == "pending":
+                transfer.state = "rolled_back"
+                self._notify(
+                    transfer.src,
+                    RESTORE,
+                    {"transfer_id": transfer.transfer_id},
+                )
+        for block in list(self.home_blocks.values()):
+            leaked += 1 if self.home_locks.release_block(block) else 0
+        self.home_blocks.clear()
+        deadline = self.transport.clock.deadline(self.request_timeout)
+        while self._notices and not self.transport.clock.expired(deadline):
+            await asyncio.sleep(0.02)
+        lock_violations: List[str] = []
+        try:
+            self.home_locks.check_invariant()
+        except AssertionError as exc:
+            lock_violations.append(f"home {self.node_id}: {exc}")
+        await self.transport.reply(
+            envelope,
+            {
+                "leaked_blocks": leaked,
+                "placement": dict(self.home_placement),
+                "slices": sorted(self.home_slices),
+                "lock_violations": lock_violations,
+            },
+        )
+
+    def _notify(self, node: int, kind: str, payload: Dict[str, Any]) -> None:
+        """Fire-and-forget settlement/mirror notice to a peer."""
+
+        async def deliver():
+            try:
+                await self.transport.request(
+                    node, kind, payload, timeout=self.request_timeout
+                )
+            except Exception:
+                pass  # dead peer: its state is re-seeded/reconciled anyway
+
+        task = asyncio.ensure_future(deliver())
+        self._notices.add(task)
+        task.add_done_callback(self._notices.discard)
+
     # -- the workload: concurrent movers --------------------------------------
+
+    def _arbiter_for(self, object_id: int) -> int:
+        """Who grants moves for this object (mode-dependent)."""
+        if self.arbitration == "home" and self.num_slices > 0:
+            return self.home_map.get(
+                object_id % self.num_slices, SUPERVISOR
+            )
+        return SUPERVISOR
 
     async def _workload(self) -> None:
         params = self._workload_params
@@ -294,14 +654,16 @@ class LiveNodeWorker:
     async def _move_block(self, object_id: int, invokes: int) -> None:
         """One move-block: request, transfer, place, invoke, end."""
         self.stats.attempts += 1
+        arbiter = self._arbiter_for(object_id)
+        started = self.transport.clock.now()
         try:
             grant = await self.transport.request(
-                SUPERVISOR,
+                arbiter,
                 MOVE_REQUEST,
                 {"object_id": object_id},
                 timeout=self.request_timeout,
             )
-        except TimeoutError:
+        except (TimeoutError, ConnectionLostError):
             self.stats.aborted += 1
             return
         if not grant.payload["granted"]:
@@ -315,7 +677,13 @@ class LiveNodeWorker:
         transfer_id = grant.payload["transfer_id"]
         resident = source == self.node_id
         if not resident:
-            resident = await self._pull(object_id, source, transfer_id)
+            resident = await self._pull(
+                arbiter, object_id, source, transfer_id
+            )
+            if resident:
+                self._record_latency(
+                    self.transport.clock.now() - started
+                )
         if resident:
             obj = self.objects.get(object_id)
             if obj is not None:
@@ -324,16 +692,20 @@ class LiveNodeWorker:
                     self.stats.invocations += 1
         try:
             await self.transport.request(
-                SUPERVISOR,
+                arbiter,
                 END_REQUEST,
                 {"block_id": block_id},
                 timeout=self.request_timeout,
             )
-        except TimeoutError:
+        except (TimeoutError, ConnectionLostError):
             pass  # lease expiry / break_crashed reclaims the lock
 
+    def _record_latency(self, seconds: float) -> None:
+        if len(self.stats.transfer_latencies) < MAX_LATENCY_SAMPLES:
+            self.stats.transfer_latencies.append(seconds)
+
     async def _pull(
-        self, object_id: int, source: int, transfer_id: int
+        self, arbiter: int, object_id: int, source: int, transfer_id: int
     ) -> bool:
         """Transfer + place; aborts (with rollback) on any timeout."""
         try:
@@ -347,17 +719,17 @@ class LiveNodeWorker:
             if state is None:
                 raise TimeoutError("source no longer holds the object")
             place = await self.transport.request(
-                SUPERVISOR,
+                arbiter,
                 PLACE,
                 {"transfer_id": transfer_id},
                 timeout=self.request_timeout,
             )
         except (TimeoutError, ConnectionLostError):
             self.stats.aborted += 1
-            await self._rollback(transfer_id)
+            await self._rollback(arbiter, transfer_id)
             return False
         if not place.payload["ok"]:
-            # Fenced out (supervisor saw us crash-suspected, or the
+            # Fenced out (arbiter saw us crash-suspected, or the
             # transfer was already rolled back): drop the state.
             self.stats.aborted += 1
             return False
@@ -366,18 +738,22 @@ class LiveNodeWorker:
         self.stats.moved_object_ids.append(object_id)
         return True
 
-    async def _rollback(self, transfer_id: int) -> None:
+    async def _rollback(self, arbiter: int, transfer_id: int) -> None:
         try:
             await self.transport.request(
-                SUPERVISOR,
+                arbiter,
                 ROLLBACK,
                 {"transfer_id": transfer_id},
                 timeout=self.request_timeout,
             )
         except (TimeoutError, ConnectionLostError):
-            pass  # supervisor settles the transfer when it breaks us
+            pass  # arbiter settles the transfer when it breaks us
 
-    async def _invoke_remotely(self, object_id: int, location: int) -> None:
+    async def _invoke_remotely(
+        self, object_id: int, location: Optional[int]
+    ) -> None:
+        if location is None:
+            return
         if location == self.node_id:
             obj = self.objects.get(object_id)
             if obj is not None:
@@ -406,6 +782,10 @@ def worker_main(
     request_timeout: float,
     rng_seed: int,
     incarnation: int = 0,
+    arbitration: str = "central",
+    num_slices: int = 0,
+    lease_duration: float = 5.0,
+    orphan_grace: float = 0.0,
 ) -> None:
     """``multiprocessing`` spawn target: run one worker to completion."""
     worker = LiveNodeWorker(
@@ -417,6 +797,10 @@ def worker_main(
         request_timeout=request_timeout,
         rng_seed=rng_seed,
         incarnation=incarnation,
+        arbitration=arbitration,
+        num_slices=num_slices,
+        lease_duration=lease_duration,
+        orphan_grace=orphan_grace,
     )
     asyncio.run(worker.run())
 

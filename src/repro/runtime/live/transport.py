@@ -115,6 +115,7 @@ class AsyncioTransport(Transport):
         self.max_payload = max_payload
         # Restarted nodes mint in a fresh sequence band so peers' dedup
         # floors from the previous incarnation don't swallow them.
+        self.incarnation = incarnation
         self.factory = EnvelopeFactory(node_id, incarnation)
         self.dedup = DedupIndex()
         self._jitter = RandomJitter(jitter_seed)
@@ -136,6 +137,7 @@ class AsyncioTransport(Transport):
         self.dropped_messages = 0
         self.reconnects = 0
         self.frames_received = 0
+        self.frames_sent = 0
 
     # -- seam contract --------------------------------------------------------
 
@@ -304,6 +306,7 @@ class AsyncioTransport(Transport):
                     writer.write(frame)
                     await writer.drain()
                 self.remote_messages += 1
+                self.frames_sent += 1
                 return
             except ConnectionLostError:
                 raise
@@ -404,6 +407,7 @@ class AsyncioTransport(Transport):
         base.update(
             reconnects=self.reconnects,
             frames_received=self.frames_received,
+            frames_sent=self.frames_sent,
             duplicates_suppressed=self.dedup.duplicates,
         )
         return base

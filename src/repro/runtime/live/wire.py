@@ -47,6 +47,19 @@ SEED = "seed"
 START = "start"
 STATS = "stats"
 INVENTORY = "inventory"
+#: Settlement notice to a transfer's source: restore the held-back
+#: copy.  Distinct from ROLLBACK (the *request* a mover sends to the
+#: arbiter) because under home arbitration one worker plays both
+#: roles and must tell the messages apart.
+RESTORE = "restore"
+#: Home arbitration (peer-granted leases) control kinds.
+HOME_ASSIGN = "home.assign"  # supervisor -> worker: own these slices
+HOME_MAP = "home.map"  # supervisor -> worker: slice -> home node map
+HOME_STATE = "home.state"  # supervisor <- worker: authoritative placements
+PLACE_NOTICE = "place.notice"  # home -> supervisor: mirror a commit to WAL
+BREAK_HOMED = "break.homed"  # supervisor -> homes: a peer died, break it
+SETTLE_HOMED = "settle.homed"  # supervisor -> worker: evict/restore lists
+SETTLE = "settle"  # supervisor -> homes: drain-time transfer settlement
 
 #: Node id of the supervisor on the live control plane.
 SUPERVISOR = -1
@@ -173,6 +186,7 @@ class DedupIndex:
 
 __all__ = [
     "BREAK_CRASHED",
+    "BREAK_HOMED",
     "DRAIN",
     "DedupIndex",
     "END_REQUEST",
@@ -180,6 +194,9 @@ __all__ = [
     "Envelope",
     "EnvelopeFactory",
     "HEARTBEAT",
+    "HOME_ASSIGN",
+    "HOME_MAP",
+    "HOME_STATE",
     "INCARNATION_SPAN",
     "INVENTORY",
     "INVOKE",
@@ -187,10 +204,14 @@ __all__ = [
     "MOVE_REQUEST",
     "OBJECT_TRANSFER",
     "PLACE",
+    "PLACE_NOTICE",
     "REPLY",
+    "RESTORE",
     "ROLLBACK",
     "SEED",
     "SET_FAULTS",
+    "SETTLE",
+    "SETTLE_HOMED",
     "SHUTDOWN",
     "START",
     "STATS",

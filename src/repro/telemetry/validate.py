@@ -7,14 +7,21 @@ checks the contracts without needing those tools:
   carrying the right fields per phase (:func:`validate_chrome_trace`);
 * ``spans.jsonl`` — one span document per line with the stable
   :meth:`~repro.telemetry.spans.Span.to_dict` fields
-  (:func:`validate_span_doc`).
+  (:func:`validate_span_doc`);
+* ``metrics.jsonl`` — one instrument snapshot per line with the
+  :meth:`to_dict` fields of its type, counters monotone and histogram
+  counts consistent (:func:`validate_metric_doc`).
 
-Span families with a registered schema (currently the ``deploy.*``
-family of :mod:`repro.versioning`) are additionally checked for their
-required tags — in both artifacts, since the Chrome exporter folds tags
-into ``args``.  Usable as a library or a CLI::
+Span families with a registered schema (the ``deploy.*`` family of
+:mod:`repro.versioning` and the live runtime's ``wal.replay`` /
+``live.recover``) are additionally checked for their required tags —
+in both artifacts, since the Chrome exporter folds tags into ``args``.
+Metric names the live runtime promises (``live.transport.*``,
+``live.transfer.latency_s``, ``wal.*``, ``home.*``) are pinned to
+their instrument type.  Usable as a library or a CLI::
 
-    python -m repro.telemetry.validate out/trace.json out/spans.jsonl
+    python -m repro.telemetry.validate out/trace.json out/spans.jsonl \\
+        out/metrics.jsonl
 """
 
 from __future__ import annotations
@@ -45,6 +52,35 @@ DEPLOY_METRICS = (
     "deploy.stage_time",
 )
 
+#: Required tag keys per live-runtime span name.  ``wal.replay`` must
+#: say how much journal it consumed; ``live.recover`` which arbitration
+#: mode it settled under.
+LIVE_SPAN_SCHEMAS = {
+    "wal.replay": ("records",),
+    "live.recover": ("mode",),
+}
+
+#: Instrument type per metric name the live runtime promises to emit.
+#: A run that never exercises a path may omit the metric, but a present
+#: metric must carry the registered type (and the type's fields).
+LIVE_METRIC_SCHEMAS = {
+    "live.transport.frames_sent": "counter",
+    "live.transport.frames_received": "counter",
+    "live.transfer.latency_s": "histogram",
+    "wal.records_appended": "counter",
+    "wal.records_replayed": "counter",
+    "wal.truncated_records": "counter",
+    "home.grants": "counter",
+    "home.denials": "counter",
+    "home.reassignments": "counter",
+}
+
+#: Fields every metrics.jsonl document must carry, regardless of type.
+METRIC_DOC_FIELDS = ("name", "type", "labels", "updated_at")
+
+#: Instrument types the metrics exporter may emit.
+KNOWN_METRIC_TYPES = {"counter", "gauge", "histogram"}
+
 #: Fields every spans.jsonl document must carry.
 SPAN_DOC_FIELDS = (
     "trace_id",
@@ -61,12 +97,76 @@ SPAN_DOC_FIELDS = (
 
 def _check_deploy_tags(name: str, tags: dict, where: str) -> List[str]:
     """Missing required tags for a schema-registered span name."""
-    required = DEPLOY_SPAN_SCHEMAS.get(name, ())
+    required = DEPLOY_SPAN_SCHEMAS.get(
+        name, LIVE_SPAN_SCHEMAS.get(name, ())
+    )
     return [
         f"{where}: span {name!r} missing required tag {key!r}"
         for key in required
         if key not in tags
     ]
+
+
+def validate_metric_doc(doc: dict, where: str = "metric") -> List[str]:
+    """Check one parsed ``metrics.jsonl`` document; returns problems."""
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return [f"{where}: not an object"]
+    for field in METRIC_DOC_FIELDS:
+        if field not in doc:
+            problems.append(f"{where}: missing field {field!r}")
+    if problems:
+        return problems
+    name, kind = doc["name"], doc["type"]
+    if not isinstance(name, str) or not name:
+        problems.append(f"{where}: 'name' must be a non-empty string")
+        return problems
+    if kind not in KNOWN_METRIC_TYPES:
+        problems.append(f"{where}: unknown instrument type {kind!r}")
+        return problems
+    expected = LIVE_METRIC_SCHEMAS.get(name)
+    if expected is not None and kind != expected:
+        problems.append(
+            f"{where}: metric {name!r} must be a {expected}, got {kind!r}"
+        )
+    if not isinstance(doc["labels"], dict):
+        problems.append(f"{where}: 'labels' must be an object")
+    if kind == "histogram":
+        buckets = doc.get("buckets")
+        counts = doc.get("counts")
+        if not isinstance(buckets, list) or not buckets:
+            problems.append(f"{where}: histogram needs a 'buckets' list")
+        elif not isinstance(counts, list) or len(counts) != len(buckets) + 1:
+            problems.append(
+                f"{where}: histogram needs len(buckets)+1 'counts'"
+            )
+        elif doc.get("count") != sum(counts):
+            problems.append(
+                f"{where}: histogram 'count' disagrees with bucket counts"
+            )
+    else:
+        value = doc.get("value")
+        if not isinstance(value, (int, float)):
+            problems.append(f"{where}: {kind} needs a numeric 'value'")
+        elif kind == "counter" and value < 0:
+            problems.append(f"{where}: counter {name!r} went negative")
+    return problems
+
+
+def validate_metrics_jsonl(text: str) -> List[str]:
+    """Validate a whole ``metrics.jsonl`` payload; returns problems."""
+    problems: List[str] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        where = f"line {lineno}"
+        try:
+            doc = json.loads(line)
+        except ValueError as exc:
+            problems.append(f"{where}: invalid JSON ({exc})")
+            continue
+        problems.extend(validate_metric_doc(doc, where))
+    return problems
 
 
 def validate_span_doc(doc: dict, where: str = "span") -> List[str]:
@@ -168,12 +268,14 @@ def validate_chrome_trace(doc: dict) -> List[str]:
 
 
 def _validate_file(path: Path) -> List[str]:
-    """Dispatch one artifact by suffix; returns problems."""
+    """Dispatch one artifact by filename; returns problems."""
     try:
         text = path.read_text()
     except OSError as exc:
         return [f"unreadable ({exc})"]
     if path.suffix == ".jsonl":
+        if "metrics" in path.name:
+            return validate_metrics_jsonl(text)
         return validate_spans_jsonl(text)
     try:
         doc = json.loads(text)
@@ -185,14 +287,16 @@ def _validate_file(path: Path) -> List[str]:
 def main(argv=None) -> int:
     """CLI entry point: validate trace/span artifacts, exit 0/1.
 
-    Accepts any mix of ``trace.json`` (Chrome trace) and
-    ``spans.jsonl`` files; the suffix picks the validator.
+    Accepts any mix of ``trace.json`` (Chrome trace), ``spans.jsonl``
+    and ``metrics.jsonl`` files; the filename picks the validator
+    (``.jsonl`` with ``metrics`` in the name → metrics, other
+    ``.jsonl`` → spans, anything else → Chrome trace).
     """
     argv = list(sys.argv[1:] if argv is None else argv)
     if not argv:
         print(
             "usage: python -m repro.telemetry.validate "
-            "TRACE.json [SPANS.jsonl ...]",
+            "TRACE.json [SPANS.jsonl ...] [METRICS.jsonl ...]",
             file=sys.stderr,
         )
         return 2

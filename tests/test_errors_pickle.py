@@ -65,6 +65,10 @@ def sample_instance(cls):
         return cls("worker died", node=2, exitcode=-9)
     if cls is DrainTimeoutError:
         return cls("drain overran", timeout=5.0, pending=(1, 4))
+    if cls is errors_module.WalCorruptionError:
+        return cls(
+            "checksum mismatch", path="/tmp/arbitration.wal", line=17
+        )
     return cls(f"sample {cls.__name__} message")
 
 
@@ -183,6 +187,18 @@ class TestLiveErrorPayloads:
         assert clone.timeout == 2.5
         assert clone.pending == (3, 5)
         assert "pending: 3, 5" in str(clone)
+
+    def test_wal_corruption_payload_survives(self):
+        exc = errors_module.WalCorruptionError(
+            "non-monotonic seq 3 after 5", path="/run/arb.wal", line=9
+        )
+        clone = pickle.loads(pickle.dumps(exc))
+        assert clone.message == "non-monotonic seq 3 after 5"
+        assert clone.path == "/run/arb.wal"
+        assert clone.line == 9
+        assert issubclass(
+            errors_module.WalCorruptionError, errors_module.SupervisionError
+        )
 
     def test_live_errors_are_fault_errors(self):
         for cls in (

@@ -89,6 +89,75 @@ class TestLiveFlags:
         assert rc == 2
         assert "invalid live config" in capsys.readouterr().err
 
+    def test_arbitration_and_kill_supervisor_parsed(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["live", "--arbitration", "home", "--kill-supervisor"]
+        )
+        assert args.arbitration == "home"
+        assert args.kill_supervisor is True
+        # central is the default, and only the two modes parse.
+        assert parser.parse_args(["live"]).arbitration == "central"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["live", "--arbitration", "quorum"])
+
+    def test_arbitration_rejected_for_figures(self, capsys):
+        rc = main(["fig8", "--arbitration", "home"])
+        assert rc == 2
+        assert "only apply to the live demo" in capsys.readouterr().err
+
+    def test_kill_supervisor_rejected_for_figures(self, capsys):
+        rc = main(["fig8", "--kill-supervisor"])
+        assert rc == 2
+        assert "only apply to the live demo" in capsys.readouterr().err
+
+    def test_violations_set_exit_code_and_json(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        """Exit 1 + a top-level 'violations' list in the JSON artifact."""
+        import repro.runtime.live.demo as demo_module
+
+        def fake_run_supervised(config, chaos=None, max_recoveries=2):
+            return {
+                "workers": config.num_nodes,
+                "objects": config.num_objects,
+                "arbitration": config.arbitration,
+                "migrations": 10,
+                "distinct_objects_moved": 5,
+                "conflict_rate": 0.0,
+                "abort_rate": 0.0,
+                "crashes_injected": 0,
+                "partitions_injected": 0,
+                "restarts": 0,
+                "leases_broken": 0,
+                "invariant_violations": ["obj 3 duplicated at nodes 1 and 2"],
+            }
+
+        monkeypatch.setattr(
+            demo_module, "run_supervised", fake_run_supervised
+        )
+        target = tmp_path / "live.json"
+        rc = main(
+            ["live", "--fast", "--no-chaos", "--json", str(target)]
+        )
+        assert rc == 1
+        doc = json.loads(target.read_text())
+        assert doc["violations"] == ["obj 3 duplicated at nodes 1 and 2"]
+        out = capsys.readouterr().out
+        assert "!! obj 3 duplicated" in out
+
+    def test_supervision_failure_sets_exit_code(self, monkeypatch, capsys):
+        import repro.runtime.live.demo as demo_module
+        from repro.errors import SupervisionError
+
+        def doomed(config, chaos=None, max_recoveries=2):
+            raise SupervisionError("supervisor died 3 times")
+
+        monkeypatch.setattr(demo_module, "run_supervised", doomed)
+        rc = main(["live", "--fast", "--no-chaos"])
+        assert rc == 1
+        assert "live demo failed" in capsys.readouterr().err
+
 
 class TestCheckFlag:
     def test_check_reports_verdicts(self, capsys):

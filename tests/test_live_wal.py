@@ -1,0 +1,283 @@
+"""Arbitration WAL: format, durability discipline, replay semantics.
+
+The recovery contract rests on three properties checked here without
+any processes:
+
+* **append/replay roundtrip** — whatever ``ArbitrationWal.append``
+  wrote, ``replay`` folds back into the same arbitration state;
+* **torn-tail tolerance** — a crash mid-append leaves a final line
+  that fails its checksum; replay discards it and trusts the prefix,
+  while damage anywhere *earlier* is fatal
+  (:class:`~repro.errors.WalCorruptionError`);
+* **seq discipline** — a reopened log resumes numbering after the
+  existing records, and :class:`WalState.apply` is idempotent by seq.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import WalCorruptionError
+from repro.runtime.live import wal as wal_module
+from repro.runtime.live.wal import (
+    ArbitrationWal,
+    WalRecord,
+    WalState,
+    decode_record,
+    read_records,
+    replay,
+)
+from repro.telemetry.core import Telemetry
+
+
+def make_init(num_objects=4, workers=(1, 2)):
+    return (
+        wal_module.INIT,
+        {
+            "num_objects": num_objects,
+            "arbitration": "central",
+            "workers": list(workers),
+            "placement": {
+                str(oid): workers[oid % len(workers)]
+                for oid in range(num_objects)
+            },
+        },
+    )
+
+
+def make_grant(block_id=1, mover=2, source=1, object_id=0, transfer_id=1):
+    return (
+        wal_module.GRANT,
+        {
+            "block_id": block_id,
+            "object_id": object_id,
+            "mover": mover,
+            "source": source,
+            "transfer_id": transfer_id,
+        },
+    )
+
+
+class TestRecordFormat:
+    def test_encode_decode_roundtrip(self):
+        record = WalRecord(seq=3, kind="grant", data={"block_id": 7})
+        assert decode_record(record.encode()) == record
+
+    def test_checksum_mismatch_rejected(self):
+        line = WalRecord(seq=1, kind="grant", data={"a": 1}).encode()
+        doc = json.loads(line)
+        doc["data"]["a"] = 2  # payload changed, crc not recomputed
+        with pytest.raises(ValueError, match="checksum"):
+            decode_record(json.dumps(doc))
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(ValueError, match="missing"):
+            decode_record('{"seq": 1, "kind": "grant", "data": {}}')
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ValueError):
+            decode_record("[1, 2, 3]")
+
+
+class TestAppendReplay:
+    def test_roundtrip_rebuilds_state(self, tmp_path):
+        path = str(tmp_path / "arb.wal")
+        with ArbitrationWal(path) as wal:
+            wal.append(*make_init())
+            wal.append(wal_module.SUPER_START, {})
+            wal.append(*make_grant())
+            wal.append(wal_module.PLACE, {"transfer_id": 1})
+            wal.append(wal_module.END, {"block_id": 1})
+        state, records = replay(path)
+        assert len(records) == 5
+        assert state.last_seq == 5
+        assert state.num_objects == 4
+        assert state.supervisor_starts == 1
+        # The PLACE moved object 0 to the mover; the END closed the block.
+        assert state.placement[0] == 2
+        assert state.transfers[1].state == "placed"
+        assert state.blocks == {}
+        assert state.in_doubt() == []
+
+    def test_missing_file_is_empty_log(self, tmp_path):
+        records, truncated = read_records(str(tmp_path / "absent.wal"))
+        assert records == [] and truncated == 0
+
+    def test_append_on_closed_wal_raises(self, tmp_path):
+        wal = ArbitrationWal(str(tmp_path / "arb.wal"))
+        with pytest.raises(WalCorruptionError, match="closed"):
+            wal.append(wal_module.SUPER_START, {})
+
+    def test_reopen_resumes_seq_numbering(self, tmp_path):
+        path = str(tmp_path / "arb.wal")
+        with ArbitrationWal(path) as wal:
+            wal.append(*make_init())
+            wal.append(wal_module.SUPER_START, {})
+        with ArbitrationWal(path) as wal:
+            seq = wal.append(wal_module.SUPER_START, {})
+        assert seq == 3
+        _, records = replay(path)
+        assert [r.seq for r in records] == [1, 2, 3]
+
+    def test_open_with_start_seq_skips_rescan(self, tmp_path):
+        path = str(tmp_path / "arb.wal")
+        with ArbitrationWal(path) as wal:
+            wal.append(*make_init())
+        state, _ = replay(path)
+        wal = ArbitrationWal(path)
+        wal.open(start_seq=state.last_seq)
+        assert wal.append(wal_module.SUPER_START, {}) == 2
+        wal.close()
+
+    def test_append_counts_into_telemetry(self, tmp_path):
+        telemetry = Telemetry()
+        path = str(tmp_path / "arb.wal")
+        with ArbitrationWal(path, telemetry=telemetry) as wal:
+            wal.append(*make_init())
+            wal.append(wal_module.SUPER_START, {})
+        (counter,) = [
+            m
+            for m in telemetry.metrics.snapshot()
+            if m["name"] == "wal.records_appended"
+        ]
+        assert counter["value"] == 2
+
+
+class TestTornTail:
+    def test_torn_final_line_discarded(self, tmp_path):
+        path = str(tmp_path / "arb.wal")
+        with ArbitrationWal(path) as wal:
+            wal.append(*make_init())
+            wal.append(*make_grant())
+        with open(path, "a") as fh:
+            fh.write('{"seq": 3, "kind": "place", "da')  # crash mid-append
+        records, truncated = read_records(path)
+        assert [r.seq for r in records] == [1, 2]
+        assert truncated == 1
+
+    def test_truncated_records_counted_in_telemetry(self, tmp_path):
+        path = str(tmp_path / "arb.wal")
+        with ArbitrationWal(path) as wal:
+            wal.append(*make_init())
+        with open(path, "a") as fh:
+            fh.write("garbage")
+        telemetry = Telemetry()
+        replay(path, telemetry)
+        names = {m["name"]: m["value"] for m in telemetry.metrics.snapshot()}
+        assert names["wal.records_replayed"] == 1
+        assert names["wal.truncated_records"] == 1
+
+    def test_mid_log_corruption_is_fatal(self, tmp_path):
+        path = str(tmp_path / "arb.wal")
+        with ArbitrationWal(path) as wal:
+            wal.append(*make_init())
+            wal.append(*make_grant())
+            wal.append(wal_module.PLACE, {"transfer_id": 1})
+        lines = open(path).read().splitlines()
+        lines[1] = lines[1][:-5] + 'oops"'  # damage a *middle* record
+        open(path, "w").write("\n".join(lines) + "\n")
+        with pytest.raises(WalCorruptionError) as info:
+            read_records(path)
+        assert info.value.path == path
+        assert info.value.line == 2
+
+    def test_non_monotonic_seq_is_fatal(self, tmp_path):
+        path = str(tmp_path / "arb.wal")
+        lines = [
+            WalRecord(seq=1, kind="super.start", data={}).encode(),
+            WalRecord(seq=1, kind="super.start", data={}).encode(),
+            WalRecord(seq=2, kind="super.start", data={}).encode(),
+        ]
+        open(path, "w").write("\n".join(lines) + "\n")
+        with pytest.raises(WalCorruptionError, match="non-monotonic"):
+            read_records(path)
+
+
+class TestWalState:
+    def test_apply_is_idempotent_by_seq(self):
+        records = [
+            WalRecord(seq=1, kind=make_init()[0], data=make_init()[1]),
+            WalRecord(seq=2, kind=make_grant()[0], data=make_grant()[1]),
+            WalRecord(seq=3, kind=wal_module.PLACE, data={"transfer_id": 1}),
+        ]
+        state = WalState()
+        for record in records:
+            assert state.apply(record) is True
+        snapshot = (dict(state.placement), state.transfers[1].state)
+        for record in records:  # replaying the same prefix: all no-ops
+            assert state.apply(record) is False
+        assert (dict(state.placement), state.transfers[1].state) == snapshot
+
+    def test_rollback_keeps_source_placement(self):
+        state = WalState()
+        state.apply(WalRecord(1, *make_init()))
+        state.apply(WalRecord(2, *make_grant()))
+        state.apply(
+            WalRecord(3, wal_module.ROLLBACK, {"transfer_id": 1})
+        )
+        assert state.transfers[1].state == "rolled_back"
+        assert state.placement[0] == 1  # never moved
+
+    def test_revert_moves_placement_back(self):
+        state = WalState()
+        state.apply(WalRecord(1, *make_init()))
+        state.apply(WalRecord(2, *make_grant()))
+        state.apply(WalRecord(3, wal_module.PLACE, {"transfer_id": 1}))
+        assert state.placement[0] == 2
+        state.apply(WalRecord(4, wal_module.REVERT, {"transfer_id": 1}))
+        assert state.placement[0] == 1
+        assert state.transfers[1].state == "rolled_back"
+
+    def test_break_bars_blocks_and_drops_them(self):
+        state = WalState()
+        state.apply(WalRecord(1, *make_init()))
+        state.apply(WalRecord(2, *make_grant()))
+        state.apply(
+            WalRecord(3, wal_module.BREAK, {"node": 2, "block_ids": [1]})
+        )
+        assert state.broken_blocks == [1]
+        assert state.blocks == {}
+
+    def test_home_records_rebuild_slice_map_and_mirror(self):
+        state = WalState()
+        state.apply(WalRecord(1, *make_init()))
+        state.apply(
+            WalRecord(
+                2, wal_module.HOME_ASSIGN, {"node": 2, "slices": [0, 1]}
+            )
+        )
+        state.apply(
+            WalRecord(
+                3, wal_module.PLACE_MIRROR, {"object_id": 3, "node": 2}
+            )
+        )
+        assert state.home == {0: 2, 1: 2}
+        assert state.placement[3] == 2
+
+    def test_incarnation_and_unknown_kinds(self):
+        state = WalState()
+        state.apply(
+            WalRecord(1, wal_module.INCARNATION, {"node": 1, "incarnation": 2})
+        )
+        # Forward compatibility: unknown kinds advance seq, change nothing.
+        assert state.apply(WalRecord(2, "future.kind", {"x": 1})) is True
+        assert state.incarnations[1] == 2
+        assert state.last_seq == 2
+
+    def test_in_doubt_and_placed_worklists(self):
+        state = WalState()
+        state.apply(WalRecord(1, *make_init()))
+        state.apply(WalRecord(2, *make_grant(transfer_id=1, block_id=1)))
+        state.apply(
+            WalRecord(
+                3,
+                *make_grant(
+                    transfer_id=2, block_id=2, object_id=1, mover=1, source=2
+                ),
+            )
+        )
+        state.apply(WalRecord(4, wal_module.PLACE, {"transfer_id": 2}))
+        assert [t.transfer_id for t in state.in_doubt()] == [1]
+        assert [t.transfer_id for t in state.placed()] == [2]
+        assert state.max_transfer_id == 2
+        assert state.max_block_id == 2

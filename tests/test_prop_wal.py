@@ -1,0 +1,178 @@
+"""Property-based WAL suite: the invariants recovery leans on.
+
+Three properties, hammered with hypothesis-generated record histories:
+
+* **prefix-replay idempotence** — folding any prefix of a log into a
+  :class:`WalState` twice yields exactly the state of folding it once
+  (``apply`` skips by seq), so "replay, then keep appending" is safe;
+* **single-host invariant** — no record history can make the placement
+  map host an object on two nodes: commits *move* the single entry;
+* **torn-tail tolerance** — chopping any suffix of the final line off
+  a valid log still replays the untouched prefix (0 or 1 records
+  discarded, never an exception).
+"""
+
+import copy
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.live import wal as wal_module
+from repro.runtime.live.wal import (
+    ArbitrationWal,
+    WalRecord,
+    WalState,
+    read_records,
+)
+
+NUM_OBJECTS = 6
+WORKERS = (1, 2, 3)
+
+
+def _init_record():
+    return (
+        wal_module.INIT,
+        {
+            "num_objects": NUM_OBJECTS,
+            "arbitration": "central",
+            "workers": list(WORKERS),
+            "placement": {
+                str(oid): WORKERS[oid % len(WORKERS)]
+                for oid in range(NUM_OBJECTS)
+            },
+        },
+    )
+
+
+@st.composite
+def record_histories(draw):
+    """An INIT followed by a plausible arbitration history.
+
+    Grants mint sequential transfer/block ids; later records pick a
+    transfer id from the range minted so far (possibly one that does
+    not exist — replay must shrug those off, exactly as it shrugs off
+    settlement records for transfers a later log rewrite dropped).
+    """
+    history = [_init_record()]
+    minted = 0
+    steps = draw(st.integers(min_value=0, max_value=25))
+    for _ in range(steps):
+        choice = draw(st.integers(min_value=0, max_value=5))
+        if choice == 0 or minted == 0:
+            minted += 1
+            mover, source = draw(
+                st.sampled_from(
+                    [(a, b) for a in WORKERS for b in WORKERS if a != b]
+                )
+            )
+            history.append(
+                (
+                    wal_module.GRANT,
+                    {
+                        "block_id": minted,
+                        "object_id": draw(
+                            st.integers(0, NUM_OBJECTS - 1)
+                        ),
+                        "mover": mover,
+                        "source": source,
+                        "transfer_id": minted,
+                    },
+                )
+            )
+        else:
+            tid = draw(st.integers(1, minted + 1))
+            kind = draw(
+                st.sampled_from(
+                    [
+                        wal_module.PLACE,
+                        wal_module.ROLLBACK,
+                        wal_module.REVERT,
+                        wal_module.FAILED,
+                        wal_module.END,
+                    ]
+                )
+            )
+            payload = (
+                {"block_id": tid}
+                if kind == wal_module.END
+                else {"transfer_id": tid}
+            )
+            history.append((kind, payload))
+    return history
+
+
+def _fold(records):
+    state = WalState()
+    for record in records:
+        state.apply(record)
+    return state
+
+
+def _encode(history):
+    return [
+        WalRecord(seq=i, kind=kind, data=data)
+        for i, (kind, data) in enumerate(history, start=1)
+    ]
+
+
+class TestPrefixReplayIdempotence:
+    @given(history=record_histories(), data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_replaying_a_prefix_again_is_a_noop(self, history, data):
+        records = _encode(history)
+        cut = data.draw(st.integers(0, len(records)))
+        state = _fold(records)
+        replayed_twice = copy.deepcopy(state)
+        for record in records[:cut]:
+            assert replayed_twice.apply(record) is False
+        assert replayed_twice == state
+
+    @given(history=record_histories())
+    @settings(max_examples=60, deadline=None)
+    def test_fold_then_continue_equals_fold_of_whole(self, history):
+        records = _encode(history)
+        for cut in (len(records) // 2, len(records)):
+            state = _fold(records[:cut])
+            for record in records[cut:]:
+                state.apply(record)
+            assert state == _fold(records)
+
+
+class TestSingleHostInvariant:
+    @given(history=record_histories())
+    @settings(max_examples=80, deadline=None)
+    def test_every_object_hosted_exactly_once(self, history):
+        state = _fold(_encode(history))
+        assert sorted(state.placement) == list(range(NUM_OBJECTS))
+        for node in state.placement.values():
+            assert node in WORKERS
+
+
+class TestTornTailTolerance:
+    @given(history=record_histories(), data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_any_final_line_truncation_replays_the_prefix(
+        self, history, data, tmp_path_factory
+    ):
+        path = str(
+            tmp_path_factory.mktemp("prop-wal") / "arb.wal"
+        )
+        with ArbitrationWal(path, fsync=False) as wal:
+            for kind, payload in history:
+                wal.append(kind, payload)
+        text = open(path).read()
+        assert text.endswith("\n")
+        body = text[:-1]
+        last_line_start = body.rfind("\n") + 1
+        # Chop anywhere inside the final record (torn append) — or cut
+        # exactly at its start (the append never reached the disk).
+        cut = data.draw(st.integers(last_line_start, len(body)))
+        open(path, "w").write(body[:cut])
+        records, truncated = read_records(path)
+        full = _encode(history)
+        survivors = len(full) if cut == len(body) else len(full) - 1
+        assert [r.seq for r in records] == [
+            r.seq for r in full[:survivors]
+        ]
+        assert truncated == (0 if cut in (len(body), last_line_start) else 1)
+        assert _fold(records) == _fold(full[:survivors])

@@ -174,3 +174,109 @@ class TestExportRun:
         doc = json.loads(paths["trace"].read_text())
         assert validate_chrome_trace(doc) == []
         assert "telemetry summary" in paths["summary"].read_text()
+
+
+class TestMetricsValidator:
+    """metrics.jsonl schema checks, including the live runtime's names."""
+
+    def _live_telemetry(self):
+        tel = Telemetry()
+        tel.metrics.counter("live.transport.frames_sent").inc(12)
+        tel.metrics.counter("live.transport.frames_received").inc(11)
+        tel.metrics.counter("wal.records_appended").inc(40)
+        hist = tel.metrics.histogram(
+            "live.transfer.latency_s", buckets=(0.01, 0.1, 1.0)
+        )
+        hist.observe(0.005)
+        hist.observe(0.5)
+        return tel
+
+    def test_exported_live_metrics_validate(self, tmp_path):
+        from repro.telemetry.validate import validate_metrics_jsonl
+
+        path = write_metrics_jsonl(self._live_telemetry(), tmp_path / "m.jsonl")
+        assert validate_metrics_jsonl(path.read_text()) == []
+
+    def test_live_names_are_type_pinned(self):
+        from repro.telemetry.validate import validate_metric_doc
+
+        wrong = {
+            "name": "live.transfer.latency_s",
+            "type": "counter",
+            "labels": {},
+            "value": 3,
+            "updated_at": 0.0,
+        }
+        assert any(
+            "must be a histogram" in p for p in validate_metric_doc(wrong)
+        )
+
+    def test_histogram_consistency_enforced(self):
+        from repro.telemetry.validate import validate_metric_doc
+
+        doc = {
+            "name": "live.transfer.latency_s",
+            "type": "histogram",
+            "labels": {},
+            "buckets": [0.1, 1.0],
+            "counts": [1, 0, 2],
+            "sum": 2.2,
+            "count": 5,  # disagrees with 1 + 0 + 2
+            "updated_at": 0.0,
+        }
+        assert any(
+            "disagrees" in p for p in validate_metric_doc(doc)
+        )
+        doc["counts"] = [1, 0]  # missing the overflow bucket
+        assert any(
+            "len(buckets)+1" in p for p in validate_metric_doc(doc)
+        )
+
+    def test_counter_must_not_go_negative(self):
+        from repro.telemetry.validate import validate_metric_doc
+
+        doc = {
+            "name": "wal.records_appended",
+            "type": "counter",
+            "labels": {},
+            "value": -1,
+            "updated_at": 0.0,
+        }
+        assert any("negative" in p for p in validate_metric_doc(doc))
+
+    def test_cli_dispatches_metrics_by_filename(self, tmp_path, capsys):
+        path = write_metrics_jsonl(
+            self._live_telemetry(), tmp_path / "metrics.jsonl"
+        )
+        assert validate_main([str(path)]) == 0
+        bad = tmp_path / "metrics-bad.jsonl"
+        bad.write_text('{"name": "x", "type": "mystery"}\n')
+        assert validate_main([str(bad)]) == 1
+
+
+class TestLiveSpanSchemas:
+    def test_recovery_spans_require_their_tags(self):
+        from repro.telemetry.validate import validate_span_doc
+
+        base = {
+            "trace_id": 1,
+            "span_id": 2,
+            "parent_id": None,
+            "name": "wal.replay",
+            "node": -1,
+            "start": 0.0,
+            "end": 1.0,
+            "status": "ok",
+            "tags": {},
+        }
+        assert any(
+            "missing required tag 'records'" in p
+            for p in validate_span_doc(base)
+        )
+        base["tags"] = {"records": 17}
+        assert validate_span_doc(base) == []
+        recover = dict(base, name="live.recover", tags={})
+        assert any(
+            "missing required tag 'mode'" in p
+            for p in validate_span_doc(recover)
+        )
