@@ -70,7 +70,7 @@ test-live:
 	  tests/test_runtime_clock.py tests/test_live_framing.py \
 	  tests/test_live_transport.py tests/test_live_degradation.py \
 	  tests/test_live_supervisor.py tests/test_prop_retry.py \
-	  tests/test_errors_pickle.py
+	  tests/test_live_telemetry.py tests/test_errors_pickle.py
 	PYTHONPATH=src $(PYTHON) -m repro.experiments.cli live --fast \
 	  --json live_report.json
 

@@ -37,6 +37,10 @@ class LiveCrash:
     at: float
     #: Worker to kill; ``None`` lets the supervisor pick one that is up.
     node: Optional[int] = None
+    #: Signal to deliver; ``None`` means SIGKILL.  SIGTERM exercises
+    #: the victim's graceful flight-recorder dump instead of relying
+    #: on its last periodic snapshot.
+    sig: Optional[int] = None
 
 
 @dataclass(frozen=True)

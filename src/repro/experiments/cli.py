@@ -101,9 +101,11 @@ def build_parser() -> argparse.ArgumentParser:
         type=str,
         default=None,
         metavar="DIR",
-        help="faulttolerance/chaos/deploy only: run ONE instrumented "
-        "seeded cell (not the sweep) and export metrics.jsonl, "
-        "spans.jsonl and a Perfetto-loadable trace.json into DIR",
+        help="faulttolerance/chaos/deploy: run ONE instrumented seeded "
+        "cell (not the sweep) and export metrics.jsonl, spans.jsonl "
+        "and a Perfetto-loadable trace.json into DIR.  live: record "
+        "per-process spans/metrics + flight recorders across the OS "
+        "processes and merge them into one Perfetto trace in DIR",
     )
     parser.add_argument(
         "--markdown",
@@ -286,6 +288,7 @@ def _run_live(args) -> int:
         target_migrations=60 if args.fast else 250,
         rng_seed=args.seed,
         arbitration=args.arbitration,
+        telemetry_dir=args.telemetry,
     )
     try:
         config.validate()
@@ -313,6 +316,15 @@ def _run_live(args) -> int:
         print(f"live demo failed: {exc}", file=sys.stderr)
         return 1
     print(format_report(report))
+    merged = report["measured"].get("telemetry", {}).get("merged", {})
+    if merged.get("trace"):
+        print(
+            f"telemetry: merged {merged['spans']} spans from "
+            f"{len(merged['processes'])} process files into "
+            f"{merged['trace']} (open in Perfetto); "
+            f"summary {merged['summary']}",
+            file=sys.stderr,
+        )
     if args.json:
         import json
 

@@ -105,6 +105,17 @@ class WallClock(Clock):
 
         return time.monotonic() - self._origin
 
+    @property
+    def origin(self) -> float:
+        """This clock's zero point on the machine-wide monotonic axis.
+
+        ``CLOCK_MONOTONIC`` is shared by every process on the machine,
+        so ``origin_a - origin_b`` is the exact shift between two live
+        processes' rebased timelines — the telemetry hub uses it to
+        align per-process trace files when merging.
+        """
+        return self._origin
+
     def sleep(self, duration: float):
         import asyncio
 

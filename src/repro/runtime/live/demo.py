@@ -41,9 +41,15 @@ from repro.core.locking import LockManager
 from repro.errors import SupervisionError
 from repro.runtime.live.node import LiveObject
 from repro.runtime.live.supervisor import NodeSupervisor, SupervisorConfig
+from repro.runtime.live.wire import SUPERVISOR
 from repro.sim.kernel import Environment
 from repro.sim.rng import RandomStreams
 from repro.telemetry.core import Telemetry
+from repro.telemetry.live import (
+    TelemetryHub,
+    clean_telemetry_dir,
+    process_id_base,
+)
 
 
 def simulate_analog(
@@ -132,6 +138,7 @@ def _supervisor_child(
     chaos: LiveChaosSchedule,
     recover: bool,
     out: multiprocessing.queues.Queue,
+    incarnation: int = 0,
 ) -> None:
     """``multiprocessing`` spawn target: one supervisor incarnation.
 
@@ -139,10 +146,21 @@ def _supervisor_child(
     reporting *nothing* is the KillSupervisor signature the runner
     keys recovery on.  A crashing incarnation SIGKILLs its fleet so a
     failed run never leaks workers.
+
+    ``incarnation`` (the runner's recovery count) bands this process's
+    span ids when cross-process telemetry is on: the supervisor mints
+    spans during WAL replay in ``__init__``, before ``run()`` could
+    learn its own start count, so the band must come from outside.
     """
     try:
+        if config.telemetry_dir is not None:
+            telemetry = Telemetry(
+                id_base=process_id_base(SUPERVISOR, incarnation)
+            )
+        else:
+            telemetry = Telemetry()
         supervisor = NodeSupervisor(
-            config, chaos, recover=recover, telemetry=Telemetry()
+            config, chaos, recover=recover, telemetry=telemetry
         )
         try:
             report = asyncio.run(supervisor.run())
@@ -182,6 +200,10 @@ def run_supervised(
         # Pin the dir on the config: every incarnation must compute the
         # same socket addresses and find the same WAL.
         config.socket_dir = tempfile.mkdtemp(prefix="repro-live-")
+    if config.telemetry_dir is not None:
+        # Stale artifacts from a previous run in a reused directory
+        # would pollute the merged timeline.
+        clean_telemetry_dir(config.telemetry_dir)
     context = multiprocessing.get_context("spawn")
     schedule = chaos
     recover = False
@@ -191,7 +213,7 @@ def run_supervised(
             out = context.Queue()
             child = context.Process(
                 target=_supervisor_child,
-                args=(config, schedule, recover, out),
+                args=(config, schedule, recover, out, recoveries),
                 daemon=False,
             )
             child.start()
@@ -221,6 +243,15 @@ def run_supervised(
                 report["crashes_injected"] = chaos.crashes
                 report["partitions_injected"] = chaos.partitions
                 report["supervisor_kills_injected"] = chaos.supervisor_kills
+                if config.telemetry_dir is not None:
+                    # Merge *here*, in the runner: it outlives every
+                    # incarnation, so the hub sees killed supervisors'
+                    # files too.
+                    try:
+                        merged = TelemetryHub(config.telemetry_dir).merge()
+                    except (OSError, ValueError) as exc:
+                        merged = {"error": repr(exc)}
+                    report.setdefault("telemetry", {})["merged"] = merged
                 return report
             # Child died with no goodbye: the KillSupervisor signature.
             recoveries += 1

@@ -51,6 +51,7 @@ from __future__ import annotations
 import asyncio
 import os
 import random
+import signal
 from dataclasses import dataclass, field
 from itertools import count
 from typing import Any, Dict, List, Optional, Set, Tuple
@@ -87,10 +88,21 @@ from repro.runtime.live.wire import (
     SUPERVISOR,
     Envelope,
 )
+from repro.telemetry.core import NULL_TELEMETRY, Telemetry, span_context
+from repro.telemetry.live import (
+    LATENCY_BUCKETS,
+    FlightRecorder,
+    ProcessTelemetryWriter,
+    process_id_base,
+)
+from repro.telemetry.spans import ERROR
 
 #: Bound on the per-worker migration-latency sample list shipped at
 #: drain (a frame, not a stream — the histogram lives supervisor-side).
 MAX_LATENCY_SAMPLES = 2000
+
+#: Seconds between incremental telemetry flushes / flight snapshots.
+TELEMETRY_FLUSH_INTERVAL = 0.5
 
 
 class LiveObject:
@@ -194,6 +206,8 @@ class LiveNodeWorker:
         num_slices: int = 0,
         lease_duration: float = 5.0,
         orphan_grace: float = 0.0,
+        telemetry_dir: Optional[str] = None,
+        flight_capacity: int = 512,
     ):
         self.node_id = node_id
         self.transport = AsyncioTransport(
@@ -204,6 +218,36 @@ class LiveNodeWorker:
             incarnation=incarnation,
         )
         self.faults = FaultyTransport(self.transport, seed=rng_seed)
+        # -- per-process telemetry (NullTelemetry fast path when off) --
+        self.telemetry_dir = telemetry_dir
+        if telemetry_dir:
+            self.telemetry = Telemetry(
+                id_base=process_id_base(node_id, incarnation)
+            )
+            self.telemetry.bind_clock(self.transport.clock)
+            self._writer = ProcessTelemetryWriter(
+                self.telemetry,
+                telemetry_dir,
+                node=node_id,
+                incarnation=incarnation,
+                role="worker",
+                mono_origin=self.transport.clock.origin,
+            )
+            self.flight = FlightRecorder(
+                node_id,
+                capacity=flight_capacity,
+                clock=self.transport.clock,
+                incarnation=incarnation,
+                path=FlightRecorder.path_for(
+                    telemetry_dir, node_id, incarnation
+                ),
+            )
+            self.transport.observer = self.flight
+        else:
+            self.telemetry = NULL_TELEMETRY
+            self._writer = None
+            self.flight = None
+        self._drain_metrics_done = False
         self.objects: Dict[int, LiveObject] = {}
         for state in seed_objects:
             obj = LiveObject.from_state(state)
@@ -246,36 +290,83 @@ class LiveNodeWorker:
         """Serve the node until SHUTDOWN: transport, heartbeats, blocks."""
         self.transport.handler = self.handle
         await self.transport.start()
+        if self.flight is not None:
+            self.flight.record("state.up", pid=os.getpid())
+            try:
+                # Graceful-abnormal exit: dump the flight ring before
+                # dying so a TERMed worker still leaves a post-mortem.
+                asyncio.get_running_loop().add_signal_handler(
+                    signal.SIGTERM, self._on_sigterm
+                )
+            except (NotImplementedError, RuntimeError, ValueError):
+                pass  # platform without loop signal handlers
         heartbeats = asyncio.ensure_future(self._heartbeat_loop())
         await self._stopping.wait()
         heartbeats.cancel()
+        self._dump_flight("exit")
+        if self._writer is not None:
+            self._writer.close()
         await self.transport.close()
 
+    def _on_sigterm(self) -> None:
+        if self.flight is not None:
+            self.flight.record("state.sigterm")
+        self._dump_flight("sigterm")
+        if self._writer is not None:
+            self._writer.flush()
+        self._stopping.set()
+
+    def _dump_flight(self, reason: str) -> None:
+        """Persist the flight ring, recording a ``flight.dump`` span."""
+        if self.flight is None:
+            return
+        telemetry = self.telemetry
+        span = telemetry.start_span(
+            "flight.dump",
+            node=self.node_id,
+            detached=True,
+            reason=reason,
+            entries=len(self.flight.entries()),
+        )
+        self.flight.dump(reason=reason)
+        telemetry.end_span(span)
+
     async def _heartbeat_loop(self) -> None:
-        last_ok = self.transport.clock.now()
+        clock = self.transport.clock
+        last_ok = clock.now()
+        last_flush = last_ok
         while not self._stopping.is_set():
             try:
-                await self.transport.send(
-                    SUPERVISOR,
-                    HEARTBEAT,
-                    {
-                        "node": self.node_id,
-                        "pid": os.getpid(),
-                        "incarnation": self.transport.incarnation,
-                    },
-                )
-                last_ok = self.transport.clock.now()
+                payload = {
+                    "node": self.node_id,
+                    "pid": os.getpid(),
+                    "incarnation": self.transport.incarnation,
+                }
+                if self.telemetry.enabled:
+                    # Handshake clock sample for supervisor-side
+                    # cross-process timestamp alignment (ClockSync).
+                    payload["clock"] = clock.now()
+                await self.transport.send(SUPERVISOR, HEARTBEAT, payload)
+                last_ok = clock.now()
             except (ConnectionLostError, TransportClosedError):
                 # Supervisor briefly away (crashed and recovering):
                 # keep beating — unless it has been gone so long we
                 # must assume this process is orphaned for good.
                 if (
                     self.orphan_grace > 0
-                    and self.transport.clock.now() - last_ok
-                    > self.orphan_grace
+                    and clock.now() - last_ok > self.orphan_grace
                 ):
+                    if self.flight is not None:
+                        self.flight.record("state.orphaned")
                     self._stopping.set()
                     return
+            if (
+                self._writer is not None
+                and clock.now() - last_flush >= TELEMETRY_FLUSH_INTERVAL
+            ):
+                last_flush = clock.now()
+                self._writer.flush()
+                self.flight.dump(reason="snapshot")
             await asyncio.sleep(self.heartbeat_interval)
 
     # -- inbound protocol -----------------------------------------------------
@@ -288,12 +379,35 @@ class LiveNodeWorker:
         elif kind == INVOKE:
             await self._serve_invoke(envelope)
         elif kind == EVICT:
-            self.in_transit.pop(envelope.payload["transfer_id"], None)
+            transfer_id = envelope.payload["transfer_id"]
+            self.in_transit.pop(transfer_id, None)
+            if self.telemetry.enabled:
+                self.telemetry.end_span(
+                    self.telemetry.start_span(
+                        "live.evict",
+                        node=self.node_id,
+                        remote=envelope.trace,
+                        detached=True,
+                        transfer=transfer_id,
+                    )
+                )
             await self.transport.reply(envelope, {"ok": True})
         elif kind == RESTORE:
-            obj = self.in_transit.pop(envelope.payload["transfer_id"], None)
+            transfer_id = envelope.payload["transfer_id"]
+            obj = self.in_transit.pop(transfer_id, None)
             if obj is not None:
                 self.objects[obj.object_id] = obj
+            if self.telemetry.enabled:
+                self.telemetry.end_span(
+                    self.telemetry.start_span(
+                        "live.restore",
+                        node=self.node_id,
+                        remote=envelope.trace,
+                        detached=True,
+                        transfer=transfer_id,
+                        restored=obj is not None,
+                    )
+                )
             await self.transport.reply(envelope, {"ok": True})
         elif kind == MOVE_REQUEST:
             await self._serve_home_move(envelope)
@@ -344,6 +458,16 @@ class LiveNodeWorker:
             for state in envelope.payload["objects"]:
                 obj = LiveObject.from_state(state)
                 self.objects[obj.object_id] = obj
+            if self.telemetry.enabled:
+                self.telemetry.end_span(
+                    self.telemetry.start_span(
+                        "live.seed",
+                        node=self.node_id,
+                        remote=envelope.trace,
+                        detached=True,
+                        count=len(envelope.payload["objects"]),
+                    )
+                )
             await self.transport.reply(
                 envelope, {"ok": True, "count": len(self.objects)}
             )
@@ -360,6 +484,17 @@ class LiveNodeWorker:
         elif kind == DRAIN:
             await self._serve_drain(envelope)
         elif kind == INVENTORY:
+            if self.telemetry.enabled:
+                self.telemetry.end_span(
+                    self.telemetry.start_span(
+                        "live.inventory",
+                        node=self.node_id,
+                        remote=envelope.trace,
+                        detached=True,
+                        objects=len(self.objects),
+                        in_transit=len(self.in_transit),
+                    )
+                )
             await self.transport.reply(
                 envelope,
                 {
@@ -388,6 +523,18 @@ class LiveNodeWorker:
         object_id = envelope.payload["object_id"]
         transfer_id = envelope.payload["transfer_id"]
         obj = self.objects.pop(object_id, None)
+        if self.telemetry.enabled:
+            self.telemetry.end_span(
+                self.telemetry.start_span(
+                    "live.transfer.serve",
+                    node=self.node_id,
+                    remote=envelope.trace,
+                    detached=True,
+                    object=object_id,
+                    transfer=transfer_id,
+                    held=obj is not None,
+                )
+            )
         if obj is None:
             await self.transport.reply(envelope, {"state": None})
             return
@@ -413,8 +560,40 @@ class LiveNodeWorker:
         every transfer settled — snapshotting here would race the
         still-running movers on other nodes.
         """
+        telemetry = self.telemetry
+        span = None
+        if telemetry.enabled:
+            span = telemetry.start_span(
+                "live.drain",
+                node=self.node_id,
+                remote=envelope.trace,
+                detached=True,
+            )
+        if self.flight is not None:
+            self.flight.record("state.draining")
         self._draining.set()
         await self._workload_done.wait()
+        if telemetry.enabled and not self._drain_metrics_done:
+            # Materialize workload counters exactly once — the
+            # supervisor may retry DRAIN while quiescing.
+            self._drain_metrics_done = True
+            metrics = telemetry.metrics
+            for name in (
+                "attempts",
+                "granted",
+                "migrations",
+                "denied",
+                "aborted",
+                "invocations",
+                "remote_invocations",
+            ):
+                metrics.counter(f"live.worker.{name}").inc(
+                    getattr(self.stats, name)
+                )
+        if span is not None:
+            telemetry.end_span(span, migrations=self.stats.migrations)
+        if self._writer is not None:
+            self._writer.flush()
         await self.transport.reply(
             envelope,
             {
@@ -440,6 +619,22 @@ class LiveNodeWorker:
 
     async def _serve_home_move(self, envelope: Envelope) -> None:
         """§3.2 at a peer home node: grant the lock or answer "locked"."""
+        decision = self._home_move_decision(envelope)
+        if self.telemetry.enabled:
+            self.telemetry.end_span(
+                self.telemetry.start_span(
+                    "live.grant",
+                    node=self.node_id,
+                    remote=envelope.trace,
+                    detached=True,
+                    object=envelope.payload["object_id"],
+                    granted=decision["granted"],
+                )
+            )
+        await self.transport.reply(envelope, decision)
+
+    def _home_move_decision(self, envelope: Envelope) -> Dict[str, Any]:
+        """The grant-or-deny decision behind :meth:`_serve_home_move`."""
         object_id = envelope.payload["object_id"]
         mover = envelope.src
         in_slice = (
@@ -448,39 +643,27 @@ class LiveNodeWorker:
         )
         if not in_slice or object_id not in self.home_placement:
             # Stale map at the mover (slice reassigned): not ours.
-            await self.transport.reply(
-                envelope,
-                {
-                    "granted": False,
-                    "location": self.home_placement.get(object_id),
-                    "not_home": True,
-                },
-            )
-            return
+            return {
+                "granted": False,
+                "location": self.home_placement.get(object_id),
+                "not_home": True,
+            }
         record = self.home_records[object_id]
         if self.home_locks.is_locked(record):
             self.stats.home_denials += 1
-            await self.transport.reply(
-                envelope,
-                {
-                    "granted": False,
-                    "location": self.home_placement[object_id],
-                },
-            )
-            return
+            return {
+                "granted": False,
+                "location": self.home_placement[object_id],
+            }
         block = MoveBlock(client_node=mover, target=record)
         try:
             self.home_locks.lock(record, block)
         except Exception:
             self.stats.home_denials += 1
-            await self.transport.reply(
-                envelope,
-                {
-                    "granted": False,
-                    "location": self.home_placement[object_id],
-                },
-            )
-            return
+            return {
+                "granted": False,
+                "location": self.home_placement[object_id],
+            }
         self.stats.home_grants += 1
         self.home_blocks[block.block_id] = block
         source = self.home_placement[object_id]
@@ -497,15 +680,12 @@ class LiveNodeWorker:
                 dst=mover,
                 block_id=block.block_id,
             )
-        await self.transport.reply(
-            envelope,
-            {
-                "granted": True,
-                "source": source,
-                "block_id": block.block_id,
-                "transfer_id": transfer_id,
-            },
-        )
+        return {
+            "granted": True,
+            "source": source,
+            "block_id": block.block_id,
+            "transfer_id": transfer_id,
+        }
 
     async def _serve_home_place(self, envelope: Envelope) -> None:
         """The linearization point, at the home: commit or fence out."""
@@ -523,7 +703,10 @@ class LiveNodeWorker:
             transfer.state = "placed"
             self.home_placement[transfer.object_id] = transfer.dst
             self._notify(
-                transfer.src, EVICT, {"transfer_id": transfer.transfer_id}
+                transfer.src,
+                EVICT,
+                {"transfer_id": transfer.transfer_id},
+                trace=envelope.trace,
             )
             # Mirror the commit to the supervisor's WAL so a dead
             # home's slice can be reassigned from durable ownership
@@ -538,6 +721,18 @@ class LiveNodeWorker:
                     "object_id": transfer.object_id,
                     "node": transfer.dst,
                 },
+                trace=envelope.trace,
+            )
+        if self.telemetry.enabled:
+            self.telemetry.end_span(
+                self.telemetry.start_span(
+                    "live.place",
+                    node=self.node_id,
+                    remote=envelope.trace,
+                    detached=True,
+                    transfer=envelope.payload["transfer_id"],
+                    ok=ok,
+                )
             )
         await self.transport.reply(envelope, {"ok": ok})
 
@@ -548,7 +743,21 @@ class LiveNodeWorker:
         if ok:
             transfer.state = "rolled_back"
             self._notify(
-                transfer.src, RESTORE, {"transfer_id": transfer.transfer_id}
+                transfer.src,
+                RESTORE,
+                {"transfer_id": transfer.transfer_id},
+                trace=envelope.trace,
+            )
+        if self.telemetry.enabled:
+            self.telemetry.end_span(
+                self.telemetry.start_span(
+                    "live.rollback",
+                    node=self.node_id,
+                    remote=envelope.trace,
+                    detached=True,
+                    transfer=envelope.payload["transfer_id"],
+                    ok=ok,
+                )
             )
         await self.transport.reply(envelope, {"ok": ok})
 
@@ -612,13 +821,23 @@ class LiveNodeWorker:
             },
         )
 
-    def _notify(self, node: int, kind: str, payload: Dict[str, Any]) -> None:
+    def _notify(
+        self,
+        node: int,
+        kind: str,
+        payload: Dict[str, Any],
+        trace: Optional[Tuple[int, int]] = None,
+    ) -> None:
         """Fire-and-forget settlement/mirror notice to a peer."""
 
         async def deliver():
             try:
                 await self.transport.request(
-                    node, kind, payload, timeout=self.request_timeout
+                    node,
+                    kind,
+                    payload,
+                    timeout=self.request_timeout,
+                    trace=trace,
                 )
             except Exception:
                 pass  # dead peer: its state is re-seeded/reconciled anyway
@@ -652,33 +871,61 @@ class LiveNodeWorker:
             self._workload_done.set()
 
     async def _move_block(self, object_id: int, invokes: int) -> None:
-        """One move-block: request, transfer, place, invoke, end."""
+        """One move-block: request, transfer, place, invoke, end.
+
+        When telemetry is on, the whole block runs under a detached
+        ``live.move`` root span whose context is stamped onto every
+        envelope — the arbiter's grant and the source's transfer serve
+        join it from their own processes, so one migration renders as
+        a single cross-process trace.
+        """
         self.stats.attempts += 1
         arbiter = self._arbiter_for(object_id)
         started = self.transport.clock.now()
+        telemetry = self.telemetry
+        span = None
+        if telemetry.enabled:
+            span = telemetry.start_span(
+                "live.move",
+                node=self.node_id,
+                detached=True,
+                object=object_id,
+                arbiter=arbiter,
+            )
+        trace = span_context(span)
         try:
             grant = await self.transport.request(
                 arbiter,
                 MOVE_REQUEST,
                 {"object_id": object_id},
                 timeout=self.request_timeout,
+                trace=trace,
             )
         except (TimeoutError, ConnectionLostError):
             self.stats.aborted += 1
+            if span is not None:
+                telemetry.end_span(
+                    span, status=ERROR, outcome="grant_timeout"
+                )
             return
         if not grant.payload["granted"]:
             # Locked by a concurrent mover: degrade to remote invocation.
             self.stats.denied += 1
-            await self._invoke_remotely(object_id, grant.payload["location"])
+            await self._invoke_remotely(
+                object_id, grant.payload["location"], trace=trace
+            )
+            if span is not None:
+                telemetry.end_span(span, outcome="denied")
             return
         self.stats.granted += 1
         block_id = grant.payload["block_id"]
         source = grant.payload["source"]
         transfer_id = grant.payload["transfer_id"]
         resident = source == self.node_id
+        pulled = False
         if not resident:
-            resident = await self._pull(
-                arbiter, object_id, source, transfer_id
+            resident = pulled = await self._pull(
+                arbiter, object_id, source, transfer_id, parent=span
             )
             if resident:
                 self._record_latency(
@@ -696,24 +943,57 @@ class LiveNodeWorker:
                 END_REQUEST,
                 {"block_id": block_id},
                 timeout=self.request_timeout,
+                trace=trace,
             )
         except (TimeoutError, ConnectionLostError):
             pass  # lease expiry / break_crashed reclaims the lock
+        if span is not None:
+            telemetry.end_span(
+                span,
+                outcome=(
+                    "migrated"
+                    if pulled
+                    else ("resident" if resident else "aborted")
+                ),
+            )
 
     def _record_latency(self, seconds: float) -> None:
         if len(self.stats.transfer_latencies) < MAX_LATENCY_SAMPLES:
             self.stats.transfer_latencies.append(seconds)
+        if self.telemetry.enabled:
+            self.telemetry.metrics.histogram(
+                "live.transfer.latency_s", buckets=LATENCY_BUCKETS
+            ).observe(seconds)
 
     async def _pull(
-        self, arbiter: int, object_id: int, source: int, transfer_id: int
+        self,
+        arbiter: int,
+        object_id: int,
+        source: int,
+        transfer_id: int,
+        parent=None,
     ) -> bool:
         """Transfer + place; aborts (with rollback) on any timeout."""
+        telemetry = self.telemetry
+        span = None
+        if telemetry.enabled:
+            span = telemetry.start_span(
+                "live.transfer",
+                node=self.node_id,
+                parent=parent,
+                detached=True,
+                object=object_id,
+                transfer=transfer_id,
+                source=source,
+            )
+        trace = span_context(span)
         try:
             transfer = await self.transport.request(
                 source,
                 OBJECT_TRANSFER,
                 {"object_id": object_id, "transfer_id": transfer_id},
                 timeout=self.request_timeout,
+                trace=trace,
             )
             state = transfer.payload["state"]
             if state is None:
@@ -723,34 +1003,50 @@ class LiveNodeWorker:
                 PLACE,
                 {"transfer_id": transfer_id},
                 timeout=self.request_timeout,
+                trace=trace,
             )
         except (TimeoutError, ConnectionLostError):
             self.stats.aborted += 1
-            await self._rollback(arbiter, transfer_id)
+            await self._rollback(arbiter, transfer_id, trace=trace)
+            if span is not None:
+                telemetry.end_span(span, status=ERROR, outcome="timeout")
             return False
         if not place.payload["ok"]:
             # Fenced out (arbiter saw us crash-suspected, or the
             # transfer was already rolled back): drop the state.
             self.stats.aborted += 1
+            if span is not None:
+                telemetry.end_span(span, status=ERROR, outcome="fenced")
             return False
         self.objects[object_id] = LiveObject.from_state(state)
         self.stats.migrations += 1
         self.stats.moved_object_ids.append(object_id)
+        if span is not None:
+            telemetry.end_span(span, outcome="placed")
         return True
 
-    async def _rollback(self, arbiter: int, transfer_id: int) -> None:
+    async def _rollback(
+        self,
+        arbiter: int,
+        transfer_id: int,
+        trace: Optional[Tuple[int, int]] = None,
+    ) -> None:
         try:
             await self.transport.request(
                 arbiter,
                 ROLLBACK,
                 {"transfer_id": transfer_id},
                 timeout=self.request_timeout,
+                trace=trace,
             )
         except (TimeoutError, ConnectionLostError):
             pass  # arbiter settles the transfer when it breaks us
 
     async def _invoke_remotely(
-        self, object_id: int, location: Optional[int]
+        self,
+        object_id: int,
+        location: Optional[int],
+        trace: Optional[Tuple[int, int]] = None,
     ) -> None:
         if location is None:
             return
@@ -766,6 +1062,7 @@ class LiveNodeWorker:
                 INVOKE,
                 {"object_id": object_id},
                 timeout=self.request_timeout,
+                trace=trace,
             )
             if reply.payload["ok"]:
                 self.stats.remote_invocations += 1
@@ -786,6 +1083,7 @@ def worker_main(
     num_slices: int = 0,
     lease_duration: float = 5.0,
     orphan_grace: float = 0.0,
+    telemetry_dir: Optional[str] = None,
 ) -> None:
     """``multiprocessing`` spawn target: run one worker to completion."""
     worker = LiveNodeWorker(
@@ -801,8 +1099,19 @@ def worker_main(
         num_slices=num_slices,
         lease_duration=lease_duration,
         orphan_grace=orphan_grace,
+        telemetry_dir=telemetry_dir,
     )
-    asyncio.run(worker.run())
+    try:
+        asyncio.run(worker.run())
+    except BaseException:
+        # Unhandled crash: leave a post-mortem before the process dies.
+        if worker.flight is not None:
+            worker.flight.record("state.crash")
+            try:
+                worker.flight.dump(reason="crash")
+            except OSError:
+                pass
+        raise
 
 
 __all__ = ["LiveNodeWorker", "LiveObject", "WorkerStats", "worker_main"]

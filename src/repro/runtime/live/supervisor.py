@@ -56,6 +56,7 @@ from __future__ import annotations
 
 import asyncio
 import itertools
+import json
 import multiprocessing
 import os
 import signal
@@ -106,10 +107,12 @@ from repro.runtime.live.wire import (
     Envelope,
 )
 from repro.telemetry.core import NULL_TELEMETRY, Telemetry
-
-#: Histogram buckets for ``live.transfer.latency_s`` (wall seconds).
-LATENCY_BUCKETS: Tuple[float, ...] = (
-    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+from repro.telemetry.live import (
+    LATENCY_BUCKETS,  # noqa: F401 - canonical home moved; re-exported
+    ClockSync,
+    FlightRecorder,
+    ProcessTelemetryWriter,
+    load_flight_dump,
 )
 
 #: Arbitration modes the config accepts.
@@ -153,6 +156,12 @@ class SupervisorConfig:
     #: How long a recovering supervisor waits for orphaned workers to
     #: reconnect before treating them as dead.
     recovery_wait: float = 8.0
+    #: Directory for cross-process telemetry artifacts (per-process
+    #: span/metric JSONL, flight-recorder dumps, merged trace).  None
+    #: (the default) keeps every process on the NullTelemetry fast
+    #: path.  Picklable like the rest of the config, so workers learn
+    #: it through their spawn args.
+    telemetry_dir: Optional[str] = None
 
     def validate(self) -> None:
         """Reject non-positive sizes, intervals and budgets."""
@@ -183,6 +192,10 @@ class Transfer:
     dst: int
     block_id: int
     state: str = "pending"  # pending | placed | rolled_back | failed
+    #: Telemetry context of the mover's migration-root span, captured
+    #: from the MOVE_REQUEST envelope so EVICT/RESTORE notices join the
+    #: same cross-process trace.
+    trace: Optional[Tuple[int, int]] = None
 
 
 class _CrashedSet:
@@ -290,6 +303,23 @@ class NodeSupervisor:
         self._settlements: Set = set()
         self._stopping = False
         self._in_drain = False
+        # -- cross-process telemetry (inert unless dir + enabled) --
+        self._clock_sync = (
+            ClockSync()
+            if telemetry.enabled and config.telemetry_dir
+            else None
+        )
+        self._writer: Optional[ProcessTelemetryWriter] = None
+        self.flight: Optional[FlightRecorder] = None
+        self._sup_incarnation = 0
+        #: Post-mortem flight dumps attached to the report (summaries).
+        self.flight_reports: List[Dict[str, Any]] = []
+        #: (node, incarnation) -> full flight entries, for cross-checks.
+        self._flight_entries: Dict[Tuple[int, int], List[Dict[str, Any]]] = {}
+        #: In-doubt settlement verdicts cross-checked against flight
+        #: evidence (filled by _recover when both exist).
+        self._in_doubt_evidence: Dict[str, Any] = {}
+        self._last_settlement_plan: List[Tuple[str, Transfer]] = []
         #: While True (a recovering supervisor, until the in-doubt
         #: settlement lands) every new MOVE_REQUEST is denied: granting
         #: would let live migrations race the settlement's inventory
@@ -415,6 +445,7 @@ class NodeSupervisor:
                 self.num_slices if self.config.arbitration == "home" else 0,
                 self.config.lease_duration,
                 self.config.orphan_grace,
+                self.config.telemetry_dir,
             ),
             # Non-daemon: workers must survive a supervisor SIGKILL so
             # the recovered incarnation has a fleet to re-adopt.
@@ -426,21 +457,32 @@ class NodeSupervisor:
             self.worker_pids[node_id] = process.pid
         self.history.ensure(node_id, self.clock.now())
 
-    def _kill_worker(self, node_id: int) -> bool:
-        """SIGKILL a worker, via handle or (recovered) learned pid.
+    def _kill_worker(self, node_id: int, sig: int = signal.SIGKILL) -> bool:
+        """Signal a worker (SIGKILL default), via handle or learned pid.
 
-        Returns whether a kill was actually delivered — False when the
-        supervisor knows neither a handle nor a pid for the node (it
-        recovered before the worker's first heartbeat arrived).
+        ``sig=SIGTERM`` gives the worker's flight recorder a chance to
+        dump before dying — the chaos schedule uses it to exercise the
+        graceful post-mortem path.  Returns whether a kill was actually
+        delivered — False when the supervisor knows neither a handle
+        nor a pid for the node (it recovered before the worker's first
+        heartbeat arrived).
         """
         process = self.processes.get(node_id)
         if process is not None:
-            process.kill()
+            if sig == signal.SIGKILL:
+                process.kill()
+            elif process.pid is not None:
+                try:
+                    os.kill(process.pid, sig)
+                except OSError:
+                    return False
+            else:
+                process.terminate()
             return True
         pid = self.worker_pids.get(node_id)
         if pid:
             try:
-                os.kill(pid, signal.SIGKILL)
+                os.kill(pid, sig)
                 return True
             except OSError:
                 return False  # already gone
@@ -457,10 +499,20 @@ class NodeSupervisor:
         """Dispatch one inbound worker message to its protocol serve."""
         kind = envelope.kind
         if kind == HEARTBEAT:
-            self.history.record(envelope.src, self.clock.now())
+            local_recv = self.clock.now()
+            self.history.record(envelope.src, local_recv)
             pid = envelope.payload.get("pid")
             if pid:
                 self.worker_pids[envelope.src] = pid
+            if self._clock_sync is not None:
+                sample = envelope.payload.get("clock")
+                if sample is not None:
+                    self._clock_sync.observe(
+                        envelope.src,
+                        envelope.payload.get("incarnation", 0),
+                        sample,
+                        local_recv,
+                    )
         elif kind == MOVE_REQUEST:
             await self._serve_move_request(envelope)
         elif kind == PLACE:
@@ -496,41 +548,52 @@ class NodeSupervisor:
             )
 
     async def _serve_move_request(self, envelope: Envelope) -> None:
-        """§3.2 at the arbiter: grant the lock or answer "locked"."""
+        """§3.2 at the arbiter: grant the lock or answer "locked".
+
+        The arbitration decision itself is :meth:`_move_decision`; this
+        wrapper joins the mover's migration trace (the MOVE_REQUEST
+        envelope carries the mover's ``live.move`` span context) so one
+        migration renders as a single cross-process span tree.
+        """
+        span = (
+            self.telemetry.start_span(
+                "live.grant",
+                node=SUPERVISOR,
+                remote=envelope.trace,
+                detached=True,
+                object=envelope.payload["object_id"],
+            )
+            if self.telemetry.enabled
+            else None
+        )
+        reply = self._move_decision(envelope)
+        if span is not None:
+            self.telemetry.end_span(span, granted=reply["granted"])
+        await self.transport.reply(envelope, reply)
+
+    def _move_decision(self, envelope: Envelope) -> Dict[str, Any]:
         mover = envelope.src
         object_id = envelope.payload["object_id"]
         if self.config.arbitration == "home":
             # Demoted supervisor: movers should ask the home node; a
             # request landing here means their map is still warming up.
             self.conflicts += 1
-            await self.transport.reply(
-                envelope,
-                {
-                    "granted": False,
-                    "location": self.placement.get(object_id),
-                    "not_home": True,
-                },
-            )
-            return
+            return {
+                "granted": False,
+                "location": self.placement.get(object_id),
+                "not_home": True,
+            }
         record = self.records[object_id]
         if self._grants_frozen or self.locks.is_locked(record):
             self.conflicts += 1
-            await self.transport.reply(
-                envelope,
-                {"granted": False, "location": self.placement[object_id]},
-            )
-            return
+            return {"granted": False, "location": self.placement[object_id]}
         block = MoveBlock(client_node=mover, target=record)
         try:
             self.locks.lock(record, block)
         except Exception:
             # e.g. a broken (crash-suspected) mover retrying: deny.
             self.conflicts += 1
-            await self.transport.reply(
-                envelope,
-                {"granted": False, "location": self.placement[object_id]},
-            )
-            return
+            return {"granted": False, "location": self.placement[object_id]}
         self.grants += 1
         self.blocks[block.block_id] = block
         source = self.placement[object_id]
@@ -538,7 +601,12 @@ class NodeSupervisor:
         if source != mover:
             transfer_id = next(self._transfer_ids)
             self.transfers[transfer_id] = Transfer(
-                transfer_id, object_id, source, mover, block.block_id
+                transfer_id,
+                object_id,
+                source,
+                mover,
+                block.block_id,
+                trace=envelope.trace,
             )
         # Log, *then* send: if we die between the two, recovery revives
         # the grant and the mover's timeout aborts it cleanly.
@@ -552,15 +620,12 @@ class NodeSupervisor:
                 "transfer_id": transfer_id,
             },
         )
-        await self.transport.reply(
-            envelope,
-            {
-                "granted": True,
-                "source": source,
-                "block_id": block.block_id,
-                "transfer_id": transfer_id,
-            },
-        )
+        return {
+            "granted": True,
+            "source": source,
+            "block_id": block.block_id,
+            "transfer_id": transfer_id,
+        }
 
     async def _serve_place(self, envelope: Envelope) -> None:
         """The linearization point: commit or fence out a transfer."""
@@ -572,6 +637,17 @@ class NodeSupervisor:
             and transfer.block_id in self.blocks
             and not self.locks.was_broken(self.blocks[transfer.block_id])
         )
+        span = (
+            self.telemetry.start_span(
+                "live.place",
+                node=SUPERVISOR,
+                remote=envelope.trace,
+                detached=True,
+                transfer=envelope.payload["transfer_id"],
+            )
+            if self.telemetry.enabled
+            else None
+        )
         if ok:
             # The WAL append *is* the commit: recovery treats a logged
             # PLACE as "the destination may hold the object" and
@@ -582,18 +658,33 @@ class NodeSupervisor:
             transfer.state = "placed"
             self.placement[transfer.object_id] = transfer.dst
             self._notify(transfer.src, EVICT, transfer)
+        if span is not None:
+            self.telemetry.end_span(span, ok=ok)
         await self.transport.reply(envelope, {"ok": ok})
 
     async def _serve_rollback(self, envelope: Envelope) -> None:
         """Abort a transfer: the source's held-back copy is restored."""
         transfer = self.transfers.get(envelope.payload["transfer_id"])
         ok = transfer is not None and transfer.state == "pending"
+        span = (
+            self.telemetry.start_span(
+                "live.rollback",
+                node=SUPERVISOR,
+                remote=envelope.trace,
+                detached=True,
+                transfer=envelope.payload["transfer_id"],
+            )
+            if self.telemetry.enabled
+            else None
+        )
         if ok:
             self._log(
                 wal_module.ROLLBACK, {"transfer_id": transfer.transfer_id}
             )
             transfer.state = "rolled_back"
             self._notify(transfer.src, RESTORE, transfer)
+        if span is not None:
+            self.telemetry.end_span(span, ok=ok)
         await self.transport.reply(envelope, {"ok": ok})
 
     def _notify(self, node: int, kind: str, transfer: Transfer) -> None:
@@ -618,6 +709,7 @@ class NodeSupervisor:
                             "object_id": transfer.object_id,
                         },
                         timeout=self.config.request_timeout,
+                        trace=transfer.trace,
                     )
                     return
                 except (TimeoutError, ConnectionLostError):
@@ -655,6 +747,7 @@ class NodeSupervisor:
 
     async def _monitor_loop(self) -> None:
         tick = self.config.heartbeat_interval / 2
+        last_flush = self.clock.now()
         while not self._stopping:
             now = self.clock.now()
             for node_id in self.worker_ids:
@@ -665,6 +758,17 @@ class NodeSupervisor:
                 ):
                     self._restarting.add(node_id)
                     asyncio.ensure_future(self._restart(node_id))
+            if self._writer is not None and now - last_flush >= 0.5:
+                # Incremental flush + flight snapshot: a SIGKILLed
+                # supervisor still leaves spans and a recent ring on
+                # disk for the successor's hub/recovery to pick up.
+                last_flush = now
+                try:
+                    self._writer.flush()
+                    if self.flight is not None:
+                        self.flight.dump(reason="snapshot")
+                except OSError:
+                    pass
             await asyncio.sleep(tick)
 
     async def _restart(self, node_id: int) -> None:
@@ -687,6 +791,7 @@ class NodeSupervisor:
     async def _restart_inner(self, node_id: int) -> None:
         self.crashes_seen += 1
         self.health.down.add(node_id)
+        self._attach_flight(node_id, self.incarnations[node_id], "restart")
         # PR 4 -> PR 2 seam: reclaim every lock the dead mover held.
         # Its blocks are barred forever; a zombie's late PLACE is
         # rejected by the fence in _serve_place.
@@ -755,6 +860,7 @@ class NodeSupervisor:
         """Home-mode worker death: break at peers, reassign, respawn."""
         self.crashes_seen += 1
         self.health.down.add(node_id)
+        self._attach_flight(node_id, self.incarnations[node_id], "restart")
         live = [
             w
             for w in self.worker_ids
@@ -981,7 +1087,8 @@ class NodeSupervisor:
                         if w not in self._restarting
                     ]
                     victim = up[0] if up else None
-                if victim is not None and self._kill_worker(victim):
+                sig = getattr(action, "sig", None) or signal.SIGKILL
+                if victim is not None and self._kill_worker(victim, sig=sig):
                     self.crashes_delivered += 1
             elif isinstance(action, LivePartition):
                 await self._broadcast_faults(
@@ -1054,6 +1161,137 @@ class NodeSupervisor:
                 pass
         return total
 
+    # -- cross-process telemetry ----------------------------------------------
+
+    def _setup_process_telemetry(self, incarnation: int) -> None:
+        """Stand up this process's span writer and flight recorder.
+
+        Called at the top of :meth:`run` *before* the transport starts,
+        so the flight recorder observes every envelope this incarnation
+        ever sees.  ``incarnation`` is the 0-based supervisor start
+        count (pre-increment): 0 for a fresh supervisor, the
+        predecessor count for a recovered one — the same number the
+        demo runner used to band this process's span ids.
+        """
+        directory = self.config.telemetry_dir
+        if directory is None or not self.telemetry.enabled:
+            return
+        self._sup_incarnation = incarnation
+        self._writer = ProcessTelemetryWriter(
+            self.telemetry,
+            directory,
+            SUPERVISOR,
+            incarnation=incarnation,
+            role="supervisor",
+            mono_origin=self.clock.origin,
+        )
+        self.flight = FlightRecorder(
+            SUPERVISOR,
+            clock=self.clock,
+            incarnation=incarnation,
+            path=FlightRecorder.path_for(directory, SUPERVISOR, incarnation),
+        )
+        self.transport.observer = self.flight
+        self.flight.record("state.up", recover=self.recover)
+
+    def _attach_flight(self, node: int, incarnation: int, context: str) -> None:
+        """Attach a dead process's flight-recorder dump to the report.
+
+        Loads the post-mortem JSONL (written by the victim's SIGTERM
+        handler, crash hook, or last periodic snapshot before a
+        SIGKILL), keeps the full entry list for settlement
+        cross-checks, and records a summary + ``flight.dump`` span so
+        the merged trace marks where a post-mortem was consumed.
+        """
+        directory = self.config.telemetry_dir
+        if directory is None or not self.telemetry.enabled:
+            return
+        key = (node, incarnation)
+        if key in self._flight_entries:
+            return
+        path = FlightRecorder.path_for(directory, node, incarnation)
+        try:
+            header, entries = load_flight_dump(path)
+        except (OSError, ValueError):
+            return  # no dump on disk (e.g. killed before first snapshot)
+        self._flight_entries[key] = entries
+        self.flight_reports.append(
+            {
+                "node": node,
+                "incarnation": incarnation,
+                "context": context,
+                "reason": header.get("reason"),
+                "pid": header.get("pid"),
+                "entries": len(entries),
+                "path": path,
+            }
+        )
+        span = self.telemetry.start_span(
+            "flight.dump",
+            node=SUPERVISOR,
+            detached=True,
+            reason=str(header.get("reason")),
+            entries=len(entries),
+        )
+        self.telemetry.end_span(span, source_node=node, context=context)
+
+    def _cross_check_settlement(self) -> None:
+        """Corroborate in-doubt verdicts against flight evidence.
+
+        For every settled in-doubt transfer, scan the attached dumps
+        for envelopes/transitions naming that transfer id — what the
+        dead process last saw either corroborates the WAL-replay
+        verdict or flags it for the report reader.
+        """
+        if not self._flight_entries or not self._last_settlement_plan:
+            return
+        for verdict, transfer in self._last_settlement_plan:
+            witnessed = []
+            for (node, inc), entries in sorted(self._flight_entries.items()):
+                for entry in entries:
+                    if entry.get("transfer_id") == transfer.transfer_id:
+                        witnessed.append(
+                            {
+                                "node": node,
+                                "incarnation": inc,
+                                "event": entry.get("event"),
+                            }
+                        )
+            self._in_doubt_evidence[str(transfer.transfer_id)] = {
+                "verdict": verdict,
+                "object_id": transfer.object_id,
+                "witnessed": witnessed,
+                "corroborated": bool(witnessed),
+            }
+
+    def _finalize_telemetry(self) -> None:
+        """Flush artifacts + write the run manifest (hub input)."""
+        if self._writer is None:
+            return
+        directory = self.config.telemetry_dir
+        try:
+            if self.flight is not None:
+                self.flight.dump(reason="exit")
+            manifest = {
+                "supervisor_origin": self.clock.origin,
+                "supervisor_incarnation": self._sup_incarnation,
+                "clock_offsets": (
+                    self._clock_sync.export() if self._clock_sync else []
+                ),
+                "worker_pids": {
+                    str(node): pid
+                    for node, pid in sorted(self.worker_pids.items())
+                },
+            }
+            path = os.path.join(directory, "manifest.json")
+            tmp = path + ".tmp"
+            with open(tmp, "w") as fh:
+                json.dump(manifest, fh, sort_keys=True, indent=2)
+            os.replace(tmp, path)
+            self._writer.close()
+        except OSError:
+            pass  # telemetry must never take the control plane down
+
     # -- recovery -------------------------------------------------------------
 
     async def _recover(self) -> None:
@@ -1112,7 +1350,19 @@ class NodeSupervisor:
                 inventories[peer] = reply.payload
             except (TimeoutError, ConnectionLostError):
                 dead.append(peer)
+        # Post-mortems first: the predecessor supervisor's flight dump
+        # and any dead worker's, so the in-doubt verdicts below can be
+        # cross-checked against what those processes last witnessed.
+        if self._sup_incarnation > 0:
+            self._attach_flight(
+                SUPERVISOR, self._sup_incarnation - 1, "supervisor-recovery"
+            )
+        for node_id in dead:
+            self._attach_flight(
+                node_id, self.incarnations[node_id], "recovery"
+            )
         await self._settle_in_doubt(inventories)
+        self._cross_check_settlement()
         self._grants_frozen = False
         if self.config.arbitration == "home":
             await self._broadcast_home_map(
@@ -1191,7 +1441,9 @@ class NodeSupervisor:
         self, inventories: Dict[int, Dict[str, Any]]
     ) -> None:
         """Execute the settlement plan, journaling every decision."""
-        for verdict, transfer in self._plan_settlement(inventories):
+        plan = self._plan_settlement(inventories)
+        self._last_settlement_plan = plan
+        for verdict, transfer in plan:
             if verdict == "rollback":
                 self._log(
                     wal_module.ROLLBACK,
@@ -1401,6 +1653,10 @@ class NodeSupervisor:
     async def run(self) -> Dict[str, Any]:
         """Drive one full supervised run; returns the measured report."""
         self.transport.handler = self.handle
+        # Telemetry first so the flight recorder is observing before
+        # the first envelope arrives.  supervisor_starts is still the
+        # pre-increment value here: the 0-based incarnation number.
+        self._setup_process_telemetry(self.supervisor_starts)
         own = self.peers[SUPERVISOR]
         if self.recover and own[0] == "unix" and os.path.exists(own[1]):
             os.unlink(own[1])  # the predecessor died holding the bind
@@ -1494,6 +1750,7 @@ class NodeSupervisor:
         await self._shutdown_workers()
         await self.transport.close()
         self.wal.close()
+        self._finalize_telemetry()
         return report
 
     async def _shutdown_workers(self) -> None:
@@ -1614,6 +1871,20 @@ class NodeSupervisor:
             "invariant_violations": violations,
             "transport": self.transport.stats(),
         }
+        if self._in_doubt_evidence:
+            report["in_doubt"]["flight_evidence"] = dict(
+                self._in_doubt_evidence
+            )
+        if self.config.telemetry_dir is not None and self.telemetry.enabled:
+            report["telemetry"] = {
+                "dir": self.config.telemetry_dir,
+                "supervisor_incarnation": self._sup_incarnation,
+                "worker_pids": dict(sorted(self.worker_pids.items())),
+                "clock_offsets": (
+                    self._clock_sync.export() if self._clock_sync else []
+                ),
+                "flight_dumps": list(self.flight_reports),
+            }
         if self.telemetry.enabled:
             report["metrics"] = self.telemetry.metrics.snapshot()
         return report

@@ -130,6 +130,13 @@ class AsyncioTransport(Transport):
         self.handler: Optional[Callable[[Envelope], Awaitable[None]]] = None
         #: Optional outbound fault filter (see :class:`FaultyTransport`).
         self.outbound_filter = None
+        #: Optional envelope observer (the crash flight recorder): an
+        #: object with ``on_send(envelope)`` / ``on_receive(envelope,
+        #: duplicate)`` methods, called synchronously from the hot
+        #: paths.  ``None`` (the default) costs one attribute read and
+        #: a branch per frame — the same fast-path discipline as
+        #: :class:`~repro.telemetry.NullTelemetry`.
+        self.observer = None
         # The seam's shared accounting, plus live-only counters.
         self.remote_messages = 0
         self.local_messages = 0
@@ -217,7 +224,12 @@ class AsyncioTransport(Transport):
 
     async def _dispatch(self, envelope: Envelope) -> None:
         self.frames_received += 1
-        if self.dedup.seen(envelope.msg_id):
+        duplicate = self.dedup.seen(envelope.msg_id)
+        observer = self.observer
+        if observer is not None:
+            # Pre-dedup so the flight recorder shows redeliveries too.
+            observer.on_receive(envelope, duplicate)
+        if duplicate:
             return  # idempotent redelivery: already processed
         if envelope.reply_to is not None:
             future = self._pending.pop(envelope.reply_to, None)
@@ -323,6 +335,9 @@ class AsyncioTransport(Transport):
 
     async def _send_envelope(self, envelope: Envelope) -> None:
         """Send one envelope through the fault filter, if installed."""
+        observer = self.observer
+        if observer is not None:
+            observer.on_send(envelope)
         fault_filter = self.outbound_filter
         if fault_filter is None:
             await self._raw_send(envelope)
@@ -352,10 +367,14 @@ class AsyncioTransport(Transport):
     # -- public API -----------------------------------------------------------
 
     async def send(
-        self, dst: int, kind: str, payload: Optional[Dict[str, Any]] = None
+        self,
+        dst: int,
+        kind: str,
+        payload: Optional[Dict[str, Any]] = None,
+        trace: Optional[Tuple[int, int]] = None,
     ) -> Envelope:
         """Fire one envelope at ``dst``; returns the sent envelope."""
-        envelope = self.factory.make(kind, dst, payload)
+        envelope = self.factory.make(kind, dst, payload, trace=trace)
         await self._send_envelope(envelope)
         return envelope
 
@@ -364,9 +383,15 @@ class AsyncioTransport(Transport):
         request: Envelope,
         payload: Optional[Dict[str, Any]] = None,
     ) -> Envelope:
-        """Answer a request envelope (correlated via ``reply_to``)."""
+        """Answer a request envelope (correlated via ``reply_to``).
+
+        The request's trace context (if any) is echoed on the reply so
+        flight-recorder dumps show both directions of an exchange under
+        the same trace.
+        """
         envelope = self.factory.make(
-            "reply", request.src, payload, reply_to=request.msg_id
+            "reply", request.src, payload, reply_to=request.msg_id,
+            trace=request.trace,
         )
         await self._send_envelope(envelope)
         return envelope
@@ -377,6 +402,7 @@ class AsyncioTransport(Transport):
         kind: str,
         payload: Optional[Dict[str, Any]] = None,
         timeout: float = 5.0,
+        trace: Optional[Tuple[int, int]] = None,
     ) -> Envelope:
         """Send and await the correlated reply under a deadline.
 
@@ -385,7 +411,7 @@ class AsyncioTransport(Transport):
         lost request from a lost reply from a slow peer, exactly the
         ambiguity the sim's retry layer models.
         """
-        envelope = self.factory.make(kind, dst, payload)
+        envelope = self.factory.make(kind, dst, payload, trace=trace)
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         self._pending[envelope.msg_id] = future
         started = self.clock.now()

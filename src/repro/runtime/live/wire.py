@@ -13,6 +13,13 @@ injection, drain, restart recovery), plus:
 ``reply_to``
     For responses: the ``msg_id`` of the request being answered, used
     by the sender to correlate its pending futures.
+``trace``
+    Optional ``(trace_id, parent_span_id)`` telemetry context.  A mover
+    stamps its migration-root span context onto MOVE_REQUEST /
+    OBJECT_TRANSFER / PLACE envelopes, and the arbiter forwards it on
+    EVICT/RESTORE notices, so one live migration renders as a single
+    cross-process span tree.  ``None`` (the default, and the
+    NullTelemetry path) costs nothing on the wire beyond the field.
 
 Payloads are plain picklable objects (dicts of primitives and, for
 OBJECT_TRANSFER, the pickled object state itself).  Pickle is safe here
@@ -75,6 +82,7 @@ class Envelope:
     msg_id: Tuple[int, int]
     payload: Dict[str, Any] = field(default_factory=dict)
     reply_to: Optional[Tuple[int, int]] = None
+    trace: Optional[Tuple[int, int]] = None
 
     def encode(self) -> bytes:
         """Pickle this envelope for the wire."""
@@ -115,6 +123,7 @@ class EnvelopeFactory:
         dst: int,
         payload: Optional[Dict[str, Any]] = None,
         reply_to: Optional[Tuple[int, int]] = None,
+        trace: Optional[Tuple[int, int]] = None,
     ) -> Envelope:
         """Mint an envelope with the next id in this incarnation's band."""
         return Envelope(
@@ -124,6 +133,7 @@ class EnvelopeFactory:
             msg_id=(self.node_id, next(self._seq)),
             payload=payload or {},
             reply_to=reply_to,
+            trace=trace,
         )
 
 

@@ -12,6 +12,12 @@ Everything defaults to :data:`NULL_TELEMETRY` (mirroring
 :data:`~repro.sim.trace.NULL_TRACER`), whose disabled path is a single
 attribute check — fault-free golden traces and metrics stay
 bit-identical with telemetry off.
+
+:mod:`repro.telemetry.live` extends the layer across OS-process
+boundaries for the live runtime: per-process span/metric writers, a
+crash flight recorder, clock-offset estimation, and a
+:class:`~repro.telemetry.live.TelemetryHub` that merges every
+process's files into one Perfetto trace on real pid lanes.
 """
 
 from repro.telemetry.core import (
@@ -19,6 +25,7 @@ from repro.telemetry.core import (
     NULL_TELEMETRY,
     NullTelemetry,
     Telemetry,
+    span_context,
 )
 from repro.telemetry.export import (
     export_run,
@@ -36,6 +43,15 @@ from repro.telemetry.metrics import (
     MetricsRegistry,
     NullMetricsRegistry,
 )
+from repro.telemetry.live import (
+    ClockSync,
+    FlightRecorder,
+    ProcessTelemetryWriter,
+    TelemetryHub,
+    clean_telemetry_dir,
+    load_flight_dump,
+    process_id_base,
+)
 from repro.telemetry.spans import ERROR, OK, OPEN, Span
 from repro.telemetry.validate import validate_chrome_trace
 
@@ -44,6 +60,7 @@ __all__ = [
     "NullTelemetry",
     "NULL_TELEMETRY",
     "NULL_SPAN",
+    "span_context",
     "Span",
     "OPEN",
     "OK",
@@ -61,4 +78,11 @@ __all__ = [
     "write_metrics_jsonl",
     "write_spans_jsonl",
     "validate_chrome_trace",
+    "ClockSync",
+    "FlightRecorder",
+    "ProcessTelemetryWriter",
+    "TelemetryHub",
+    "clean_telemetry_dir",
+    "load_flight_dump",
+    "process_id_base",
 ]

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from itertools import count
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.telemetry.metrics import MetricsRegistry, NullMetricsRegistry
 from repro.telemetry.spans import ERROR, OK, Span
@@ -39,19 +39,25 @@ class Telemetry:
         Hard cap on retained spans; beyond it new spans are still
         created (so context propagation keeps working) but not
         retained.  Bounds memory on very long instrumented runs.
+    id_base:
+        Offset added to every minted span/trace id.  Sim runs keep the
+        default 0; live OS processes each mint from a disjoint band
+        (see :func:`repro.telemetry.live.process_id_base`) so merged
+        cross-process traces never collide on ids.
     """
 
-    def __init__(self, max_spans: int = 200_000):
+    def __init__(self, max_spans: int = 200_000, id_base: int = 0):
         self.metrics = MetricsRegistry(clock=self.now)
         self.max_spans = max_spans
+        self.id_base = id_base
         #: Every retained span, in start order (open ones included).
         self.spans: List[Span] = []
         #: Spans created beyond ``max_spans`` (dropped from retention).
         self.spans_dropped = 0
         self._env = None
         self._clock = None
-        self._span_ids = count(1)
-        self._trace_ids = count(1)
+        self._span_ids = count(id_base + 1)
+        self._trace_ids = count(id_base + 1)
         #: Context key (process) -> innermost open span.
         self._current: Dict[Any, Span] = {}
         self._sampler_started = False
@@ -102,6 +108,8 @@ class Telemetry:
         name: str,
         node: Optional[int] = None,
         parent: Optional[Span] = None,
+        remote: Optional[Tuple[int, int]] = None,
+        detached: bool = False,
         **tags: Any,
     ) -> Span:
         """Open a span; it becomes the active process' current span.
@@ -110,16 +118,28 @@ class Telemetry:
         pass it explicitly when handing work to a freshly spawned
         process (the spawning process' span is not visible there).
         A span with no parent starts a new trace.
+
+        ``remote`` adopts a foreign ``(trace_id, parent_span_id)``
+        context carried over the wire from another OS process, joining
+        that trace without a local parent ``Span`` object.
+
+        ``detached`` spans never touch the current-span table: live
+        asyncio handlers run concurrently on one loop and would stomp
+        the single global context slot, so they pass explicit
+        ``parent``/``remote`` context and stay detached.
         """
         key = self._context_key()
-        if parent is None:
-            parent = self._current.get(key)
-        if parent is not None:
-            trace_id = parent.trace_id
-            parent_id = parent.span_id
+        if remote is not None:
+            trace_id, parent_id = remote
         else:
-            trace_id = next(self._trace_ids)
-            parent_id = None
+            if parent is None and not detached:
+                parent = self._current.get(key)
+            if parent is not None:
+                trace_id = parent.trace_id
+                parent_id = parent.span_id
+            else:
+                trace_id = next(self._trace_ids)
+                parent_id = None
         span = Span(
             trace_id=trace_id,
             span_id=next(self._span_ids),
@@ -129,8 +149,9 @@ class Telemetry:
             start=self.now(),
             tags=tags,
         )
-        span._prev = self._current.get(key)
-        self._current[key] = span
+        if not detached:
+            span._prev = self._current.get(key)
+            self._current[key] = span
         if len(self.spans) < self.max_spans:
             self.spans.append(span)
         else:
@@ -255,7 +276,9 @@ class NullTelemetry(Telemetry):
     def enabled(self) -> bool:
         return False
 
-    def start_span(self, name, node=None, parent=None, **tags):  # noqa: D102
+    def start_span(
+        self, name, node=None, parent=None, remote=None, detached=False, **tags
+    ):  # noqa: D102
         return NULL_SPAN
 
     def end_span(self, span, status=OK, **tags):  # noqa: D102
@@ -274,3 +297,15 @@ class NullTelemetry(Telemetry):
 
 #: Shared do-nothing telemetry instance.
 NULL_TELEMETRY = NullTelemetry()
+
+
+def span_context(span: Optional[Span]) -> Optional[Tuple[int, int]]:
+    """The wire-able ``(trace_id, span_id)`` context of ``span``.
+
+    Returns None for ``None`` and for :data:`NULL_SPAN` (span_id 0), so
+    callers can unconditionally stamp envelopes with the result: under
+    :class:`NullTelemetry` the envelope simply carries no trace context.
+    """
+    if span is None or span.span_id == 0:
+        return None
+    return (span.trace_id, span.span_id)

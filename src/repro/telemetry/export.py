@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, List, Union
+from typing import Dict, List, Optional, Union
 
 from repro.telemetry.core import Telemetry
 from repro.telemetry.spans import ERROR
@@ -49,25 +49,60 @@ def write_spans_jsonl(telemetry: Telemetry, path: Union[str, Path]) -> Path:
     return path
 
 
-def _pid(node) -> int:
-    return SYSTEM_PID if node is None else int(node)
+def _pid(node, pid_map: Optional[Dict[int, int]] = None) -> int:
+    """Trace-event pid lane for a span's node.
+
+    Sim traces keep the historical synthetic mapping (node id *is* the
+    pid lane; ``None`` → :data:`SYSTEM_PID`).  Live merged traces pass
+    ``pid_map`` (node → real OS pid) so lanes carry genuine pids; a
+    span additionally tagged ``os_pid`` (per-incarnation fidelity)
+    overrides the map — see :func:`to_chrome_trace`.
+    """
+    if node is None:
+        return SYSTEM_PID
+    if pid_map is not None and node in pid_map:
+        return int(pid_map[node])
+    return int(node)
 
 
-def to_chrome_trace(telemetry: Telemetry) -> dict:
+def _span_pid(span, pid_map: Optional[Dict[int, int]] = None) -> int:
+    os_pid = span.tags.get("os_pid")
+    if os_pid is not None:
+        return int(os_pid)
+    return _pid(span.node, pid_map)
+
+
+def to_chrome_trace(
+    telemetry: Telemetry,
+    pid_map: Optional[Dict[int, int]] = None,
+    process_names: Optional[Dict[int, str]] = None,
+    time_scale: Optional[float] = None,
+) -> dict:
     """Render spans + gauge series as a Chrome trace-event document.
 
     Mapping: sim-time → µs (×:data:`SIM_TO_US`), node → ``pid``,
     trace id → ``tid`` (so one trace's spans share a row per node).
     Zero-duration spans (policy decisions, closure computations) become
     instant (``ph: "i"``) markers so they stay visible in Perfetto.
+
+    ``pid_map`` (node → real OS pid) and per-span ``os_pid`` tags put
+    live merged traces on genuine OS-process lanes; ``process_names``
+    (pid → label) names those lanes; ``time_scale`` overrides
+    :data:`SIM_TO_US` (live timestamps are *seconds*, so merged live
+    traces pass 1e6).  With all three left ``None`` (every sim caller)
+    the output is byte-identical to the historical synthetic mapping.
     """
+    scale = SIM_TO_US if time_scale is None else time_scale
     events: List[dict] = []
     pids = {SYSTEM_PID}
     for span in telemetry.spans:
-        pids.add(_pid(span.node))
+        pids.add(_span_pid(span, pid_map))
 
     for pid in sorted(pids):
-        name = "system" if pid == SYSTEM_PID else f"node-{pid}"
+        if process_names is not None and pid in process_names:
+            name = process_names[pid]
+        else:
+            name = "system" if pid == SYSTEM_PID else f"node-{pid}"
         events.append(
             {
                 "ph": "M",
@@ -89,12 +124,12 @@ def to_chrome_trace(telemetry: Telemetry) -> dict:
             "status": span.status,
             **span.tags,
         }
-        ts = span.start * SIM_TO_US
-        dur = span.duration * SIM_TO_US
+        ts = span.start * scale
+        dur = span.duration * scale
         base = {
             "name": span.name,
             "cat": "span" if span.status != ERROR else "span,error",
-            "pid": _pid(span.node),
+            "pid": _span_pid(span, pid_map),
             "tid": span.trace_id,
             "ts": ts,
             "args": args,
@@ -115,7 +150,7 @@ def to_chrome_trace(telemetry: Telemetry) -> dict:
                     "name": metric.name,
                     "pid": SYSTEM_PID,
                     "tid": 0,
-                    "ts": t * SIM_TO_US,
+                    "ts": t * scale,
                     "args": {"value": value},
                 }
             )
@@ -123,11 +158,26 @@ def to_chrome_trace(telemetry: Telemetry) -> dict:
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 
-def write_chrome_trace(telemetry: Telemetry, path: Union[str, Path]) -> Path:
+def write_chrome_trace(
+    telemetry: Telemetry,
+    path: Union[str, Path],
+    pid_map: Optional[Dict[int, int]] = None,
+    process_names: Optional[Dict[int, str]] = None,
+    time_scale: Optional[float] = None,
+) -> Path:
     """Write the Chrome trace-event document; returns the path."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(to_chrome_trace(telemetry)))
+    path.write_text(
+        json.dumps(
+            to_chrome_trace(
+                telemetry,
+                pid_map=pid_map,
+                process_names=process_names,
+                time_scale=time_scale,
+            )
+        )
+    )
     return path
 
 

@@ -54,10 +54,24 @@ DEPLOY_METRICS = (
 
 #: Required tag keys per live-runtime span name.  ``wal.replay`` must
 #: say how much journal it consumed; ``live.recover`` which arbitration
-#: mode it settled under.
+#: mode it settled under.  The cross-process migration family
+#: (``live.move`` and its children) must carry enough to rebuild the
+#: migration story from the merged trace alone.
 LIVE_SPAN_SCHEMAS = {
     "wal.replay": ("records",),
     "live.recover": ("mode",),
+    "live.move": ("object",),
+    "live.grant": ("object", "granted"),
+    "live.transfer": ("object", "transfer"),
+    "live.transfer.serve": ("object", "transfer"),
+    "live.place": ("transfer", "ok"),
+    "live.rollback": ("transfer",),
+    "live.evict": ("transfer",),
+    "live.restore": ("transfer",),
+    "live.drain": ("migrations",),
+    "live.seed": ("count",),
+    "live.inventory": ("objects",),
+    "flight.dump": ("reason", "entries"),
 }
 
 #: Instrument type per metric name the live runtime promises to emit.
@@ -73,6 +87,13 @@ LIVE_METRIC_SCHEMAS = {
     "home.grants": "counter",
     "home.denials": "counter",
     "home.reassignments": "counter",
+    "live.worker.attempts": "counter",
+    "live.worker.granted": "counter",
+    "live.worker.migrations": "counter",
+    "live.worker.denied": "counter",
+    "live.worker.aborted": "counter",
+    "live.worker.invocations": "counter",
+    "live.worker.remote_invocations": "counter",
 }
 
 #: Fields every metrics.jsonl document must carry, regardless of type.
@@ -267,6 +288,51 @@ def validate_chrome_trace(doc: dict) -> List[str]:
     return problems
 
 
+def validate_flight_jsonl(text: str) -> List[str]:
+    """Validate a flight-recorder post-mortem dump; returns problems.
+
+    Contract (see :class:`repro.telemetry.live.FlightRecorder`): first
+    line is a header object under the ``"flight"`` key carrying
+    node/pid/incarnation/reason/entry counts; every further line is one
+    ring entry with at least ``t`` (number) and ``event`` (string).
+    """
+    problems: List[str] = []
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        return ["empty flight dump"]
+    try:
+        header_doc = json.loads(lines[0])
+    except ValueError as exc:
+        return [f"line 1: invalid JSON ({exc})"]
+    header = header_doc.get("flight") if isinstance(header_doc, dict) else None
+    if not isinstance(header, dict):
+        return ["line 1: not a flight header (missing 'flight' object)"]
+    for field in ("node", "incarnation", "pid", "reason", "entries"):
+        if field not in header:
+            problems.append(f"line 1: header missing field {field!r}")
+    declared = header.get("entries")
+    if isinstance(declared, int) and declared != len(lines) - 1:
+        problems.append(
+            f"line 1: header says {declared} entries, file has "
+            f"{len(lines) - 1}"
+        )
+    for lineno, line in enumerate(lines[1:], start=2):
+        where = f"line {lineno}"
+        try:
+            entry = json.loads(line)
+        except ValueError as exc:
+            problems.append(f"{where}: invalid JSON ({exc})")
+            continue
+        if not isinstance(entry, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        if not isinstance(entry.get("event"), str) or not entry["event"]:
+            problems.append(f"{where}: missing/empty 'event'")
+        if not isinstance(entry.get("t"), (int, float)):
+            problems.append(f"{where}: 't' must be a number")
+    return problems
+
+
 def _validate_file(path: Path) -> List[str]:
     """Dispatch one artifact by filename; returns problems."""
     try:
@@ -276,6 +342,8 @@ def _validate_file(path: Path) -> List[str]:
     if path.suffix == ".jsonl":
         if "metrics" in path.name:
             return validate_metrics_jsonl(text)
+        if "flight" in path.name:
+            return validate_flight_jsonl(text)
         return validate_spans_jsonl(text)
     try:
         doc = json.loads(text)
@@ -284,25 +352,57 @@ def _validate_file(path: Path) -> List[str]:
     return validate_chrome_trace(doc)
 
 
+def _expand_directory(path: Path) -> List[Path]:
+    """A telemetry directory's validatable artifacts, sorted.
+
+    The merged ``trace.json`` plus every ``*.jsonl`` (per-process
+    spans/metrics, flight dumps).  ``manifest.json``, ``meta-*.json``
+    and ``summary.txt`` carry no validator contract and are skipped.
+    """
+    artifacts: List[Path] = []
+    trace = path / "trace.json"
+    if trace.exists():
+        artifacts.append(trace)
+    artifacts.extend(sorted(path.glob("*.jsonl")))
+    return artifacts
+
+
 def main(argv=None) -> int:
     """CLI entry point: validate trace/span artifacts, exit 0/1.
 
-    Accepts any mix of ``trace.json`` (Chrome trace), ``spans.jsonl``
-    and ``metrics.jsonl`` files; the filename picks the validator
-    (``.jsonl`` with ``metrics`` in the name → metrics, other
-    ``.jsonl`` → spans, anything else → Chrome trace).
+    Accepts any mix of ``trace.json`` (Chrome trace), ``spans.jsonl``,
+    ``metrics.jsonl`` and ``flight-*.jsonl`` files; the filename picks
+    the validator (``.jsonl`` with ``metrics`` in the name → metrics,
+    with ``flight`` → flight dump, other ``.jsonl`` → spans, anything
+    else → Chrome trace).  A *directory* argument (a live run's
+    ``--telemetry DIR``) expands to its merged ``trace.json`` plus
+    every ``*.jsonl`` inside; an empty directory fails.
     """
     argv = list(sys.argv[1:] if argv is None else argv)
     if not argv:
         print(
             "usage: python -m repro.telemetry.validate "
-            "TRACE.json [SPANS.jsonl ...] [METRICS.jsonl ...]",
+            "TRACE.json [SPANS.jsonl ...] [METRICS.jsonl ...] [DIR ...]",
             file=sys.stderr,
         )
         return 2
+    paths: List[Path] = []
     failed = False
     for name in argv:
         path = Path(name)
+        if path.is_dir():
+            found = _expand_directory(path)
+            if not found:
+                print(
+                    f"{path}: no telemetry artifacts "
+                    "(no trace.json or *.jsonl)",
+                    file=sys.stderr,
+                )
+                failed = True
+            paths.extend(found)
+        else:
+            paths.append(path)
+    for path in paths:
         problems = _validate_file(path)
         if problems:
             failed = True
